@@ -1,0 +1,2 @@
+"""Benchmark suite: regenerates every table and figure of the paper's
+evaluation (§7). Run with ``pytest benchmarks/ --benchmark-only -s``."""

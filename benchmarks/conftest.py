@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one of the paper's tables or figures.
+Because several figures measure the same (notebook × method) runs from
+different angles, completed runs are cached at session scope — the
+methodology (run cells sequentially, checkpoint after each) is identical
+across Figs 13, 14 and Tables 6/7.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 0.25) multiplies workload data
+sizes; the shapes reported by the paper hold across scales, only absolute
+numbers move.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from typing import Callable, Dict, Tuple
+
+import pytest
+
+from repro.baselines import (
+    CRIUIncrementalMethod,
+    CRIUMethod,
+    DetReplayMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+    KishuMethod,
+)
+from repro.bench import MethodRun, run_notebook_with_method
+from repro.bench.disk import paper_nfs_disk
+from repro.libsim.devices import reset_stores
+from repro.workloads import build_notebook
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+NOTEBOOK_NAMES = [
+    "Cluster",
+    "TPS",
+    "Sklearn",
+    "HW-LM",
+    "StoreSales",
+    "Qiskit",
+    "TorchGPU",
+    "Ray",
+]
+
+METHOD_FACTORIES = {
+    "Kishu": KishuMethod,
+    "Kishu+Det-replay": DetReplayMethod,
+    "CRIU": CRIUMethod,
+    "CRIU-Incremental": CRIUIncrementalMethod,
+    "DumpSession": DumpSessionMethod,
+    "ElasticNotebook": ElasticNotebookMethod,
+}
+
+
+class RunCache:
+    """Lazily computed (notebook, method) -> MethodRun cache."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple[str, str], MethodRun] = {}
+
+    def get(self, notebook: str, method: str) -> MethodRun:
+        key = (notebook, method)
+        if key not in self._runs:
+            gc.collect()
+            reset_stores()
+            spec = build_notebook(notebook, BENCH_SCALE)
+            self._runs[key] = run_notebook_with_method(
+                spec, METHOD_FACTORIES[method], disk=paper_nfs_disk()
+            )
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def run_cache() -> RunCache:
+    return RunCache()
+
+
+@pytest.fixture(autouse=True)
+def clean_devices():
+    reset_stores()
+    yield

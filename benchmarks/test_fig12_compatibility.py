@@ -1,0 +1,102 @@
+"""Fig 12: checkpoint/checkout failures over the 146 library classes.
+
+For each method, every class is placed into a fresh kernel session,
+checkpointed, mutated, and checked out back. The paper's headline: Kishu
+completes all 146 with no failures; CRIU fails the 6 multiprocessing /
+off-CPU classes; DumpSession fails the 7 unserializable/undeserializable
+classes; ElasticNotebook survives via recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import (
+    CRIUMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+    KishuMethod,
+)
+from repro.bench import format_table, run_notebook_with_method
+from repro.libsim.devices import reset_stores
+from repro.libsim.registry import all_specs
+from repro.workloads.spec import NotebookSpec, make_cells
+
+
+def class_notebook(spec) -> NotebookSpec:
+    """A three-cell notebook exercising one library class."""
+    entries = [
+        (
+            f"from {spec.cls.__module__} import {spec.name}\n"
+            f"obj = {spec.name}()",
+            (),
+        ),
+        ("obj.probe_attr = 'A'", ()),
+        ("marker = 1", ()),
+    ]
+    return NotebookSpec(
+        name=f"class-{spec.name}", topic="compat", library=spec.category,
+        final=True, hidden_states=0, out_of_order_cells=0,
+        cells=make_cells(entries),
+    )
+
+
+def sweep(method_factory) -> Dict[str, int]:
+    """Attempt checkpoint+checkout for every class; count failures."""
+    failures = {"checkpoint": 0, "checkout": 0}
+    failed_classes = []
+    for spec in all_specs():
+        reset_stores()
+        run = run_notebook_with_method(class_notebook(spec), method_factory)
+        if run.checkpoint_failures:
+            failures["checkpoint"] += 1
+            failed_classes.append(spec.name)
+            continue
+        cost = run.method.checkout(1)
+        if cost.failed or cost.restored is None or "obj" not in cost.restored:
+            failures["checkout"] += 1
+            failed_classes.append(spec.name)
+    failures["classes"] = failed_classes
+    return failures
+
+
+def test_fig12_compatibility(benchmark):
+    methods = {
+        "Kishu": KishuMethod,
+        "CRIU": CRIUMethod,
+        "DumpSession": DumpSessionMethod,
+        "ElasticNotebook": ElasticNotebookMethod,
+    }
+    results = {name: sweep(factory) for name, factory in methods.items()}
+
+    rows = [
+        (
+            name,
+            outcome["checkpoint"],
+            outcome["checkout"],
+            outcome["checkpoint"] + outcome["checkout"],
+        )
+        for name, outcome in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Method", "Checkpoint fails", "Checkout fails", "Total / 146"],
+            rows,
+            title="Fig 12: checkpoint/checkout failures over 146 classes",
+        )
+    )
+    for name, outcome in results.items():
+        if outcome["classes"]:
+            print(f"  {name} failed on: {', '.join(sorted(outcome['classes']))}")
+
+    # Paper: Kishu has zero failures.
+    assert results["Kishu"]["checkpoint"] + results["Kishu"]["checkout"] == 0
+    # Paper: CRIU fails exactly the 6 multiprocessing/off-CPU classes.
+    assert results["CRIU"]["checkpoint"] == 6
+    # Paper: DumpSession fails exactly the 7 unserializable classes.
+    assert results["DumpSession"]["checkpoint"] + results["DumpSession"]["checkout"] == 7
+    # Paper: ElasticNotebook's fault tolerance also covers everything.
+    assert results["ElasticNotebook"]["checkpoint"] == 0
+
+    benchmark.pedantic(lambda: sweep(KishuMethod), rounds=1, iterations=1)

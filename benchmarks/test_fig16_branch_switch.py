@@ -1,0 +1,98 @@
+"""Fig 16: time to switch to a branched session state.
+
+Methodology (§7.5.2): run end-to-end, check out to the state before any
+models are trained, re-run to the end (creating a second branch), then
+measure switching back to the first branch. Paper claims re-verified:
+Kishu updates only the diverged models/plots (not the input dataframes)
+and is the fastest switch; Det-replay can blow up when a deterministic
+fitting sequence must be replayed (the paper's 1050 s Cluster case).
+"""
+
+from __future__ import annotations
+
+import gc
+
+from benchmarks.conftest import BENCH_SCALE, METHOD_FACTORIES
+from repro.bench import branch_experiment, format_table, human_seconds
+from repro.bench.disk import paper_nfs_disk
+from repro.libsim.devices import reset_stores
+from repro.workloads import build_notebook
+
+METHODS = list(METHOD_FACTORIES)
+
+#: As in Fig 15: the paper's branch-switch experiment covers six notebooks.
+NOTEBOOK_NAMES = ["Cluster", "TPS", "Sklearn", "StoreSales", "TorchGPU", "Ray"]
+
+
+def measure(notebook: str, method: str):
+    gc.collect()
+    reset_stores()
+    spec = build_notebook(notebook, BENCH_SCALE)
+    _, measurement = branch_experiment(
+        spec, METHOD_FACTORIES[method], disk=paper_nfs_disk()
+    )
+    if measurement is None or measurement.switch_cost.failed:
+        return None
+    return measurement.switch_cost.seconds
+
+
+def test_fig16_branch_switch(benchmark):
+    results = {}
+    for notebook in NOTEBOOK_NAMES:
+        for method in METHODS:
+            results[(notebook, method)] = measure(notebook, method)
+
+    rows = []
+    for notebook in NOTEBOOK_NAMES:
+        row = [notebook]
+        for method in METHODS:
+            value = results[(notebook, method)]
+            row.append("FAIL" if value is None else human_seconds(value))
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["Notebook"] + METHODS,
+            rows,
+            title=f"Fig 16 (scale={BENCH_SCALE}): branch-switch time",
+        )
+    )
+
+    kishu_fastest = 0
+    advantage_ratios = []
+    for notebook in NOTEBOOK_NAMES:
+        kishu = results[(notebook, "Kishu")]
+        assert kishu is not None, notebook
+        # Paper: sub-second switching on most notebooks.
+        assert kishu < 2.0, f"{notebook}: {kishu:.3f}s"
+        rivals = [
+            results[(notebook, m)]
+            for m in METHODS
+            if m not in ("Kishu", "Kishu+Det-replay")
+            and results[(notebook, m)] is not None
+        ]
+        if rivals:
+            advantage_ratios.append(min(rivals) / kishu)
+            if kishu <= min(rivals):
+                kishu_fastest += 1
+    # Paper: Kishu's switch is the fastest on most notebooks (up to 4.18x
+    # vs the next best). Small-state notebooks (HW-LM, Qiskit) can favour
+    # bulk loads at our scale, so assert both the count and the overall
+    # advantage (geometric mean > 1).
+    assert kishu_fastest >= 4, f"Kishu fastest on only {kishu_fastest}/6"
+    geometric_mean = 1.0
+    for ratio in advantage_ratios:
+        geometric_mean *= ratio
+    geometric_mean **= 1.0 / len(advantage_ratios)
+    assert geometric_mean > 1.5, f"mean advantage only {geometric_mean:.2f}x"
+
+    # Paper: Det-replay's replay of the Cluster fitting sequence makes its
+    # branch switch far slower than Kishu's load-based switch.
+    cluster_det = results[("Cluster", "Kishu+Det-replay")]
+    cluster_kishu = results[("Cluster", "Kishu")]
+    assert cluster_det is not None
+    assert cluster_det > cluster_kishu * 5, (
+        f"det-replay {cluster_det:.3f}s vs kishu {cluster_kishu:.3f}s"
+    )
+
+    benchmark.pedantic(lambda: measure("TPS", "Kishu"), rounds=1, iterations=1)

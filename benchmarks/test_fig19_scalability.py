@@ -1,0 +1,93 @@
+"""Fig 19: scalability to long notebook sessions (§7.7.2).
+
+Randomly re-execute up to 1000 cells of the two visualization notebooks
+(HW-LM, Qiskit) and measure (1) checkpoint-graph metadata size and
+(2) state-difference computation time for undoing 0–1000 cells from the
+tip. Paper claims: both grow linearly — metadata with executed cells,
+diff time with the total cell count of the two states — and stay tiny in
+absolute terms (9 MB / 81 ms at 1000 cells on the paper's testbed).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import format_series, format_table
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+from repro.workloads import build_notebook, long_session_cells
+
+TOTAL_EXECUTIONS = 1000
+CHECKPOINT_SAMPLES = [100, 250, 500, 750, 1000]
+UNDO_DEPTHS = [0, 100, 250, 500, 750, 999]
+SCALE = 0.05  # tiny data: this experiment measures metadata, not payloads
+
+
+def run_long_session(notebook: str):
+    spec = build_notebook(notebook, SCALE)
+    cells = long_session_cells(spec, TOTAL_EXECUTIONS, seed=7)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+
+    metadata_sizes = {}
+    for index, cell in enumerate(cells, start=1):
+        kernel.run_cell(cell, raise_on_error=False)
+        if index in CHECKPOINT_SAMPLES:
+            metadata_sizes[index] = session.graph.metadata_size_estimate()
+
+    diff_times = {}
+    tip = session.head_id
+    repetitions = 50
+    session.graph.state_difference(tip, tip)  # warm caches
+    for depth in UNDO_DEPTHS:
+        target = f"t{TOTAL_EXECUTIONS - depth}"
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            session.graph.state_difference(tip, target)
+        diff_times[depth] = (time.perf_counter() - started) / repetitions
+    return metadata_sizes, diff_times
+
+
+def linear_correlation(xs, ys) -> float:
+    return float(np.corrcoef(np.asarray(xs, float), np.asarray(ys, float))[0, 1])
+
+
+def test_fig19_scalability(benchmark):
+    for notebook in ("HW-LM", "Qiskit"):
+        metadata_sizes, diff_times = run_long_session(notebook)
+
+        print()
+        print(f"Fig 19 [{notebook}] -- {TOTAL_EXECUTIONS} random cell executions")
+        print(
+            format_series(
+                "  graph metadata (bytes)",
+                list(metadata_sizes),
+                list(metadata_sizes.values()),
+            )
+        )
+        print(
+            format_series(
+                "  state-diff time (ms)",
+                list(diff_times),
+                [t * 1e3 for t in diff_times.values()],
+                y_format=lambda v: f"{v:.2f}",
+            )
+        )
+
+        # Linear metadata growth (paper: linear, 9 MB at 1000 cells).
+        sizes = list(metadata_sizes.values())
+        assert sizes == sorted(sizes)
+        assert linear_correlation(list(metadata_sizes), sizes) > 0.99
+        assert sizes[-1] < 64 * 1024 * 1024  # absolutely small
+
+        # Diff time grows (roughly linearly) with undo depth and stays
+        # far below a second (paper: <= 81 ms for any checkout).
+        times = list(diff_times.values())
+        assert max(times) < 1.0
+        assert linear_correlation(list(diff_times), times) > 0.8
+
+    benchmark.pedantic(
+        lambda: run_long_session("HW-LM"), rounds=1, iterations=1
+    )

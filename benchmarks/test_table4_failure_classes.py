@@ -1,0 +1,88 @@
+"""Table 4: the noteworthy classes Kishu handles that baselines fail on.
+
+Verifies each named class against both the failing baseline and Kishu,
+printing the table with the same row structure as the paper's Table 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CRIUMethod, DumpSessionMethod, KishuMethod
+from repro.bench import format_table, run_notebook_with_method
+from repro.libsim.devices import reset_stores
+from repro.libsim.registry import spec_by_name
+from repro.workloads.spec import NotebookSpec, make_cells
+
+#: (baseline, category description, class) rows mirroring Table 4.
+TABLE_4_ROWS = [
+    ("CRIU", "Dist. Computing", "SimSparkSQLFrame"),
+    ("CRIU", "Dist. Computing", "SimRayDataset"),
+    ("CRIU", "On-device data", "SimTFTensorDevice"),
+    ("CRIU", "On-device data", "SimTorchTensorGPU"),
+    ("CRIU", "Data Pipelining", "SimPipeline"),
+    ("CRIU", "Data Pipelining", "SimBertTokenizer"),
+    ("DumpSession", "Unserializable Data", "SimLazyFrame"),
+    ("DumpSession", "Unserializable Data", "SimBokehFigure"),
+]
+
+_METHODS = {"CRIU": CRIUMethod, "DumpSession": DumpSessionMethod}
+
+
+def class_notebook(class_name: str) -> NotebookSpec:
+    spec = spec_by_name(class_name)
+    entries = [
+        (
+            f"from {spec.cls.__module__} import {spec.name}\n"
+            f"obj = {spec.name}()",
+            (),
+        ),
+        ("obj.probe_attr = 'A'", ()),
+    ]
+    return NotebookSpec(
+        name=f"t4-{class_name}", topic="compat", library=spec.category,
+        final=True, hidden_states=0, out_of_order_cells=0,
+        cells=make_cells(entries),
+    )
+
+
+def attempt(method_factory, class_name: str) -> bool:
+    """True if the method checkpoints and checks the class out."""
+    reset_stores()
+    run = run_notebook_with_method(class_notebook(class_name), method_factory)
+    if run.checkpoint_failures:
+        return False
+    cost = run.method.checkout(0)
+    return not cost.failed and cost.restored is not None and "obj" in cost.restored
+
+
+def test_table4_failure_classes(benchmark):
+    rows = []
+    for baseline_name, description, class_name in TABLE_4_ROWS:
+        baseline_ok = attempt(_METHODS[baseline_name], class_name)
+        kishu_ok = attempt(KishuMethod, class_name)
+        rows.append(
+            (
+                baseline_name,
+                description,
+                class_name,
+                "ok" if baseline_ok else "FAIL",
+                "ok" if kishu_ok else "FAIL",
+            )
+        )
+        # The table's whole point: the baseline fails, Kishu succeeds.
+        assert not baseline_ok, (baseline_name, class_name)
+        assert kishu_ok, class_name
+
+    print()
+    print(
+        format_table(
+            ["Tool", "Description", "Failure class", "Tool result", "Kishu"],
+            rows,
+            title="Table 4: classes Kishu handles that existing works fail on",
+        )
+    )
+
+    benchmark.pedantic(
+        lambda: attempt(KishuMethod, "SimTorchTensorGPU"), rounds=1, iterations=1
+    )

@@ -1,0 +1,46 @@
+"""Table 7: variable vs co-variable counts in the notebooks' final states.
+
+The paper's point: real notebook states consist of many *small*
+co-variables — the co-variable count is close to the variable count
+(shared references are common but localized), which is exactly the regime
+where co-variable granularity wins (Fig 18).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, NOTEBOOK_NAMES
+from repro.bench import format_table
+from repro.workloads import build_notebook, covariable_census
+
+
+def test_table7_covariable_counts(benchmark):
+    rows = []
+    results = {}
+    for name in NOTEBOOK_NAMES:
+        n_vars, n_covars = covariable_census(build_notebook(name, BENCH_SCALE))
+        results[name] = (n_vars, n_covars)
+        rows.append((name, n_vars, n_covars))
+    print()
+    print(
+        format_table(
+            ["Notebook", "# vars.", "# Co-vars."],
+            rows,
+            title=f"Table 7 (scale={BENCH_SCALE}): variable vs co-variable count",
+        )
+    )
+
+    for name, (n_vars, n_covars) in results.items():
+        # Co-variables can never outnumber variables…
+        assert n_covars <= n_vars, name
+        # …and in real notebooks stay close to the variable count (the
+        # paper's ratios range from 0.80 (Qiskit) to 1.00 (TPS)).
+        assert n_covars >= n_vars * 0.65, (name, n_vars, n_covars)
+
+    # At least one notebook has genuinely shared references (count drops).
+    assert any(n_covars < n_vars for n_vars, n_covars in results.values())
+
+    benchmark.pedantic(
+        lambda: covariable_census(build_notebook("TPS", BENCH_SCALE)),
+        rounds=1,
+        iterations=1,
+    )

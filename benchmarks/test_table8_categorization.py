@@ -1,0 +1,55 @@
+"""Table 8: notebook categorization (final vs in-progress, §10.1).
+
+Regenerates the appendix's categorization table: final notebooks have
+linear execution counts; in-progress ones carry hidden states (re-executed
+cells) and out-of-order cells.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, NOTEBOOK_NAMES
+from repro.bench import format_table
+from repro.workloads import build_notebook
+
+#: The paper's Table 8 rows.
+EXPECTED = {
+    "Cluster": (True, 0, 0),
+    "TPS": (True, 0, 0),
+    "HW-LM": (True, 0, 0),
+    "StoreSales": (True, 0, 0),
+    "TorchGPU": (True, 0, 0),
+    "Sklearn": (False, 1, 2),
+    "Qiskit": (False, 91, 1),
+    "Ray": (False, 1, 0),
+}
+
+
+def test_table8_categorization(benchmark):
+    rows = []
+    for name in NOTEBOOK_NAMES:
+        spec = build_notebook(name, BENCH_SCALE)
+        rows.append(
+            (
+                spec.name,
+                "Yes" if spec.final else "No",
+                spec.hidden_states,
+                spec.out_of_order_cells,
+            )
+        )
+        final, hidden, out_of_order = EXPECTED[name]
+        assert spec.final is final, name
+        assert spec.hidden_states == hidden, name
+        assert spec.out_of_order_cells == out_of_order, name
+
+    print()
+    print(
+        format_table(
+            ["Notebook", "Final", "Hidden States", "Out-of-order Cells"],
+            rows,
+            title="Table 8: notebooks by category and associated traits",
+        )
+    )
+
+    benchmark.pedantic(
+        lambda: build_notebook("Qiskit", BENCH_SCALE), rounds=1, iterations=1
+    )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fault-tolerant time travel: unserializable state and fallback
+recomputation (§5.3 of the paper).
+
+Not everything in a notebook pickles: hash objects, generators, live
+cursors. Kishu checkpoints what it can and records enough lineage (cell
+code + accessed co-variables) to *recompute* the rest at checkout —
+recursively, if a dependency is itself unserializable (the paper's
+Fig 11 chain).
+
+This example builds a state containing an unpicklable hash object whose
+value depends on picklable data, destroys it, and checks out — watching
+the restorer load the data and replay the hash cells.
+
+Run:  python examples/fault_tolerant_restore.py
+"""
+
+from __future__ import annotations
+
+from repro import Blocklist, KishuSession, NotebookKernel
+
+
+def main() -> None:
+    kernel = NotebookKernel()
+    kishu = KishuSession.init(kernel)
+
+    kernel.run_cell("import hashlib")
+    kernel.run_cell("records = ['alpha', 'beta', 'gamma']")
+    # hashlib objects refuse pickling: this co-variable is checkpointed as
+    # a tombstone plus lineage.
+    kernel.run_cell("audit = hashlib.sha256()")
+    kernel.run_cell("for r in records:\n    audit.update(r.encode())")
+    expected = kernel.get("audit").hexdigest()
+    target = kishu.head_id
+
+    # Destroy the state.
+    kernel.run_cell("del audit\nrecords = None")
+
+    report = kishu.checkout(target)
+    print("restored digest matches:", kernel.get("audit").hexdigest() == expected)
+    print("loaded co-variables    :", [sorted(k) for k in report.loaded_keys])
+    print("recomputed (fallback)  :", [sorted(k) for k in report.recomputed_keys])
+
+    # -- the blocklist (§6.2): force recomputation for silently-mispickling
+    # classes -----------------------------------------------------------------
+    kernel2 = NotebookKernel()
+    kishu2 = KishuSession.init(
+        kernel2, blocklist=Blocklist({"SimTopicModel"})
+    )
+    kernel2.run_cell("from repro.libsim.nlp import SimTopicModel")
+    kernel2.run_cell("topics = SimTopicModel(n_topics=4)")
+    target2 = kishu2.head_id
+    kernel2.run_cell("topics = None")
+    report2 = kishu2.checkout(target2)
+    print(
+        "\nblocklisted class recomputed (never loaded):",
+        any("topics" in key for key in report2.recomputed_keys),
+    )
+    print("topic state intact:", kernel2.get("topics").fitted_state is not None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Mini-evaluation: run one notebook under every checkpointing method.
+
+A condensed version of the paper's §7.3–7.5 on a single workload: runs
+the Sklearn text-mining notebook under Kishu and all five baselines,
+reporting per-method checkpoint storage, checkpoint time, and the latency
+of undoing the auxiliary-dataframe column drop — the numbers behind
+Figs 13–15.
+
+Run:  python examples/method_comparison.py           (scaled down)
+      REPRO_SCALE=1.0 python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+from repro.baselines import (
+    CRIUIncrementalMethod,
+    CRIUMethod,
+    DetReplayMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+    KishuMethod,
+)
+from repro.bench import format_table, human_bytes, human_seconds, undo_experiment
+from repro.bench.disk import paper_nfs_disk
+from repro.libsim.devices import reset_stores
+from repro.workloads import build_sklearn
+
+METHODS = [
+    KishuMethod,
+    DetReplayMethod,
+    CRIUMethod,
+    CRIUIncrementalMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+]
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.2"))
+    spec = build_sklearn(scale)
+    print(f"notebook: {spec.name} ({spec.cell_count} cells, scale={scale})\n")
+
+    rows = []
+    for factory in METHODS:
+        gc.collect()
+        reset_stores()
+        run, undos = undo_experiment(
+            spec, factory, max_targets=2, disk=paper_nfs_disk()
+        )
+        usable = [u.cost.seconds for u in undos if not u.cost.failed]
+        rows.append(
+            (
+                run.method.name,
+                human_bytes(run.total_storage_bytes),
+                human_seconds(run.total_checkpoint_seconds),
+                human_seconds(min(usable)) if usable else "FAIL",
+                run.checkpoint_failures,
+            )
+        )
+
+    print(
+        format_table(
+            ["Method", "Storage", "Checkpoint time", "Best undo", "Failures"],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs 13-15): Kishu stores least, checkpoints"
+        "\nfast, and undoes in milliseconds; CRIU variants restore slowest."
+    )
+
+
+if __name__ == "__main__":
+    main()

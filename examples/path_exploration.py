@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Path-based exploration: compare model variants by switching branches.
+
+The paper's second use case (§2.1): a data scientist preprocesses once,
+then explores several modelling paths. With Kishu, each path's variations
+live as incremental deltas against the shared state, and switching paths
+updates only the objects that differ — the (large) input data never
+reloads.
+
+This example fits Gaussian-mixture-style models with two different k
+values on two branches rooted at the same preprocessed state, then
+switches between them to compare results — the Fig 10 scenario.
+
+Run:  python examples/path_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import KishuSession, NotebookKernel
+
+
+def main() -> None:
+    kernel = NotebookKernel()
+    kishu = KishuSession.init(kernel)
+
+    # Shared prefix: load + preprocess (t1 in the paper's Fig 10).
+    kernel.run_cell("import numpy as np")
+    kernel.run_cell(
+        "from repro.libsim.machine_learning import SimGaussianMixture"
+    )
+    kernel.run_cell(
+        "data = np.concatenate([np.random.default_rng(0).normal(0, 1, 50_000),"
+        " np.random.default_rng(1).normal(8, 1, 50_000)])"
+    )
+    shared_state = kishu.head_id
+
+    # Branch 1: fit with k=3, then derive a plot (t2 -> t3).
+    kernel.run_cell("gmm = SimGaussianMixture(k=3, seed=0).fit(data[:2000])")
+    kernel.run_cell("plot = gmm.result()")
+    branch_k3 = kishu.head_id
+    print("branch k=3 means:", kernel.get("plot")["means"].round(2))
+
+    # Back to the shared state; branch 2: fit with k=10 (t4 -> t5).
+    kishu.checkout(shared_state)
+    kernel.run_cell("gmm = SimGaussianMixture(k=10, seed=0).fit(data[:2000])")
+    kernel.run_cell("plot = gmm.result()")
+    branch_k10 = kishu.head_id
+    print("branch k=10 means:", kernel.get("plot")["means"].round(2))
+
+    # Switch back and forth; only {gmm} and {plot} move, never {data}.
+    report = kishu.checkout(branch_k3)
+    print("\nswitch to k=3:")
+    print("  loaded    :", [sorted(k) for k in report.loaded_keys])
+    print("  identical :", [sorted(k) for k in report.identical_keys])
+    assert any("data" in key for key in report.identical_keys)
+
+    report = kishu.checkout(branch_k10)
+    print("switch to k=10:")
+    print("  loaded    :", [sorted(k) for k in report.loaded_keys])
+    print(f"  latency   : {report.seconds * 1e3:.1f} ms")
+
+    print("\nfinal state is branch k=10:", len(kernel.get("plot")["means"]) == 10)
+
+
+if __name__ == "__main__":
+    main()

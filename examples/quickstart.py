@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: attach Kishu to a notebook session and time-travel.
+
+Demonstrates the complete §3.2 workflow from the paper:
+
+1. start a kernel and attach Kishu (``init``),
+2. run cells — each one becomes an incremental checkpoint,
+3. inspect the checkpoint graph (``log``),
+4. undo an irreversible operation (``checkout``),
+5. branch: take the session down a different path and switch back.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import KishuSession, NotebookKernel
+
+
+def main() -> None:
+    kernel = NotebookKernel()
+    kishu = KishuSession.init(kernel)
+
+    # -- a small data-science session --------------------------------------
+    kernel.run_cell("import numpy as np")
+    kernel.run_cell("data = np.arange(10.0)")
+    kernel.run_cell("stats = {'mean': data.mean(), 'max': data.max()}")
+    before_mistake = kishu.head_id
+
+    # -- the mistake: an irreversible in-place operation --------------------
+    kernel.run_cell("data *= 0          # oops — wiped the data")
+    print("after the mistake :", kernel.get("data"))
+
+    # -- the log shows every checkpoint --------------------------------------
+    print("\ncheckpoint log:")
+    for entry in kishu.log():
+        marker = "*" if entry.is_head else " "
+        print(f"  {marker} {entry.node_id}: {entry.code_preview}")
+
+    # -- time-travel: undo the cell as if it never happened ------------------
+    report = kishu.checkout(before_mistake)
+    print("\nafter checkout    :", kernel.get("data"))
+    print(
+        f"restored {len(report.loaded_keys)} co-variable(s), "
+        f"{len(report.identical_keys)} left untouched, "
+        f"in {report.seconds * 1e3:.1f} ms"
+    )
+
+    # -- branching: explore an alternative path -------------------------------
+    kernel.run_cell("result = data.sum()")
+    branch_a = kishu.head_id
+    kishu.checkout(before_mistake)
+    kernel.run_cell("result = data.prod()")
+    branch_b = kishu.head_id
+
+    kishu.checkout(branch_a)
+    print("\nbranch A result   :", kernel.get("result"))
+    kishu.checkout(branch_b)
+    print("branch B result   :", kernel.get("result"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "Kishu: Time-Traveling for Computational
+Notebooks" (SIGMOD 2025 demo; UIUC technical report).
+
+Quickstart::
+
+    from repro import NotebookKernel, KishuSession
+
+    kernel = NotebookKernel()
+    kishu = KishuSession.init(kernel)
+    kernel.run_cell("xs = [1, 2, 3]")
+    before = kishu.head_id
+    kernel.run_cell("xs.clear()")
+    kishu.checkout(before)          # un-does the clear, incrementally
+    assert kernel.get("xs") == [1, 2, 3]
+"""
+
+from repro.core import (
+    Blocklist,
+    CheckoutReport,
+    CheckpointGraph,
+    CoVariable,
+    CoVariablePool,
+    DeltaDetector,
+    InMemoryCheckpointStore,
+    KishuSession,
+    ReadOnlyCellAnalyzer,
+    SerializerChain,
+    SessionState,
+    SQLiteCheckpointStore,
+    StateDelta,
+    VarGraph,
+    VarGraphBuilder,
+)
+from repro.errors import (
+    CheckoutError,
+    CheckpointNotFoundError,
+    DeserializationError,
+    KernelError,
+    KishuError,
+    RestorationError,
+    SerializationError,
+    StorageError,
+)
+from repro.kernel import Cell, CellResult, NotebookKernel, PatchedNamespace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blocklist",
+    "CheckoutReport",
+    "CheckpointGraph",
+    "CoVariable",
+    "CoVariablePool",
+    "DeltaDetector",
+    "InMemoryCheckpointStore",
+    "KishuSession",
+    "ReadOnlyCellAnalyzer",
+    "SerializerChain",
+    "SessionState",
+    "SQLiteCheckpointStore",
+    "StateDelta",
+    "VarGraph",
+    "VarGraphBuilder",
+    "Cell",
+    "CellResult",
+    "NotebookKernel",
+    "PatchedNamespace",
+    "KishuError",
+    "KernelError",
+    "SerializationError",
+    "DeserializationError",
+    "CheckpointNotFoundError",
+    "CheckoutError",
+    "RestorationError",
+    "StorageError",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Checkpoint/checkout baselines from the paper's evaluation (§7.1)."""
+
+from repro.baselines.base import CheckoutCost, CheckpointCost, CheckpointMethod
+from repro.baselines.costbased import (
+    CostBasedDetReplayMethod,
+    CostBasedDetReplaySession,
+)
+from repro.baselines.criu import CRIUIncrementalMethod, CRIUMethod
+from repro.baselines.dumpsession import DumpSessionMethod
+from repro.baselines.elastic import ElasticNotebookMethod
+from repro.baselines.kishu_method import (
+    DetReplayMethod,
+    DetReplaySession,
+    KishuMethod,
+)
+from repro.baselines.kvstore import KVStoreMethod
+
+#: Factory list in the order the paper's figures present the methods.
+ALL_METHOD_FACTORIES = [
+    KishuMethod,
+    DetReplayMethod,
+    CRIUMethod,
+    CRIUIncrementalMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+]
+
+__all__ = [
+    "CheckpointMethod",
+    "CheckpointCost",
+    "CheckoutCost",
+    "CRIUMethod",
+    "CRIUIncrementalMethod",
+    "DumpSessionMethod",
+    "ElasticNotebookMethod",
+    "KishuMethod",
+    "DetReplayMethod",
+    "DetReplaySession",
+    "KVStoreMethod",
+    "CostBasedDetReplayMethod",
+    "CostBasedDetReplaySession",
+    "ALL_METHOD_FACTORIES",
+]

@@ -1,0 +1,107 @@
+"""Cost-based Det-replay: the optimization the paper leaves to future work.
+
+§7.5.2 of the paper: "cost-based optimization is required for
+Kishu+Det-replay to function, which we leave to future work" — plain
+Det-replay skips storage for *every* deterministic cell, which saves
+storage but can make checkout catastrophically slow (the 1050 s Cluster
+replay). This extension makes the skip decision per cell with a cost
+model: skip storage only when the estimated replay cost (the cell's own
+measured duration plus its dependency chain) stays below a budget,
+otherwise store the payload like plain Kishu.
+
+The result keeps Det-replay's storage savings on cheap deterministic
+cells while bounding worst-case checkout time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.baselines.kishu_method import KishuMethod
+from repro.core.covariable import CoVarKey
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+
+
+class CostBasedDetReplaySession(KishuSession):
+    """Det-replay with a per-cell replay-cost budget.
+
+    A deterministic cell's payloads are skipped only if replaying it at
+    checkout — including transitively replaying any earlier skipped cells
+    it depends on — is estimated to stay under ``replay_budget_seconds``.
+    """
+
+    def __init__(
+        self, *args, replay_budget_seconds: float = 1.0, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.replay_budget_seconds = replay_budget_seconds
+        #: Estimated replay cost of each *skipped* node (cell duration
+        #: plus the replay cost of skipped dependencies).
+        self._skipped_replay_cost: Dict[str, float] = {}
+        self._decisions: List[bool] = []
+
+    def should_store_delta(self, tags: Set[str]) -> bool:
+        if "deterministic" not in tags:
+            self._decisions.append(True)
+            return True
+        replay_cost = self._estimate_replay_cost()
+        store = replay_cost > self.replay_budget_seconds
+        self._decisions.append(store)
+        if not store:
+            # Record the skip under the node id the commit will create.
+            self._pending_skip_cost = replay_cost
+        return store
+
+    def _estimate_replay_cost(self) -> float:
+        """Cell duration plus replay costs of skipped ancestors it reads."""
+        cost = getattr(self, "_last_cell_duration", 0.0)
+        parent_state = self.graph.head.state
+        record = getattr(self, "_last_commit_record", None)
+        if record is None:
+            return cost
+        from repro.kernel.namespace import filter_user_names
+
+        for name in filter_user_names(record.gets):
+            key = self.pool.key_of(name)
+            if key is None:
+                continue
+            version = parent_state.get(key)
+            if version is not None and version in self._skipped_replay_cost:
+                cost += self._skipped_replay_cost[version]
+        return cost
+
+    def commit(self):
+        node = super().commit()
+        if node is not None and hasattr(self, "_pending_skip_cost"):
+            self._skipped_replay_cost[node.node_id] = self._pending_skip_cost
+            del self._pending_skip_cost
+        return node
+
+    @property
+    def skip_decisions(self) -> List[bool]:
+        """Per-commit store decisions (False = skipped, replay on checkout)."""
+        return list(self._decisions)
+
+
+class CostBasedDetReplayMethod(KishuMethod):
+    """Cost-based Det-replay under the common benchmark interface."""
+
+    name = "Kishu+Det-replay (cost-based)"
+
+    def __init__(
+        self,
+        kernel: NotebookKernel,
+        replay_budget_seconds: float = 1.0,
+        **session_kwargs,
+    ) -> None:
+        from repro.baselines.base import CheckpointMethod
+
+        CheckpointMethod.__init__(self, kernel)
+        self.session = CostBasedDetReplaySession(
+            kernel,
+            auto_checkpoint=False,
+            replay_budget_seconds=replay_budget_seconds,
+            **session_kwargs,
+        )
+        self._node_ids: List[str] = []

@@ -1,0 +1,129 @@
+"""CRIU and CRIU-Incremental: OS-level memory-snapshot baselines (§7.1).
+
+Both operate on the simulated process heap (:mod:`repro.memsim`): the
+notebook's variables are laid out on pages; CRIU copies every mapped page
+per checkpoint, CRIU-Incremental copies only pages whose content changed.
+
+Their characteristic costs emerge from the page mechanics:
+
+* checkpoint size — page granularity is coarser than co-variables, so
+  fragmented structures dirty many pages (Fig 13);
+* checkout — the full page image must be pieced together from the whole
+  snapshot chain and the current kernel process killed and replaced
+  (Fig 15/16: slowest restores, "kernel_killed" = True);
+* failure on off-process state — device memory and other processes are
+  not in the page image (Fig 12 / Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.base import CheckoutCost, CheckpointCost, CheckpointMethod, timed
+from repro.errors import SnapshotError
+from repro.kernel.cells import CellResult
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord, filter_user_names
+from repro.memsim.process import ProcessSnapshot, SimulatedProcess, restore_namespace
+
+
+class CRIUMethod(CheckpointMethod):
+    """Full memory dump per cell execution."""
+
+    name = "CRIU"
+    incremental_checkout = False
+    _incremental_snapshots = False
+
+    def __init__(self, kernel: NotebookKernel) -> None:
+        super().__init__(kernel)
+        self.process = SimulatedProcess()
+        self.snapshots: List[Optional[ProcessSnapshot]] = []
+        self._synced_once = False
+
+    def on_cell_executed(
+        self, result: CellResult, record: Optional[AccessRecord]
+    ) -> CheckpointCost:
+        items = self.kernel.user_variables()
+        changed = None
+        if self._synced_once and record is not None:
+            changed = filter_user_names(record.accessed)
+        with timed() as clock:
+            self.process.sync_variables(items, changed_names=changed)
+            if record is not None:
+                # Reference counting dirties the pages of everything the
+                # cell merely *read* (see SimulatedProcess.touch_variable).
+                for name in filter_user_names(record.gets):
+                    self.process.touch_variable(name)
+            self._synced_once = True
+            try:
+                snapshot = self.process.snapshot(
+                    items, incremental=self._incremental_snapshots
+                )
+            except SnapshotError as exc:
+                self.snapshots.append(None)
+                return self._record_cost(
+                    CheckpointCost(
+                        seconds=clock.seconds,
+                        bytes_written=0,
+                        failed=True,
+                        failure_reason=str(exc),
+                    )
+                )
+            self._charge_write(snapshot.size_bytes)
+        self.snapshots.append(snapshot)
+        return self._record_cost(
+            CheckpointCost(seconds=clock.seconds, bytes_written=snapshot.size_bytes)
+        )
+
+    def checkout(self, checkpoint_index: int) -> CheckoutCost:
+        chain = self._restore_chain(checkpoint_index)
+        if chain is None:
+            return CheckoutCost(
+                seconds=0.0,
+                restored=None,
+                failed=True,
+                failure_reason="checkpoint missing (snapshot had failed)",
+            )
+        with timed() as clock:
+            # CRIU must kill the existing process before reviving the image
+            # (PID conflicts); model it as building an entirely new kernel.
+            self._charge_read(sum(snapshot.size_bytes for snapshot in chain))
+            restored = restore_namespace(chain)
+            fresh_kernel = NotebookKernel()
+            for name, value in restored.items():
+                fresh_kernel.user_ns.plant(name, value)
+        return CheckoutCost(
+            seconds=clock.seconds,
+            restored=fresh_kernel.user_variables(),
+            kernel_killed=True,
+        )
+
+    def _restore_chain(
+        self, checkpoint_index: int
+    ) -> Optional[List[ProcessSnapshot]]:
+        target = self.snapshots[checkpoint_index]
+        if target is None:
+            return None
+        return [target]
+
+    def total_storage_bytes(self) -> int:
+        return sum(s.size_bytes for s in self.snapshots if s is not None)
+
+
+class CRIUIncrementalMethod(CRIUMethod):
+    """Memory dump with page deduplication: stores only changed pages.
+
+    Cheap to write, but restore must piece the image together from the
+    entire snapshot chain up to the target — no incremental restore.
+    """
+
+    name = "CRIU-Incremental"
+    _incremental_snapshots = True
+
+    def _restore_chain(
+        self, checkpoint_index: int
+    ) -> Optional[List[ProcessSnapshot]]:
+        chain = self.snapshots[: checkpoint_index + 1]
+        if any(snapshot is None for snapshot in chain):
+            return None
+        return list(chain)

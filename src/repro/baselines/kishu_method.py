@@ -1,0 +1,92 @@
+"""Kishu wrapped in the common benchmark interface."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.base import CheckoutCost, CheckpointCost, CheckpointMethod, timed
+from repro.core.session import KishuSession
+from repro.errors import KishuError
+from repro.kernel.cells import CellResult
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord
+
+
+class KishuMethod(CheckpointMethod):
+    """Kishu: incremental checkpoint and incremental in-place checkout."""
+
+    name = "Kishu"
+    incremental_checkout = True
+
+    def __init__(self, kernel: NotebookKernel, **session_kwargs) -> None:
+        super().__init__(kernel)
+        # The benchmark harness manages recording windows itself, so the
+        # session is driven manually (not via kernel hooks).
+        self.session = KishuSession(kernel, auto_checkpoint=False, **session_kwargs)
+        self._node_ids: List[str] = []
+
+    def on_cell_executed(
+        self, result: CellResult, record: Optional[AccessRecord]
+    ) -> CheckpointCost:
+        self.session._pending_record = record
+        self.session._pending_sources = [result.cell.source]
+        self.session._pending_tags = set(result.cell.tags)
+        self.session._pending_execution_count = result.execution_count
+        self.session._last_cell_duration = result.duration
+        with timed() as clock:
+            node = self.session.commit()
+            metric = self.session.metrics[-1]
+            self._charge_write(metric.bytes_written)
+        self._node_ids.append(node.node_id)
+        return self._record_cost(
+            CheckpointCost(seconds=clock.seconds, bytes_written=metric.bytes_written)
+        )
+
+    def checkout(self, checkpoint_index: int) -> CheckoutCost:
+        node_id = self._node_ids[checkpoint_index]
+        try:
+            with timed() as clock:
+                report = self.session.checkout(node_id)
+                self._charge_read(report.bytes_loaded)
+        except KishuError as exc:
+            return CheckoutCost(
+                seconds=0.0, restored=None, failed=True, failure_reason=repr(exc)
+            )
+        return CheckoutCost(
+            seconds=clock.seconds,
+            restored=self.kernel.user_variables(),
+            kernel_killed=False,
+        )
+
+    def node_id_of(self, checkpoint_index: int) -> str:
+        return self._node_ids[checkpoint_index]
+
+    def total_storage_bytes(self) -> int:
+        return self.session.total_checkpoint_bytes()
+
+    def tracking_seconds(self) -> float:
+        return self.session.total_tracking_seconds()
+
+
+class DetReplaySession(KishuSession):
+    """Kishu+Det-replay: skips checkpointing after deterministic cells.
+
+    Cells tagged ``"deterministic"`` (manual annotation, §7.1 footnote 6)
+    write no payloads; their co-variables are replayed via fallback
+    recomputation at checkout — saving storage, sometimes catastrophically
+    slow to check out (the paper's Cluster 1050 s case).
+    """
+
+    def should_store_delta(self, tags) -> bool:
+        return "deterministic" not in tags
+
+
+class DetReplayMethod(KishuMethod):
+    """Kishu+Det-replay under the common interface."""
+
+    name = "Kishu+Det-replay"
+
+    def __init__(self, kernel: NotebookKernel, **session_kwargs) -> None:
+        CheckpointMethod.__init__(self, kernel)
+        self.session = DetReplaySession(kernel, auto_checkpoint=False, **session_kwargs)
+        self._node_ids: List[str] = []

@@ -1,0 +1,35 @@
+"""Benchmark harness shared by the `benchmarks/` suite."""
+
+from repro.bench.harness import (
+    BranchMeasurement,
+    MethodRun,
+    UndoMeasurement,
+    branch_experiment,
+    run_notebook_with_method,
+    run_notebook_with_tracker,
+    time_call,
+    undo_experiment,
+)
+from repro.bench.report import (
+    format_series,
+    format_table,
+    human_bytes,
+    human_seconds,
+    speedup,
+)
+
+__all__ = [
+    "MethodRun",
+    "UndoMeasurement",
+    "BranchMeasurement",
+    "run_notebook_with_method",
+    "run_notebook_with_tracker",
+    "undo_experiment",
+    "branch_experiment",
+    "time_call",
+    "format_table",
+    "format_series",
+    "human_bytes",
+    "human_seconds",
+    "speedup",
+]

@@ -1,0 +1,54 @@
+"""Simulated checkpoint storage device.
+
+The paper's experiments write checkpoints to a mounted NFS with measured
+519.8 MB/s read and 358.9 MB/s write (§7.1). Our substrate's stores are
+in-memory, so without an I/O model every method's data movement would be
+memcpy-speed and the *relative* cost of moving a lot of data (CRIU's full
+images, DumpSession's full-state blobs) versus a little (Kishu's deltas)
+would be understated.
+
+:class:`SimulatedDisk` charges wall-clock time for bytes moved, at the
+paper's NFS bandwidths by default. Every checkpoint method charges its
+reads and writes through the same disk, so the comparison stays fair.
+A ``None`` disk (the default in unit tests) charges nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: The paper's measured NFS bandwidths (§7.1), in bytes/second.
+PAPER_NFS_READ_BANDWIDTH = 519.8 * 1024 * 1024
+PAPER_NFS_WRITE_BANDWIDTH = 358.9 * 1024 * 1024
+
+
+@dataclass
+class SimulatedDisk:
+    """Charges wall-clock time proportional to bytes read/written."""
+
+    read_bandwidth: float = PAPER_NFS_READ_BANDWIDTH
+    write_bandwidth: float = PAPER_NFS_WRITE_BANDWIDTH
+    #: Totals, for reporting.
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seconds_charged: float = 0.0
+
+    def charge_read(self, n_bytes: int) -> None:
+        self.bytes_read += n_bytes
+        self._sleep(n_bytes / self.read_bandwidth)
+
+    def charge_write(self, n_bytes: int) -> None:
+        self.bytes_written += n_bytes
+        self._sleep(n_bytes / self.write_bandwidth)
+
+    def _sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.seconds_charged += seconds
+        time.sleep(seconds)
+
+
+def paper_nfs_disk() -> SimulatedDisk:
+    """A disk matching the paper's NFS testbed."""
+    return SimulatedDisk()

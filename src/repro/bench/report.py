@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in
+pytest's captured output (run with ``-s`` or read the benchmark logs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def human_bytes(n: float) -> str:
+    """1536 -> '1.5KB'."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}TB"
+
+
+def human_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    materialized = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Sequence[Any], ys: Sequence[Any], *, y_format=str
+) -> str:
+    """One figure series as 'label: x=y, x=y, ...'."""
+    points = ", ".join(f"{x}={y_format(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {points}"
+
+
+def speedup(slower: float, faster: float) -> float:
+    """How many times faster ``faster`` is than ``slower``."""
+    if faster <= 0:
+        return float("inf")
+    return slower / faster

@@ -1,0 +1,198 @@
+"""Interactive notebook REPL with the Kishu command palette.
+
+The SIGMOD 2025 demo paper showcases Kishu through an in-notebook command
+palette (``init`` / ``log`` / ``checkout``). This module provides that
+experience at a terminal: a read-eval loop where ordinary input runs as
+notebook cells (auto-checkpointed by Kishu) and ``%``-prefixed commands
+drive time travel.
+
+Commands:
+    %log                 show the checkpoint graph (head marked with *)
+    %checkout <ref>      restore a state (checkpoint id, branch, or tag)
+    %undo                restore the state before the last cell
+    %tag <name> [ref]    name a checkpoint (immutable)
+    %branch <name>       start a named branch at the head and switch to it
+    %vars                list user variables
+    %state               show the head's co-variable versions
+    %help                command summary
+    %quit                leave the session
+
+Run:  python -m repro.cli
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, TextIO
+
+from repro.core.graph import ROOT_ID
+from repro.core.session import KishuSession
+from repro.errors import KishuError
+from repro.kernel.kernel import NotebookKernel
+
+PROMPT_TEMPLATE = "In [{count}]: "
+
+
+class KishuRepl:
+    """A line-oriented notebook session with time-travel commands."""
+
+    def __init__(
+        self,
+        stdin: Optional[TextIO] = None,
+        stdout: Optional[TextIO] = None,
+        **session_kwargs,
+    ) -> None:
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.kernel = NotebookKernel()
+        self.session = KishuSession.init(self.kernel, **session_kwargs)
+        self._running = False
+        self._commands: Dict[str, Callable[[List[str]], None]] = {
+            "log": self._cmd_log,
+            "checkout": self._cmd_checkout,
+            "undo": self._cmd_undo,
+            "tag": self._cmd_tag,
+            "branch": self._cmd_branch,
+            "vars": self._cmd_vars,
+            "state": self._cmd_state,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }
+
+    # -- loop -------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Read and execute lines until EOF or %quit."""
+        self._running = True
+        self._print("kishu session started — %help for commands")
+        while self._running:
+            self._print(
+                PROMPT_TEMPLATE.format(count=self.kernel.execution_count + 1),
+                end="",
+            )
+            line = self.stdin.readline()
+            if not line:
+                break
+            self.execute(line.rstrip("\n"))
+
+    def execute(self, line: str) -> None:
+        """Execute one input line (a cell or a %command)."""
+        stripped = line.strip()
+        if not stripped:
+            return
+        if stripped.startswith("%"):
+            self._dispatch(stripped[1:])
+            return
+        result = self.kernel.run_cell(line, raise_on_error=False)
+        if result.stdout:
+            self._print(result.stdout, end="")
+        if result.error is not None:
+            self._print(f"error: {type(result.error).__name__}: {result.error}")
+        elif result.value is not None:
+            self._print(f"Out[{result.execution_count}]: {result.value!r}")
+
+    # -- commands -----------------------------------------------------------------
+
+    def _dispatch(self, command_line: str) -> None:
+        parts = command_line.split()
+        name, arguments = parts[0], parts[1:]
+        handler = self._commands.get(name)
+        if handler is None:
+            self._print(f"unknown command %{name} — try %help")
+            return
+        handler(arguments)
+
+    def _cmd_log(self, arguments: List[str]) -> None:
+        entries = self.session.log()
+        if not entries:
+            self._print("(no checkpoints yet)")
+            return
+        for entry in entries:
+            marker = "*" if entry.is_head else " "
+            decoration = f" ({', '.join(entry.refs)})" if entry.refs else ""
+            self._print(
+                f" {marker} {entry.node_id}{decoration}  "
+                f"[{entry.execution_count}]  {entry.code_preview}"
+            )
+
+    def _cmd_checkout(self, arguments: List[str]) -> None:
+        if len(arguments) != 1:
+            self._print("usage: %checkout <checkpoint-id>")
+            return
+        try:
+            report = self.session.checkout(arguments[0])
+        except KishuError as exc:
+            self._print(f"checkout failed: {exc}")
+            return
+        self._print(
+            f"checked out {arguments[0]}: loaded {len(report.loaded_keys)}, "
+            f"recomputed {len(report.recomputed_keys)}, "
+            f"deleted {len(report.deleted_names)} "
+            f"({report.seconds * 1e3:.1f} ms)"
+        )
+
+    def _cmd_undo(self, arguments: List[str]) -> None:
+        head = self.session.graph.head
+        if head.node_id == ROOT_ID or head.parent_id is None:
+            self._print("nothing to undo")
+            return
+        self._cmd_checkout([head.parent_id])
+
+    def _cmd_tag(self, arguments: List[str]) -> None:
+        if not 1 <= len(arguments) <= 2:
+            self._print("usage: %tag <name> [checkpoint-id]")
+            return
+        try:
+            node_id = self.session.tag(*arguments)
+        except KishuError as exc:
+            self._print(f"tag failed: {exc}")
+            return
+        self._print(f"tagged {node_id} as {arguments[0]!r}")
+
+    def _cmd_branch(self, arguments: List[str]) -> None:
+        if len(arguments) != 1:
+            self._print("usage: %branch <name>")
+            return
+        try:
+            node_id = self.session.branch(arguments[0])
+        except KishuError as exc:
+            self._print(f"branch failed: {exc}")
+            return
+        self._print(f"created branch {arguments[0]!r} at {node_id} (now active)")
+
+    def _cmd_vars(self, arguments: List[str]) -> None:
+        variables = self.kernel.user_variables()
+        if not variables:
+            self._print("(empty namespace)")
+            return
+        for name in sorted(variables):
+            value = variables[name]
+            self._print(f"  {name}: {type(value).__qualname__}")
+
+    def _cmd_state(self, arguments: List[str]) -> None:
+        state = self.session.graph.head.state
+        for key, version in sorted(state.items(), key=lambda kv: sorted(kv[0])):
+            names = ", ".join(sorted(key))
+            self._print(f"  {{{names}}} @ {version}")
+
+    def _cmd_help(self, arguments: List[str]) -> None:
+        self._print(__doc__.split("Commands:")[1].split("Run:")[0].rstrip())
+
+    def _cmd_quit(self, arguments: List[str]) -> None:
+        self._running = False
+        self._print("bye")
+
+    # -- output --------------------------------------------------------------------
+
+    def _print(self, text: str, end: str = "\n") -> None:
+        self.stdout.write(text + end)
+        self.stdout.flush()
+
+
+def main() -> None:
+    KishuRepl().run()
+
+
+if __name__ == "__main__":
+    main()

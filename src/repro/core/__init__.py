@@ -1,0 +1,85 @@
+"""Core Kishu machinery: VarGraphs, co-variables, delta detection, the
+checkpoint graph, incremental checkout, and fallback recomputation."""
+
+from repro.core.covariable import (
+    CoVariable,
+    CoVariablePool,
+    CoVarKey,
+    covar_key,
+    group_into_components,
+)
+from repro.core.delta import DeltaDetector, StateDelta
+from repro.core.graph import (
+    CheckpointGraph,
+    CheckpointNode,
+    PayloadInfo,
+    ROOT_ID,
+    StateDifference,
+)
+from repro.core.hashing import digest_array, digest_bytes, fnv1a64
+from repro.core.objectwalk import DEFAULT_POLICY, TraversalPolicy, Visit
+from repro.core.planner import CheckoutPlan, CheckoutPlanner, PlannedLoad
+from repro.core.restore import CheckoutReport, DataRestorer, StateLoader
+from repro.core.rules import ReadOnlyCellAnalyzer
+from repro.core.serialization import (
+    Blocklist,
+    FallbackPickler,
+    PrimaryPickler,
+    SerializerChain,
+)
+from repro.core.session import CellCheckpointMetrics, KishuSession, LogEntry
+from repro.core.storage import (
+    CheckpointStore,
+    InMemoryCheckpointStore,
+    SQLiteCheckpointStore,
+    StoredNode,
+    StoredPayload,
+)
+from repro.core.vargraph import GraphNode, VarGraph, VarGraphBuilder, graphs_equal
+from repro.core.versioning import SessionState, VersionedCoVariable
+
+__all__ = [
+    "CoVariable",
+    "CoVariablePool",
+    "CoVarKey",
+    "covar_key",
+    "group_into_components",
+    "DeltaDetector",
+    "StateDelta",
+    "CheckpointGraph",
+    "CheckpointNode",
+    "PayloadInfo",
+    "ROOT_ID",
+    "StateDifference",
+    "digest_array",
+    "digest_bytes",
+    "fnv1a64",
+    "DEFAULT_POLICY",
+    "TraversalPolicy",
+    "Visit",
+    "CheckoutPlan",
+    "CheckoutPlanner",
+    "PlannedLoad",
+    "CheckoutReport",
+    "DataRestorer",
+    "StateLoader",
+    "ReadOnlyCellAnalyzer",
+    "Blocklist",
+    "FallbackPickler",
+    "PrimaryPickler",
+    "SerializerChain",
+    "CellCheckpointMetrics",
+    "KishuSession",
+    "LogEntry",
+    "CheckpointStore",
+    "InMemoryCheckpointStore",
+    "SQLiteCheckpointStore",
+    "StoredNode",
+    "StoredPayload",
+    "GraphNode",
+    "VarGraph",
+    "VarGraphBuilder",
+    "graphs_equal",
+    "SessionState",
+    "VersionedCoVariable",
+]

@@ -1,0 +1,168 @@
+"""Co-variable granularity state delta detection (§4.2–4.3 of the paper).
+
+After each cell execution the :class:`DeltaDetector`:
+
+1. takes the access record captured by the patched namespace,
+2. identifies the *possibly updated* co-variables — those with at least one
+   accessed member (Lemma 1 guarantees all others were definitely not
+   updated),
+3. re-generates VarGraphs for the members of those candidates (plus any
+   newly created names),
+4. compares new against old graphs to confirm modifications, and
+5. re-groups the candidates' names into connected components to catch
+   merges and splits.
+
+The result is a :class:`StateDelta` — the set of co-variables updated by
+the execution (Definition 2's "updates" = modifications + creations +
+deletions) — which is exactly what an incremental checkpoint must store.
+
+Setting ``check_all=True`` disables the access-based pruning (step 2),
+producing the paper's *AblatedKishu (Check all)* baseline of §7.6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.covariable import (
+    CoVariable,
+    CoVariablePool,
+    CoVarKey,
+    covar_key,
+    group_into_components,
+)
+from repro.kernel.namespace import AccessRecord, filter_user_names
+
+
+@dataclass
+class StateDelta:
+    """Updates made to the co-variable partition by one cell execution.
+
+    Attributes:
+        created: Co-variables that did not exist before (includes the
+            products of merges and splits, per Definition 2).
+        modified: Co-variables whose membership is unchanged but whose
+            object graphs differ.
+        deleted: Keys of co-variables that no longer exist.
+        accessed_keys: Keys (pre-execution grouping) of every co-variable
+            the cell accessed — recorded in the checkpoint node as the
+            cell's dependencies for fallback recomputation (§5.1).
+        checked_names: Names whose VarGraphs were re-generated; the size of
+            this set is the work the access pruning saves.
+        detection_seconds: Wall-clock cost of detection (tracking overhead,
+            the quantity reported in Table 6 / Fig 17).
+    """
+
+    created: Dict[CoVarKey, CoVariable] = field(default_factory=dict)
+    modified: Dict[CoVarKey, CoVariable] = field(default_factory=dict)
+    deleted: Set[CoVarKey] = field(default_factory=set)
+    accessed_keys: Set[CoVarKey] = field(default_factory=set)
+    checked_names: Set[str] = field(default_factory=set)
+    detection_seconds: float = 0.0
+
+    @property
+    def updated(self) -> Dict[CoVarKey, CoVariable]:
+        """Co-variables whose data must be written to the checkpoint."""
+        merged = dict(self.created)
+        merged.update(self.modified)
+        return merged
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.created or self.modified or self.deleted)
+
+
+class DeltaDetector:
+    """Detects co-variable updates after each cell execution."""
+
+    def __init__(self, pool: CoVariablePool, *, check_all: bool = False) -> None:
+        self.pool = pool
+        self.check_all = check_all
+
+    def detect(
+        self, record: Optional[AccessRecord], namespace_items: Dict[str, Any]
+    ) -> StateDelta:
+        """Compute the state delta and update the pool to the new partition.
+
+        Args:
+            record: Accesses captured during the cell execution. ``None``
+                (no information) is treated as "everything accessed", the
+                conservative fallback.
+            namespace_items: Current user variables, post-execution.
+        """
+        started = time.perf_counter()
+        delta = self._detect_inner(record, namespace_items)
+        delta.detection_seconds = time.perf_counter() - started
+        return delta
+
+    def _detect_inner(
+        self, record: Optional[AccessRecord], namespace_items: Dict[str, Any]
+    ) -> StateDelta:
+        delta = StateDelta()
+        known_names = self.pool.all_names()
+        current_names = set(namespace_items)
+
+        if self.check_all or record is None:
+            accessed_names = known_names | current_names
+        else:
+            accessed_names = filter_user_names(record.accessed)
+
+        # Candidate co-variables: any with an accessed member (Lemma 1).
+        candidate_keys: Set[CoVarKey] = set()
+        for name in accessed_names:
+            key = self.pool.key_of(name)
+            if key is not None:
+                candidate_keys.add(key)
+        delta.accessed_keys = set(candidate_keys)
+
+        new_names = current_names - known_names
+        candidate_names: Set[str] = set(new_names)
+        for key in candidate_keys:
+            candidate_names |= key
+
+        if not candidate_names:
+            return delta
+
+        # Re-generate VarGraphs for all candidates still present (§4.3
+        # step 1). Names that vanished show up as absent here.
+        new_graphs = self.pool.rebuild_for_names(candidate_names, namespace_items)
+        delta.checked_names = set(candidate_names)
+
+        # Re-group candidates into connected components (§4.3 step 3):
+        # merges and splits can only involve accessed co-variables.
+        new_components = group_into_components(new_graphs)
+
+        old_graphs: Dict[str, Any] = {}
+        for key in candidate_keys:
+            covariable = self.pool.get(key)
+            if covariable is not None:
+                old_graphs.update(covariable.graphs)
+
+        new_covariables: List[CoVariable] = []
+        surviving_keys: Set[CoVarKey] = set()
+        for member_names in new_components:
+            key = covar_key(member_names)
+            covariable = CoVariable(
+                names=key, graphs={name: new_graphs[name] for name in member_names}
+            )
+            new_covariables.append(covariable)
+            if key in candidate_keys:
+                surviving_keys.add(key)
+                if self._graphs_changed(covariable, old_graphs):
+                    delta.modified[key] = covariable
+            else:
+                delta.created[key] = covariable
+
+        delta.deleted = candidate_keys - surviving_keys
+        self.pool.replace(candidate_keys, new_covariables)
+        return delta
+
+    @staticmethod
+    def _graphs_changed(covariable: CoVariable, old_graphs: Dict[str, Any]) -> bool:
+        for name, graph in covariable.graphs.items():
+            old = old_graphs.get(name)
+            if old is None or graph.differs_from(old):
+                return True
+        return False

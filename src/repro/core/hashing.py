@@ -1,0 +1,68 @@
+"""Fast digests for array-like data (§6.2 of the paper).
+
+Kishu uses XXH64 to detect updates to large array-likes (e.g. tensors)
+without traversing their elements. XXH64 is not available offline, so the
+default backend here is FNV-1a 64-bit — also a fast non-cryptographic hash
+with the same role — with ``hashlib.blake2b`` available when collision
+resistance matters more than speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: Union[bytes, bytearray, memoryview]) -> int:
+    """FNV-1a 64-bit hash of a buffer.
+
+    Python-level FNV is slow per byte, so large buffers are first folded
+    through ``hashlib`` (C speed) and only the 16-byte digest is FNV-mixed.
+    Small buffers are hashed directly, keeping the function allocation-free
+    for the common case of small primitive payloads.
+    """
+    buffer = bytes(data)
+    if len(buffer) > 64:
+        buffer = hashlib.blake2b(buffer, digest_size=16).digest()
+    value = _FNV_OFFSET
+    for byte in buffer:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def digest_bytes(data: Union[bytes, bytearray, memoryview], *, backend: str = "fnv") -> int:
+    """Digest a raw buffer with the selected backend ("fnv" or "blake2b")."""
+    if backend == "fnv":
+        return fnv1a64(data)
+    if backend == "blake2b":
+        digest = hashlib.blake2b(bytes(data), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+    raise ValueError(f"unknown hash backend {backend!r}")
+
+
+def digest_array(array: np.ndarray, *, backend: str = "fnv") -> int:
+    """Content digest of a numpy array, covering dtype and shape.
+
+    This is the paper's hash-based fast path: an O(bytes) digest replaces an
+    O(elements) graph traversal when deciding whether an array-like changed.
+    """
+    contiguous = np.ascontiguousarray(array)
+    header = f"{contiguous.dtype.str}:{contiguous.shape}".encode()
+    return digest_bytes(header + contiguous.tobytes(), backend=backend)
+
+
+def combine(*digests: int) -> int:
+    """Order-sensitive combination of child digests into one value."""
+    value = _FNV_OFFSET
+    for digest in digests:
+        for shift in (0, 16, 32, 48):
+            value ^= (digest >> shift) & 0xFFFF
+            value = (value * _FNV_PRIME) & _MASK64
+    return value

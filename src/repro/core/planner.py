@@ -1,0 +1,89 @@
+"""Checkout planning: turning a state difference into load/delete work.
+
+The planner sits between the checkpoint graph's Definition-6 classification
+and the state loader: it resolves, for every diverged co-variable of the
+target state, whether its payload was stored (load it) or skipped at
+checkpoint time (schedule fallback recomputation), and estimates the bytes
+that will move — the quantity incremental checkout minimizes (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.core.covariable import CoVarKey
+from repro.core.graph import CheckpointGraph, StateDifference
+
+
+@dataclass(frozen=True)
+class PlannedLoad:
+    """One diverged co-variable scheduled for restoration."""
+
+    key: CoVarKey
+    node_id: str
+    stored: bool
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class CheckoutPlan:
+    """Everything the state loader must do to reach the target state."""
+
+    current_id: str
+    target_id: str
+    lca_id: str
+    identical: frozenset
+    loads: Tuple[PlannedLoad, ...]
+    delete_names: frozenset
+
+    @property
+    def bytes_to_load(self) -> int:
+        return sum(load.size_bytes for load in self.loads if load.stored)
+
+    @property
+    def needs_recomputation(self) -> bool:
+        return any(not load.stored for load in self.loads)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.loads and not self.delete_names
+
+
+class CheckoutPlanner:
+    """Builds checkout plans from the checkpoint graph."""
+
+    def __init__(self, graph: CheckpointGraph) -> None:
+        self.graph = graph
+
+    def plan(self, current_id: str, target_id: str) -> CheckoutPlan:
+        difference: StateDifference = self.graph.state_difference(
+            current_id, target_id
+        )
+        loads: List[PlannedLoad] = []
+        for key, node_id in difference.to_load:
+            info = self.graph.get(node_id).updated.get(key)
+            if info is None:
+                # Defensive: the state metadata references a version the
+                # node does not record — treat as unstored so the restorer
+                # attempts recomputation rather than failing outright.
+                loads.append(
+                    PlannedLoad(key=key, node_id=node_id, stored=False, size_bytes=0)
+                )
+            else:
+                loads.append(
+                    PlannedLoad(
+                        key=key,
+                        node_id=node_id,
+                        stored=info.stored,
+                        size_bytes=info.size_bytes,
+                    )
+                )
+        return CheckoutPlan(
+            current_id=current_id,
+            target_id=target_id,
+            lca_id=difference.lca_id,
+            identical=difference.identical,
+            loads=tuple(loads),
+            delete_names=difference.to_delete_names,
+        )

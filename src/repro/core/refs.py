@@ -1,0 +1,110 @@
+"""Named references into the checkpoint graph: branches and tags.
+
+The Kishu system exposes Git-like refs on top of its commit graph
+(`kishu branch`, `kishu tag`): a **tag** is an immutable name for one
+checkpoint; a **branch** is a movable name that follows the head while
+checked out. Both give users stable handles for time-travel targets
+("before-cleanup", "experiment-2") instead of raw checkpoint ids.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import KishuError
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._/-]*$")
+
+
+class RefError(KishuError):
+    """Invalid branch/tag operation."""
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_PATTERN.match(name or ""):
+        raise RefError(
+            f"invalid ref name {name!r}: use letters, digits, '.', '_', '/', '-'"
+        )
+    return name
+
+
+class RefManager:
+    """Branch and tag bookkeeping for one session."""
+
+    def __init__(self) -> None:
+        self._tags: Dict[str, str] = {}
+        self._branches: Dict[str, str] = {}
+        self._active_branch: Optional[str] = None
+
+    # -- tags -------------------------------------------------------------------
+
+    def create_tag(self, name: str, node_id: str) -> None:
+        _validate_name(name)
+        if name in self._tags:
+            raise RefError(f"tag {name!r} already exists (tags are immutable)")
+        self._tags[name] = node_id
+
+    def delete_tag(self, name: str) -> None:
+        if name not in self._tags:
+            raise RefError(f"no tag named {name!r}")
+        del self._tags[name]
+
+    def tags(self) -> Dict[str, str]:
+        return dict(self._tags)
+
+    # -- branches ------------------------------------------------------------------
+
+    def create_branch(self, name: str, node_id: str) -> None:
+        _validate_name(name)
+        if name in self._branches:
+            raise RefError(f"branch {name!r} already exists")
+        self._branches[name] = node_id
+
+    def delete_branch(self, name: str) -> None:
+        if name not in self._branches:
+            raise RefError(f"no branch named {name!r}")
+        if name == self._active_branch:
+            raise RefError(f"cannot delete the active branch {name!r}")
+        del self._branches[name]
+
+    def branches(self) -> Dict[str, str]:
+        return dict(self._branches)
+
+    @property
+    def active_branch(self) -> Optional[str]:
+        return self._active_branch
+
+    def activate_branch(self, name: Optional[str]) -> None:
+        if name is not None and name not in self._branches:
+            raise RefError(f"no branch named {name!r}")
+        self._active_branch = name
+
+    def advance_active_branch(self, node_id: str) -> None:
+        """Move the active branch (if any) to follow a new head."""
+        if self._active_branch is not None:
+            self._branches[self._active_branch] = node_id
+
+    # -- resolution --------------------------------------------------------------------
+
+    def resolve(self, ref: str) -> Optional[str]:
+        """Node id for a branch or tag name; None if unknown.
+
+        Branches take precedence over tags with the same name (matching
+        Git's checkout semantics of preferring refs/heads).
+        """
+        if ref in self._branches:
+            return self._branches[ref]
+        if ref in self._tags:
+            return self._tags[ref]
+        return None
+
+    def names_of(self, node_id: str) -> List[str]:
+        """All ref names pointing at a node (for log decoration)."""
+        names = [
+            name for name, target in self._branches.items() if target == node_id
+        ]
+        names.extend(
+            f"tag:{name}" for name, target in self._tags.items() if target == node_id
+        )
+        return sorted(names)

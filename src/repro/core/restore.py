@@ -1,0 +1,271 @@
+"""Incremental state restoration (§5.2) and fallback recomputation (§5.3).
+
+The :class:`StateLoader` executes a checkout plan against the live kernel:
+it loads (only) the diverged co-variables of the target state, deletes
+names absent from it, regenerates VarGraphs for everything it touched, and
+moves the head — all inside the same kernel process, which is what makes
+Kishu's checkout *incremental* and non-intrusive.
+
+The :class:`DataRestorer` reconstructs versioned co-variables whose
+payloads are missing (skipped at checkpoint time) or fail to load: it loads
+the cell's recorded dependencies — recursively recomputing any of *those*
+that are also missing — into a temporary namespace and re-runs the cell's
+code (Fig 11 of the paper). Memoizing materialized versions per checkout
+makes the recursion follow the shortest load/recompute path through the
+checkpoint graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.covariable import CoVariable, CoVariablePool, CoVarKey
+from repro.core.graph import CheckpointGraph
+from repro.core.planner import CheckoutPlan, CheckoutPlanner
+from repro.core.serialization import SerializerChain, active_globals
+from repro.core.storage import CheckpointStore
+from repro.errors import (
+    DeserializationError,
+    RestorationError,
+    StorageError,
+)
+from repro.kernel.namespace import PatchedNamespace
+
+
+@dataclass
+class CheckoutReport:
+    """What a checkout did, for verification and benchmarking."""
+
+    target_id: str
+    seconds: float = 0.0
+    loaded_keys: List[CoVarKey] = field(default_factory=list)
+    recomputed_keys: List[CoVarKey] = field(default_factory=list)
+    identical_keys: List[CoVarKey] = field(default_factory=list)
+    deleted_names: List[str] = field(default_factory=list)
+    bytes_loaded: int = 0
+
+    @property
+    def touched_names(self) -> Set[str]:
+        names: Set[str] = set(self.deleted_names)
+        for key in self.loaded_keys + self.recomputed_keys:
+            names |= key
+        return names
+
+
+class DataRestorer:
+    """Fallback recomputation engine (§5.3)."""
+
+    def __init__(
+        self,
+        graph: CheckpointGraph,
+        store: CheckpointStore,
+        serializer: SerializerChain,
+        *,
+        max_depth: int = 10_000,
+    ) -> None:
+        self.graph = graph
+        self.store = store
+        self.serializer = serializer
+        self.max_depth = max_depth
+
+    def materialize(
+        self,
+        key: CoVarKey,
+        node_id: str,
+        *,
+        globals_for_load: Dict[str, Any],
+        cache: Optional[Dict[Tuple[CoVarKey, str], Dict[str, Any]]] = None,
+        report: Optional[CheckoutReport] = None,
+    ) -> Dict[str, Any]:
+        """Produce the value dict of versioned co-variable (key, node_id).
+
+        Tries the stored payload first; on a missing or unloadable payload
+        falls back to recursive recomputation. ``cache`` memoizes versions
+        across one checkout so shared dependencies load once.
+        """
+        if cache is None:
+            cache = {}
+        return self._materialize(
+            key, node_id, globals_for_load, cache, report, depth=0
+        )
+
+    def _materialize(
+        self,
+        key: CoVarKey,
+        node_id: str,
+        globals_for_load: Dict[str, Any],
+        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]],
+        report: Optional[CheckoutReport],
+        depth: int,
+    ) -> Dict[str, Any]:
+        cache_key = (key, node_id)
+        if cache_key in cache:
+            return cache[cache_key]
+        if depth > self.max_depth:
+            raise RestorationError(
+                f"fallback recomputation exceeded depth {self.max_depth} "
+                f"for co-variable {sorted(key)}"
+            )
+
+        node = self.graph.get(node_id)
+        info = node.updated.get(key)
+        values: Optional[Dict[str, Any]] = None
+        if info is not None and info.stored:
+            values = self._try_load(key, node_id, globals_for_load)
+            if values is not None and report is not None:
+                report.loaded_keys.append(key)
+                report.bytes_loaded += info.size_bytes
+        if values is None:
+            values = self._recompute(
+                key, node_id, globals_for_load, cache, report, depth
+            )
+            if report is not None:
+                report.recomputed_keys.append(key)
+
+        cache[cache_key] = values
+        return values
+
+    def _try_load(
+        self, key: CoVarKey, node_id: str, globals_for_load: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            payload = self.store.read_payload(node_id, key)
+        except StorageError:
+            return None
+        if payload.data is None:
+            return None
+        try:
+            with active_globals(globals_for_load):
+                values = self.serializer.deserialize(payload.data, payload.serializer)
+        except DeserializationError:
+            return None
+        if not isinstance(values, dict):
+            return None
+        return values
+
+    def _recompute(
+        self,
+        key: CoVarKey,
+        node_id: str,
+        globals_for_load: Dict[str, Any],
+        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]],
+        report: Optional[CheckoutReport],
+        depth: int,
+    ) -> Dict[str, Any]:
+        """Re-run CE ``node_id`` on its recorded dependencies (Fig 11)."""
+        node = self.graph.get(node_id)
+        if not node.cell_source:
+            raise RestorationError(
+                f"cannot recompute co-variable {sorted(key)}: node {node_id} "
+                "records no cell code"
+            )
+        temp_ns: Dict[str, Any] = {"__builtins__": __builtins__}
+        for dep_key, dep_node in node.dependencies.items():
+            dep_values = self._materialize(
+                dep_key, dep_node, globals_for_load, cache, report, depth + 1
+            )
+            temp_ns.update(dep_values)
+        try:
+            exec(compile(node.cell_source, "<recompute>", "exec"), temp_ns)
+        except Exception as exc:
+            raise RestorationError(
+                f"re-running cell of node {node_id} failed while recomputing "
+                f"co-variable {sorted(key)}: {exc!r}"
+            ) from exc
+        missing = [name for name in key if name not in temp_ns]
+        if missing:
+            raise RestorationError(
+                f"re-running cell of node {node_id} did not produce "
+                f"variable(s) {missing} of co-variable {sorted(key)}"
+            )
+        return {name: temp_ns[name] for name in key}
+
+
+class StateLoader:
+    """Executes checkout plans against the live kernel namespace (§5.2)."""
+
+    def __init__(
+        self,
+        graph: CheckpointGraph,
+        store: CheckpointStore,
+        serializer: SerializerChain,
+        pool: CoVariablePool,
+    ) -> None:
+        self.graph = graph
+        self.store = store
+        self.serializer = serializer
+        self.pool = pool
+        self.planner = CheckoutPlanner(graph)
+        self.restorer = DataRestorer(graph, store, serializer)
+
+    def checkout(
+        self, target_id: str, namespace: PatchedNamespace
+    ) -> CheckoutReport:
+        """Restore the kernel to the session state at ``target_id``.
+
+        Follows the paper's three steps: (1) load versioned co-variables to
+        update diverged ones, (2) re-generate VarGraphs for what changed,
+        (3) move the head.
+        """
+        started = time.perf_counter()
+        plan = self.planner.plan(self.graph.head_id, target_id)
+        report = CheckoutReport(target_id=target_id)
+        report.identical_keys = sorted(plan.identical, key=sorted)
+
+        # Materialize every diverged co-variable before touching the live
+        # namespace, so a failed load cannot leave the state half-updated.
+        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]] = {}
+        materialized: List[Tuple[CoVarKey, Dict[str, Any]]] = []
+        for load in plan.loads:
+            values = self.restorer.materialize(
+                load.key,
+                load.node_id,
+                globals_for_load=namespace,
+                cache=cache,
+                report=report,
+            )
+            materialized.append((load.key, values))
+
+        # Apply deletions, then plant loaded co-variables.
+        for name in plan.delete_names:
+            namespace.uproot(name)
+            report.deleted_names.append(name)
+        for key, values in materialized:
+            for name in key:
+                namespace.plant(name, values[name])
+
+        self._resync_pool(plan, materialized, namespace)
+        self.graph.move_head(target_id)
+        report.seconds = time.perf_counter() - started
+        return report
+
+    def _resync_pool(
+        self,
+        plan: CheckoutPlan,
+        materialized: List[Tuple[CoVarKey, Dict[str, Any]]],
+        namespace: PatchedNamespace,
+    ) -> None:
+        """Step 2 of checkout: re-generate VarGraphs for updated
+        co-variables and re-partition the pool accordingly."""
+        touched_names: Set[str] = set(plan.delete_names)
+        for key, _ in materialized:
+            touched_names |= key
+        if not touched_names:
+            return
+
+        stale_keys = {
+            self.pool.key_of(name)
+            for name in touched_names
+            if self.pool.key_of(name) is not None
+        }
+        items = namespace.user_items()
+        rebuilt: List[CoVariable] = []
+        for key, _ in materialized:
+            graphs = self.pool.builder.build_many(
+                {name: items[name] for name in key if name in items}
+            )
+            if graphs:
+                rebuilt.append(CoVariable(names=frozenset(graphs), graphs=graphs))
+        self.pool.replace(stale_keys, rebuilt)

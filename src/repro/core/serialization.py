@@ -1,0 +1,273 @@
+"""Co-variable serialization (§6.1 of the paper).
+
+Kishu serializes each co-variable independently — its payload is the dict
+of member-name → object, pickled as one unit so intra-co-variable shared
+references are preserved by the pickler's memo table. Because co-variables
+have *no* inter-co-variable references (Definition 1), per-co-variable
+pickling is exactly as correct as pickling the whole state.
+
+The paper's implementation tries CloudPickle first and falls back to Dill
+for objects CloudPickle fails on. Neither is available offline, so this
+module reproduces the same *chain* design with:
+
+* :class:`PrimaryPickler` — stdlib pickle (protocol 5). Fails on the same
+  things stdlib pickle fails on: local/lambda functions, generators, objects
+  whose reductions raise.
+* :class:`FallbackPickler` — stdlib pickle extended with by-value function
+  serialization (marshal'd code objects, reconstructed closures), the core
+  capability Dill/CloudPickle add over pickle. It also honours the
+  ``_requires_fallback_pickler`` marker that libsim classes use to model
+  "CloudPickle fails, Dill succeeds" behaviour.
+
+Objects that no pickler in the chain can handle (generators, hash objects,
+classes marked ``_unserializable``) raise :class:`SerializationError`; the
+checkpointing layer then skips the payload and relies on fallback
+recomputation (§5.3).
+"""
+
+from __future__ import annotations
+
+import io
+import marshal
+import pickle
+import types
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DeserializationError, SerializationError
+
+PICKLE_PROTOCOL = 5
+
+#: While a fallback payload is being deserialized, functions rebuilt by
+#: value need a globals mapping to execute against. The session installs the
+#: live kernel namespace here around each load (see ``active_globals``).
+_ACTIVE_GLOBALS: List[Dict[str, Any]] = []
+
+
+class active_globals:
+    """Context manager installing the globals dict used when reconstructing
+    by-value functions during deserialization."""
+
+    def __init__(self, globals_dict: Dict[str, Any]) -> None:
+        self._globals = globals_dict
+
+    def __enter__(self) -> None:
+        _ACTIVE_GLOBALS.append(self._globals)
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE_GLOBALS.pop()
+
+
+def _current_globals() -> Dict[str, Any]:
+    if _ACTIVE_GLOBALS:
+        return _ACTIVE_GLOBALS[-1]
+    return {"__builtins__": __builtins__}
+
+
+def _rebuild_function(
+    code_bytes: bytes,
+    name: str,
+    defaults: Optional[tuple],
+    closure_values: Optional[tuple],
+    qualname: str,
+) -> types.FunctionType:
+    """Reconstruct a by-value-serialized function (fallback pickler)."""
+    code = marshal.loads(code_bytes)
+    closure = None
+    if closure_values is not None:
+        closure = tuple(types.CellType(value) for value in closure_values)
+    function = types.FunctionType(code, _current_globals(), name, defaults, closure)
+    function.__qualname__ = qualname
+    return function
+
+
+class PrimaryPickler:
+    """First pickler in the chain: strict stdlib pickle.
+
+    Mirrors CloudPickle's position in the paper's chain: fast, covers the
+    de-facto pickle protocol, declines anything exotic.
+    """
+
+    name = "primary"
+
+    def dumps(self, obj: Any) -> bytes:
+        buffer = io.BytesIO()
+        _StrictPickler(buffer, PICKLE_PROTOCOL).dump(obj)
+        return buffer.getvalue()
+
+    def loads(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+def _import_module(name: str) -> types.ModuleType:
+    import importlib
+
+    return importlib.import_module(name)
+
+
+def _module_reducer(module: types.ModuleType):
+    """Modules pickle by reference (re-import on load), as CloudPickle and
+    Dill do — stdlib pickle alone refuses them, but notebook namespaces
+    are full of ``import numpy as np`` bindings."""
+    return (_import_module, (module.__name__,))
+
+
+class _StrictPickler(pickle.Pickler):
+    """Stdlib pickling plus module-by-reference, except it refuses objects
+    flagged as needing the fallback pickler (the libsim model of
+    "CloudPickle fails on this")."""
+
+    def reducer_override(self, obj: Any):
+        if getattr(obj, "_requires_fallback_pickler", False):
+            raise pickle.PicklingError(
+                f"{type(obj).__qualname__} requires the fallback pickler"
+            )
+        if isinstance(obj, types.ModuleType):
+            return _module_reducer(obj)
+        return NotImplemented
+
+
+class FallbackPickler:
+    """Second pickler in the chain: adds by-value function support.
+
+    Local functions, lambdas, and functions defined in notebook cells are
+    not importable by name, so stdlib pickle rejects them. Like Dill, this
+    pickler serializes their code objects (via ``marshal``) together with
+    defaults and closure values, and rebinds their globals to the live
+    kernel namespace at load time.
+    """
+
+    name = "fallback"
+
+    def dumps(self, obj: Any) -> bytes:
+        buffer = io.BytesIO()
+        _ByValuePickler(buffer, PICKLE_PROTOCOL).dump(obj)
+        return buffer.getvalue()
+
+    def loads(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+class _ByValuePickler(pickle.Pickler):
+    def reducer_override(self, obj: Any):
+        if isinstance(obj, types.ModuleType):
+            return _module_reducer(obj)
+        if isinstance(obj, types.FunctionType) and not _importable(obj):
+            return self._reduce_function_by_value(obj)
+        return NotImplemented
+
+    @staticmethod
+    def _reduce_function_by_value(func: types.FunctionType):
+        closure_values = None
+        if func.__closure__ is not None:
+            closure_values = tuple(cell.cell_contents for cell in func.__closure__)
+        return (
+            _rebuild_function,
+            (
+                marshal.dumps(func.__code__),
+                func.__name__,
+                func.__defaults__,
+                closure_values,
+                func.__qualname__,
+            ),
+        )
+
+
+def _importable(func: types.FunctionType) -> bool:
+    """True if stdlib pickle could serialize ``func`` by reference."""
+    module_name = getattr(func, "__module__", None)
+    if module_name is None:
+        return False
+    import sys
+
+    module = sys.modules.get(module_name)
+    if module is None:
+        return False
+    target: Any = module
+    for part in func.__qualname__.split("."):
+        if part == "<locals>":
+            return False
+        target = getattr(target, part, None)
+        if target is None:
+            return False
+    return target is func
+
+
+class SerializerChain:
+    """Ordered chain of picklers with per-payload selection (§6.1).
+
+    ``serialize`` records which pickler succeeded so ``deserialize`` can use
+    the matching loader — the paper's "mixing and matching serialization
+    libraries for coverage".
+    """
+
+    def __init__(self, picklers: Optional[Sequence[Any]] = None) -> None:
+        self.picklers = list(picklers) if picklers is not None else [
+            PrimaryPickler(),
+            FallbackPickler(),
+        ]
+        self._by_name = {pickler.name: pickler for pickler in self.picklers}
+
+    def serialize(self, names: Set[str], payload: Dict[str, Any]) -> Tuple[bytes, str]:
+        """Pickle a co-variable payload; returns (bytes, pickler name).
+
+        Raises:
+            SerializationError: if every pickler in the chain fails.
+        """
+        last_error: Optional[BaseException] = None
+        for pickler in self.picklers:
+            try:
+                return pickler.dumps(payload), pickler.name
+            except Exception as exc:  # picklers raise many exception types
+                last_error = exc
+        raise SerializationError(names, cause=last_error)
+
+    def deserialize(self, data: bytes, pickler_name: str) -> Dict[str, Any]:
+        pickler = self._by_name.get(pickler_name)
+        if pickler is None:
+            raise DeserializationError(f"unknown pickler {pickler_name!r}")
+        try:
+            return pickler.loads(data)
+        except Exception as exc:
+            raise DeserializationError(
+                f"payload failed to load with pickler {pickler_name!r}: {exc!r}"
+            ) from exc
+
+
+class Blocklist:
+    """Class names whose co-variables must be recomputed, never loaded.
+
+    The paper's escape hatch (§6.2) for classes with *silent* serialization
+    errors: their payloads round-trip without raising but are wrong, so the
+    user lists them here to force fallback recomputation.
+    """
+
+    def __init__(self, class_names: Optional[Set[str]] = None) -> None:
+        self._class_names: Set[str] = set(class_names or ())
+
+    def add(self, class_name: str) -> None:
+        self._class_names.add(class_name)
+
+    def discard(self, class_name: str) -> None:
+        self._class_names.discard(class_name)
+
+    def blocks_any(self, type_names) -> bool:
+        """True if any of the given type names is blocklisted."""
+        return any(name in self._class_names for name in type_names)
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self._class_names
+
+    def __len__(self) -> int:
+        return len(self._class_names)
+
+    @classmethod
+    def from_file(cls, path) -> "Blocklist":
+        """Load one class name per line; blank lines and ``#`` comments
+        are ignored (the paper ships the blocklist as a user-editable file)."""
+        names: Set[str] = set()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    names.add(stripped)
+        return cls(names)

@@ -1,0 +1,424 @@
+"""KishuSession — the user-facing façade (§3 of the paper).
+
+Attaching a session to a kernel wires up the full workflow of Fig 5:
+
+* the kernel namespace is access-tracked (the *Patched Namespace*),
+* after each cell execution the *Delta Detector* computes the co-variable
+  granularity state delta,
+* the delta is written as an incremental checkpoint node on the
+  *Checkpoint Graph* (payloads go to the checkpoint store),
+* ``checkout(checkpoint_id)`` incrementally restores any past state via the
+  *State Loader*, with the *Data Restorer* reconstructing anything that
+  failed to serialize.
+
+Mirrors the paper's command palette: ``init`` (attach), ``log``,
+``checkout``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.covariable import CoVariablePool, CoVarKey
+from repro.core.delta import DeltaDetector, StateDelta
+from repro.core.graph import CheckpointGraph, CheckpointNode, PayloadInfo, ROOT_ID
+from repro.core.planner import CheckoutPlanner
+from repro.core.refs import RefManager
+from repro.core.restore import CheckoutReport, StateLoader
+from repro.core.serialization import Blocklist, SerializerChain
+from repro.core.storage import (
+    CheckpointStore,
+    InMemoryCheckpointStore,
+    StoredNode,
+    StoredPayload,
+)
+from repro.core.vargraph import VarGraphBuilder
+from repro.errors import KishuError, SerializationError
+from repro.kernel.cells import Cell, CellResult
+from repro.kernel.events import POST_RUN_CELL, PRE_RUN_CELL, ExecutionInfo
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord
+
+
+@dataclass
+class CellCheckpointMetrics:
+    """Per-checkpoint costs, the raw material of Figs 13–17 / Table 6."""
+
+    node_id: str
+    execution_count: int
+    cell_duration: float
+    detect_seconds: float
+    serialize_seconds: float
+    write_seconds: float
+    bytes_written: int
+    updated_covariables: int
+    skipped_unserializable: int
+
+    @property
+    def checkpoint_seconds(self) -> float:
+        """Total checkpoint cost: tracking plus data writing (§7.1)."""
+        return self.detect_seconds + self.serialize_seconds + self.write_seconds
+
+    @property
+    def tracking_seconds(self) -> float:
+        return self.detect_seconds
+
+
+@dataclass
+class LogEntry:
+    """One row of ``kishu log``."""
+
+    node_id: str
+    parent_id: Optional[str]
+    execution_count: int
+    code_preview: str
+    is_head: bool
+    refs: List[str] = field(default_factory=list)
+
+
+class KishuSession:
+    """Time-traveling controller attached to one notebook kernel."""
+
+    def __init__(
+        self,
+        kernel: NotebookKernel,
+        store: Optional[CheckpointStore] = None,
+        *,
+        auto_checkpoint: bool = True,
+        check_all: bool = False,
+        serializer: Optional[SerializerChain] = None,
+        blocklist: Optional[Blocklist] = None,
+        builder: Optional[VarGraphBuilder] = None,
+        rule_analyzer: Optional["ReadOnlyCellAnalyzer"] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.store = store if store is not None else InMemoryCheckpointStore()
+        self.serializer = serializer if serializer is not None else SerializerChain()
+        self.blocklist = blocklist if blocklist is not None else Blocklist()
+        self.auto_checkpoint = auto_checkpoint
+        #: Optional §6.2 extension: skip delta detection entirely for cells
+        #: the analyzer proves read-only (e.g. bare prints, `df.head()`).
+        self.rule_analyzer = rule_analyzer
+
+        self.pool = CoVariablePool(builder)
+        self.detector = DeltaDetector(self.pool, check_all=check_all)
+        self.graph = CheckpointGraph()
+        self.loader = StateLoader(self.graph, self.store, self.serializer, self.pool)
+        self.planner = CheckoutPlanner(self.graph)
+        self.refs = RefManager()
+
+        self.metrics: List[CellCheckpointMetrics] = []
+        self.checkout_reports: List[CheckoutReport] = []
+        self._attached = False
+        self._pending_record: Optional[AccessRecord] = None
+        self._pending_sources: List[str] = []
+        self._pending_execution_count = 0
+        self._pending_tags: Set[str] = set()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def init(cls, kernel: NotebookKernel, **kwargs) -> "KishuSession":
+        """Create a session and attach it — the paper's ``init`` command."""
+        session = cls(kernel, **kwargs)
+        session.attach()
+        return session
+
+    @classmethod
+    def resume(
+        cls, kernel: NotebookKernel, store: CheckpointStore, **kwargs
+    ) -> "KishuSession":
+        """Reattach to a durable checkpoint store after a kernel restart.
+
+        Rebuilds the checkpoint graph from the store, attaches to the
+        (fresh) kernel, and restores the stored head state into it — the
+        durability story the SQLite backend (§6.1) exists for.
+        """
+        session = cls(kernel, store=store, **kwargs)
+        session.graph = CheckpointGraph.from_store(store)
+        session.loader = StateLoader(
+            session.graph, session.store, session.serializer, session.pool
+        )
+        session.planner = CheckoutPlanner(session.graph)
+        session.attach()
+        head = session.graph.head_id
+        if head != ROOT_ID:
+            # The fresh kernel's actual state is empty (the root state);
+            # point the head there so the checkout diff loads everything
+            # the stored head state contains.
+            session.graph.move_head(ROOT_ID)
+            session.checkout(head)
+        return session
+
+    def attach(self) -> None:
+        """Hook into the kernel and checkpoint any pre-existing state."""
+        if self._attached:
+            raise KishuError("session already attached")
+        self.kernel.events.register(PRE_RUN_CELL, self._on_pre_run)
+        self.kernel.events.register(POST_RUN_CELL, self._on_post_run)
+        self._attached = True
+        existing = self.kernel.user_variables()
+        if existing:
+            # Capture whatever the user created before attaching as an
+            # initial synthetic checkpoint so every later state is reachable.
+            self._pending_record = AccessRecord()
+            self._pending_record.sets |= set(existing)
+            self._pending_sources = ["# state at kishu attach"]
+            self._pending_execution_count = self.kernel.execution_count
+            self.commit()
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.kernel.events.unregister(PRE_RUN_CELL, self._on_pre_run)
+        self.kernel.events.unregister(POST_RUN_CELL, self._on_post_run)
+        self._attached = False
+
+    # -- hooks -------------------------------------------------------------------
+
+    def _on_pre_run(self, info: ExecutionInfo) -> None:
+        if not self.kernel.user_ns.recording:
+            self.kernel.user_ns.begin_recording()
+
+    def _on_post_run(self, result: CellResult) -> None:
+        record = self.kernel.user_ns.end_recording()
+        if self._pending_record is None:
+            self._pending_record = record
+        else:
+            self._pending_record.merge(record)
+        self._pending_sources.append(result.cell.source)
+        self._pending_tags |= set(result.cell.tags)
+        self._pending_execution_count = result.execution_count
+        self._last_cell_duration = result.duration
+        if self.auto_checkpoint:
+            self.commit()
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def commit(self) -> Optional[CheckpointNode]:
+        """Write pending cell execution(s) as one incremental checkpoint."""
+        if self._pending_record is None:
+            return None
+        record = self._pending_record
+        sources = "\n".join(self._pending_sources)
+        execution_count = self._pending_execution_count
+        cell_duration = getattr(self, "_last_cell_duration", 0.0)
+        tags = self._pending_tags
+        self._pending_record = None
+        self._pending_sources = []
+        self._pending_tags = set()
+        #: Kept for subclasses whose should_store_delta needs the record
+        #: (e.g. cost-based Det-replay's dependency-cost estimate).
+        self._last_commit_record = record
+
+        if self.rule_analyzer is not None and self.rule_analyzer.is_read_only(sources):
+            # Rule-based fast path (§6.2): a provably read-only cell
+            # cannot have updated any co-variable — write an empty
+            # checkpoint without any VarGraph work.
+            delta = StateDelta()
+        else:
+            delta = self.detector.detect(record, self.kernel.user_variables())
+        node = self._write_checkpoint(
+            delta, sources, execution_count, cell_duration,
+            store_payloads=self.should_store_delta(tags),
+        )
+        self.refs.advance_active_branch(node.node_id)
+        return node
+
+    def should_store_delta(self, tags: Set[str]) -> bool:
+        """Whether this cell's updated co-variables should be serialized.
+
+        Always True for plain Kishu. The Det-replay variant (§7.1) overrides
+        this to skip storage for deterministic-annotated cells, relying on
+        replay (fallback recomputation) at checkout.
+        """
+        return True
+
+    def _write_checkpoint(
+        self,
+        delta: StateDelta,
+        cell_source: str,
+        execution_count: int,
+        cell_duration: float,
+        *,
+        store_payloads: bool = True,
+    ) -> CheckpointNode:
+        parent_state = self.graph.head.state
+        node_id = self.graph.new_node_id()
+
+        serialize_seconds = 0.0
+        write_seconds = 0.0
+        bytes_written = 0
+        skipped = 0
+        updated_infos: Dict[CoVarKey, PayloadInfo] = {}
+        payloads: List[StoredPayload] = []
+
+        for key, covariable in delta.updated.items():
+            data: Optional[bytes] = None
+            serializer_name: Optional[str] = None
+            if store_payloads and not self.blocklist.blocks_any(
+                covariable.type_names()
+            ):
+                values = {
+                    name: self.kernel.user_ns.peek(name) for name in key
+                }
+                started = time.perf_counter()
+                try:
+                    data, serializer_name = self.serializer.serialize(key, values)
+                except SerializationError:
+                    data = None
+                serialize_seconds += time.perf_counter() - started
+            if data is None:
+                skipped += 1
+            else:
+                bytes_written += len(data)
+            updated_infos[key] = PayloadInfo(
+                key=key,
+                stored=data is not None,
+                serializer=serializer_name if data is not None else None,
+                size_bytes=len(data) if data is not None else 0,
+            )
+            payloads.append(
+                StoredPayload(
+                    node_id=node_id,
+                    key=key,
+                    data=data,
+                    serializer=serializer_name if data is not None else None,
+                )
+            )
+
+        dependencies: Dict[CoVarKey, str] = {}
+        for key in delta.accessed_keys:
+            version = parent_state.get(key)
+            if version is not None:
+                dependencies[key] = version
+
+        started = time.perf_counter()
+        node = self.graph.add_node(
+            cell_source=cell_source,
+            execution_count=execution_count,
+            updated=updated_infos,
+            deleted=delta.deleted,
+            dependencies=dependencies,
+        )
+        for payload in payloads:
+            self.store.write_payload(payload)
+        self.store.write_node(
+            StoredNode(
+                node_id=node.node_id,
+                parent_id=node.parent_id,
+                timestamp=node.timestamp,
+                execution_count=execution_count,
+                cell_source=cell_source,
+                deleted_keys=tuple(delta.deleted),
+                dependencies=tuple(dependencies.items()),
+            )
+        )
+        write_seconds = time.perf_counter() - started
+
+        self.metrics.append(
+            CellCheckpointMetrics(
+                node_id=node.node_id,
+                execution_count=execution_count,
+                cell_duration=cell_duration,
+                detect_seconds=delta.detection_seconds,
+                serialize_seconds=serialize_seconds,
+                write_seconds=write_seconds,
+                bytes_written=bytes_written,
+                updated_covariables=len(delta.updated),
+                skipped_unserializable=skipped,
+            )
+        )
+        return node
+
+    # -- time-traveling -----------------------------------------------------------
+
+    def checkout(self, ref: str) -> CheckoutReport:
+        """Incrementally restore a past state (§5.2).
+
+        ``ref`` may be a checkpoint id (``t7``), a branch name, or a tag
+        name. Checking out a branch makes it active (subsequent commits
+        advance it); anything else leaves the head detached.
+        """
+        resolved = self.refs.resolve(ref)
+        checkpoint_id = resolved if resolved is not None else ref
+        report = self.loader.checkout(checkpoint_id, self.kernel.user_ns)
+        self.checkout_reports.append(report)
+        if ref in self.refs.branches():
+            self.refs.activate_branch(ref)
+        else:
+            self.refs.activate_branch(None)
+        return report
+
+    # -- refs (kishu branch / kishu tag) -----------------------------------------
+
+    def tag(self, name: str, ref: Optional[str] = None) -> str:
+        """Create an immutable tag at ``ref`` (default: the head)."""
+        node_id = self._resolve_or_head(ref)
+        self.refs.create_tag(name, node_id)
+        return node_id
+
+    def branch(
+        self, name: str, ref: Optional[str] = None, *, switch: bool = True
+    ) -> str:
+        """Create a branch at ``ref`` (default: the head).
+
+        With ``switch`` (default) the new branch becomes active, so the
+        next cell executions advance it — `git checkout -b` semantics.
+        """
+        node_id = self._resolve_or_head(ref)
+        self.refs.create_branch(name, node_id)
+        if switch and node_id == self.graph.head_id:
+            self.refs.activate_branch(name)
+        return node_id
+
+    def _resolve_or_head(self, ref: Optional[str]) -> str:
+        if ref is None:
+            return self.graph.head_id
+        resolved = self.refs.resolve(ref)
+        node_id = resolved if resolved is not None else ref
+        self.graph.get(node_id)  # raises CheckpointNotFoundError if bad
+        return node_id
+
+    def log(self) -> List[LogEntry]:
+        """All checkpoints, oldest first — the paper's ``log`` command."""
+        entries = []
+        for node in sorted(self.graph.all_nodes(), key=lambda n: n.timestamp):
+            if node.node_id == ROOT_ID:
+                continue
+            first_line = node.cell_source.strip().splitlines()
+            preview = first_line[0][:60] if first_line else ""
+            entries.append(
+                LogEntry(
+                    node_id=node.node_id,
+                    parent_id=node.parent_id,
+                    execution_count=node.execution_count,
+                    code_preview=preview,
+                    is_head=node.node_id == self.graph.head_id,
+                    refs=self.refs.names_of(node.node_id),
+                )
+            )
+        return entries
+
+    @property
+    def head_id(self) -> str:
+        return self.graph.head_id
+
+    # -- convenience ---------------------------------------------------------------
+
+    def run_cell(self, cell, **kwargs) -> CellResult:
+        """Run a cell on the attached kernel (checkpointing via hooks)."""
+        return self.kernel.run_cell(cell, **kwargs)
+
+    # -- aggregate metrics -----------------------------------------------------------
+
+    def total_checkpoint_seconds(self) -> float:
+        return sum(metric.checkpoint_seconds for metric in self.metrics)
+
+    def total_tracking_seconds(self) -> float:
+        return sum(metric.tracking_seconds for metric in self.metrics)
+
+    def total_checkpoint_bytes(self) -> int:
+        return self.store.total_payload_bytes()

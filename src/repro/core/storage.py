@@ -1,0 +1,281 @@
+"""Checkpoint stores: where versioned co-variable payloads live (§6.1).
+
+The paper's implementation stores versioned co-variables in SQLite but
+notes "any storage mechanism can be used in its place — even in-memory
+ones". Both backends are provided here behind one interface:
+
+* :class:`SQLiteCheckpointStore` — the paper's default; durable, queried
+  with normalized tables.
+* :class:`InMemoryCheckpointStore` — maximally fast, used by benchmarks
+  that want to isolate algorithmic costs from disk I/O.
+
+A store holds (a) node metadata rows — enough to rebuild the checkpoint
+graph after a restart — and (b) payload rows: one pickled blob per
+versioned co-variable, or a tombstone for payloads that failed to
+serialize.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.covariable import CoVarKey, covar_key
+from repro.errors import StorageError
+
+#: Separator for canonical co-variable key encoding. Unit-separator is not
+#: a valid Python identifier character, so it cannot collide with names.
+_KEY_SEP = "\x1f"
+
+
+def encode_key(key: CoVarKey) -> str:
+    return _KEY_SEP.join(sorted(key))
+
+
+def decode_key(encoded: str) -> CoVarKey:
+    return covar_key(encoded.split(_KEY_SEP)) if encoded else frozenset()
+
+
+@dataclass(frozen=True)
+class StoredPayload:
+    """One versioned co-variable's stored form."""
+
+    node_id: str
+    key: CoVarKey
+    data: Optional[bytes]  # None when serialization was skipped
+    serializer: Optional[str]
+
+    @property
+    def stored(self) -> bool:
+        return self.data is not None
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data) if self.data is not None else 0
+
+
+@dataclass(frozen=True)
+class StoredNode:
+    """Node metadata as persisted; mirrors CheckpointNode minus payloads."""
+
+    node_id: str
+    parent_id: Optional[str]
+    timestamp: int
+    execution_count: int
+    cell_source: str
+    deleted_keys: Tuple[CoVarKey, ...]
+    dependencies: Tuple[Tuple[CoVarKey, str], ...]
+
+
+class CheckpointStore:
+    """Interface both backends implement."""
+
+    def write_node(self, node: StoredNode) -> None:
+        raise NotImplementedError
+
+    def read_nodes(self) -> List[StoredNode]:
+        raise NotImplementedError
+
+    def write_payload(self, payload: StoredPayload) -> None:
+        raise NotImplementedError
+
+    def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
+        raise NotImplementedError
+
+    def payloads_of(self, node_id: str) -> List[StoredPayload]:
+        raise NotImplementedError
+
+    def total_payload_bytes(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; in-memory stores are a no-op."""
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InMemoryCheckpointStore(CheckpointStore):
+    """Dict-backed store, for tests and I/O-free benchmarking."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, StoredNode] = {}
+        self._payloads: Dict[Tuple[str, str], StoredPayload] = {}
+
+    def write_node(self, node: StoredNode) -> None:
+        self._nodes[node.node_id] = node
+
+    def read_nodes(self) -> List[StoredNode]:
+        return sorted(self._nodes.values(), key=lambda node: node.timestamp)
+
+    def write_payload(self, payload: StoredPayload) -> None:
+        self._payloads[(payload.node_id, encode_key(payload.key))] = payload
+
+    def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
+        try:
+            return self._payloads[(node_id, encode_key(key))]
+        except KeyError:
+            raise StorageError(
+                f"no payload for co-variable {sorted(key)} at node {node_id}"
+            ) from None
+
+    def payloads_of(self, node_id: str) -> List[StoredPayload]:
+        return [p for (nid, _), p in self._payloads.items() if nid == node_id]
+
+    def total_payload_bytes(self) -> int:
+        return sum(payload.size_bytes for payload in self._payloads.values())
+
+
+class SQLiteCheckpointStore(CheckpointStore):
+    """SQLite-backed store — the paper's default storage mechanism.
+
+    Pass ``":memory:"`` for an ephemeral database or a path for a durable
+    one. The schema is normalized: ``nodes``, ``node_deletes``,
+    ``node_deps``, and ``payloads``.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS nodes (
+        node_id         TEXT PRIMARY KEY,
+        parent_id       TEXT,
+        timestamp       INTEGER NOT NULL,
+        execution_count INTEGER NOT NULL,
+        cell_source     TEXT NOT NULL
+    );
+    CREATE TABLE IF NOT EXISTS node_deletes (
+        node_id   TEXT NOT NULL,
+        covar_key TEXT NOT NULL,
+        PRIMARY KEY (node_id, covar_key)
+    );
+    CREATE TABLE IF NOT EXISTS node_deps (
+        node_id   TEXT NOT NULL,
+        covar_key TEXT NOT NULL,
+        ref_node  TEXT NOT NULL,
+        PRIMARY KEY (node_id, covar_key)
+    );
+    CREATE TABLE IF NOT EXISTS payloads (
+        node_id    TEXT NOT NULL,
+        covar_key  TEXT NOT NULL,
+        data       BLOB,
+        serializer TEXT,
+        PRIMARY KEY (node_id, covar_key)
+    );
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(self._SCHEMA)
+        self._conn.commit()
+
+    def write_node(self, node: StoredNode) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO nodes VALUES (?, ?, ?, ?, ?)",
+                (
+                    node.node_id,
+                    node.parent_id,
+                    node.timestamp,
+                    node.execution_count,
+                    node.cell_source,
+                ),
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO node_deletes VALUES (?, ?)",
+                [(node.node_id, encode_key(key)) for key in node.deleted_keys],
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO node_deps VALUES (?, ?, ?)",
+                [
+                    (node.node_id, encode_key(key), ref)
+                    for key, ref in node.dependencies
+                ],
+            )
+
+    def read_nodes(self) -> List[StoredNode]:
+        nodes = []
+        rows = self._conn.execute(
+            "SELECT node_id, parent_id, timestamp, execution_count, cell_source"
+            " FROM nodes ORDER BY timestamp"
+        ).fetchall()
+        for node_id, parent_id, timestamp, execution_count, cell_source in rows:
+            deleted = tuple(
+                decode_key(row[0])
+                for row in self._conn.execute(
+                    "SELECT covar_key FROM node_deletes WHERE node_id = ?", (node_id,)
+                )
+            )
+            deps = tuple(
+                (decode_key(row[0]), row[1])
+                for row in self._conn.execute(
+                    "SELECT covar_key, ref_node FROM node_deps WHERE node_id = ?",
+                    (node_id,),
+                )
+            )
+            nodes.append(
+                StoredNode(
+                    node_id=node_id,
+                    parent_id=parent_id,
+                    timestamp=timestamp,
+                    execution_count=execution_count,
+                    cell_source=cell_source,
+                    deleted_keys=deleted,
+                    dependencies=deps,
+                )
+            )
+        return nodes
+
+    def write_payload(self, payload: StoredPayload) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO payloads VALUES (?, ?, ?, ?)",
+                (
+                    payload.node_id,
+                    encode_key(payload.key),
+                    payload.data,
+                    payload.serializer,
+                ),
+            )
+
+    def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
+        row = self._conn.execute(
+            "SELECT data, serializer FROM payloads WHERE node_id = ? AND covar_key = ?",
+            (node_id, encode_key(key)),
+        ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"no payload for co-variable {sorted(key)} at node {node_id}"
+            )
+        data, serializer = row
+        return StoredPayload(node_id=node_id, key=key, data=data, serializer=serializer)
+
+    def payloads_of(self, node_id: str) -> List[StoredPayload]:
+        rows = self._conn.execute(
+            "SELECT covar_key, data, serializer FROM payloads WHERE node_id = ?",
+            (node_id,),
+        ).fetchall()
+        return [
+            StoredPayload(
+                node_id=node_id,
+                key=decode_key(encoded),
+                data=data,
+                serializer=serializer,
+            )
+            for encoded, data, serializer in rows
+        ]
+
+    def total_payload_bytes(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(data)), 0) FROM payloads WHERE data IS NOT NULL"
+        ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._conn.close()

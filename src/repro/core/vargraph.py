@@ -1,0 +1,233 @@
+"""VarGraphs — per-variable reachability graphs (§4.2 of the paper).
+
+A VarGraph captures, for one variable, every object reachable from it. Each
+node records the object's (1) type, (2) memory address, and (3) child
+pointers for non-primitives or (4) value for primitives — exactly the four
+attributes the paper lists. Two uses:
+
+* **Update detection** — comparing a variable's VarGraph before and after a
+  cell execution; any structural difference or node attribute change (address
+  or type) indicates the co-variable was modified (Definition 2).
+* **Membership detection** — intersecting the mutable-object id-sets of two
+  VarGraphs; a non-empty intersection means the variables share reachable
+  objects and belong to one co-variable (Definition 1).
+
+The graph is stored as a flat node table with child indices, so comparison
+is a linear scan and intersection is a set operation, both independent of
+Python object identity semantics at compare time (the referenced objects may
+already be gone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.hashing import combine, digest_bytes
+from repro.core.objectwalk import DEFAULT_POLICY, TraversalPolicy
+
+#: Guard against pathological graphs (e.g. million-node linked structures):
+#: past this many nodes the graph is truncated and marked opaque, which is
+#: conservative — the co-variable is then assumed updated whenever accessed.
+DEFAULT_MAX_NODES = 200_000
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One reachable object.
+
+    Attributes:
+        obj_id: The object's memory address (``id``) at build time.
+        type_name: Qualified type name; a changed type at the same address
+            is a modification (the paper's robustness addition over
+            ElasticNotebook's ID graph).
+        kind: "primitive", "array", "composite", or "opaque".
+        value: Primitive value / array digest for leaves; None otherwise.
+        children: Indices into the owning graph's node table.
+    """
+
+    obj_id: int
+    type_name: str
+    kind: str
+    value: Any
+    children: Tuple[int, ...]
+
+
+class VarGraph:
+    """Immutable snapshot of one variable's reachable object graph."""
+
+    __slots__ = ("name", "nodes", "id_set", "opaque", "truncated", "_fingerprint")
+
+    def __init__(
+        self,
+        name: str,
+        nodes: List[GraphNode],
+        id_set: FrozenSet[int],
+        opaque: bool,
+        truncated: bool,
+    ) -> None:
+        self.name = name
+        self.nodes = nodes
+        self.id_set = id_set
+        self.opaque = opaque
+        self.truncated = truncated
+        self._fingerprint: Optional[int] = None
+
+    # -- comparison (update detection, Definition 2) --------------------------
+
+    @property
+    def fingerprint(self) -> int:
+        """Digest of the full graph: structure, addresses, types, values.
+
+        Equal fingerprints with equal node counts are treated as "no
+        modification observed". Graph roots are compared pairwise in
+        :func:`graphs_equal` to rule out digest collisions on small graphs.
+        """
+        if self._fingerprint is None:
+            digests = []
+            for node in self.nodes:
+                digests.append(
+                    combine(
+                        node.obj_id,
+                        digest_bytes(node.type_name.encode()),
+                        _value_digest(node.value),
+                        *node.children,
+                    )
+                )
+            self._fingerprint = combine(len(self.nodes), *digests)
+        return self._fingerprint
+
+    def differs_from(self, other: "VarGraph") -> bool:
+        """True if an update must be reported between the two snapshots.
+
+        Opaque or truncated graphs cannot be compared and are conservatively
+        reported as differing (the paper's "assumed updated on access").
+        """
+        if self.opaque or other.opaque or self.truncated or other.truncated:
+            return True
+        return not graphs_equal(self, other)
+
+    # -- membership (Definition 1) ---------------------------------------------
+
+    def shares_objects_with(self, other: "VarGraph") -> bool:
+        """True if any mutable reachable object is common to both graphs."""
+        if len(self.id_set) > len(other.id_set):
+            return not other.id_set.isdisjoint(self.id_set)
+        return not self.id_set.isdisjoint(other.id_set)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"VarGraph({self.name!r}, nodes={len(self.nodes)}, "
+            f"opaque={self.opaque}, truncated={self.truncated})"
+        )
+
+
+def graphs_equal(a: VarGraph, b: VarGraph) -> bool:
+    """Exact node-table comparison of two graphs built for the same name."""
+    if len(a.nodes) != len(b.nodes):
+        return False
+    if a.fingerprint != b.fingerprint:
+        return False
+    return a.nodes == b.nodes
+
+
+def _value_digest(value: Any) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, int):
+        return value & 0xFFFFFFFFFFFFFFFF
+    try:
+        return hash(value) & 0xFFFFFFFFFFFFFFFF
+    except TypeError:
+        return digest_bytes(repr(value).encode())
+
+
+class VarGraphBuilder:
+    """Builds VarGraphs by breadth-first reachability traversal."""
+
+    def __init__(
+        self,
+        policy: TraversalPolicy = None,
+        max_nodes: int = DEFAULT_MAX_NODES,
+    ) -> None:
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self.max_nodes = max_nodes
+
+    def build(self, name: str, obj: Any) -> VarGraph:
+        """Construct the VarGraph for variable ``name`` bound to ``obj``."""
+        nodes: List[GraphNode] = []
+        id_set: set = set()
+        index_of: Dict[int, int] = {}
+        opaque = False
+        truncated = False
+
+        # Worklist of (object, slot-filler). Children indices are patched in
+        # after each node's children have been assigned indices.
+        pending: List[Any] = [obj]
+        pending_parent: List[Optional[Tuple[int, int]]] = [None]
+        child_slots: Dict[int, List[int]] = {}
+
+        while pending:
+            current = pending.pop()
+            parent_slot = pending_parent.pop()
+            obj_id = id(current)
+            existing = index_of.get(obj_id)
+            if existing is not None:
+                if parent_slot is not None:
+                    child_slots[parent_slot[0]][parent_slot[1]] = existing
+                continue
+            if len(nodes) >= self.max_nodes:
+                truncated = True
+                break
+
+            visit = self.policy.visit(current)
+            node_index = len(nodes)
+            index_of[obj_id] = node_index
+            if parent_slot is not None:
+                child_slots[parent_slot[0]][parent_slot[1]] = node_index
+            if visit.kind != "primitive":
+                id_set.add(obj_id)
+            if visit.kind == "opaque":
+                opaque = True
+
+            slots = [-1] * len(visit.children)
+            child_slots[node_index] = slots
+            nodes.append(
+                GraphNode(
+                    obj_id=obj_id,
+                    type_name=type(current).__qualname__,
+                    kind=visit.kind,
+                    value=visit.value,
+                    children=(),  # patched below
+                )
+            )
+            for position, child in enumerate(visit.children):
+                pending.append(child)
+                pending_parent.append((node_index, position))
+
+        # Patch children tuples now that all indices are known. Unfilled
+        # slots (truncation) are dropped.
+        final_nodes = [
+            GraphNode(
+                obj_id=node.obj_id,
+                type_name=node.type_name,
+                kind=node.kind,
+                value=node.value,
+                children=tuple(i for i in child_slots[index] if i >= 0),
+            )
+            for index, node in enumerate(nodes)
+        ]
+        return VarGraph(
+            name=name,
+            nodes=final_nodes,
+            id_set=frozenset(id_set),
+            opaque=opaque or truncated,
+            truncated=truncated,
+        )
+
+    def build_many(self, items: Dict[str, Any]) -> Dict[str, VarGraph]:
+        """Build graphs for a mapping of variable names to objects."""
+        return {name: self.build(name, obj) for name, obj in items.items()}

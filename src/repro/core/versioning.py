@@ -1,0 +1,121 @@
+"""Versioned co-variables and session-state metadata (§5.1–5.2).
+
+A **versioned co-variable** is a (co-variable, timestamp) pair — the value
+a co-variable took after the cell execution at that timestamp (Definition
+4). A **session state** at timestamp *t* is the set of versioned
+co-variables live after cell execution *t* (Definition 5): each co-variable
+version written by an ancestor of *t* and not overwritten on the path to
+*t*.
+
+Per the paper's footnote 5, Kishu stores a snapshot of the session-state
+*metadata* (references to co-variable versions, not data) in every
+checkpoint node; :class:`SessionState` is that snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.core.covariable import CoVarKey
+
+
+@dataclass(frozen=True)
+class VersionedCoVariable:
+    """A co-variable version: member names + the node that wrote it."""
+
+    key: CoVarKey
+    node_id: str
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(self.key))
+        return f"({{{names}}}, {self.node_id})"
+
+
+class SessionState:
+    """The set of versioned co-variables constituting one session state.
+
+    Internally a mapping from co-variable key to the id of the checkpoint
+    node holding its current version. Immutable-by-convention: deriving the
+    next state goes through :meth:`child` which applies one cell's delta.
+    """
+
+    __slots__ = ("_versions",)
+
+    def __init__(self, versions: Dict[CoVarKey, str] = None) -> None:
+        self._versions: Dict[CoVarKey, str] = dict(versions or {})
+
+    # -- queries ---------------------------------------------------------------
+
+    def version_of(self, key: CoVarKey) -> str:
+        return self._versions[key]
+
+    def get(self, key: CoVarKey, default=None):
+        return self._versions.get(key, default)
+
+    def keys(self) -> Set[CoVarKey]:
+        return set(self._versions)
+
+    def items(self) -> Iterable:
+        return self._versions.items()
+
+    def names(self) -> Set[str]:
+        """All variable names live in this state."""
+        live: Set[str] = set()
+        for key in self._versions:
+            live |= key
+        return live
+
+    def versioned(self) -> Set[VersionedCoVariable]:
+        return {
+            VersionedCoVariable(key=key, node_id=node_id)
+            for key, node_id in self._versions.items()
+        }
+
+    def __contains__(self, key: CoVarKey) -> bool:
+        return key in self._versions
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SessionState):
+            return NotImplemented
+        return self._versions == other._versions
+
+    def __repr__(self) -> str:
+        return f"SessionState({len(self._versions)} co-variables)"
+
+    # -- derivation --------------------------------------------------------------
+
+    def child(
+        self,
+        node_id: str,
+        updated_keys: Iterable[CoVarKey],
+        deleted_keys: Iterable[CoVarKey],
+    ) -> "SessionState":
+        """State after applying one cell execution's delta.
+
+        Updated co-variables take version ``node_id``; any prior co-variable
+        sharing a name with an updated or deleted one is superseded
+        (Definition 5 condition 2: overwritten by a newer version).
+        """
+        updated = list(updated_keys)
+        deleted = set(deleted_keys)
+        superseded_names: FrozenSet[str] = frozenset().union(*updated, *deleted) if (
+            updated or deleted
+        ) else frozenset()
+
+        versions: Dict[CoVarKey, str] = {}
+        for key, version in self._versions.items():
+            if key in deleted:
+                continue
+            if superseded_names and not superseded_names.isdisjoint(key):
+                continue
+            versions[key] = version
+        for key in updated:
+            versions[key] = node_id
+        return SessionState(versions)
+
+    def copy(self) -> "SessionState":
+        return SessionState(self._versions)

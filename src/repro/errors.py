@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Kishu reproduction.
+
+Every error raised by this package derives from :class:`KishuError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class KishuError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SerializationError(KishuError):
+    """A co-variable could not be serialized by any configured pickler."""
+
+    def __init__(self, covariable_names, cause=None):
+        names = ", ".join(sorted(covariable_names))
+        super().__init__(f"cannot serialize co-variable {{{names}}}: {cause!r}")
+        self.covariable_names = frozenset(covariable_names)
+        self.cause = cause
+
+
+class DeserializationError(KishuError):
+    """A stored co-variable payload failed to load back."""
+
+
+class CheckpointNotFoundError(KishuError):
+    """The requested checkpoint id does not exist in the checkpoint graph."""
+
+
+class CheckoutError(KishuError):
+    """Checkout could not complete, even after fallback recomputation."""
+
+
+class RestorationError(CheckoutError):
+    """Fallback recomputation failed to reconstruct a required co-variable."""
+
+
+class KernelError(KishuError):
+    """The simulated kernel could not execute a cell."""
+
+    def __init__(self, message, cell_source=None, cause=None):
+        super().__init__(message)
+        self.cell_source = cell_source
+        self.cause = cause
+
+
+class StorageError(KishuError):
+    """The checkpoint store rejected or lost a payload."""
+
+
+class SnapshotError(KishuError):
+    """An OS-level (simulated) snapshot could not be taken or restored."""
+
+
+class TrackingError(KishuError):
+    """A state tracker failed while analysing a cell execution."""

@@ -1,0 +1,6 @@
+"""Minimal columnar dataframe substrate (pandas stand-in for workloads)."""
+
+from repro.frame.frame import DataFrame
+from repro.frame.series import Series
+
+__all__ = ["DataFrame", "Series"]

@@ -1,0 +1,198 @@
+"""A minimal columnar dataframe — the pandas ``DataFrame`` stand-in.
+
+Columns are numpy arrays held by reference: ``frame["a"]`` returns a
+:class:`~repro.frame.series.Series` aliasing the column, so a frame and a
+series extracted from it form one co-variable until the column is replaced
+— the exact sharing structure Kishu's Fig 3 illustrates.
+
+The operation surface covers what the evaluation notebooks do: column
+drop/assign (including the motivating un-droppable column), row filtering,
+sorting, group-by aggregation, train/test splitting, and in-place updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.frame.series import Series
+
+
+class DataFrame:
+    """Ordered mapping of column name to numpy array, equal lengths."""
+
+    def __init__(self, columns: Optional[Dict[str, Union[np.ndarray, Sequence[Any]]]] = None) -> None:
+        self._columns: Dict[str, np.ndarray] = {}
+        if columns:
+            for name, values in columns.items():
+                self[name] = values
+
+    # -- shape ---------------------------------------------------------------------
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self), len(self._columns))
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(column.nbytes for column in self._columns.values()))
+
+    # -- column access -----------------------------------------------------------------
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return Series(self._columns[key], name=key)
+        if isinstance(key, list):
+            return DataFrame({name: self._columns[name] for name in key})
+        if isinstance(key, Series):
+            key = key.values
+        if isinstance(key, np.ndarray) and key.dtype == bool:
+            return DataFrame(
+                {name: column[key] for name, column in self._columns.items()}
+            )
+        raise KeyError(f"unsupported frame key: {key!r}")
+
+    def __setitem__(self, name: str, values) -> None:
+        if isinstance(values, Series):
+            values = values.values
+        array = values if isinstance(values, np.ndarray) else np.asarray(values)
+        if self._columns and len(array) != len(self):
+            raise ValueError(
+                f"column {name!r} has length {len(array)}, frame has {len(self)} rows"
+            )
+        self._columns[name] = array
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DataFrame):
+            return NotImplemented
+        if self.columns != other.columns:
+            return False
+        return all(
+            np.array_equal(self._columns[name], other._columns[name])
+            for name in self._columns
+        )
+
+    def __repr__(self) -> str:
+        return f"DataFrame({len(self)} rows x {len(self._columns)} cols)"
+
+    # -- structural ops ---------------------------------------------------------------------
+
+    def drop(self, column: str) -> "DataFrame":
+        """Return a frame without ``column`` — the paper's motivating
+        irreversible operation (remaining columns stay shared)."""
+        if column not in self._columns:
+            raise KeyError(f"no column {column!r}")
+        return DataFrame(
+            {name: values for name, values in self._columns.items() if name != column}
+        )
+
+    def drop_inplace(self, column: str) -> None:
+        """Remove a column from this frame (a co-variable modification)."""
+        if column not in self._columns:
+            raise KeyError(f"no column {column!r}")
+        del self._columns[column]
+
+    def assign(self, **new_columns) -> "DataFrame":
+        """Return a frame with additional/replaced columns; untouched
+        columns remain shared with the original."""
+        merged = dict(self._columns)
+        for name, values in new_columns.items():
+            if isinstance(values, Series):
+                values = values.values
+            merged[name] = values if isinstance(values, np.ndarray) else np.asarray(values)
+        return DataFrame(merged)
+
+    def copy(self) -> "DataFrame":
+        return DataFrame({name: values.copy() for name, values in self._columns.items()})
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return DataFrame({name: values[:n] for name, values in self._columns.items()})
+
+    def sort_values(self, by: str, *, descending: bool = False) -> "DataFrame":
+        order = np.argsort(self._columns[by], kind="stable")
+        if descending:
+            order = order[::-1]
+        return DataFrame({name: values[order] for name, values in self._columns.items()})
+
+    # -- computation -------------------------------------------------------------------------
+
+    def apply_inplace(self, column: str, func: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Replace a column's contents via a vectorised function."""
+        self._columns[column] = np.asarray(func(self._columns[column]))
+
+    def groupby_agg(
+        self, by: str, target: str, aggregate: str = "mean"
+    ) -> "DataFrame":
+        """Group rows by a key column and aggregate a target column."""
+        keys = self._columns[by]
+        values = self._columns[target]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        sums = np.zeros(len(unique_keys), dtype=float)
+        counts = np.zeros(len(unique_keys), dtype=int)
+        np.add.at(sums, inverse, values.astype(float))
+        np.add.at(counts, inverse, 1)
+        if aggregate == "mean":
+            aggregated = sums / np.maximum(counts, 1)
+        elif aggregate == "sum":
+            aggregated = sums
+        elif aggregate == "count":
+            aggregated = counts.astype(float)
+        else:
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+        return DataFrame({by: unique_keys, target: aggregated})
+
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Per-numeric-column summary statistics."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for name, values in self._columns.items():
+            if not np.issubdtype(values.dtype, np.number):
+                continue
+            summary[name] = {
+                "mean": float(values.mean()),
+                "std": float(values.std()),
+                "min": float(values.min()),
+                "max": float(values.max()),
+            }
+        return summary
+
+    def train_test_split(
+        self, test_fraction: float = 0.25, *, seed: int = 0
+    ) -> Tuple["DataFrame", "DataFrame"]:
+        """Random row split — the paper's canonical non-deterministic-if-
+        unseeded step that makes rerun-based restoration incorrect."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(len(self) * (1.0 - test_fraction))
+        train_rows, test_rows = order[:cut], order[cut:]
+        train = DataFrame({n: v[train_rows] for n, v in self._columns.items()})
+        test = DataFrame({n: v[test_rows] for n, v in self._columns.items()})
+        return train, test
+
+    # -- constructors -------------------------------------------------------------------------------
+
+    @staticmethod
+    def from_random(
+        n_rows: int, n_cols: int, *, seed: int = 0, prefix: str = "c"
+    ) -> "DataFrame":
+        """Uniform random numeric frame, the workload generators' staple."""
+        rng = np.random.default_rng(seed)
+        return DataFrame(
+            {f"{prefix}{i}": rng.random(n_rows) for i in range(n_cols)}
+        )
+
+    def column_array(self, name: str) -> np.ndarray:
+        """The underlying array by reference (for alias-construction)."""
+        return self._columns[name]

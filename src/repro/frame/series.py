@@ -1,0 +1,134 @@
+"""A minimal labelled 1-D array — the pandas ``Series`` stand-in.
+
+The evaluation notebooks manipulate dataframes and series (drops, assigns,
+in-place updates); this substrate provides those operations over numpy so
+workloads exercise realistic object graphs (arrays shared between frames
+and series form co-variables) without requiring pandas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+
+class Series:
+    """A named numpy array with an optional index.
+
+    Supports the small op surface the workloads need: elementwise
+    arithmetic, comparison masks, ``map``, in-place ``__setitem__``, and
+    summary statistics. Values are held by reference, so two series built
+    from the same array alias it — exactly the shared-reference structure
+    co-variables must preserve.
+    """
+
+    def __init__(
+        self,
+        values: Union[np.ndarray, Sequence[Any]],
+        name: Optional[str] = None,
+        index: Optional[np.ndarray] = None,
+    ) -> None:
+        self.values = values if isinstance(values, np.ndarray) else np.asarray(values)
+        self.name = name
+        self.index = index if index is not None else np.arange(len(self.values))
+
+    # -- basic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, key):
+        if isinstance(key, Series):
+            key = key.values
+        if isinstance(key, np.ndarray) and key.dtype == bool:
+            return Series(self.values[key], name=self.name, index=self.index[key])
+        return self.values[key]
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(key, Series):
+            key = key.values
+        self.values[key] = value
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __eq__(self, other):
+        if isinstance(other, Series):
+            return np.array_equal(self.values, other.values) and self.name == other.name
+        return Series(self.values == other, name=self.name, index=self.index)
+
+    def __repr__(self) -> str:
+        return f"Series(name={self.name!r}, n={len(self)}, dtype={self.values.dtype})"
+
+    # -- arithmetic ----------------------------------------------------------------
+
+    def _binary(self, other, op) -> "Series":
+        rhs = other.values if isinstance(other, Series) else other
+        return Series(op(self.values, rhs), name=self.name, index=self.index)
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    def __truediv__(self, other):
+        return self._binary(other, np.divide)
+
+    def __gt__(self, other):
+        return self._binary(other, np.greater)
+
+    def __lt__(self, other):
+        return self._binary(other, np.less)
+
+    def __ge__(self, other):
+        return self._binary(other, np.greater_equal)
+
+    def __le__(self, other):
+        return self._binary(other, np.less_equal)
+
+    # -- transforms -------------------------------------------------------------------
+
+    def map(self, func) -> "Series":
+        """Elementwise transform into a new series."""
+        mapped = np.asarray([func(value) for value in self.values])
+        return Series(mapped, name=self.name, index=self.index)
+
+    def fillna(self, value) -> "Series":
+        filled = np.where(np.isnan(self.values.astype(float)), value, self.values)
+        return Series(filled, name=self.name, index=self.index)
+
+    def replace_inplace(self, old, new) -> None:
+        """In-place value replacement (a Definition-2 node modification)."""
+        self.values[self.values == old] = new
+
+    def copy(self) -> "Series":
+        return Series(self.values.copy(), name=self.name, index=self.index.copy())
+
+    # -- reductions -----------------------------------------------------------------------
+
+    def sum(self):
+        return self.values.sum()
+
+    def mean(self):
+        return self.values.mean()
+
+    def std(self):
+        return self.values.std()
+
+    def min(self):
+        return self.values.min()
+
+    def max(self):
+        return self.values.max()
+
+    def unique(self) -> np.ndarray:
+        return np.unique(self.values)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes) + int(self.index.nbytes)

@@ -1,0 +1,35 @@
+"""Simulated Jupyter kernel substrate.
+
+Provides the three integration surfaces Kishu needs from a notebook
+application: cell execution with hooks, an access-tracked user namespace,
+and execution counts.
+"""
+
+from repro.kernel.cells import Cell, CellResult
+from repro.kernel.events import (
+    POST_RUN_CELL,
+    PRE_RUN_CELL,
+    ExecutionInfo,
+    HookRegistry,
+)
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import (
+    AccessRecord,
+    PatchedNamespace,
+    filter_user_names,
+    is_user_variable,
+)
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "ExecutionInfo",
+    "HookRegistry",
+    "NotebookKernel",
+    "AccessRecord",
+    "PatchedNamespace",
+    "filter_user_names",
+    "is_user_variable",
+    "PRE_RUN_CELL",
+    "POST_RUN_CELL",
+]

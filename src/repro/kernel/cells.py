@@ -1,0 +1,70 @@
+"""Cell and cell-result datatypes for the simulated notebook kernel.
+
+A *cell* is a unit of user code, mirroring Jupyter's cell model. A
+:class:`CellResult` captures everything the kernel observed about one
+execution: the execution count, wall-clock duration, captured stdout, the
+value of a trailing expression (Jupyter's ``Out[n]``), and any raised error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A unit of notebook code.
+
+    Attributes:
+        source: The Python source of the cell.
+        cell_id: Stable identifier of the cell within its notebook. Jupyter
+            assigns these per cell (not per execution); re-running a cell
+            reuses its id with a new execution count.
+        tags: Free-form labels. The Det-replay baseline looks for the
+            ``"deterministic"`` tag (mirroring the paper's manual
+            annotation), and workload specs use tags to mark cells of
+            interest (e.g. ``"undo-target"``).
+    """
+
+    source: str
+    cell_id: Optional[str] = None
+    tags: frozenset = frozenset()
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    @staticmethod
+    def make(source: str, cell_id: Optional[str] = None, *tags: str) -> "Cell":
+        return Cell(source=source, cell_id=cell_id, tags=frozenset(tags))
+
+
+@dataclass
+class CellResult:
+    """Outcome of executing one cell.
+
+    Attributes:
+        cell: The cell that was executed.
+        execution_count: Kernel-global monotonically increasing counter,
+            Jupyter's ``In[n]`` number.
+        duration: Wall-clock seconds spent executing the cell body (excludes
+            hook time, so trackers can report overhead as a fraction of it).
+        stdout: Text printed by the cell.
+        value: Value of the final expression statement, if any (``Out[n]``).
+        error: Exception raised by the cell body, or None on success.
+    """
+
+    cell: Cell
+    execution_count: int
+    duration: float = 0.0
+    stdout: str = ""
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def raise_if_failed(self) -> None:
+        if self.error is not None:
+            raise self.error

@@ -1,0 +1,67 @@
+"""Pre/post cell-execution hook registry.
+
+This mirrors IPython's events API (``pre_run_cell`` / ``post_run_cell``),
+which is the only integration surface Kishu needs from the notebook
+application (§6.1 of the paper). Hooks registered here receive an
+:class:`ExecutionInfo` before the cell body runs and the finished
+:class:`~repro.kernel.cells.CellResult` after it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.kernel.cells import Cell, CellResult
+
+PRE_RUN_CELL = "pre_run_cell"
+POST_RUN_CELL = "post_run_cell"
+
+_VALID_EVENTS = (PRE_RUN_CELL, POST_RUN_CELL)
+
+
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """Payload passed to ``pre_run_cell`` hooks, mirroring IPython's."""
+
+    cell: Cell
+    execution_count: int
+
+
+class HookRegistry:
+    """Ordered registry of kernel event callbacks.
+
+    Callbacks run in registration order. A callback that raises propagates
+    to the caller of :meth:`trigger`: hooks are part of the system under
+    test (Kishu's correctness depends on them firing), so failures must be
+    loud rather than swallowed.
+    """
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, List[Callable[..., None]]] = {
+            name: [] for name in _VALID_EVENTS
+        }
+
+    def register(self, event: str, callback: Callable[..., None]) -> None:
+        self._check_event(event)
+        self._hooks[event].append(callback)
+
+    def unregister(self, event: str, callback: Callable[..., None]) -> None:
+        self._check_event(event)
+        self._hooks[event].remove(callback)
+
+    def trigger(self, event: str, payload: Any) -> None:
+        self._check_event(event)
+        for callback in list(self._hooks[event]):
+            callback(payload)
+
+    def callbacks(self, event: str) -> List[Callable[..., None]]:
+        self._check_event(event)
+        return list(self._hooks[event])
+
+    @staticmethod
+    def _check_event(event: str) -> None:
+        if event not in _VALID_EVENTS:
+            raise ValueError(
+                f"unknown kernel event {event!r}; expected one of {_VALID_EVENTS}"
+            )

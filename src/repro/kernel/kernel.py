@@ -1,0 +1,133 @@
+"""In-process notebook kernel simulator.
+
+This is the substrate standing in for the Jupyter/IPython kernel. It
+reproduces the three surfaces Kishu integrates with (§6.1 of the paper):
+
+* ``pre_run_cell`` / ``post_run_cell`` event hooks,
+* the user namespace (``user_ns``), here a
+  :class:`~repro.kernel.namespace.PatchedNamespace`,
+* sequential cell execution with Jupyter-style execution counts and
+  ``Out[n]`` values.
+
+Cells execute via ``exec`` against the patched namespace, so all of Kishu's
+access tracking, checkpointing, and in-place checkout exercise exactly the
+code paths they would against a real kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import time
+from contextlib import redirect_stdout
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import KernelError
+from repro.kernel.cells import Cell, CellResult
+from repro.kernel.events import (
+    POST_RUN_CELL,
+    PRE_RUN_CELL,
+    ExecutionInfo,
+    HookRegistry,
+)
+from repro.kernel.namespace import PatchedNamespace
+
+
+class NotebookKernel:
+    """A stateful, single-threaded notebook kernel.
+
+    Example:
+        >>> kernel = NotebookKernel()
+        >>> kernel.run_cell("x = 1 + 1").ok
+        True
+        >>> kernel.run_cell("x").value
+        2
+    """
+
+    def __init__(self, seed_namespace: Optional[Dict[str, Any]] = None) -> None:
+        self.user_ns = PatchedNamespace(seed_namespace)
+        self.user_ns.plant("__name__", "__main__")
+        self.user_ns.plant("__builtins__", __builtins__)
+        self.events = HookRegistry()
+        self.execution_count = 0
+        self.history: List[CellResult] = []
+
+    # -- execution ----------------------------------------------------------
+
+    def run_cell(self, cell: Union[str, Cell], *, raise_on_error: bool = True) -> CellResult:
+        """Execute one cell and return its result.
+
+        The last statement of the cell, if an expression, is evaluated and
+        returned as ``result.value`` (Jupyter's ``Out[n]`` behaviour). Hooks
+        fire around the body; their time is not billed to ``duration``.
+        """
+        if isinstance(cell, str):
+            cell = Cell(source=cell)
+        self.execution_count += 1
+        info = ExecutionInfo(cell=cell, execution_count=self.execution_count)
+        self.events.trigger(PRE_RUN_CELL, info)
+
+        result = self._execute_body(cell)
+        self.history.append(result)
+
+        self.events.trigger(POST_RUN_CELL, result)
+        if raise_on_error and result.error is not None:
+            raise KernelError(
+                f"cell execution {result.execution_count} failed: {result.error!r}",
+                cell_source=cell.source,
+                cause=result.error,
+            ) from result.error
+        return result
+
+    def run_cells(self, cells, *, raise_on_error: bool = True) -> List[CellResult]:
+        """Execute a sequence of cells in order."""
+        return [self.run_cell(cell, raise_on_error=raise_on_error) for cell in cells]
+
+    def _execute_body(self, cell: Cell) -> CellResult:
+        result = CellResult(cell=cell, execution_count=self.execution_count)
+        try:
+            module = ast.parse(cell.source)
+        except SyntaxError as exc:
+            result.error = exc
+            return result
+
+        # Split a trailing expression so its value can be captured, like
+        # IPython's interactivity="last_expr".
+        trailing_expr = None
+        body = module.body
+        if body and isinstance(body[-1], ast.Expr):
+            trailing_expr = ast.Expression(body[-1].value)
+            ast.fix_missing_locations(trailing_expr)
+            body = body[:-1]
+        exec_module = ast.Module(body=body, type_ignores=[])
+        ast.fix_missing_locations(exec_module)
+
+        stdout = io.StringIO()
+        started = time.perf_counter()
+        try:
+            with redirect_stdout(stdout):
+                exec(compile(exec_module, "<cell>", "exec"), self.user_ns)
+                if trailing_expr is not None:
+                    result.value = eval(  # noqa: S307 - cell code is the workload
+                        compile(trailing_expr, "<cell>", "eval"), self.user_ns
+                    )
+        except BaseException as exc:  # cell code may raise anything
+            result.error = exc
+        finally:
+            result.duration = time.perf_counter() - started
+            result.stdout = stdout.getvalue()
+        return result
+
+    # -- convenience --------------------------------------------------------
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Read a user variable without recording an access."""
+        return self.user_ns.peek(name, default)
+
+    def user_variables(self) -> Dict[str, Any]:
+        return self.user_ns.user_items()
+
+    @property
+    def total_runtime(self) -> float:
+        """Sum of cell body durations over the session."""
+        return sum(result.duration for result in self.history)

@@ -1,0 +1,36 @@
+"""146 simulated data-science library classes across the paper's 8
+categories (Table 3), with faithful serialization personalities."""
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    LoadFailsMixin,
+    NondetToken,
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+    UnserializableMixin,
+)
+from repro.libsim.devices import (
+    GPU_STORE,
+    REMOTE_STORE,
+    DeviceStore,
+    OffProcessHandle,
+    contains_offprocess,
+    reset_stores,
+)
+
+__all__ = [
+    "SimObject",
+    "DynamicAttrsMixin",
+    "LoadFailsMixin",
+    "NondetToken",
+    "RequiresFallbackMixin",
+    "SilentErrorMixin",
+    "UnserializableMixin",
+    "DeviceStore",
+    "OffProcessHandle",
+    "GPU_STORE",
+    "REMOTE_STORE",
+    "contains_offprocess",
+    "reset_stores",
+]

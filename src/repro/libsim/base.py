@@ -1,0 +1,204 @@
+"""Serialization personalities for the simulated library classes.
+
+The 146-class compatibility study (§7.2, Tables 3–5, Fig 12) measures how
+checkpointing mechanisms interact with the *pickle-protocol behaviours* of
+real data-science classes. Each behaviour observed in the wild is modelled
+here as a mixin; the category modules compose them with realistic state.
+
+Personalities and their real-world exemplars:
+
+* plain                — pandas.DataFrame: standard pickling.
+* custom-reduce        — objects defining ``__reduce__`` (e.g. handles).
+* requires-fallback    — "CloudPickle fails, Dill succeeds" classes; the
+                          primary pickler declines them (§6.1 chain).
+* unserializable       — polars.LazyFrame, generators: pickling raises.
+* load-fails           — bokeh.figure: pickles, but raises on load.
+* silent-error         — classes that cannot be deterministically stored:
+                          reductions drop state without raising and differ
+                          between dumps (§6.2); Kishu reports them updated
+                          on access (Table 5 "Pickle Error"); blocklist
+                          material.
+* dynamic-attrs        — classes regenerating reachable objects on every
+                          access: Kishu's false-positive sources (Table 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+_nondet_counter = itertools.count(1)
+
+
+class SimObject:
+    """Base for all simulated library classes.
+
+    Equality compares instance state (ignoring private cache fields that
+    personalities regenerate), which is what the correctness benches use
+    to verify restore-exactness.
+    """
+
+    #: Overridden by category modules ("data-analysis", "nlp", ...).
+    category = "uncategorized"
+    #: Personality label, for the registry and reports.
+    personality = "plain"
+
+    def _state_for_eq(self) -> dict:
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith(("_cache", "_nondet"))
+        }
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return _state_equal(self._state_for_eq(), other._state_for_eq())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__qualname__}()"
+
+
+def _state_equal(a: Any, b: Any) -> bool:
+    """Structural equality that treats numpy arrays elementwise."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and bool(np.array_equal(a, b))
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_state_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_state_equal(x, y) for x, y in zip(a, b))
+    try:
+        return bool(a == b)
+    except Exception:
+        return a is b
+
+
+class RequiresFallbackMixin:
+    """Primary pickler refuses these; the fallback pickler handles them."""
+
+    personality = "requires-fallback"
+    _requires_fallback_pickler = True
+
+
+class UnserializableMixin:
+    """Pickling raises — the polars.LazyFrame / generator behaviour.
+
+    State stays in ``__dict__`` so VarGraph traversal (and thus update
+    detection) still works; only *serialization* fails, which is exactly
+    the asymmetry that forces Kishu's fallback recomputation.
+    """
+
+    personality = "unserializable"
+
+    def __reduce_ex__(self, protocol):
+        raise TypeError(f"cannot pickle {type(self).__qualname__!r} object")
+
+    def __reduce__(self):
+        raise TypeError(f"cannot pickle {type(self).__qualname__!r} object")
+
+
+def _fail_on_load(class_name: str):
+    raise ValueError(
+        f"{class_name} payload cannot be deserialized in this session "
+        "(simulated bokeh.figure behaviour)"
+    )
+
+
+class LoadFailsMixin:
+    """Pickles fine; deserialization raises — bokeh.figure behaviour."""
+
+    personality = "load-fails"
+
+    def __reduce__(self):
+        return (_fail_on_load, (type(self).__qualname__,))
+
+
+class SilentErrorMixin:
+    """Cannot be deterministically stored: silent pickling errors (§6.2).
+
+    Two linked behaviours, matching the paper's 12 "Pickle Error" classes
+    (Table 5 and §7.2.1):
+
+    * attributes named in ``_silently_dropped`` vanish across a pickle
+      round-trip without any exception, so ``x != loads(dumps(x))`` — the
+      silent corruption the blocklist exists for;
+    * the instance holds a :class:`NondetToken`, whose reduction mints a
+      fresh value on every traversal, so Kishu's VarGraph differs on every
+      construction and the object is reported updated on access — never
+      a false negative.
+
+    Classes with this mixin must call ``_install_nondet_marker()`` in
+    their ``__init__``.
+    """
+
+    personality = "silent-error"
+    _silently_dropped = ("fitted_state",)
+
+    def _install_nondet_marker(self) -> None:
+        self._nondet_component = NondetToken()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for key in self._silently_dropped:
+            state.pop(key, None)
+        return state
+
+
+class DynamicAttrsMixin:
+    """Regenerates a reachable object on *every* attribute access.
+
+    Models plot/model classes that rebuild internal caches when touched,
+    giving the rebuilt object a different memory address each VarGraph
+    construction — the paper's false-positive source (Table 5): Kishu
+    conservatively reports an update whenever such an object is accessed.
+    """
+
+    personality = "dynamic-attrs"
+
+    def __getattribute__(self, name):
+        if name == "__dict__":
+            d = object.__getattribute__(self, "__dict__")
+            # Fresh object (new address) on every traversal.
+            d["_cache_render"] = [object()]
+            return d
+        return object.__getattribute__(self, name)
+
+    def __getstate__(self):
+        state = dict(object.__getattribute__(self, "__dict__"))
+        state.pop("_cache_render", None)
+        return state
+
+
+class NondetToken:
+    """A component that cannot be deterministically stored.
+
+    No ``__dict__``; traversal and pickling both go through ``__reduce__``,
+    which mints a fresh token each call — so the VarGraph differs on every
+    construction and the pickle bytes differ on every dump. Kishu
+    classifies co-variables containing one as updated on access
+    (Table 5 "Pickle Error").
+    """
+
+    __slots__ = ()
+
+    def __reduce__(self):
+        return (NondetToken._rebuild, (next(_nondet_counter),))
+
+    @staticmethod
+    def _rebuild(_token: int) -> "NondetToken":
+        return NondetToken()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, NondetToken)
+
+    def __hash__(self) -> int:
+        return hash(NondetToken)
+
+

@@ -1,0 +1,294 @@
+"""Simulated computer-vision classes (photutils / torchvision analogues).
+
+Fifteen classes over numpy image arrays: convolution, augmentation,
+detection geometry, calibration. The video stream holds an open capture
+(unserializable); the detection model regenerates its inference session on
+access (FP source); the camera calibration pickles incompletely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    SilentErrorMixin,
+    SimObject,
+    UnserializableMixin,
+)
+
+_CATEGORY = "computer-vision"
+
+
+class SimImage(SimObject):
+    """Single-channel image with basic point operations."""
+
+    category = _CATEGORY
+
+    def __init__(self, shape: Tuple[int, int] = (32, 32), seed: int = 50) -> None:
+        rng = np.random.default_rng(seed)
+        self.pixels = rng.random(shape).astype(np.float32)
+
+    def invert(self) -> None:
+        self.pixels = 1.0 - self.pixels
+
+    def brightness(self) -> float:
+        return float(self.pixels.mean())
+
+
+class SimImageBatch(SimObject):
+    """Stacked batch of images (N, H, W)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 8, shape: Tuple[int, int] = (16, 16), seed: int = 51) -> None:
+        rng = np.random.default_rng(seed)
+        self.batch = rng.random((n,) + shape).astype(np.float32)
+
+    def normalize_(self) -> None:
+        self.batch = (self.batch - self.batch.mean()) / (self.batch.std() + 1e-8)
+
+
+class SimConvKernel(SimObject):
+    """2-D convolution kernel with an apply method."""
+
+    category = _CATEGORY
+
+    def __init__(self, kind: str = "edge") -> None:
+        kernels = {
+            "edge": np.array([[-1, -1, -1], [-1, 8, -1], [-1, -1, -1]], dtype=float),
+            "blur": np.full((3, 3), 1.0 / 9.0),
+        }
+        if kind not in kernels:
+            raise ValueError(f"unknown kernel kind {kind!r}")
+        self.kind = kind
+        self.kernel = kernels[kind]
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        h, w = image.shape
+        out = np.zeros((h - 2, w - 2))
+        for i in range(h - 2):
+            for j in range(w - 2):
+                out[i, j] = float((image[i : i + 3, j : j + 3] * self.kernel).sum())
+        return out
+
+
+class SimAugmentationPipeline(SimObject):
+    """Ordered augmentation steps over image arrays."""
+
+    category = _CATEGORY
+
+    def __init__(self, steps: Sequence[str] = ("hflip", "normalize")) -> None:
+        valid = {"hflip", "vflip", "normalize"}
+        unknown = set(steps) - valid
+        if unknown:
+            raise ValueError(f"unknown augmentation step(s): {sorted(unknown)}")
+        self.steps = list(steps)
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        out = image
+        for step in self.steps:
+            if step == "hflip":
+                out = out[:, ::-1]
+            elif step == "vflip":
+                out = out[::-1, :]
+            elif step == "normalize":
+                out = (out - out.mean()) / (out.std() + 1e-8)
+        return out
+
+
+class SimBoundingBoxes(SimObject):
+    """Axis-aligned boxes with IoU computation."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 5, seed: int = 52) -> None:
+        rng = np.random.default_rng(seed)
+        corners = rng.random((n, 2)) * 0.5
+        sizes = rng.random((n, 2)) * 0.4 + 0.05
+        self.boxes = np.column_stack([corners, corners + sizes])
+
+    @staticmethod
+    def iou(a: np.ndarray, b: np.ndarray) -> float:
+        x1, y1 = max(a[0], b[0]), max(a[1], b[1])
+        x2, y2 = min(a[2], b[2]), min(a[3], b[3])
+        inter = max(0.0, x2 - x1) * max(0.0, y2 - y1)
+        area_a = (a[2] - a[0]) * (a[3] - a[1])
+        area_b = (b[2] - b[0]) * (b[3] - b[1])
+        union = area_a + area_b - inter
+        return inter / union if union > 0 else 0.0
+
+
+class SimSegmentationMask(SimObject):
+    """Binary mask with morphology-lite operations."""
+
+    category = _CATEGORY
+
+    def __init__(self, shape: Tuple[int, int] = (24, 24), seed: int = 53) -> None:
+        rng = np.random.default_rng(seed)
+        self.mask = rng.random(shape) > 0.7
+
+    def area_fraction(self) -> float:
+        return float(self.mask.mean())
+
+    def dilate_(self) -> None:
+        padded = np.pad(self.mask, 1)
+        self.mask = (
+            padded[:-2, 1:-1] | padded[2:, 1:-1] | padded[1:-1, :-2]
+            | padded[1:-1, 2:] | padded[1:-1, 1:-1]
+        )
+
+
+class SimFeatureExtractor(SimObject):
+    """Patch-mean feature extractor."""
+
+    category = _CATEGORY
+
+    def __init__(self, patch: int = 4) -> None:
+        self.patch = patch
+
+    def extract(self, image: np.ndarray) -> np.ndarray:
+        h = (image.shape[0] // self.patch) * self.patch
+        w = (image.shape[1] // self.patch) * self.patch
+        trimmed = image[:h, :w]
+        return trimmed.reshape(
+            h // self.patch, self.patch, w // self.patch, self.patch
+        ).mean(axis=(1, 3))
+
+
+class SimImageDepth(SimObject):
+    """Source-injection depth estimator (the paper's photutils example)."""
+
+    category = _CATEGORY
+
+    def __init__(self, aperture_radius: float = 3.0, seed: int = 54) -> None:
+        rng = np.random.default_rng(seed)
+        self.aperture_radius = aperture_radius
+        self.noise_floor = float(rng.random() * 0.01)
+
+    def limiting_magnitude(self, flux: float) -> float:
+        return -2.5 * np.log10(max(flux, self.noise_floor))
+
+
+class SimHistogramEq(SimObject):
+    """Histogram equalization transform."""
+
+    category = _CATEGORY
+
+    def __init__(self, bins: int = 64) -> None:
+        self.bins = bins
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        histogram, edges = np.histogram(image, bins=self.bins, range=(0.0, 1.0))
+        cdf = histogram.cumsum().astype(float)
+        cdf /= cdf[-1]
+        indices = np.clip(
+            np.digitize(image, edges[:-1]) - 1, 0, self.bins - 1
+        )
+        return cdf[indices]
+
+
+class SimVideoStream(UnserializableMixin, SimObject):
+    """Open video capture with a frame cursor: unserializable."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_frames: int = 60, shape: Tuple[int, int] = (8, 8)) -> None:
+        self.n_frames = n_frames
+        self.shape = shape
+        self.cursor = 0
+
+    def read_frame(self) -> np.ndarray:
+        frame = np.full(self.shape, float(self.cursor % 255))
+        self.cursor += 1
+        return frame
+
+
+class SimCameraCalibration(SilentErrorMixin, SimObject):
+    """Calibration whose distortion solver state pickles incompletely."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self) -> None:
+        self.intrinsics = np.eye(3)
+        self.fitted_state = {"reprojection_error": 0.21}
+        self._install_nondet_marker()
+
+
+class SimDetectionModel(DynamicAttrsMixin, SimObject):
+    """Detector regenerating its inference session on access (FP)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_classes: int = 10) -> None:
+        self.n_classes = n_classes
+        self.score_threshold = 0.5
+
+
+class SimKeypointSet(SimObject):
+    """Detected keypoints with pairwise-distance queries."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 12, seed: int = 55) -> None:
+        rng = np.random.default_rng(seed)
+        self.points = rng.random((n, 2))
+
+    def nearest_pair_distance(self) -> float:
+        diffs = self.points[:, None] - self.points[None, :]
+        distances = np.linalg.norm(diffs, axis=2)
+        np.fill_diagonal(distances, np.inf)
+        return float(distances.min())
+
+
+class SimColorSpace(SimObject):
+    """RGB <-> grayscale conversion weights."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.weights = np.array([0.299, 0.587, 0.114])
+
+    def to_gray(self, rgb: np.ndarray) -> np.ndarray:
+        return rgb @ self.weights
+
+
+class SimPyramid(SimObject):
+    """Gaussian image pyramid (successive 2x downsampling)."""
+
+    category = _CATEGORY
+
+    def __init__(self, levels: int = 3) -> None:
+        self.levels = levels
+
+    def build(self, image: np.ndarray) -> List[np.ndarray]:
+        pyramid = [image]
+        current = image
+        for _ in range(self.levels - 1):
+            h = (current.shape[0] // 2) * 2
+            w = (current.shape[1] // 2) * 2
+            current = current[:h, :w].reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+            pyramid.append(current)
+        return pyramid
+
+
+ALL_CLASSES = [
+    SimImage,
+    SimImageBatch,
+    SimConvKernel,
+    SimAugmentationPipeline,
+    SimBoundingBoxes,
+    SimSegmentationMask,
+    SimFeatureExtractor,
+    SimImageDepth,
+    SimHistogramEq,
+    SimVideoStream,
+    SimCameraCalibration,
+    SimDetectionModel,
+    SimKeypointSet,
+    SimColorSpace,
+    SimPyramid,
+]

@@ -1,0 +1,352 @@
+"""Simulated data-analysis classes (pandas / polars / pyarrow analogues).
+
+Twenty classes covering the serialization personalities observed in the
+wild for this category (Table 3 of the paper): plain dataframes and
+indexes, an Arrow-style table with a custom reduction, a CSV reader that
+needs the fallback pickler, the famously unserializable lazy frame and
+streaming scanner, two non-deterministically-pickling planner objects, and
+two cache-regenerating profiler/styler classes (false-positive sources).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.frame import DataFrame, Series
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+    UnserializableMixin,
+)
+
+_CATEGORY = "data-analysis"
+
+
+class SimDataFrame(SimObject):
+    """Columnar frame wrapper (pandas.DataFrame analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_rows: int = 64, n_cols: int = 4, seed: int = 0) -> None:
+        self.frame = DataFrame.from_random(n_rows, n_cols, seed=seed)
+
+    def drop_column(self, name: str) -> "SimDataFrame":
+        clone = SimDataFrame.__new__(SimDataFrame)
+        clone.frame = self.frame.drop(name)
+        return clone
+
+    def mean_of(self, name: str) -> float:
+        return float(self.frame[name].mean())
+
+
+class SimSeries(SimObject):
+    """Labelled 1-D array (pandas.Series analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 128, seed: int = 1) -> None:
+        rng = np.random.default_rng(seed)
+        self.series = Series(rng.random(n), name="values")
+
+    def standardize(self) -> None:
+        values = self.series.values
+        values -= values.mean()
+        std = values.std()
+        if std > 0:
+            values /= std
+
+
+class SimIndex(SimObject):
+    """Sorted label index with position lookup."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 100) -> None:
+        self.labels = np.arange(n) * 2
+        self.positions = {int(label): i for i, label in enumerate(self.labels)}
+
+    def locate(self, label: int) -> int:
+        return self.positions[label]
+
+
+class SimCategorical(SimObject):
+    """Dictionary-encoded column."""
+
+    category = _CATEGORY
+
+    def __init__(self, categories: Sequence[str] = ("a", "b", "c"), n: int = 90, seed: int = 2) -> None:
+        rng = np.random.default_rng(seed)
+        self.categories = list(categories)
+        self.codes = rng.integers(0, len(self.categories), size=n)
+
+    def value_counts(self) -> Dict[str, int]:
+        counts = np.bincount(self.codes, minlength=len(self.categories))
+        return {cat: int(c) for cat, c in zip(self.categories, counts)}
+
+
+class SimMultiFrame(SimObject):
+    """Named collection of frames (dict-of-DataFrames workflows)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_frames: int = 3, n_rows: int = 32) -> None:
+        self.frames = {
+            f"split_{i}": DataFrame.from_random(n_rows, 3, seed=i) for i in range(n_frames)
+        }
+
+    def total_rows(self) -> int:
+        return sum(len(frame) for frame in self.frames.values())
+
+
+class SimRollingWindow(SimObject):
+    """Rolling-mean computation state."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 200, window: int = 7, seed: int = 3) -> None:
+        rng = np.random.default_rng(seed)
+        self.window = window
+        self.values = rng.random(n)
+
+    def compute(self) -> np.ndarray:
+        kernel = np.ones(self.window) / self.window
+        return np.convolve(self.values, kernel, mode="valid")
+
+
+class SimPivotTable(SimObject):
+    """Pivoted aggregation result."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 120, seed: int = 4) -> None:
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 5, size=n)
+        values = rng.random(n)
+        self.table = DataFrame({"key": keys, "value": values}).groupby_agg(
+            "key", "value", "mean"
+        )
+
+
+def _rebuild_arrow_table(column_names: List[str], arrays: List[np.ndarray]) -> "SimArrowTable":
+    table = SimArrowTable.__new__(SimArrowTable)
+    table.column_names = column_names
+    table.arrays = arrays
+    return table
+
+
+class SimArrowTable(SimObject):
+    """Arrow-style immutable table with a custom columnar reduction."""
+
+    category = _CATEGORY
+    personality = "custom-reduce"
+
+    def __init__(self, n_rows: int = 64, n_cols: int = 3, seed: int = 5) -> None:
+        rng = np.random.default_rng(seed)
+        self.column_names = [f"f{i}" for i in range(n_cols)]
+        self.arrays = [rng.random(n_rows) for _ in range(n_cols)]
+
+    def __reduce__(self):
+        return (_rebuild_arrow_table, (self.column_names, self.arrays))
+
+    def num_rows(self) -> int:
+        return len(self.arrays[0]) if self.arrays else 0
+
+
+class SimParquetBatch(SimObject):
+    """A decoded parquet row-group."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_rows: int = 48, seed: int = 6) -> None:
+        rng = np.random.default_rng(seed)
+        self.schema = {"id": "int64", "score": "float64"}
+        self.data = {
+            "id": np.arange(n_rows),
+            "score": rng.random(n_rows),
+        }
+
+
+class SimCsvReader(RequiresFallbackMixin, SimObject):
+    """Chunked CSV reader whose parser closure defeats the primary pickler."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_chunks: int = 4, chunk_size: int = 25) -> None:
+        self.n_chunks = n_chunks
+        self.chunk_size = chunk_size
+        self.rows_read = 0
+
+    def read_chunk(self) -> np.ndarray:
+        self.rows_read += self.chunk_size
+        return np.arange(self.chunk_size, dtype=float)
+
+
+class SimLazyFrame(UnserializableMixin, SimObject):
+    """Deferred query frame — polars.LazyFrame: refuses pickling outright."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_rows: int = 64) -> None:
+        self.plan = ["scan", "filter(score > 0.5)", "select(id, score)"]
+        self.estimated_rows = n_rows
+
+    def with_step(self, step: str) -> None:
+        self.plan.append(step)
+
+    def collect(self) -> DataFrame:
+        return DataFrame.from_random(self.estimated_rows, 2, seed=7)
+
+
+class SimArrowScanner(UnserializableMixin, SimObject):
+    """Streaming dataset scanner holding an open cursor: unserializable."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_batches: int = 5) -> None:
+        self.n_batches = n_batches
+        self.position = 0
+
+    def next_batch(self) -> np.ndarray:
+        self.position += 1
+        return np.full(8, float(self.position))
+
+
+class SimQueryPlan(SilentErrorMixin, SimObject):
+    """Optimizer plan with volatile node ids: non-deterministic pickling."""
+
+    category = _CATEGORY
+    _silently_dropped = ("cost_annotations",)
+
+    def __init__(self, depth: int = 3) -> None:
+        self.operators = [f"op_{i}" for i in range(depth)]
+        self.cost_annotations = {f"op_{i}": float(i) * 1.5 for i in range(depth)}
+        self._install_nondet_marker()
+
+
+class SimSqlContext(SilentErrorMixin, SimObject):
+    """Session-bound SQL context: connection state silently dropped."""
+
+    category = _CATEGORY
+    _silently_dropped = ("connection_state",)
+
+    def __init__(self) -> None:
+        self.registered_tables = ["t1", "t2"]
+        self.connection_state = {"cursor": 42, "txn": "open"}
+        self._install_nondet_marker()
+
+
+class SimStyler(DynamicAttrsMixin, SimObject):
+    """Frame styler that regenerates its render cache on access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_rows: int = 16) -> None:
+        self.styles = {"highlight": "max", "precision": 3}
+        self.n_rows = n_rows
+
+
+class SimProfiler(DynamicAttrsMixin, SimObject):
+    """Dataset profiler that lazily rebuilds summaries on access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_rows: int = 64, seed: int = 8) -> None:
+        rng = np.random.default_rng(seed)
+        self.sample = rng.random(min(n_rows, 32))
+        self.config = {"bins": 10}
+
+
+class SimInterval(SimObject):
+    """Closed numeric interval."""
+
+    category = _CATEGORY
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if high < low:
+            raise ValueError("interval upper bound below lower bound")
+        self.low = low
+        self.high = high
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def width(self) -> float:
+        return self.high - self.low
+
+
+class SimTimeSeries(SimObject):
+    """Regularly-sampled time series with lag features."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 150, seed: int = 9) -> None:
+        rng = np.random.default_rng(seed)
+        trend = np.linspace(0.0, 3.0, n)
+        self.timestamps = np.arange(n)
+        self.values = trend + rng.normal(0, 0.2, n)
+
+    def lag(self, k: int = 1) -> np.ndarray:
+        return np.concatenate([np.full(k, np.nan), self.values[:-k]])
+
+    def difference(self) -> np.ndarray:
+        return np.diff(self.values)
+
+
+class SimResampler(SimObject):
+    """Downsampling aggregator (resample('W').mean() analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, factor: int = 4) -> None:
+        self.factor = factor
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        n = (len(values) // self.factor) * self.factor
+        return values[:n].reshape(-1, self.factor).mean(axis=1)
+
+
+class SimMergePlan(SimObject):
+    """Join specification between two frames."""
+
+    category = _CATEGORY
+
+    def __init__(self, how: str = "inner", on: str = "id") -> None:
+        if how not in ("inner", "left", "outer"):
+            raise ValueError(f"unsupported join type {how!r}")
+        self.how = how
+        self.on = on
+
+    def execute(self, left: DataFrame, right: DataFrame) -> DataFrame:
+        left_keys = left.column_array(self.on)
+        right_keys = right.column_array(self.on)
+        common = np.intersect1d(left_keys, right_keys)
+        mask = np.isin(left_keys, common)
+        return left[mask]
+
+
+ALL_CLASSES = [
+    SimDataFrame,
+    SimSeries,
+    SimIndex,
+    SimCategorical,
+    SimMultiFrame,
+    SimRollingWindow,
+    SimPivotTable,
+    SimArrowTable,
+    SimParquetBatch,
+    SimCsvReader,
+    SimLazyFrame,
+    SimArrowScanner,
+    SimQueryPlan,
+    SimSqlContext,
+    SimStyler,
+    SimProfiler,
+    SimInterval,
+    SimTimeSeries,
+    SimResampler,
+    SimMergePlan,
+]

@@ -1,0 +1,323 @@
+"""Simulated deep-learning classes (torch / tensorflow / keras analogues).
+
+Eighteen classes. The two GPU tensor classes hold their data in the
+simulated device store — the page-snapshot baselines cannot capture them
+(the paper's Table 4 CRIU failures for on-device data), while Kishu's
+reduction-based checkpointing round-trips them transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+)
+from repro.libsim.devices import OffProcessHandle
+
+_CATEGORY = "deep-learning"
+
+
+class SimTensor(SimObject):
+    """CPU tensor: shaped numpy data with autograd-ish metadata."""
+
+    category = _CATEGORY
+
+    def __init__(self, shape: Tuple[int, ...] = (8, 8), seed: int = 30) -> None:
+        rng = np.random.default_rng(seed)
+        self.data = rng.standard_normal(shape).astype(np.float32)
+        self.requires_grad = False
+
+    def add_(self, value: float) -> "SimTensor":
+        self.data += value
+        return self
+
+    def matmul(self, other: "SimTensor") -> "SimTensor":
+        result = SimTensor.__new__(SimTensor)
+        result.data = self.data @ other.data
+        result.requires_grad = self.requires_grad or other.requires_grad
+        return result
+
+    def sum(self) -> float:
+        return float(self.data.sum())
+
+
+class SimTorchTensorGPU(SimObject):
+    """torch.Tensor on CUDA: payload lives in simulated device memory.
+
+    An OS page snapshot of the notebook process misses the payload
+    entirely; the handle's reduction fetches it, so pickle-protocol
+    checkpointing works (the paper's §7.2 asymmetry).
+    """
+
+    category = _CATEGORY
+    personality = "offprocess"
+    _offprocess = True
+
+    def __init__(self, shape: Tuple[int, ...] = (16, 16), seed: int = 31) -> None:
+        rng = np.random.default_rng(seed)
+        self.device = "cuda:0"
+        self.handle = OffProcessHandle("gpu", rng.standard_normal(shape).astype(np.float32))
+
+    def cpu(self) -> SimTensor:
+        tensor = SimTensor.__new__(SimTensor)
+        tensor.data = self.handle.fetch()
+        tensor.requires_grad = False
+        return tensor
+
+    def scale_(self, factor: float) -> None:
+        self.handle.update(self.handle.fetch() * factor)
+
+
+class SimTFTensorDevice(SimObject):
+    """tf.Tensor placed on an accelerator device."""
+
+    category = _CATEGORY
+    personality = "offprocess"
+    _offprocess = True
+
+    def __init__(self, shape: Tuple[int, ...] = (4, 32), seed: int = 32) -> None:
+        rng = np.random.default_rng(seed)
+        self.device = "/GPU:0"
+        self.handle = OffProcessHandle("gpu", rng.random(shape).astype(np.float32))
+
+    def numpy(self) -> np.ndarray:
+        return self.handle.fetch()
+
+
+class SimLinearLayer(SimObject):
+    """Dense layer with weight and bias parameters."""
+
+    category = _CATEGORY
+
+    def __init__(self, in_features: int = 16, out_features: int = 8, seed: int = 33) -> None:
+        rng = np.random.default_rng(seed)
+        self.weight = rng.standard_normal((out_features, in_features)) * 0.1
+        self.bias = np.zeros(out_features)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight.T + self.bias
+
+
+class SimConvLayer(SimObject):
+    """1-D convolution layer."""
+
+    category = _CATEGORY
+
+    def __init__(self, kernel_size: int = 3, seed: int = 34) -> None:
+        rng = np.random.default_rng(seed)
+        self.kernel = rng.standard_normal(kernel_size)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.convolve(x, self.kernel, mode="valid")
+
+
+class SimSequentialModel(SimObject):
+    """Layer stack with a forward pass and parameter count."""
+
+    category = _CATEGORY
+
+    def __init__(self, widths: Sequence[int] = (16, 8, 4), seed: int = 35) -> None:
+        self.layers = [
+            SimLinearLayer(widths[i], widths[i + 1], seed=seed + i)
+            for i in range(len(widths) - 1)
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = np.maximum(layer.forward(x), 0.0)
+        return x
+
+    def parameter_count(self) -> int:
+        return sum(layer.weight.size + layer.bias.size for layer in self.layers)
+
+
+class SimOptimizerState(SimObject):
+    """Per-parameter momentum buffers (SGD-with-momentum analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_params: int = 64, learning_rate: float = 0.01) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = np.zeros(n_params)
+        self.step_count = 0
+
+    def step(self, gradients: np.ndarray) -> None:
+        self.momentum = 0.9 * self.momentum + gradients
+        self.step_count += 1
+
+
+class SimLRScheduler(SimObject):
+    """Step-decay learning-rate schedule."""
+
+    category = _CATEGORY
+
+    def __init__(self, base_lr: float = 0.1, gamma: float = 0.5, step_size: int = 10) -> None:
+        self.base_lr = base_lr
+        self.gamma = gamma
+        self.step_size = step_size
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class SimEmbedding(SimObject):
+    """Token-id to vector lookup table."""
+
+    category = _CATEGORY
+
+    def __init__(self, vocab_size: int = 100, dim: int = 16, seed: int = 36) -> None:
+        rng = np.random.default_rng(seed)
+        self.table = rng.standard_normal((vocab_size, dim)) * 0.05
+
+    def lookup(self, token_ids: np.ndarray) -> np.ndarray:
+        return self.table[token_ids]
+
+
+class SimBatchNorm(SimObject):
+    """Running-statistics batch normalization."""
+
+    category = _CATEGORY
+
+    def __init__(self, features: int = 8) -> None:
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+        self.momentum = 0.1
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            mean, var = x.mean(axis=0), x.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        return (x - self.running_mean) / np.sqrt(self.running_var + 1e-5)
+
+
+class SimCheckpointDict(SimObject):
+    """state_dict-style nested parameter mapping."""
+
+    category = _CATEGORY
+
+    def __init__(self, seed: int = 37) -> None:
+        rng = np.random.default_rng(seed)
+        self.tensors = {
+            "layer1.weight": rng.standard_normal((8, 16)),
+            "layer1.bias": np.zeros(8),
+            "layer2.weight": rng.standard_normal((4, 8)),
+        }
+        self.metadata = {"epoch": 3, "loss": 0.42}
+
+
+class SimAutogradTape(SilentErrorMixin, SimObject):
+    """Gradient tape whose recorded graph pickles incompletely."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self) -> None:
+        self.watched = ["w1", "w2"]
+        self.fitted_state = {"ops": ["matmul", "relu", "sum"]}
+        self._install_nondet_marker()
+
+
+class SimGraphTracer(SilentErrorMixin, SimObject):
+    """JIT tracer whose captured graph is dropped by serialization."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self) -> None:
+        self.mode = "trace"
+        self.fitted_state = {"nodes": 17, "fused": True}
+        self._install_nondet_marker()
+
+
+class SimDataLoader(DynamicAttrsMixin, SimObject):
+    """Batched loader regenerating its worker pool view on access."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_samples: int = 256, batch_size: int = 32) -> None:
+        self.n_samples = n_samples
+        self.batch_size = batch_size
+
+    def n_batches(self) -> int:
+        return (self.n_samples + self.batch_size - 1) // self.batch_size
+
+
+class SimModelSummary(DynamicAttrsMixin, SimObject):
+    """Model summary view rebuilt on every access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.rows = [("dense", 136), ("dense_1", 36)]
+
+
+class SimLossHistory(SimObject):
+    """Per-epoch loss curve."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.losses: List[float] = []
+
+    def record(self, loss: float) -> None:
+        self.losses.append(float(loss))
+
+    def best(self) -> float:
+        if not self.losses:
+            raise ValueError("no losses recorded")
+        return min(self.losses)
+
+
+class SimMixedPrecisionScaler(RequiresFallbackMixin, SimObject):
+    """AMP grad scaler whose backend hooks need the fallback pickler."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.scale = 65536.0
+        self.growth_interval = 2000
+
+    def update(self, found_inf: bool) -> None:
+        self.scale = self.scale / 2 if found_inf else self.scale * 1.001
+
+
+class SimDistributedSampler(SimObject):
+    """Rank-sharded index sampler."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_samples: int = 100, world_size: int = 4, rank: int = 0) -> None:
+        self.world_size = world_size
+        self.rank = rank
+        self.indices = np.arange(rank, n_samples, world_size)
+
+
+ALL_CLASSES = [
+    SimTensor,
+    SimTorchTensorGPU,
+    SimTFTensorDevice,
+    SimLinearLayer,
+    SimConvLayer,
+    SimSequentialModel,
+    SimOptimizerState,
+    SimLRScheduler,
+    SimEmbedding,
+    SimBatchNorm,
+    SimCheckpointDict,
+    SimAutogradTape,
+    SimGraphTracer,
+    SimDataLoader,
+    SimModelSummary,
+    SimLossHistory,
+    SimMixedPrecisionScaler,
+    SimDistributedSampler,
+]

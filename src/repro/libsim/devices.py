@@ -1,0 +1,160 @@
+"""Simulated off-process stores: GPU memory and a remote cluster.
+
+The paper's hardest compatibility cases are objects whose data lives
+*outside* the notebook process — on-GPU tensors, Ray/Spark distributed
+datasets, pipeline workers (Table 4). An OS-level page snapshot of the
+process cannot capture that data; an application-level reduction can,
+because the object knows how to fetch and re-put its own payload.
+
+These stores model that: a handle object keeps only a key; the payload
+lives in a module-level store standing in for device/cluster memory. The
+handle's ``__reduce__`` round-trips the payload through the store — the
+"storage instructions" Kishu relies on (§2.3) — while
+:func:`contains_offprocess` is what the simulated CRIU uses to discover it
+cannot capture the state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Set
+
+import numpy as np
+
+_handle_counter = itertools.count(1)
+
+
+class DeviceStore:
+    """Key-value payload store living 'outside' the notebook process."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._payloads: Dict[str, Any] = {}
+
+    def put(self, payload: Any, key: Optional[str] = None) -> str:
+        if key is None:
+            key = f"{self.name}-{next(_handle_counter)}"
+        self._payloads[key] = payload
+        return key
+
+    def get(self, key: str) -> Any:
+        return self._payloads[key]
+
+    def delete(self, key: str) -> None:
+        self._payloads.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._payloads
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def clear(self) -> None:
+        self._payloads.clear()
+
+
+#: Simulated GPU memory (tensors moved off-CPU).
+GPU_STORE = DeviceStore("gpu")
+#: Simulated remote cluster object store (Ray/Spark-style).
+REMOTE_STORE = DeviceStore("remote")
+
+_STORES = {"gpu": GPU_STORE, "remote": REMOTE_STORE}
+
+
+def store_by_name(name: str) -> DeviceStore:
+    return _STORES[name]
+
+
+def reset_stores() -> None:
+    """Test hook: wipe simulated device memory."""
+    for store in _STORES.values():
+        store.clear()
+
+
+class OffProcessHandle:
+    """A reference into a device store; the in-process half of an
+    off-process object.
+
+    ``_offprocess`` marks the handle for the CRIU simulation. The reduce
+    round-trips the payload by value, so any pickle-protocol checkpointer
+    (Kishu, DumpSession) captures the data the page image would miss.
+    """
+
+    _offprocess = True
+
+    def __init__(self, store_name: str, payload: Any = None, key: Optional[str] = None) -> None:
+        self._store_name = store_name
+        if key is None:
+            key = store_by_name(store_name).put(payload)
+        self._key = key
+
+    @property
+    def key(self) -> str:
+        return self._key
+
+    @property
+    def store_name(self) -> str:
+        return self._store_name
+
+    def fetch(self) -> Any:
+        """Bring the payload into the process (e.g. ``tensor.cpu()``)."""
+        return store_by_name(self._store_name).get(self._key)
+
+    def update(self, payload: Any) -> None:
+        store_by_name(self._store_name).put(payload, key=self._key)
+
+    def free(self) -> None:
+        store_by_name(self._store_name).delete(self._key)
+
+    def __reduce__(self):
+        # Serialize by value: pull the payload off the device so the
+        # checkpoint is self-contained, and re-put it on load.
+        return (_rebuild_handle, (self._store_name, self.fetch()))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OffProcessHandle):
+            return NotImplemented
+        mine, theirs = self.fetch(), other.fetch()
+        if isinstance(mine, np.ndarray) and isinstance(theirs, np.ndarray):
+            return bool(np.array_equal(mine, theirs))
+        return bool(mine == theirs)
+
+    def __repr__(self) -> str:
+        return f"OffProcessHandle({self._store_name}:{self._key})"
+
+
+def _rebuild_handle(store_name: str, payload: Any) -> OffProcessHandle:
+    return OffProcessHandle(store_name, payload)
+
+
+def contains_offprocess(obj: Any, *, max_depth: int = 6) -> bool:
+    """True if any object reachable from ``obj`` holds off-process state.
+
+    Bounded-depth scan over containers and instance attributes; the CRIU
+    simulation calls this to decide whether a page image can capture the
+    session (it cannot when this returns True).
+    """
+    seen: Set[int] = set()
+
+    import types
+
+    def scan(value: Any, depth: int) -> bool:
+        if depth > max_depth or id(value) in seen:
+            return False
+        if isinstance(value, (types.ModuleType, type)):
+            # Modules and classes are code, fully present in the process
+            # image; never a reason for a page snapshot to fail.
+            return False
+        seen.add(id(value))
+        if getattr(value, "_offprocess", False) is True:
+            return True
+        if isinstance(value, dict):
+            return any(scan(v, depth + 1) for v in value.values())
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return any(scan(v, depth + 1) for v in value)
+        instance_dict = getattr(value, "__dict__", None)
+        if isinstance(instance_dict, dict):
+            return any(scan(v, depth + 1) for v in instance_dict.values())
+        return False
+
+    return scan(obj, 0)

@@ -1,0 +1,325 @@
+"""Simulated distributed-computing classes (pyspark / ray / optuna
+analogues).
+
+Eighteen classes. The two headline ones — ``SimSparkSQLFrame`` and
+``SimRayDataset`` — keep their partitions in the simulated remote store:
+these are the paper's Table 4 classes that CRIU cannot checkpoint (the
+data is in other processes) but Kishu's reduction-based checkpointing
+handles transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+)
+from repro.libsim.devices import OffProcessHandle
+
+_CATEGORY = "distributed-computing"
+
+
+class SimSparkSQLFrame(SimObject):
+    """pyspark.sql.DataFrame: partitions live on (simulated) executors."""
+
+    category = _CATEGORY
+    personality = "offprocess"
+    _offprocess = True
+
+    def __init__(self, n_partitions: int = 4, rows_per_partition: int = 32, seed: int = 60) -> None:
+        rng = np.random.default_rng(seed)
+        self.schema = ["id", "value"]
+        self.partitions = [
+            OffProcessHandle("remote", rng.random(rows_per_partition))
+            for _ in range(n_partitions)
+        ]
+
+    def count(self) -> int:
+        return sum(len(handle.fetch()) for handle in self.partitions)
+
+    def agg_sum(self) -> float:
+        return float(sum(handle.fetch().sum() for handle in self.partitions))
+
+
+class SimRayDataset(SimObject):
+    """ray.data.Dataset: blocks in the (simulated) cluster object store."""
+
+    category = _CATEGORY
+    personality = "offprocess"
+    _offprocess = True
+
+    def __init__(self, n_blocks: int = 3, block_rows: int = 50, seed: int = 61) -> None:
+        rng = np.random.default_rng(seed)
+        self.blocks = [
+            OffProcessHandle("remote", rng.random(block_rows)) for _ in range(n_blocks)
+        ]
+
+    def map_blocks(self, func: Callable[[np.ndarray], np.ndarray]) -> None:
+        for handle in self.blocks:
+            handle.update(func(handle.fetch()))
+
+    def take_all(self) -> np.ndarray:
+        return np.concatenate([handle.fetch() for handle in self.blocks])
+
+
+class SimRayRemoteFunction(RequiresFallbackMixin, SimObject):
+    """@ray.remote function wrapper; its captured closure needs the
+    by-value fallback pickler."""
+
+    category = _CATEGORY
+
+    def __init__(self, name: str = "train_shard") -> None:
+        self.name = name
+        self.num_cpus = 1
+        self.invocations = 0
+
+    def remote(self, x: float) -> float:
+        self.invocations += 1
+        return x * 2.0
+
+
+class SimFuture(SimObject):
+    """Resolved object-ref with a value."""
+
+    category = _CATEGORY
+
+    def __init__(self, value: Any = 42) -> None:
+        self.value = value
+        self.done = True
+
+    def result(self) -> Any:
+        return self.value
+
+
+class SimTaskGraph(SimObject):
+    """DAG of task dependencies with a topological order."""
+
+    category = _CATEGORY
+
+    def __init__(self, edges: Optional[Sequence[Tuple[str, str]]] = None) -> None:
+        self.edges = list(edges) if edges is not None else [("load", "clean"), ("clean", "train")]
+
+    def topological_order(self) -> List[str]:
+        nodes = {n for edge in self.edges for n in edge}
+        incoming = {n: 0 for n in nodes}
+        for _, dst in self.edges:
+            incoming[dst] += 1
+        order, frontier = [], sorted(n for n, k in incoming.items() if k == 0)
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for src, dst in self.edges:
+                if src == node:
+                    incoming[dst] -= 1
+                    if incoming[dst] == 0:
+                        frontier.append(dst)
+        return order
+
+
+class SimClusterConfig(SimObject):
+    """Cluster resource specification."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_workers: int = 4, cpus_per_worker: int = 8) -> None:
+        self.n_workers = n_workers
+        self.cpus_per_worker = cpus_per_worker
+
+    def total_cpus(self) -> int:
+        return self.n_workers * self.cpus_per_worker
+
+
+class SimPartitionedArray(SimObject):
+    """In-process partitioned array (dask-style, but local)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 100, n_partitions: int = 4, seed: int = 62) -> None:
+        rng = np.random.default_rng(seed)
+        self.partitions = np.array_split(rng.random(n), n_partitions)
+
+    def map_partitions(self, func: Callable[[np.ndarray], np.ndarray]) -> None:
+        self.partitions = [func(p) for p in self.partitions]
+
+    def compute(self) -> np.ndarray:
+        return np.concatenate(self.partitions)
+
+
+class SimShuffleSpec(SimObject):
+    """Shuffle plan: key column and partitioner."""
+
+    category = _CATEGORY
+
+    def __init__(self, key: str = "id", n_output: int = 8) -> None:
+        self.key = key
+        self.n_output = n_output
+
+    def partition_of(self, key_hash: int) -> int:
+        return key_hash % self.n_output
+
+
+def _rebuild_broadcast(payload: np.ndarray) -> "SimBroadcastVar":
+    var = SimBroadcastVar.__new__(SimBroadcastVar)
+    var.payload = payload
+    return var
+
+
+class SimBroadcastVar(SimObject):
+    """Broadcast variable with a torrent-style custom reduction."""
+
+    category = _CATEGORY
+    personality = "custom-reduce"
+
+    def __init__(self, n: int = 64, seed: int = 63) -> None:
+        rng = np.random.default_rng(seed)
+        self.payload = rng.random(n)
+
+    def __reduce__(self):
+        return (_rebuild_broadcast, (self.payload,))
+
+    def value(self) -> np.ndarray:
+        return self.payload
+
+
+class SimAccumulator(SimObject):
+    """Add-only distributed counter."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.total += value
+
+
+class SimOptunaStudy(SimObject):
+    """Hyperparameter study with trial history."""
+
+    category = _CATEGORY
+
+    def __init__(self, direction: str = "minimize") -> None:
+        if direction not in ("minimize", "maximize"):
+            raise ValueError(f"bad direction {direction!r}")
+        self.direction = direction
+        self.trials: List[Tuple[Dict[str, float], float]] = []
+
+    def tell(self, params: Dict[str, float], score: float) -> None:
+        self.trials.append((params, score))
+
+    def best_trial(self) -> Tuple[Dict[str, float], float]:
+        if not self.trials:
+            raise ValueError("no trials")
+        chooser = min if self.direction == "minimize" else max
+        return chooser(self.trials, key=lambda t: t[1])
+
+
+class SimTrialResult(SimObject):
+    """One finished trial."""
+
+    category = _CATEGORY
+
+    def __init__(self, number: int = 0, value: float = 0.5) -> None:
+        self.number = number
+        self.value = value
+        self.state = "COMPLETE"
+
+
+class SimActorPool(DynamicAttrsMixin, SimObject):
+    """Actor pool regenerating liveness views on access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_actors: int = 4) -> None:
+        self.n_actors = n_actors
+        self.round_robin_position = 0
+
+
+class SimSchedulerState(SilentErrorMixin, SimObject):
+    """Scheduler snapshot whose queue internals pickle incompletely."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self) -> None:
+        self.policy = "fifo"
+        self.fitted_state = {"pending": ["task-1", "task-2"]}
+        self._install_nondet_marker()
+
+
+class SimRDDLineage(SimObject):
+    """Lineage chain of transformations (Spark RDD analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.stages = ["textFile", "map", "filter"]
+
+    def with_stage(self, stage: str) -> "SimRDDLineage":
+        clone = SimRDDLineage.__new__(SimRDDLineage)
+        clone.stages = self.stages + [stage]
+        return clone
+
+
+class SimCheckpointBarrier(SimObject):
+    """Flink-style checkpoint barrier marker."""
+
+    category = _CATEGORY
+
+    def __init__(self, checkpoint_id: int = 1) -> None:
+        self.checkpoint_id = checkpoint_id
+        self.aligned = False
+
+    def align(self) -> None:
+        self.aligned = True
+
+
+class SimWorkerStats(SimObject):
+    """Per-worker utilization samples."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_workers: int = 4, n_samples: int = 20, seed: int = 64) -> None:
+        rng = np.random.default_rng(seed)
+        self.utilization = rng.random((n_workers, n_samples))
+
+    def hottest_worker(self) -> int:
+        return int(np.argmax(self.utilization.mean(axis=1)))
+
+
+class SimPlacementGroup(SimObject):
+    """Gang-scheduling resource bundle."""
+
+    category = _CATEGORY
+
+    def __init__(self, bundles: Optional[Sequence[Dict[str, int]]] = None) -> None:
+        self.bundles = list(bundles) if bundles is not None else [{"CPU": 2}, {"CPU": 2}]
+        self.strategy = "PACK"
+
+
+ALL_CLASSES = [
+    SimSparkSQLFrame,
+    SimRayDataset,
+    SimRayRemoteFunction,
+    SimFuture,
+    SimTaskGraph,
+    SimClusterConfig,
+    SimPartitionedArray,
+    SimShuffleSpec,
+    SimBroadcastVar,
+    SimAccumulator,
+    SimOptunaStudy,
+    SimTrialResult,
+    SimActorPool,
+    SimSchedulerState,
+    SimRDDLineage,
+    SimCheckpointBarrier,
+    SimWorkerStats,
+    SimPlacementGroup,
+]

@@ -1,0 +1,433 @@
+"""Simulated machine-learning classes (sklearn / xgboost / scipy analogues).
+
+Twenty-one classes with working fit/predict behaviour over numpy. Models
+are the heart of the paper's workloads (a model fit is the canonical
+expensive-to-rerun cell), so most are plain-pickling; three regenerate
+validation caches on access (false positives), two cannot be
+deterministically stored, and the streaming cross-validator holds a live
+iterator (unserializable).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    SilentErrorMixin,
+    SimObject,
+    UnserializableMixin,
+)
+
+_CATEGORY = "machine-learning"
+
+
+class SimGaussianMixture(SimObject):
+    """Diagonal-covariance GMM fit with a few EM-lite iterations —
+    the paper's running example class (sklearn GaussianMixture)."""
+
+    category = _CATEGORY
+
+    def __init__(self, k: int = 3, seed: int = 20) -> None:
+        self.k = k
+        self.seed = seed
+        self.means: Optional[np.ndarray] = None
+        self.weights: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray, iterations: int = 5) -> "SimGaussianMixture":
+        rng = np.random.default_rng(self.seed)
+        indices = rng.choice(len(data), size=self.k, replace=False)
+        means = data[indices].astype(float)
+        for _ in range(iterations):
+            distances = np.abs(data[:, None] - means[None, :])
+            assignment = np.argmin(distances, axis=1)
+            for j in range(self.k):
+                members = data[assignment == j]
+                if len(members):
+                    means[j] = members.mean()
+        self.means = np.sort(means)
+        counts = np.bincount(assignment, minlength=self.k)
+        self.weights = counts / counts.sum()
+        return self
+
+    def result(self) -> Dict[str, np.ndarray]:
+        if self.means is None:
+            raise RuntimeError("model not fitted")
+        return {"means": self.means, "weights": self.weights}
+
+
+class SimLinearRegression(SimObject):
+    """Ordinary least squares via the normal equations."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.coef: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SimLinearRegression":
+        design = np.column_stack([np.ones(len(X)), X])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept = float(solution[0])
+        self.coef = solution[1:]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef is None:
+            raise RuntimeError("model not fitted")
+        return X @ self.coef + self.intercept
+
+
+class SimLogisticRegression(SimObject):
+    """Binary logistic regression via gradient descent."""
+
+    category = _CATEGORY
+
+    def __init__(self, learning_rate: float = 0.1, iterations: int = 50) -> None:
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.weights: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SimLogisticRegression":
+        weights = np.zeros(X.shape[1])
+        for _ in range(self.iterations):
+            preds = 1.0 / (1.0 + np.exp(-(X @ weights)))
+            gradient = X.T @ (preds - y) / len(y)
+            weights -= self.learning_rate * gradient
+        self.weights = weights
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model not fitted")
+        return 1.0 / (1.0 + np.exp(-(X @ self.weights)))
+
+
+class SimDecisionTree(SimObject):
+    """Depth-1..n threshold tree on a single feature (stump stack)."""
+
+    category = _CATEGORY
+
+    def __init__(self, max_depth: int = 3) -> None:
+        self.max_depth = max_depth
+        self.thresholds: List[Tuple[int, float]] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SimDecisionTree":
+        self.thresholds = []
+        for depth in range(self.max_depth):
+            feature = depth % X.shape[1]
+            self.thresholds.append((feature, float(np.median(X[:, feature]))))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        votes = np.zeros(len(X))
+        for feature, threshold in self.thresholds:
+            votes += (X[:, feature] > threshold).astype(float)
+        return (votes > len(self.thresholds) / 2).astype(int)
+
+
+class SimRandomForest(SimObject):
+    """Bagged ensemble of threshold trees."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_trees: int = 10, seed: int = 21) -> None:
+        self.n_trees = n_trees
+        self.seed = seed
+        self.trees: List[SimDecisionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SimRandomForest":
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for _ in range(self.n_trees):
+            sample = rng.integers(0, len(X), size=len(X))
+            tree = SimDecisionTree(max_depth=3).fit(X[sample], y[sample])
+            self.trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        votes = np.mean([tree.predict(X) for tree in self.trees], axis=0)
+        return (votes > 0.5).astype(int)
+
+
+class SimKMeans(SimObject):
+    """Lloyd's algorithm over 2-D points."""
+
+    category = _CATEGORY
+
+    def __init__(self, k: int = 4, seed: int = 22) -> None:
+        self.k = k
+        self.seed = seed
+        self.centers: Optional[np.ndarray] = None
+        self.inertia: float = float("inf")
+
+    def fit(self, points: np.ndarray, iterations: int = 10) -> "SimKMeans":
+        rng = np.random.default_rng(self.seed)
+        centers = points[rng.choice(len(points), self.k, replace=False)].astype(float)
+        for _ in range(iterations):
+            distances = np.linalg.norm(points[:, None] - centers[None, :], axis=2)
+            labels = np.argmin(distances, axis=1)
+            for j in range(self.k):
+                members = points[labels == j]
+                if len(members):
+                    centers[j] = members.mean(axis=0)
+        self.centers = centers
+        self.inertia = float(np.min(distances, axis=1).sum())
+        return self
+
+
+class SimPCA(SimObject):
+    """Principal components via SVD."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_components: int = 2) -> None:
+        self.n_components = n_components
+        self.components: Optional[np.ndarray] = None
+        self.mean: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "SimPCA":
+        self.mean = X.mean(axis=0)
+        centered = X - self.mean
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components = vt[: self.n_components]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components is None:
+            raise RuntimeError("not fitted")
+        return (X - self.mean) @ self.components.T
+
+
+class SimStandardScaler(SimObject):
+    """Zero-mean unit-variance scaler."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.scale: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "SimStandardScaler":
+        self.mean = X.mean(axis=0)
+        self.scale = np.where(X.std(axis=0) == 0, 1.0, X.std(axis=0))
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("not fitted")
+        return (X - self.mean) / self.scale
+
+
+class SimPowerTransformer(SimObject):
+    """Signed square-root power transform (PowerTransformer analogue,
+    used by the Cluster notebook's preprocessing cell)."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.fitted_on_rows: int = 0
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        self.fitted_on_rows = len(X)
+        return np.sign(X) * np.sqrt(np.abs(X))
+
+
+class SimGridSearch(SimObject):
+    """Exhaustive hyperparameter sweep retaining per-config scores."""
+
+    category = _CATEGORY
+
+    def __init__(self, param_grid: Optional[Dict[str, Sequence[Any]]] = None) -> None:
+        self.param_grid = param_grid or {"k": [2, 3, 4]}
+        self.results: List[Tuple[Dict[str, Any], float]] = []
+        self.best_params: Optional[Dict[str, Any]] = None
+
+    def fit(self, data: np.ndarray) -> "SimGridSearch":
+        self.results = []
+        for k in self.param_grid.get("k", [2]):
+            model = SimKMeans(k=k, seed=0).fit(data.reshape(len(data), -1))
+            self.results.append(({"k": k}, -model.inertia))
+        self.best_params = max(self.results, key=lambda item: item[1])[0]
+        return self
+
+
+def _rebuild_xgb(booster_blob: bytes, params: Dict[str, Any]) -> "SimXGBoostModel":
+    model = SimXGBoostModel.__new__(SimXGBoostModel)
+    model.params = params
+    model.booster_blob = booster_blob
+    return model
+
+
+class SimXGBoostModel(SimObject):
+    """Gradient-boosting model serialized via a native-format blob,
+    like xgboost's ``__reduce__`` through ``save_raw``."""
+
+    category = _CATEGORY
+    personality = "custom-reduce"
+
+    def __init__(self, n_rounds: int = 20) -> None:
+        self.params = {"eta": 0.3, "max_depth": 6, "rounds": n_rounds}
+        self.booster_blob = bytes(range(64)) * n_rounds
+
+    def __reduce__(self):
+        return (_rebuild_xgb, (self.booster_blob, self.params))
+
+
+class SimSVM(SimObject):
+    """Margin classifier retaining support vectors."""
+
+    category = _CATEGORY
+
+    def __init__(self, c: float = 1.0) -> None:
+        self.c = c
+        self.support_vectors: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SimSVM":
+        margin = np.abs(X @ np.ones(X.shape[1]))
+        keep = margin < np.percentile(margin, 25)
+        self.support_vectors = X[keep]
+        return self
+
+
+class SimCrossValidator(SilentErrorMixin, SimObject):
+    """K-fold validator whose RNG state is silently dropped by pickle."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self, n_folds: int = 5) -> None:
+        self.n_folds = n_folds
+        self.fitted_state = {"rng_state": 12345, "fold_scores": [0.8, 0.81]}
+        self._install_nondet_marker()
+
+
+class SimEnsembleStack(SilentErrorMixin, SimObject):
+    """Stacked ensemble whose base-model bindings pickle incompletely."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self, n_base: int = 3) -> None:
+        self.n_base = n_base
+        self.fitted_state = {"base_weights": list(np.linspace(0.1, 1.0, n_base))}
+        self._install_nondet_marker()
+
+
+class SimFeatureUnion(SimObject):
+    """Horizontal concatenation of transformer outputs."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.transformers = [SimStandardScaler(), SimPCA(n_components=1)]
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        parts = []
+        for transformer in self.transformers:
+            transformer.fit(X)
+            parts.append(transformer.transform(X))
+        return np.column_stack(parts)
+
+
+class SimCalibratedModel(DynamicAttrsMixin, SimObject):
+    """Probability-calibrated wrapper regenerating its calibration curve
+    cache on access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.base_model = "logistic"
+        self.calibration_bins = 10
+
+
+class SimHyperoptTrials(DynamicAttrsMixin, SimObject):
+    """Trial store whose summary view is rebuilt on access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_trials: int = 12, seed: int = 23) -> None:
+        rng = np.random.default_rng(seed)
+        self.scores = list(rng.random(n_trials))
+
+
+class SimAutoMLSearch(DynamicAttrsMixin, SimObject):
+    """AutoML leaderboard regenerating ranking objects on access."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.candidates = ["rf", "xgb", "linear"]
+        self.budget_minutes = 10
+
+
+class SimStreamingCV(UnserializableMixin, SimObject):
+    """Cross-validator over a live data stream: holds an open iterator."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_folds: int = 3) -> None:
+        self.n_folds = n_folds
+        self.consumed = 0
+
+    def advance(self) -> int:
+        self.consumed += 1
+        return self.consumed
+
+
+class SimLabelEncoder(SimObject):
+    """String-label to integer-code mapping."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.classes: List[str] = []
+
+    def fit(self, labels: Sequence[str]) -> "SimLabelEncoder":
+        self.classes = sorted(set(labels))
+        return self
+
+    def transform(self, labels: Sequence[str]) -> np.ndarray:
+        index = {label: i for i, label in enumerate(self.classes)}
+        return np.asarray([index[label] for label in labels])
+
+
+class SimOneHotEncoder(SimObject):
+    """Dense one-hot expansion of integer codes."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_categories: int = 4) -> None:
+        self.n_categories = n_categories
+
+    def transform(self, codes: np.ndarray) -> np.ndarray:
+        matrix = np.zeros((len(codes), self.n_categories))
+        matrix[np.arange(len(codes)), codes] = 1.0
+        return matrix
+
+
+ALL_CLASSES = [
+    SimGaussianMixture,
+    SimLinearRegression,
+    SimLogisticRegression,
+    SimDecisionTree,
+    SimRandomForest,
+    SimKMeans,
+    SimPCA,
+    SimStandardScaler,
+    SimPowerTransformer,
+    SimGridSearch,
+    SimXGBoostModel,
+    SimSVM,
+    SimCrossValidator,
+    SimEnsembleStack,
+    SimFeatureUnion,
+    SimCalibratedModel,
+    SimHyperoptTrials,
+    SimAutoMLSearch,
+    SimStreamingCV,
+    SimLabelEncoder,
+    SimOneHotEncoder,
+]

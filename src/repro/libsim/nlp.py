@@ -1,0 +1,302 @@
+"""Simulated NLP classes (nltk / textblob / wordcloud analogues).
+
+Seventeen classes with working text-processing behaviour: tokenization,
+vocabulary building, tf-idf, n-gram language modelling, sentiment scoring.
+The corpus stream holds a live generator (unserializable); two classes
+pickle non-deterministically; the embedding index regenerates its ANN
+structures on access.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+    UnserializableMixin,
+)
+
+_CATEGORY = "nlp"
+
+_DEFAULT_CORPUS = [
+    "the cat sat on the mat",
+    "the dog chased the cat",
+    "data science notebooks are stateful",
+    "checkpoints make time travel possible",
+    "the quick brown fox jumps over the lazy dog",
+]
+
+
+class SimTokenizer(SimObject):
+    """Regex word tokenizer with a token count cacheless API."""
+
+    category = _CATEGORY
+
+    def __init__(self, pattern: str = r"[a-z']+") -> None:
+        self.pattern = pattern
+
+    def tokenize(self, text: str) -> List[str]:
+        return re.findall(self.pattern, text.lower())
+
+
+class SimVocabulary(SimObject):
+    """Token-to-id mapping built from a corpus."""
+
+    category = _CATEGORY
+
+    def __init__(self, corpus: Optional[Sequence[str]] = None) -> None:
+        corpus = corpus if corpus is not None else _DEFAULT_CORPUS
+        tokenizer = SimTokenizer()
+        tokens = sorted({t for text in corpus for t in tokenizer.tokenize(text)})
+        self.token_to_id = {token: i for i, token in enumerate(tokens)}
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        return [self.token_to_id[t] for t in tokens if t in self.token_to_id]
+
+    def __len__(self) -> int:
+        return len(self.token_to_id)
+
+
+class SimTfIdfVectorizer(SimObject):
+    """Term-frequency / inverse-document-frequency matrix builder."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.vocabulary: Optional[SimVocabulary] = None
+        self.idf: Optional[np.ndarray] = None
+
+    def fit_transform(self, corpus: Optional[Sequence[str]] = None) -> np.ndarray:
+        corpus = corpus if corpus is not None else _DEFAULT_CORPUS
+        self.vocabulary = SimVocabulary(corpus)
+        tokenizer = SimTokenizer()
+        matrix = np.zeros((len(corpus), len(self.vocabulary)))
+        for row, text in enumerate(corpus):
+            for token_id in self.vocabulary.encode(tokenizer.tokenize(text)):
+                matrix[row, token_id] += 1.0
+        document_freq = (matrix > 0).sum(axis=0)
+        self.idf = np.log((1 + len(corpus)) / (1 + document_freq)) + 1.0
+        return matrix * self.idf
+
+
+class SimCountVectorizer(SimObject):
+    """Bag-of-words count matrix builder."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.vocabulary: Optional[SimVocabulary] = None
+
+    def fit_transform(self, corpus: Optional[Sequence[str]] = None) -> np.ndarray:
+        corpus = corpus if corpus is not None else _DEFAULT_CORPUS
+        self.vocabulary = SimVocabulary(corpus)
+        tokenizer = SimTokenizer()
+        matrix = np.zeros((len(corpus), len(self.vocabulary)), dtype=int)
+        for row, text in enumerate(corpus):
+            for token_id in self.vocabulary.encode(tokenizer.tokenize(text)):
+                matrix[row, token_id] += 1
+        return matrix
+
+
+class SimTextBlob(SimObject):
+    """Wrapped text with lazy-ish derived views (TextBlob analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, text: str = "notebooks are wonderful and fast") -> None:
+        self.text = text
+        self.words = SimTokenizer().tokenize(text)
+
+    def word_counts(self) -> Dict[str, int]:
+        return dict(Counter(self.words))
+
+
+class SimSentimentModel(SimObject):
+    """Lexicon-based polarity scorer."""
+
+    category = _CATEGORY
+
+    _LEXICON = {"wonderful": 1.0, "fast": 0.5, "slow": -0.5, "terrible": -1.0}
+
+    def __init__(self) -> None:
+        self.lexicon = dict(self._LEXICON)
+
+    def polarity(self, text: str) -> float:
+        tokens = SimTokenizer().tokenize(text)
+        scores = [self.lexicon.get(t, 0.0) for t in tokens]
+        return float(np.mean(scores)) if scores else 0.0
+
+
+class SimNGramModel(SimObject):
+    """Bigram frequency language model."""
+
+    category = _CATEGORY
+
+    def __init__(self, corpus: Optional[Sequence[str]] = None) -> None:
+        corpus = corpus if corpus is not None else _DEFAULT_CORPUS
+        tokenizer = SimTokenizer()
+        self.bigrams: Counter = Counter()
+        for text in corpus:
+            tokens = tokenizer.tokenize(text)
+            self.bigrams.update(zip(tokens, tokens[1:]))
+
+    def most_common(self, n: int = 3) -> List[Tuple[Tuple[str, str], int]]:
+        return self.bigrams.most_common(n)
+
+
+class SimWordCloud(SimObject):
+    """Word frequency to layout-weight mapping (wordcloud analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, corpus: Optional[Sequence[str]] = None) -> None:
+        corpus = corpus if corpus is not None else _DEFAULT_CORPUS
+        tokenizer = SimTokenizer()
+        counts = Counter(t for text in corpus for t in tokenizer.tokenize(text))
+        top = max(counts.values())
+        self.weights = {word: count / top for word, count in counts.items()}
+
+
+class SimStemmer(SimObject):
+    """Suffix-stripping stemmer."""
+
+    category = _CATEGORY
+
+    _SUFFIXES = ("ingly", "edly", "ing", "ed", "ly", "s")
+
+    def __init__(self) -> None:
+        self.suffixes = list(self._SUFFIXES)
+
+    def stem(self, word: str) -> str:
+        for suffix in self.suffixes:
+            if word.endswith(suffix) and len(word) > len(suffix) + 2:
+                return word[: -len(suffix)]
+        return word
+
+
+class SimStopwordFilter(SimObject):
+    """Stop-word removal."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.stopwords = {"the", "a", "an", "on", "are", "over"}
+
+    def filter(self, tokens: Sequence[str]) -> List[str]:
+        return [t for t in tokens if t not in self.stopwords]
+
+
+class SimCorpusStream(UnserializableMixin, SimObject):
+    """Streaming corpus reader holding a live generator position."""
+
+    category = _CATEGORY
+
+    def __init__(self, corpus: Optional[Sequence[str]] = None) -> None:
+        self.corpus = list(corpus) if corpus is not None else list(_DEFAULT_CORPUS)
+        self.cursor = 0
+
+    def next_document(self) -> str:
+        document = self.corpus[self.cursor % len(self.corpus)]
+        self.cursor += 1
+        return document
+
+
+class SimLanguageDetector(SilentErrorMixin, SimObject):
+    """Detector whose compiled model tables pickle incompletely."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self) -> None:
+        self.languages = ["en", "fr", "de"]
+        self.fitted_state = {"char_profiles": {"en": [0.12, 0.09]}}
+        self._install_nondet_marker()
+
+
+class SimTopicModel(SilentErrorMixin, SimObject):
+    """LDA-style topic model with non-deterministic serialization."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self, n_topics: int = 4) -> None:
+        self.n_topics = n_topics
+        self.fitted_state = {"topic_word": [[0.2, 0.8]] * n_topics}
+        self._install_nondet_marker()
+
+
+class SimEmbeddingIndex(DynamicAttrsMixin, SimObject):
+    """ANN index regenerating its search structures on access (FP)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_vectors: int = 64, dim: int = 8, seed: int = 40) -> None:
+        rng = np.random.default_rng(seed)
+        self.vectors = rng.standard_normal((n_vectors, dim))
+
+
+class SimRegexPipeline(RequiresFallbackMixin, SimObject):
+    """Chained regex substitutions; the chain closure defeats pickle."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.rules = [(r"\s+", " "), (r"[^a-z ]", "")]
+
+    def apply(self, text: str) -> str:
+        result = text.lower()
+        for pattern, replacement in self.rules:
+            result = re.sub(pattern, replacement, result)
+        return result.strip()
+
+
+class SimCharFilter(SimObject):
+    """Character-class filter."""
+
+    category = _CATEGORY
+
+    def __init__(self, allowed: str = "abcdefghijklmnopqrstuvwxyz ") -> None:
+        self.allowed = set(allowed)
+
+    def apply(self, text: str) -> str:
+        return "".join(c for c in text.lower() if c in self.allowed)
+
+
+class SimDocTermMatrix(SimObject):
+    """Materialized document-term matrix with row lookups."""
+
+    category = _CATEGORY
+
+    def __init__(self, corpus: Optional[Sequence[str]] = None) -> None:
+        self.matrix = SimCountVectorizer().fit_transform(corpus)
+
+    def document_vector(self, row: int) -> np.ndarray:
+        return self.matrix[row]
+
+
+ALL_CLASSES = [
+    SimTokenizer,
+    SimVocabulary,
+    SimTfIdfVectorizer,
+    SimCountVectorizer,
+    SimTextBlob,
+    SimSentimentModel,
+    SimNGramModel,
+    SimWordCloud,
+    SimStemmer,
+    SimStopwordFilter,
+    SimCorpusStream,
+    SimLanguageDetector,
+    SimTopicModel,
+    SimEmbeddingIndex,
+    SimRegexPipeline,
+    SimCharFilter,
+    SimDocTermMatrix,
+]

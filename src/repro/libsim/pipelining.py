@@ -1,0 +1,315 @@
+"""Simulated data-pipelining classes (huggingface / transformers
+analogues).
+
+Eighteen classes. ``SimPipeline`` and ``SimBertTokenizer`` hold worker
+state off-process — the paper's Table 4 Data Pipelining classes that CRIU
+fails on (pipelines spawn worker processes; tokenizers bind native Rust
+state) while reduction-based checkpointing succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+    UnserializableMixin,
+)
+from repro.libsim.devices import OffProcessHandle
+
+_CATEGORY = "data-pipelining"
+
+_DEFAULT_VOCAB = ["[PAD]", "[CLS]", "[SEP]", "the", "cat", "sat", "dog", "ran"]
+
+
+class SimPipeline(SimObject):
+    """Inference pipeline whose model worker runs out-of-process."""
+
+    category = _CATEGORY
+    personality = "offprocess"
+    _offprocess = True
+
+    def __init__(self, task: str = "sentiment-analysis", seed: int = 70) -> None:
+        rng = np.random.default_rng(seed)
+        self.task = task
+        self.worker = OffProcessHandle("remote", rng.random(32))
+
+    def __call__(self, text: str) -> Dict[str, Any]:
+        weights = self.worker.fetch()
+        score = float(weights[len(text) % len(weights)])
+        return {"label": "POSITIVE" if score > 0.5 else "NEGATIVE", "score": score}
+
+
+class SimBertTokenizer(SimObject):
+    """Fast tokenizer whose compiled vocab tables live off-process."""
+
+    category = _CATEGORY
+    personality = "offprocess"
+    _offprocess = True
+
+    def __init__(self, vocab: Optional[Sequence[str]] = None) -> None:
+        vocab = list(vocab) if vocab is not None else list(_DEFAULT_VOCAB)
+        self.vocab_table = OffProcessHandle("remote", {t: i for i, t in enumerate(vocab)})
+
+    def encode(self, text: str) -> List[int]:
+        table = self.vocab_table.fetch()
+        return [table.get(token, 0) for token in text.lower().split()]
+
+
+class SimDatasetDict(SimObject):
+    """Named split mapping (datasets.DatasetDict analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_train: int = 80, n_test: int = 20, seed: int = 71) -> None:
+        rng = np.random.default_rng(seed)
+        self.splits = {
+            "train": rng.random(n_train),
+            "test": rng.random(n_test),
+        }
+
+    def num_rows(self) -> Dict[str, int]:
+        return {name: len(data) for name, data in self.splits.items()}
+
+
+class SimFeatureSpec(SimObject):
+    """Typed feature schema."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.features = {"text": "string", "label": "int64"}
+
+    def validate(self, row: Dict[str, Any]) -> bool:
+        return set(row) == set(self.features)
+
+
+class SimBatchEncoder(SimObject):
+    """Pads token-id lists into rectangular batches."""
+
+    category = _CATEGORY
+
+    def __init__(self, max_length: int = 16, pad_id: int = 0) -> None:
+        self.max_length = max_length
+        self.pad_id = pad_id
+
+    def encode_batch(self, sequences: Sequence[Sequence[int]]) -> np.ndarray:
+        batch = np.full((len(sequences), self.max_length), self.pad_id)
+        for row, sequence in enumerate(sequences):
+            trimmed = list(sequence)[: self.max_length]
+            batch[row, : len(trimmed)] = trimmed
+        return batch
+
+
+class SimCollator(SimObject):
+    """Stacks samples into a training batch dict."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.return_tensors = "np"
+
+    def collate(self, samples: Sequence[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+        keys = samples[0].keys()
+        return {key: np.stack([s[key] for s in samples]) for key in keys}
+
+
+class SimPreprocessor(SimObject):
+    """Column-wise preprocessing recipe."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.steps = [("lowercase", "text"), ("scale", "score")]
+        self.fitted = False
+
+    def fit(self) -> None:
+        self.fitted = True
+
+
+class SimAugmenter(SimObject):
+    """Text augmentation by token dropout."""
+
+    category = _CATEGORY
+
+    def __init__(self, drop_probability: float = 0.1, seed: int = 72) -> None:
+        self.drop_probability = drop_probability
+        self.seed = seed
+
+    def augment(self, tokens: Sequence[str]) -> List[str]:
+        rng = np.random.default_rng(self.seed)
+        return [t for t in tokens if rng.random() > self.drop_probability]
+
+
+class SimIteratorPipeline(UnserializableMixin, SimObject):
+    """Lazy map/filter chain holding live iterators: unserializable."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_stages: int = 3) -> None:
+        self.stage_names = [f"stage_{i}" for i in range(n_stages)]
+        self.items_emitted = 0
+
+    def pull(self) -> int:
+        self.items_emitted += 1
+        return self.items_emitted
+
+
+class SimStreamingLoader(SilentErrorMixin, SimObject):
+    """Shard-streaming loader whose connection state pickles away."""
+
+    category = _CATEGORY
+    _silently_dropped = ("fitted_state",)
+
+    def __init__(self) -> None:
+        self.shards = ["shard-00", "shard-01"]
+        self.fitted_state = {"open_connections": 2}
+        self._install_nondet_marker()
+
+
+class SimTokenizerFast(SimObject):
+    """In-process fast tokenizer (vocab held locally)."""
+
+    category = _CATEGORY
+
+    def __init__(self, vocab: Optional[Sequence[str]] = None) -> None:
+        vocab = list(vocab) if vocab is not None else list(_DEFAULT_VOCAB)
+        self.vocab = {token: i for i, token in enumerate(vocab)}
+
+    def encode(self, text: str) -> List[int]:
+        return [self.vocab.get(token, 0) for token in text.lower().split()]
+
+
+class SimDataCollatorLM(SimObject):
+    """Masked-LM collator: randomly masks token positions."""
+
+    category = _CATEGORY
+
+    def __init__(self, mask_probability: float = 0.15, mask_id: int = 103, seed: int = 73) -> None:
+        self.mask_probability = mask_probability
+        self.mask_id = mask_id
+        self.seed = seed
+
+    def mask(self, batch: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        masked = batch.copy()
+        masked[rng.random(batch.shape) < self.mask_probability] = self.mask_id
+        return masked
+
+
+class SimShardSpec(SimObject):
+    """Dataset sharding layout."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_shards: int = 8, rows_per_shard: int = 1000) -> None:
+        self.n_shards = n_shards
+        self.rows_per_shard = rows_per_shard
+
+    def total_rows(self) -> int:
+        return self.n_shards * self.rows_per_shard
+
+
+class SimCacheManifest(SimObject):
+    """Fingerprint-keyed cache manifest (datasets cache analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.entries: Dict[str, str] = {"map-lowercase": "abc123"}
+
+    def record(self, operation: str, fingerprint: str) -> None:
+        self.entries[operation] = fingerprint
+
+
+class SimThroughputMeter(SimObject):
+    """Sliding-window rows/second meter."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, rows_per_second: float) -> None:
+        self.samples.append(rows_per_second)
+        if len(self.samples) > 32:
+            self.samples.pop(0)
+
+    def average(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+
+class SimRecordBatchQueue(SimObject):
+    """Bounded producer/consumer batch queue (state only, no threads)."""
+
+    category = _CATEGORY
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self.queue: List[np.ndarray] = []
+
+    def put(self, batch: np.ndarray) -> bool:
+        if len(self.queue) >= self.capacity:
+            return False
+        self.queue.append(batch)
+        return True
+
+    def get(self) -> Optional[np.ndarray]:
+        return self.queue.pop(0) if self.queue else None
+
+
+class SimSchemaValidator(RequiresFallbackMixin, SimObject):
+    """Schema validator whose rule lambdas need by-value pickling."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.required = ["id", "text"]
+        self.violations = 0
+
+    def validate(self, row: Dict[str, Any]) -> bool:
+        ok = all(key in row for key in self.required)
+        if not ok:
+            self.violations += 1
+        return ok
+
+
+class SimExportJob(SimObject):
+    """Materialization job spec with progress."""
+
+    category = _CATEGORY
+
+    def __init__(self, fmt: str = "parquet") -> None:
+        if fmt not in ("parquet", "csv", "arrow"):
+            raise ValueError(f"unsupported export format {fmt!r}")
+        self.format = fmt
+        self.rows_written = 0
+
+    def advance(self, rows: int) -> None:
+        self.rows_written += rows
+
+
+ALL_CLASSES = [
+    SimPipeline,
+    SimBertTokenizer,
+    SimDatasetDict,
+    SimFeatureSpec,
+    SimBatchEncoder,
+    SimCollator,
+    SimPreprocessor,
+    SimAugmenter,
+    SimIteratorPipeline,
+    SimStreamingLoader,
+    SimTokenizerFast,
+    SimDataCollatorLM,
+    SimShardSpec,
+    SimCacheManifest,
+    SimThroughputMeter,
+    SimRecordBatchQueue,
+    SimSchemaValidator,
+    SimExportJob,
+]

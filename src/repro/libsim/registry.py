@@ -1,0 +1,155 @@
+"""Registry of the 146 simulated library classes (Table 3 of the paper).
+
+Each entry records the class, its category, its serialization personality,
+and the behaviour the paper's evaluation expects of it:
+
+* ``expected_detection`` — its Table 5 bucket: "success" (update detected,
+  no-op not flagged), "false_positive" (flagged on access even when
+  unchanged, dynamic reachable objects), or "pickle_error" (cannot be
+  deterministically stored; flagged on access).
+* ``criu_compatible`` — False for the 6 multiprocessing / off-CPU classes
+  page snapshots cannot capture (Fig 12, Table 4).
+* ``dumpsession_compatible`` — False for the 7 classes whose payloads
+  cannot round-trip through a bulk session pickle (Fig 12, Table 4).
+
+The paper's headline counts, which `benchmarks/` verify against measured
+behaviour: 146 classes, 120/14/12 detection buckets, 6 CRIU failures,
+7 DumpSession failures, 0 Kishu failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.libsim import (
+    computer_vision,
+    data_analysis,
+    deep_learning,
+    distributed,
+    machine_learning,
+    nlp,
+    pipelining,
+    visualization,
+)
+from repro.libsim.base import SimObject
+
+#: Display names matching the paper's Table 3 rows.
+CATEGORY_TITLES = {
+    "data-analysis": "Data Analysis",
+    "data-visualization": "Data Visualization",
+    "machine-learning": "Machine Learning",
+    "deep-learning": "Deep Learning",
+    "nlp": "NLP",
+    "computer-vision": "Computer Vision",
+    "distributed-computing": "Dist. Computing",
+    "data-pipelining": "Data Pipelining",
+}
+
+_PERSONALITY_TO_DETECTION = {
+    "plain": "success",
+    "custom-reduce": "success",
+    "requires-fallback": "success",
+    "unserializable": "success",
+    "load-fails": "success",
+    "offprocess": "success",
+    "dynamic-attrs": "false_positive",
+    "silent-error": "pickle_error",
+}
+
+#: Personalities whose payloads a bulk session pickle cannot round-trip.
+_DUMPSESSION_INCOMPATIBLE = {"unserializable", "load-fails"}
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One registry row."""
+
+    cls: Type[SimObject]
+    category: str
+    personality: str
+    expected_detection: str
+    criu_compatible: bool
+    dumpsession_compatible: bool
+
+    @property
+    def name(self) -> str:
+        return self.cls.__qualname__
+
+    def make(self) -> SimObject:
+        """Instantiate with defaults (every class is default-constructible)."""
+        return self.cls()
+
+
+def _build_registry() -> List[ClassSpec]:
+    specs: List[ClassSpec] = []
+    modules = (
+        data_analysis,
+        visualization,
+        machine_learning,
+        deep_learning,
+        nlp,
+        computer_vision,
+        distributed,
+        pipelining,
+    )
+    for module in modules:
+        for cls in module.ALL_CLASSES:
+            personality = cls.personality
+            specs.append(
+                ClassSpec(
+                    cls=cls,
+                    category=cls.category,
+                    personality=personality,
+                    expected_detection=_PERSONALITY_TO_DETECTION[personality],
+                    criu_compatible=not getattr(cls, "_offprocess", False),
+                    dumpsession_compatible=personality not in _DUMPSESSION_INCOMPATIBLE,
+                )
+            )
+    return specs
+
+
+REGISTRY: List[ClassSpec] = _build_registry()
+
+
+def all_specs() -> List[ClassSpec]:
+    return list(REGISTRY)
+
+
+def spec_by_name(name: str) -> ClassSpec:
+    for spec in REGISTRY:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no simulated class named {name!r}")
+
+
+def specs_by_category() -> Dict[str, List[ClassSpec]]:
+    grouped: Dict[str, List[ClassSpec]] = {}
+    for spec in REGISTRY:
+        grouped.setdefault(spec.category, []).append(spec)
+    return grouped
+
+
+def specs_by_personality(personality: str) -> List[ClassSpec]:
+    return [spec for spec in REGISTRY if spec.personality == personality]
+
+
+def expected_counts() -> Dict[str, int]:
+    """The paper's Table 5 / Fig 12 headline counts, derived from the
+    registry (tests assert these equal the paper's numbers)."""
+    return {
+        "total": len(REGISTRY),
+        "detection_success": sum(
+            1 for s in REGISTRY if s.expected_detection == "success"
+        ),
+        "detection_false_positive": sum(
+            1 for s in REGISTRY if s.expected_detection == "false_positive"
+        ),
+        "detection_pickle_error": sum(
+            1 for s in REGISTRY if s.expected_detection == "pickle_error"
+        ),
+        "criu_failures": sum(1 for s in REGISTRY if not s.criu_compatible),
+        "dumpsession_failures": sum(
+            1 for s in REGISTRY if not s.dumpsession_compatible
+        ),
+    }

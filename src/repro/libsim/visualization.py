@@ -1,0 +1,301 @@
+"""Simulated data-visualization classes (matplotlib / plotly / seaborn /
+bokeh analogues).
+
+Nineteen classes. The noteworthy personalities: ``SimBokehFigure`` pickles
+but fails to load (the paper's Table 4 DumpSession failure), four classes
+regenerate renderer caches on access (false-positive sources — the paper
+notes plots are modified ~7 times on average, so visualization objects are
+heavily accessed), and ``SimRenderContext`` cannot be deterministically
+stored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.libsim.base import (
+    DynamicAttrsMixin,
+    LoadFailsMixin,
+    RequiresFallbackMixin,
+    SilentErrorMixin,
+    SimObject,
+)
+
+_CATEGORY = "data-visualization"
+
+
+class SimFigure(SimObject):
+    """Top-level figure holding axes (plt.Figure analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, width: float = 6.4, height: float = 4.8) -> None:
+        self.size = (width, height)
+        self.axes: List["SimAxes"] = []
+        self.title: Optional[str] = None
+
+    def add_axes(self) -> "SimAxes":
+        axes = SimAxes()
+        self.axes.append(axes)
+        return axes
+
+    def suptitle(self, title: str) -> None:
+        self.title = title
+
+
+class SimAxes(SimObject):
+    """A single plotting surface with artists."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.artists: List[Dict[str, Any]] = []
+        self.xlabel = ""
+        self.ylabel = ""
+
+    def plot(self, xs: np.ndarray, ys: np.ndarray, label: str = "") -> None:
+        self.artists.append({"kind": "line", "x": xs, "y": ys, "label": label})
+
+    def set_labels(self, xlabel: str, ylabel: str) -> None:
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+
+
+class SimLinePlot(SimObject):
+    """A rendered line chart."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 50, seed: int = 10) -> None:
+        rng = np.random.default_rng(seed)
+        self.x = np.arange(n, dtype=float)
+        self.y = np.cumsum(rng.normal(size=n))
+        self.style = {"color": "#4269d0", "linewidth": 1.5}
+
+    def restyle(self, **style) -> None:
+        self.style.update(style)
+
+
+class SimScatterPlot(SimObject):
+    """A rendered scatter chart with per-point sizes."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 80, seed: int = 11) -> None:
+        rng = np.random.default_rng(seed)
+        self.points = rng.random((n, 2))
+        self.sizes = rng.integers(4, 24, size=n)
+
+    def jitter(self, scale: float = 0.01) -> None:
+        self.points += np.random.default_rng(0).normal(0, scale, self.points.shape)
+
+
+class SimBarChart(SimObject):
+    """Categorical bar chart."""
+
+    category = _CATEGORY
+
+    def __init__(self, categories: Sequence[str] = ("a", "b", "c", "d")) -> None:
+        self.categories = list(categories)
+        self.heights = np.arange(1, len(self.categories) + 1, dtype=float)
+
+    def normalize(self) -> None:
+        total = self.heights.sum()
+        if total > 0:
+            self.heights /= total
+
+
+class SimHeatmap(SimObject):
+    """2-D intensity grid with a colormap reference."""
+
+    category = _CATEGORY
+
+    def __init__(self, shape: Tuple[int, int] = (16, 16), seed: int = 12) -> None:
+        rng = np.random.default_rng(seed)
+        self.grid = rng.random(shape)
+        self.cmap = "viridis"
+
+    def clip(self, low: float, high: float) -> None:
+        np.clip(self.grid, low, high, out=self.grid)
+
+
+class SimColormap(SimObject):
+    """Discrete color lookup table."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_colors: int = 8) -> None:
+        ramp = np.linspace(0, 255, n_colors, dtype=int)
+        self.table = [(int(r), int(255 - r), 128) for r in ramp]
+
+    def lookup(self, value: float) -> Tuple[int, int, int]:
+        index = min(int(value * len(self.table)), len(self.table) - 1)
+        return self.table[index]
+
+
+class SimLegend(SimObject):
+    """Legend entries attached to a figure."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[str, str]] = []
+
+    def add(self, label: str, color: str) -> None:
+        self.entries.append((label, color))
+
+
+class SimSubplotGrid(SimObject):
+    """Grid of axes (plt.subplots analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self, rows: int = 2, cols: int = 2) -> None:
+        self.shape = (rows, cols)
+        self.axes = [[SimAxes() for _ in range(cols)] for _ in range(rows)]
+
+    def axis_at(self, row: int, col: int) -> SimAxes:
+        return self.axes[row][col]
+
+
+class SimBokehFigure(LoadFailsMixin, SimObject):
+    """Interactive figure that serializes but cannot deserialize —
+    the paper's bokeh.figure failure case (Table 4)."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 30, seed: int = 13) -> None:
+        rng = np.random.default_rng(seed)
+        self.renderers = [{"glyph": "circle", "data": rng.random(n)}]
+        self.tools = ["pan", "wheel_zoom"]
+
+    def add_tool(self, tool: str) -> None:
+        self.tools.append(tool)
+
+
+class SimCanvasAgg(DynamicAttrsMixin, SimObject):
+    """Rasterizing canvas that rebuilds its buffer on access (FP source)."""
+
+    category = _CATEGORY
+
+    def __init__(self, width: int = 320, height: int = 240) -> None:
+        self.size = (width, height)
+        self.draw_calls = 0
+
+
+class SimInteractivePlot(DynamicAttrsMixin, SimObject):
+    """Widget-backed plot regenerating its event handlers on access."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.traces = [{"name": "t0", "visible": True}]
+        self.layout = {"showlegend": True}
+
+
+class SimPlotlyWidget(DynamicAttrsMixin, SimObject):
+    """Plotly-style figure widget with a volatile view model."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 40, seed: int = 14) -> None:
+        rng = np.random.default_rng(seed)
+        self.data = rng.random(n)
+        self.config = {"responsive": True}
+
+
+class SimSeabornGrid(DynamicAttrsMixin, SimObject):
+    """Faceted grid that lazily materializes facet artists on access."""
+
+    category = _CATEGORY
+
+    def __init__(self, rows: int = 2, cols: int = 3) -> None:
+        self.facets = [f"facet_{r}_{c}" for r in range(rows) for c in range(cols)]
+        self.palette = "deep"
+
+
+class SimRenderContext(SilentErrorMixin, SimObject):
+    """GPU-ish render context: driver handles silently dropped by pickle."""
+
+    category = _CATEGORY
+    _silently_dropped = ("driver_state",)
+
+    def __init__(self) -> None:
+        self.backend = "agg"
+        self.driver_state = {"context_id": 7, "vsync": True}
+        self._install_nondet_marker()
+
+
+class SimAnimation(RequiresFallbackMixin, SimObject):
+    """Frame-callback animation: the callback needs by-value pickling."""
+
+    category = _CATEGORY
+
+    def __init__(self, n_frames: int = 24) -> None:
+        self.n_frames = n_frames
+        self.interval_ms = 50
+
+    def duration_seconds(self) -> float:
+        return self.n_frames * self.interval_ms / 1000.0
+
+
+class SimAnnotation(SimObject):
+    """Text annotation anchored to data coordinates."""
+
+    category = _CATEGORY
+
+    def __init__(self, text: str = "peak", xy: Tuple[float, float] = (0.5, 0.5)) -> None:
+        self.text = text
+        self.xy = xy
+        self.style = {"fontsize": 10}
+
+
+class SimThemeSpec(SimObject):
+    """Global style sheet (rcParams analogue)."""
+
+    category = _CATEGORY
+
+    def __init__(self) -> None:
+        self.params = {"font.size": 10.0, "figure.dpi": 96, "axes.grid": True}
+
+    def update(self, **params) -> None:
+        self.params.update(params)
+
+
+class SimHistogram(SimObject):
+    """Binned distribution summary."""
+
+    category = _CATEGORY
+
+    def __init__(self, n: int = 500, bins: int = 20, seed: int = 15) -> None:
+        rng = np.random.default_rng(seed)
+        sample = rng.normal(size=n)
+        self.counts, self.edges = np.histogram(sample, bins=bins)
+
+    def mode_bin(self) -> int:
+        return int(np.argmax(self.counts))
+
+
+ALL_CLASSES = [
+    SimFigure,
+    SimAxes,
+    SimLinePlot,
+    SimScatterPlot,
+    SimBarChart,
+    SimHeatmap,
+    SimColormap,
+    SimLegend,
+    SimSubplotGrid,
+    SimBokehFigure,
+    SimCanvasAgg,
+    SimInteractivePlot,
+    SimPlotlyWidget,
+    SimSeabornGrid,
+    SimRenderContext,
+    SimAnimation,
+    SimAnnotation,
+    SimThemeSpec,
+    SimHistogram,
+]

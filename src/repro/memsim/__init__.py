@@ -1,0 +1,23 @@
+"""Simulated process memory: the substrate for OS-level snapshot baselines."""
+
+from repro.memsim.pages import DEFAULT_PAGE_SIZE, Extent, PageTable
+from repro.memsim.process import (
+    DEFAULT_CHUNK_SIZE,
+    ProcessSnapshot,
+    SimulatedProcess,
+    VariableLayout,
+    nominal_object_bytes,
+    restore_namespace,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_CHUNK_SIZE",
+    "Extent",
+    "PageTable",
+    "ProcessSnapshot",
+    "SimulatedProcess",
+    "VariableLayout",
+    "nominal_object_bytes",
+    "restore_namespace",
+]

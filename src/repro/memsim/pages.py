@@ -1,0 +1,124 @@
+"""Page table for the simulated process address space.
+
+The OS-level checkpointing baselines (CRIU / CRIU-Incremental, §7.1 of the
+paper) operate on memory pages, not objects. This module provides the page
+mechanics: a sparse table of fixed-size pages with write-through dirty
+tracking, page content digests for incremental snapshot deduplication, and
+full/partial page-image copies whose byte volume is the baseline's
+checkpoint cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.hashing import digest_bytes
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous byte range in the address space: [start, start+length)."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def pages(self, page_size: int) -> range:
+        """Indices of every page this extent touches."""
+        if self.length == 0:
+            return range(0)
+        first = self.start // page_size
+        last = (self.end - 1) // page_size
+        return range(first, last + 1)
+
+
+class PageTable:
+    """Sparse array of pages with dirty tracking.
+
+    Writing any byte of a page marks the whole page dirty — exactly the
+    granularity mismatch the paper exploits: a one-element change to a
+    fragmented structure dirties every page the structure touches.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._pages: Dict[int, bytearray] = {}
+        self._dirty: Set[int] = set()
+
+    # -- byte I/O ---------------------------------------------------------------
+
+    def write(self, start: int, data: bytes) -> None:
+        """Write bytes at an absolute address, dirtying touched pages."""
+        offset = 0
+        remaining = len(data)
+        address = start
+        while remaining > 0:
+            page_index = address // self.page_size
+            page_offset = address % self.page_size
+            span = min(remaining, self.page_size - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.page_size)
+                self._pages[page_index] = page
+            page[page_offset : page_offset + span] = data[offset : offset + span]
+            self._dirty.add(page_index)
+            offset += span
+            address += span
+            remaining -= span
+
+    def read(self, start: int, length: int) -> bytes:
+        """Read bytes at an absolute address (zero-filled where unmapped)."""
+        chunks: List[bytes] = []
+        address = start
+        remaining = length
+        while remaining > 0:
+            page_index = address // self.page_size
+            page_offset = address % self.page_size
+            span = min(remaining, self.page_size - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                chunks.append(bytes(span))
+            else:
+                chunks.append(bytes(page[page_offset : page_offset + span]))
+            address += span
+            remaining -= span
+        return b"".join(chunks)
+
+    def zero(self, extent: Extent) -> None:
+        """Zero an extent (freeing an object's bytes), dirtying its pages."""
+        self.write(extent.start, bytes(extent.length))
+
+    # -- page-level queries --------------------------------------------------------
+
+    def mapped_pages(self) -> Set[int]:
+        return set(self._pages)
+
+    def dirty_pages(self) -> Set[int]:
+        return set(self._dirty)
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    def page_bytes(self, indices: Iterable[int]) -> Dict[int, bytes]:
+        """Copy the named pages — this byte movement is the snapshot cost."""
+        return {index: bytes(self._pages[index]) for index in indices if index in self._pages}
+
+    def page_digests(self, indices: Iterable[int]) -> Dict[int, int]:
+        return {
+            index: digest_bytes(self._pages[index])
+            for index in indices
+            if index in self._pages
+        }
+
+    @property
+    def mapped_bytes(self) -> int:
+        return len(self._pages) * self.page_size
+
+    def __len__(self) -> int:
+        return len(self._pages)

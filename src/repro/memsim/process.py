@@ -1,0 +1,320 @@
+"""Simulated notebook process heap for OS-level snapshot baselines.
+
+CRIU-style tools see the notebook as a process image: a heap of pages.
+This module models how CPython lays session data out on that heap, so the
+page-granularity costs the paper reports for CRIU (§2.3, §7.3–7.5) emerge
+from mechanics rather than being hard-coded:
+
+* Every top-level variable's value is represented by its serialized bytes,
+  split into fixed-size **chunks** standing in for the per-element PyObject
+  allocations of real CPython structures.
+* Chunks are placed by a bump allocator in *allocation order*. Variables
+  built incrementally and interleaved (e.g. two lists appended alternately
+  in a loop, the paper's Fig 4) therefore end up with their chunks
+  interleaved on shared pages — the fragmentation that makes page-level
+  deltas coarse.
+* Mutating a variable rewrites all of its chunks (CPython in-place updates
+  touch element pointers spread across the structure), dirtying every page
+  the variable touches.
+
+Off-process state (simulated GPU memory, remote actors — anything flagged
+by :func:`repro.libsim.devices.is_offprocess`) is by definition *not* in
+the page image; snapshotting a process whose state references it fails,
+reproducing CRIU's documented limitation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SnapshotError
+from repro.memsim.pages import DEFAULT_PAGE_SIZE, Extent, PageTable
+
+DEFAULT_CHUNK_SIZE = 1024
+
+
+def nominal_object_bytes(obj: Any) -> bytes:
+    """Bytes standing in for an object's heap footprint.
+
+    Uses the pickle representation when available (proportional to real
+    data size); anything unpicklable (generators live happily in a memory
+    image) falls back to a size-estimated filler.
+    """
+    try:
+        return pickle.dumps(obj, protocol=5)
+    except Exception:
+        estimate = max(sys.getsizeof(obj), 64)
+        return bytes(min(estimate, 1 << 20))
+
+
+@dataclass
+class VariableLayout:
+    """Where one variable's chunks live in the address space."""
+
+    name: str
+    extents: List[Extent] = field(default_factory=list)
+    total_bytes: int = 0
+
+    def pages(self, page_size: int) -> Set[int]:
+        touched: Set[int] = set()
+        for extent in self.extents:
+            touched.update(extent.pages(page_size))
+        return touched
+
+
+@dataclass
+class ProcessSnapshot:
+    """A (possibly incremental) page image of the simulated process."""
+
+    snapshot_id: int
+    pages: Dict[int, bytes]
+    parent_id: Optional[int]
+    #: Per-variable payloads captured alongside the image so a restore can
+    #: rebuild live objects: (pickled bytes or None, original reference).
+    #: Mirrors CRIU restoring the heap bit-for-bit — a memory image cannot
+    #: fail to "deserialize", so restoration falls back to the exact
+    #: reference whenever pickling round-trips imperfectly.
+    variables: Dict[str, Any]
+
+    @property
+    def page_bytes(self) -> int:
+        return len(self.pages) * DEFAULT_PAGE_SIZE if self.pages else 0
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(data) for data in self.pages.values())
+
+
+class SimulatedProcess:
+    """The notebook process's heap, as an OS checkpointer sees it."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.pages = PageTable(page_size)
+        self.page_size = page_size
+        self.chunk_size = chunk_size
+        self._layouts: Dict[str, VariableLayout] = {}
+        self._cursor = 0
+        self._snapshot_counter = 0
+        self._last_snapshot_digests: Dict[int, int] = {}
+
+    # -- heap maintenance -------------------------------------------------------
+
+    def sync_variables(
+        self, items: Dict[str, Any], changed_names: Optional[Set[str]] = None
+    ) -> None:
+        """Bring the heap in line with the namespace after a cell.
+
+        ``changed_names`` limits rewriting to variables the cell touched;
+        pass ``None`` to resync everything (initial layout). Interleaving
+        emerges naturally: chunks for variables written in the same sync
+        round-robin through the allocator.
+        """
+        live_names = set(items)
+        for name in list(self._layouts):
+            if name not in live_names:
+                self._free(name)
+
+        if changed_names is None:
+            targets = [name for name in items]
+        else:
+            targets = [name for name in items if name in changed_names]
+
+        payloads = {name: nominal_object_bytes(items[name]) for name in targets}
+        self._write_interleaved(payloads)
+
+    def _write_interleaved(self, payloads: Dict[str, bytes]) -> None:
+        """Allocate/rewrite chunks for several variables, interleaving new
+        allocations the way a shared bump allocator would."""
+        plans: List[Tuple[str, bytes]] = []
+        for name, data in payloads.items():
+            layout = self._layouts.get(name)
+            if layout is not None and layout.total_bytes == len(data):
+                # Same-size in-place rewrite: touch existing extents.
+                offset = 0
+                for extent in layout.extents:
+                    self.pages.write(extent.start, data[offset : offset + extent.length])
+                    offset += extent.length
+                continue
+            if layout is not None:
+                self._free(name)
+            plans.append((name, data))
+
+        if len(plans) == 1:
+            # A lone allocation lays out contiguously — no interleaving
+            # partner, so chunking it would add cost without fragmentation.
+            name, data = plans[0]
+            extent = Extent(start=self._cursor, length=len(data))
+            self.pages.write(extent.start, data)
+            self._cursor += len(data)
+            self._layouts[name] = VariableLayout(
+                name=name, extents=[extent], total_bytes=len(data)
+            )
+            return
+
+        # New/regrown variables: interleave chunk allocation round-robin.
+        cursors = {name: 0 for name, _ in plans}
+        layouts = {name: VariableLayout(name=name) for name, _ in plans}
+        remaining = dict(plans)
+        while remaining:
+            for name in list(remaining):
+                data = remaining[name]
+                offset = cursors[name]
+                chunk = data[offset : offset + self.chunk_size]
+                extent = Extent(start=self._cursor, length=len(chunk))
+                self.pages.write(extent.start, chunk)
+                layouts[name].extents.append(extent)
+                layouts[name].total_bytes += len(chunk)
+                self._cursor += len(chunk)
+                cursors[name] += len(chunk)
+                if cursors[name] >= len(data):
+                    del remaining[name]
+        for name, layout in layouts.items():
+            self._layouts[name] = layout
+
+    def touch_variable(self, name: str) -> None:
+        """Dirty a variable's pages without changing its value.
+
+        Models CPython reference counting: merely *reading* an object
+        writes its refcount field, which lives in the object header — one
+        per allocation. A contiguous buffer (a numpy array) has one
+        header, so reading it dirties one page; a fragmented structure (a
+        chunked list) has a header per element chunk, so reading it
+        dirties a page per chunk — the §2.3 asymmetry that keeps
+        page-level incremental snapshots large on fragmented state.
+        """
+        layout = self._layouts.get(name)
+        if layout is None:
+            return
+        self._touch_counter = getattr(self, "_touch_counter", 0) + 1
+        header = bytes([self._touch_counter & 0xFF])
+        for extent in layout.extents:
+            # One refcount header per allocation (extent start).
+            self.pages.write(extent.start, header)
+
+    def _free(self, name: str) -> None:
+        layout = self._layouts.pop(name, None)
+        if layout is None:
+            return
+        for extent in layout.extents:
+            self.pages.zero(extent)
+
+    # -- snapshotting -------------------------------------------------------------
+
+    def snapshot(
+        self,
+        namespace_items: Dict[str, Any],
+        *,
+        incremental: bool = False,
+        allow_offprocess: bool = False,
+    ) -> ProcessSnapshot:
+        """Take a (full or incremental) page image of the process.
+
+        Raises:
+            SnapshotError: if the state references off-process data and
+                ``allow_offprocess`` is False — CRIU cannot capture device
+                memory or other processes (§7.2).
+        """
+        if not allow_offprocess:
+            offenders = _offprocess_variables(namespace_items)
+            if offenders:
+                raise SnapshotError(
+                    "process image cannot capture off-process state held by "
+                    f"variable(s): {sorted(offenders)}"
+                )
+
+        mapped = self.pages.mapped_pages()
+        if incremental and self._last_snapshot_digests:
+            digests = self.pages.page_digests(mapped)
+            changed = {
+                index
+                for index, digest in digests.items()
+                if self._last_snapshot_digests.get(index) != digest
+            }
+            image = self.pages.page_bytes(changed)
+            self._last_snapshot_digests = digests
+        else:
+            image = self.pages.page_bytes(mapped)
+            self._last_snapshot_digests = self.pages.page_digests(mapped)
+
+        self._snapshot_counter += 1
+        variables = {}
+        for name, value in namespace_items.items():
+            payload = None
+            if _picklable(value):
+                payload = pickle.dumps(value, protocol=5)
+            variables[name] = (payload, value)
+        snapshot = ProcessSnapshot(
+            snapshot_id=self._snapshot_counter,
+            pages=image,
+            parent_id=self._snapshot_counter - 1 if incremental else None,
+            variables=variables,
+        )
+        self.pages.clear_dirty()
+        return snapshot
+
+    # -- geometry queries (for tests/benchmarks) ------------------------------------
+
+    def pages_of(self, name: str) -> Set[int]:
+        layout = self._layouts.get(name)
+        return layout.pages(self.page_size) if layout is not None else set()
+
+    def layout_of(self, name: str) -> Optional[VariableLayout]:
+        return self._layouts.get(name)
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.pages.mapped_bytes
+
+
+def restore_namespace(snapshots: List[ProcessSnapshot]) -> Dict[str, Any]:
+    """Rebuild the variable mapping from a full snapshot chain.
+
+    Models CRIU restore: every page of every snapshot in the chain is read
+    and pieced together (the paper's §7.5 observation that incremental
+    CRIU restores are the slowest), then objects are revived.
+    """
+    if not snapshots:
+        raise SnapshotError("no snapshots to restore from")
+    # Piece the image together: every page of every snapshot in the chain
+    # is physically copied into the reassembled address space, with later
+    # snapshots overwriting earlier pages — this byte movement is why
+    # incremental CRIU restores are the slowest (§7.5).
+    image: Dict[int, bytearray] = {}
+    for snapshot in snapshots:
+        for index, page in snapshot.pages.items():
+            image[index] = bytearray(page)
+
+    final = snapshots[-1]
+    restored: Dict[str, Any] = {}
+    for name, (payload, reference) in final.variables.items():
+        if payload is None:
+            restored[name] = reference
+            continue
+        try:
+            restored[name] = pickle.loads(payload)
+        except Exception:
+            # A bit-for-bit image restore cannot fail; fall back to the
+            # exact object the image would have preserved.
+            restored[name] = reference
+    return restored
+
+
+def _picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj, protocol=5)
+        return True
+    except Exception:
+        return False
+
+
+def _offprocess_variables(items: Dict[str, Any]) -> Set[str]:
+    from repro.libsim.devices import contains_offprocess
+
+    return {name for name, value in items.items() if contains_offprocess(value)}

@@ -1,0 +1,13 @@
+"""State-delta trackers compared in §7.6 of the paper."""
+
+from repro.tracking.base import Tracker, TrackingCost
+from repro.tracking.ipyflow import IPyFlowTracker
+from repro.tracking.kishu_tracker import AblatedKishuTracker, KishuTracker
+
+__all__ = [
+    "Tracker",
+    "TrackingCost",
+    "IPyFlowTracker",
+    "KishuTracker",
+    "AblatedKishuTracker",
+]

@@ -1,0 +1,61 @@
+"""Common interface for state-delta trackers (§7.6 of the paper).
+
+A tracker observes cell executions and determines what changed in the
+session state. The benchmark harness measures each tracker's *overhead*:
+time spent tracking, per cell and cumulatively, reported as seconds and as
+a fraction of cell/notebook runtime (Table 6, Fig 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.kernel.cells import Cell, CellResult
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord
+
+
+@dataclass
+class TrackingCost:
+    """Tracking overhead attributable to one cell execution."""
+
+    cell_index: int
+    seconds: float
+    cell_duration: float
+    failed: bool = False
+    failure_reason: str = ""
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Tracker time as a multiple of the cell's own runtime (Fig 17)."""
+        if self.cell_duration <= 0:
+            return float("inf") if self.seconds > 0 else 0.0
+        return self.seconds / self.cell_duration
+
+
+class Tracker:
+    """Interface implemented by the three §7.6 trackers."""
+
+    name = "abstract"
+
+    def __init__(self, kernel: NotebookKernel) -> None:
+        self.kernel = kernel
+        self.costs: List[TrackingCost] = []
+        self.failed = False
+        self.failure_reason = ""
+
+    def before_cell(self, cell: Cell) -> None:
+        """Called immediately before the cell body runs."""
+
+    def after_cell(self, result: CellResult, record: Optional[AccessRecord]) -> None:
+        """Called after the cell body; must append one TrackingCost."""
+        raise NotImplementedError
+
+    def total_tracking_seconds(self) -> float:
+        return sum(cost.seconds for cost in self.costs)
+
+    def overhead_fraction_of(self, notebook_runtime: float) -> float:
+        if notebook_runtime <= 0:
+            return 0.0
+        return self.total_tracking_seconds() / notebook_runtime

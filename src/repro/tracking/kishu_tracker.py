@@ -1,0 +1,49 @@
+"""Kishu's tracker and its check-all ablation, under the §7.6 interface.
+
+* :class:`KishuTracker` — live object comparison *between* cell
+  executions, pruned to co-variables with an accessed member (§4.3).
+* :class:`AblatedKishuTracker` — the paper's "AblatedKishu (Check all)":
+  identical machinery with pruning disabled, re-checking every co-variable
+  in the state after every cell. Its overhead grows with total state size
+  (the paper's Sklearn 4936× cell); the pruned tracker's does not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.covariable import CoVariablePool
+from repro.core.delta import DeltaDetector
+from repro.kernel.cells import CellResult
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord
+from repro.tracking.base import Tracker, TrackingCost
+
+
+class KishuTracker(Tracker):
+    """Access-pruned co-variable delta detection (Kishu, §4.3)."""
+
+    name = "Kishu"
+    _check_all = False
+
+    def __init__(self, kernel: NotebookKernel) -> None:
+        super().__init__(kernel)
+        self.pool = CoVariablePool()
+        self.detector = DeltaDetector(self.pool, check_all=self._check_all)
+
+    def after_cell(self, result: CellResult, record: Optional[AccessRecord]) -> None:
+        delta = self.detector.detect(record, self.kernel.user_variables())
+        self.costs.append(
+            TrackingCost(
+                cell_index=len(self.costs),
+                seconds=delta.detection_seconds,
+                cell_duration=result.duration,
+            )
+        )
+
+
+class AblatedKishuTracker(KishuTracker):
+    """AblatedKishu (Check all): no access pruning."""
+
+    name = "AblatedKishu (Check all)"
+    _check_all = True

@@ -1,0 +1,47 @@
+"""Evaluation workloads: the 8 notebooks of Table 2 plus synthetic sweeps."""
+
+from repro.workloads.notebooks import (
+    NOTEBOOK_BUILDERS,
+    build_all,
+    build_cluster,
+    build_hw_lm,
+    build_notebook,
+    build_qiskit,
+    build_ray,
+    build_sklearn,
+    build_storesales,
+    build_torchgpu,
+    build_tps,
+)
+from repro.workloads.spec import NotebookSpec, make_cells
+from repro.workloads.stats import (
+    CellAccessStats,
+    NotebookAccessStats,
+    covariable_census,
+    covariable_size_fractions,
+    measure_access_patterns,
+)
+from repro.workloads.synth import long_session_cells, shared_referencing_workload
+
+__all__ = [
+    "NotebookSpec",
+    "make_cells",
+    "NOTEBOOK_BUILDERS",
+    "build_all",
+    "build_notebook",
+    "build_cluster",
+    "build_tps",
+    "build_sklearn",
+    "build_hw_lm",
+    "build_storesales",
+    "build_qiskit",
+    "build_torchgpu",
+    "build_ray",
+    "CellAccessStats",
+    "NotebookAccessStats",
+    "measure_access_patterns",
+    "covariable_census",
+    "covariable_size_fractions",
+    "long_session_cells",
+    "shared_referencing_workload",
+]

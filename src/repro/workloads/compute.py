@@ -1,0 +1,32 @@
+"""Simulated heavy computation for workload cells.
+
+The paper's notebooks spend seconds-to-minutes in data loads and model
+fits. Our synthetic equivalents must reproduce not just the *duration* of
+that work but its *execution character*: real fits run a stream of Python
+bytecode dispatching into C kernels, so instrumentation-based trackers
+(IPyFlow's per-statement live resolution, §7.6) pay per executed line,
+while between-cell trackers (Kishu) pay nothing.
+
+:func:`simulate_compute` burns the requested wall-clock time in a loop
+whose per-iteration C work (a 4 KiB blake2b digest) keeps the Python
+line-event rate near that of numeric library code — a ``time.sleep``
+would generate *no* events and unrealistically favour tracing-based
+tools.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+_PAYLOAD = b"\x00" * 4096
+
+
+def simulate_compute(seconds: float) -> int:
+    """Busy-execute for ``seconds``; returns the loop iteration count."""
+    deadline = time.perf_counter() + seconds
+    iterations = 0
+    while time.perf_counter() < deadline:
+        hashlib.blake2b(_PAYLOAD).digest()
+        iterations += 1
+    return iterations

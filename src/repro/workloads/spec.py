@@ -1,0 +1,78 @@
+"""Notebook workload specifications (Table 2 / Table 8 of the paper).
+
+A :class:`NotebookSpec` is an executable description of one evaluation
+notebook: its cells (source + tags), its category metadata (final vs
+in-progress, hidden states, out-of-order cells), and the cell indices the
+checkout experiments target (undo cells for Fig 15, the pre-model branch
+point for Fig 16).
+
+Cell tags used by the experiments:
+
+* ``"deterministic"`` — manual Det-replay annotation (§7.1 footnote 6);
+* ``"undo-target"``   — a dataframe/plot operation §7.5.1 undoes;
+* ``"model-train"``   — a model-fitting cell; the Fig 16 branch point is
+  the last checkpoint before the first of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kernel.cells import Cell
+
+
+@dataclass(frozen=True)
+class NotebookSpec:
+    """One evaluation notebook."""
+
+    name: str
+    topic: str
+    library: str
+    final: bool
+    hidden_states: int
+    out_of_order_cells: int
+    cells: Tuple[Cell, ...]
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    @property
+    def undo_target_indices(self) -> List[int]:
+        """0-based indices of cells tagged as undo targets (Fig 15)."""
+        return [i for i, cell in enumerate(self.cells) if cell.has_tag("undo-target")]
+
+    @property
+    def primary_undo_index(self) -> Optional[int]:
+        """The paper's canonical undo cell for this notebook (§7.5.1), if
+        one is tagged; falls back to the last undo target (typically a
+        small plot/aux operation late in the notebook)."""
+        for i, cell in enumerate(self.cells):
+            if cell.has_tag("undo-primary"):
+                return i
+        targets = self.undo_target_indices
+        return targets[-1] if targets else None
+
+    @property
+    def branch_point_index(self) -> Optional[int]:
+        """Index of the last cell before any model training (Fig 16):
+        the state the path-exploration experiment checks out to."""
+        for i, cell in enumerate(self.cells):
+            if cell.has_tag("model-train"):
+                return i - 1 if i > 0 else None
+        return None
+
+    @property
+    def category(self) -> str:
+        return "final" if self.final else "in-progress"
+
+
+def make_cells(entries: Sequence[Tuple[str, Sequence[str]]]) -> Tuple[Cell, ...]:
+    """Build a cell tuple from (source, tags) pairs."""
+    cells = []
+    for index, (source, tags) in enumerate(entries):
+        cells.append(
+            Cell(source=source, cell_id=f"cell-{index}", tags=frozenset(tags))
+        )
+    return tuple(cells)

@@ -1,0 +1,110 @@
+"""Synthetic parameter-sweep workloads (§7.7 of the paper).
+
+Two generators:
+
+* :func:`shared_referencing_workload` — Fig 18: ten equal arrays, *k* of
+  them bundled into one list (one co-variable covering k/10 of the state);
+  the test cell modifies a single array inside the list. Sweeping *k*
+  sweeps the fraction of state data in the updated co-variable.
+* :func:`long_session_cells` — Fig 19: after one full pass over a
+  notebook, randomly re-execute its cells up to 1000 times (the longest
+  notebook observed on Kaggle), growing the checkpoint graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kernel.cells import Cell
+from repro.workloads.spec import NotebookSpec, make_cells
+
+
+def shared_referencing_workload(
+    arrays_in_covariable: int,
+    *,
+    n_arrays: int = 10,
+    array_kb: int = 512,
+) -> NotebookSpec:
+    """Fig 18 workload: ``arrays_in_covariable`` of ``n_arrays`` equal
+    numpy arrays are inside one list; the rest stand alone. The final cell
+    modifies one array *inside the list*, so exactly one co-variable — of
+    size k/n of the state — is updated.
+
+    ``array_kb`` scales the paper's 64 MB arrays down to laptop size; the
+    sweep shape depends only on the ratio.
+    """
+    if not 1 <= arrays_in_covariable <= n_arrays:
+        raise ValueError(
+            f"arrays_in_covariable must be in [1, {n_arrays}],"
+            f" got {arrays_in_covariable}"
+        )
+    elements = array_kb * 1024 // 8
+    entries = [
+        ("import numpy as np", ()),
+        (f"N_ELEMENTS = {elements}", ()),
+    ]
+    for i in range(n_arrays):
+        entries.append(
+            (
+                f"arr_{i} = np.random.default_rng({i}).random(N_ELEMENTS)",
+                (),
+            )
+        )
+    bundled = ", ".join(f"arr_{i}" for i in range(arrays_in_covariable))
+    entries.append((f"bundle = [{bundled}]", ()))
+    # The probe cell: an in-place rewrite of one whole array inside the
+    # bundle (the paper modifies one of the ten 64 MB arrays).
+    entries.append(("bundle[0][:] = bundle[0] * 1.01 + 0.5", ("probe",)))
+    return NotebookSpec(
+        name=f"SharedRef-{arrays_in_covariable}of{n_arrays}",
+        topic="Shared-referencing sweep",
+        library="numpy",
+        final=True,
+        hidden_states=0,
+        out_of_order_cells=0,
+        cells=make_cells(entries),
+    )
+
+
+def long_session_cells(
+    spec: NotebookSpec, n_executions: int, *, seed: int = 0
+) -> List[Cell]:
+    """Fig 19 workload: a random re-execution sequence over a notebook.
+
+    The returned list starts with one full in-order pass (so every
+    variable exists) and continues with randomly chosen cell re-executions
+    until ``n_executions`` total. Import and read-only cells re-execute
+    safely; cells with one-shot dependencies are skipped from the
+    re-execution pool (determined by a dry run).
+    """
+    rng = np.random.default_rng(seed)
+    full_pass = list(spec.cells)
+    if n_executions <= len(full_pass):
+        return full_pass[:n_executions]
+
+    reexecutable = _reexecutable_cells(spec)
+    sequence = list(full_pass)
+    while len(sequence) < n_executions:
+        sequence.append(reexecutable[int(rng.integers(0, len(reexecutable)))])
+    return sequence
+
+
+def _reexecutable_cells(spec: NotebookSpec) -> List[Cell]:
+    """Cells that can safely re-run after a full pass (dry-run check)."""
+    from repro.kernel.kernel import NotebookKernel
+
+    kernel = NotebookKernel()
+    for cell in spec.cells:
+        kernel.run_cell(cell)
+    safe: List[Cell] = []
+    for cell in spec.cells:
+        try:
+            kernel.run_cell(cell)
+            safe.append(cell)
+        except Exception:
+            continue
+    if not safe:
+        raise ValueError(f"notebook {spec.name!r} has no re-executable cells")
+    return safe

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import KishuSession
+from repro.core.storage import InMemoryCheckpointStore, SQLiteCheckpointStore
+from repro.kernel.kernel import NotebookKernel
+from repro.libsim.devices import reset_stores
+
+
+@pytest.fixture(autouse=True)
+def clean_device_stores():
+    """Each test starts with empty simulated GPU/remote stores."""
+    reset_stores()
+    yield
+    reset_stores()
+
+
+@pytest.fixture
+def kernel() -> NotebookKernel:
+    return NotebookKernel()
+
+
+@pytest.fixture
+def session(kernel) -> KishuSession:
+    """A Kishu session attached to a fresh kernel, in-memory store."""
+    return KishuSession.init(kernel)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def any_store(request):
+    """Both checkpoint-store backends, for parity testing."""
+    if request.param == "memory":
+        store = InMemoryCheckpointStore()
+    else:
+        store = SQLiteCheckpointStore(":memory:")
+    yield store
+    store.close()

@@ -1,0 +1,208 @@
+"""Tests for the baseline checkpoint/checkout methods (§7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CRIUIncrementalMethod,
+    CRIUMethod,
+    DetReplayMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+    KishuMethod,
+    KVStoreMethod,
+)
+from repro.bench import run_notebook_with_method, undo_experiment
+from repro.workloads.spec import NotebookSpec, make_cells
+
+
+def small_notebook() -> NotebookSpec:
+    entries = [
+        ("xs = [1, 2, 3]", ()),
+        ("ys = {'ref': xs}", ()),
+        ("total = sum(xs)", ()),
+        ("xs.append(4)", ("undo-target",)),
+        ("final = sum(xs)", ()),
+    ]
+    return NotebookSpec(
+        name="Tiny",
+        topic="test",
+        library="none",
+        final=True,
+        hidden_states=0,
+        out_of_order_cells=0,
+        cells=make_cells(entries),
+    )
+
+
+ALL_FACTORIES = [
+    KishuMethod,
+    DetReplayMethod,
+    CRIUMethod,
+    CRIUIncrementalMethod,
+    DumpSessionMethod,
+    ElasticNotebookMethod,
+    KVStoreMethod,
+]
+
+
+class TestAllMethodsBasic:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+    def test_checkpoint_and_checkout_roundtrip(self, factory):
+        run = run_notebook_with_method(small_notebook(), factory)
+        assert run.checkpoint_failures == 0
+        cost = run.method.checkout(2)  # state after "total = sum(xs)"
+        assert not cost.failed
+        assert cost.restored["xs"] == [1, 2, 3]
+        assert cost.restored["total"] == 6
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+    def test_storage_accounted(self, factory):
+        run = run_notebook_with_method(small_notebook(), factory)
+        assert run.total_storage_bytes > 0
+        assert run.total_checkpoint_seconds > 0
+
+
+class TestSharedReferenceCorrectness:
+    def test_kishu_preserves_shared_references(self):
+        run = run_notebook_with_method(small_notebook(), KishuMethod)
+        cost = run.method.checkout(2)
+        assert cost.restored["ys"]["ref"] is cost.restored["xs"]
+
+    def test_dumpsession_preserves_shared_references(self):
+        run = run_notebook_with_method(small_notebook(), DumpSessionMethod)
+        cost = run.method.checkout(2)
+        assert cost.restored["ys"]["ref"] is cost.restored["xs"]
+
+    def test_kvstore_breaks_shared_references(self):
+        # The §2.4 motivation: per-variable stores sever aliasing.
+        run = run_notebook_with_method(small_notebook(), KVStoreMethod)
+        cost = run.method.checkout(2)
+        assert cost.restored["ys"]["ref"] == cost.restored["xs"]
+        assert cost.restored["ys"]["ref"] is not cost.restored["xs"]
+
+
+class TestFailureModes:
+    def offprocess_notebook(self) -> NotebookSpec:
+        entries = [
+            ("from repro.libsim.deep_learning import SimTorchTensorGPU", ()),
+            ("tensor = SimTorchTensorGPU(shape=(4, 4), seed=0)", ()),
+            ("tensor.scale_(2.0)", ()),
+        ]
+        return NotebookSpec(
+            name="GPU", topic="t", library="l", final=True,
+            hidden_states=0, out_of_order_cells=0, cells=make_cells(entries),
+        )
+
+    def unserializable_notebook(self) -> NotebookSpec:
+        entries = [
+            ("import hashlib", ()),
+            ("digest = hashlib.sha256(b'x')", ()),
+            ("count = 1", ()),
+        ]
+        return NotebookSpec(
+            name="Hash", topic="t", library="l", final=True,
+            hidden_states=0, out_of_order_cells=0, cells=make_cells(entries),
+        )
+
+    def test_criu_fails_on_offprocess_state(self):
+        run = run_notebook_with_method(self.offprocess_notebook(), CRIUMethod)
+        assert run.checkpoint_failures >= 2  # every cell after the tensor
+
+    def test_kishu_handles_offprocess_state(self):
+        spec = self.offprocess_notebook()
+        run = run_notebook_with_method(spec, KishuMethod)
+        assert run.checkpoint_failures == 0
+        cost = run.method.checkout(1)
+        assert not cost.failed
+        assert cost.restored["tensor"].cpu().data.shape == (4, 4)
+
+    def test_dumpsession_fails_on_unserializable_state(self):
+        run = run_notebook_with_method(self.unserializable_notebook(), DumpSessionMethod)
+        assert run.checkpoint_failures >= 2  # every dump after the hash
+
+    def test_kishu_handles_unserializable_state(self):
+        run = run_notebook_with_method(self.unserializable_notebook(), KishuMethod)
+        assert run.checkpoint_failures == 0
+        cost = run.method.checkout(2)
+        assert not cost.failed
+        assert cost.restored["count"] == 1
+        assert cost.restored["digest"].name == "sha256"
+
+
+class TestCheckoutSemantics:
+    def test_kishu_checkout_is_in_place(self):
+        spec = small_notebook()
+        run = run_notebook_with_method(spec, KishuMethod)
+        cost = run.method.checkout(2)
+        assert not cost.kernel_killed
+        # The live kernel itself was rewound.
+        assert run.kernel.get("xs") == [1, 2, 3]
+
+    def test_criu_checkout_kills_kernel(self):
+        spec = small_notebook()
+        run = run_notebook_with_method(spec, CRIUMethod)
+        cost = run.method.checkout(2)
+        assert cost.kernel_killed
+        # The original kernel is untouched (a new process replaced it).
+        assert run.kernel.get("xs") == [1, 2, 3, 4]
+
+    def test_criu_incremental_checkout_needs_full_chain(self):
+        spec = small_notebook()
+        run = run_notebook_with_method(spec, CRIUIncrementalMethod)
+        cost = run.method.checkout(4)
+        assert not cost.failed
+        assert cost.restored["final"] == 10
+
+    def test_elastic_replays_recompute_set(self):
+        spec = small_notebook()
+        run = run_notebook_with_method(spec, ElasticNotebookMethod)
+        cost = run.method.checkout(4)
+        assert not cost.failed
+        assert cost.restored["final"] == 10
+
+
+class TestDetReplay:
+    def test_deterministic_cells_save_storage(self):
+        entries = [
+            ("data = list(range(5000))", ()),
+            ("model = sorted(data)", ("deterministic",)),
+            ("tail = model[-1]", ()),
+        ]
+        spec = NotebookSpec(
+            name="Det", topic="t", library="l", final=True,
+            hidden_states=0, out_of_order_cells=0, cells=make_cells(entries),
+        )
+        kishu_run = run_notebook_with_method(spec, KishuMethod)
+        det_run = run_notebook_with_method(spec, DetReplayMethod)
+        assert det_run.total_storage_bytes < kishu_run.total_storage_bytes
+
+    def test_replay_restores_correctly(self):
+        entries = [
+            ("data = [3, 1, 2]", ()),
+            ("model = sorted(data)", ("deterministic",)),
+            ("model = None", ()),
+        ]
+        spec = NotebookSpec(
+            name="Det", topic="t", library="l", final=True,
+            hidden_states=0, out_of_order_cells=0, cells=make_cells(entries),
+        )
+        run = run_notebook_with_method(spec, DetReplayMethod)
+        cost = run.method.checkout(1)
+        assert cost.restored["model"] == [1, 2, 3]
+
+
+class TestUndoHarness:
+    def test_undo_experiment_reports_measurements(self):
+        run, undos = undo_experiment(small_notebook(), KishuMethod)
+        assert len(undos) == 1
+        assert undos[0].cell_index == 3
+        assert not undos[0].cost.failed
+        # After undo+redo, the session continued to the end.
+        assert run.kernel.get("final") == 10
+
+    def test_undo_restores_pre_cell_state(self):
+        run, undos = undo_experiment(small_notebook(), DumpSessionMethod)
+        restored = undos[0].cost.restored
+        assert restored["xs"] == [1, 2, 3]  # before the append

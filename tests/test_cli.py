@@ -1,0 +1,107 @@
+"""Tests for the interactive command-palette REPL (the demo surface)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import KishuRepl
+
+
+def run_script(*lines: str) -> str:
+    """Drive a REPL with scripted input; returns everything it printed."""
+    stdin = io.StringIO("\n".join(lines) + "\n")
+    stdout = io.StringIO()
+    repl = KishuRepl(stdin=stdin, stdout=stdout)
+    repl.run()
+    return stdout.getvalue()
+
+
+class TestCellExecution:
+    def test_expression_prints_out_value(self):
+        output = run_script("1 + 1", "%quit")
+        assert "Out[1]: 2" in output
+
+    def test_state_persists(self):
+        output = run_script("x = 10", "x * 2", "%quit")
+        assert "Out[2]: 20" in output
+
+    def test_stdout_forwarded(self):
+        output = run_script("print('hello there')", "%quit")
+        assert "hello there" in output
+
+    def test_errors_reported_not_fatal(self):
+        output = run_script("1 / 0", "2 + 2", "%quit")
+        assert "ZeroDivisionError" in output
+        assert "Out[2]: 4" in output
+
+    def test_blank_lines_ignored(self):
+        output = run_script("", "   ", "%quit")
+        assert "bye" in output
+
+
+class TestCommands:
+    def test_log_lists_checkpoints(self):
+        output = run_script("a = 1", "b = 2", "%log", "%quit")
+        assert "t1" in output
+        assert "t2" in output
+        assert "* t2" in output  # head marker
+
+    def test_undo_restores_previous_state(self):
+        output = run_script(
+            "data = [1, 2, 3]",
+            "data.clear()",
+            "%undo",
+            "len(data)",
+            "%quit",
+        )
+        assert "Out[3]: 3" in output
+
+    def test_checkout_by_id(self):
+        output = run_script(
+            "x = 'first'",
+            "x = 'second'",
+            "%checkout t1",
+            "x",
+            "%quit",
+        )
+        assert "Out[3]: 'first'" in output
+
+    def test_checkout_bad_id(self):
+        output = run_script("x = 1", "%checkout t99", "%quit")
+        assert "checkout failed" in output
+
+    def test_checkout_usage_message(self):
+        output = run_script("%checkout", "%quit")
+        assert "usage" in output
+
+    def test_undo_with_no_history(self):
+        output = run_script("%undo", "%quit")
+        assert "nothing to undo" in output
+
+    def test_vars_lists_names_and_types(self):
+        output = run_script("n = 5", "s = 'text'", "%vars", "%quit")
+        assert "n: int" in output
+        assert "s: str" in output
+
+    def test_vars_empty(self):
+        output = run_script("%vars", "%quit")
+        assert "empty namespace" in output
+
+    def test_state_shows_versions(self):
+        output = run_script("x = 1", "%state", "%quit")
+        assert "{x} @ t1" in output
+
+    def test_help(self):
+        output = run_script("%help", "%quit")
+        assert "%checkout" in output
+        assert "%log" in output
+
+    def test_unknown_command(self):
+        output = run_script("%frobnicate", "%quit")
+        assert "unknown command %frobnicate" in output
+
+    def test_eof_terminates(self):
+        output = run_script("x = 1")  # no %quit: EOF ends the loop
+        assert "kishu session started" in output

@@ -1,0 +1,113 @@
+"""Tests for co-variable membership and the pool (§4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.covariable import (
+    CoVariablePool,
+    covar_key,
+    group_into_components,
+)
+from repro.core.vargraph import VarGraphBuilder
+
+
+@pytest.fixture
+def builder():
+    return VarGraphBuilder()
+
+
+class TestGrouping:
+    def test_independent_variables_are_singletons(self, builder):
+        graphs = builder.build_many({"a": [1], "b": [2], "c": 3})
+        components = group_into_components(graphs)
+        assert sorted(map(sorted, components)) == [["a"], ["b"], ["c"]]
+
+    def test_shared_reference_groups(self, builder):
+        shared = [1, 2]
+        graphs = builder.build_many({"x": {"ref": shared}, "y": [shared], "z": [9]})
+        components = {frozenset(c) for c in group_into_components(graphs)}
+        assert frozenset({"x", "y"}) in components
+        assert frozenset({"z"}) in components
+
+    def test_transitive_sharing_groups(self, builder):
+        a, b = [1], [2]
+        graphs = builder.build_many(
+            {"p": [a], "q": [a, b], "r": [b]}  # p~q via a, q~r via b
+        )
+        components = group_into_components(graphs)
+        assert len(components) == 1
+        assert components[0] == {"p", "q", "r"}
+
+    def test_paper_fig3_example(self, builder):
+        # {ser, obj} share 'b'-like object; {df} is independent.
+        shared_cell = ["b-value"]
+
+        class Obj:
+            pass
+
+        obj = Obj()
+        obj.foo = shared_cell
+        ser = {"0": ["a"], "1": shared_cell, "2": ["c"]}
+        df = {"col": np.arange(4)}
+        graphs = builder.build_many({"ser": ser, "obj": obj, "df": df})
+        components = {frozenset(c) for c in group_into_components(graphs)}
+        assert components == {frozenset({"ser", "obj"}), frozenset({"df"})}
+
+
+class TestPool:
+    def test_from_namespace(self, builder):
+        shared = [0]
+        pool = CoVariablePool.from_namespace(
+            {"x": shared, "y": {"r": shared}, "z": 1}, builder
+        )
+        assert len(pool) == 2
+        assert pool.key_of("x") == covar_key({"x", "y"})
+        assert pool.key_of("z") == covar_key({"z"})
+
+    def test_covariable_of(self, builder):
+        pool = CoVariablePool.from_namespace({"a": [1]}, builder)
+        covariable = pool.covariable_of("a")
+        assert covariable is not None
+        assert covariable.names == covar_key({"a"})
+        assert pool.covariable_of("missing") is None
+
+    def test_replace_swaps_atomically(self, builder):
+        pool = CoVariablePool.from_namespace({"a": [1], "b": [2]}, builder)
+        graphs = builder.build_many({"a": [1, 2]})
+        from repro.core.covariable import CoVariable
+
+        new = CoVariable(names=covar_key({"a"}), graphs=graphs)
+        pool.replace([covar_key({"a"}), covar_key({"b"})], [new])
+        assert pool.keys() == {covar_key({"a"})}
+        assert pool.key_of("b") is None
+
+    def test_type_names_cover_reachable_objects(self, builder):
+        pool = CoVariablePool.from_namespace({"d": {"k": [1.5]}}, builder)
+        names = pool.covariable_of("d").type_names()
+        assert "dict" in names
+        assert "list" in names
+        assert "float" in names
+
+    def test_opaque_flag(self, builder):
+        pool = CoVariablePool.from_namespace(
+            {"g": (i for i in range(2)), "x": 1}, builder
+        )
+        assert pool.covariable_of("g").opaque
+        assert not pool.covariable_of("x").opaque
+
+    def test_id_set_union(self, builder):
+        shared = [1]
+        pool = CoVariablePool.from_namespace({"x": [shared], "y": [shared]}, builder)
+        covariable = pool.covariable_of("x")
+        assert id(shared) in covariable.id_set
+
+    def test_rebuild_for_names_skips_missing(self, builder):
+        pool = CoVariablePool.from_namespace({"a": [1]}, builder)
+        graphs = pool.rebuild_for_names({"a", "gone"}, {"a": [1]})
+        assert set(graphs) == {"a"}
+
+    def test_all_names(self, builder):
+        pool = CoVariablePool.from_namespace({"a": 1, "b": 2}, builder)
+        assert pool.all_names() == {"a", "b"}

@@ -1,0 +1,148 @@
+"""Tests for co-variable granularity delta detection (§4.2–4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covariable import CoVariablePool, covar_key
+from repro.core.delta import DeltaDetector
+from repro.kernel.namespace import PatchedNamespace
+
+
+def run_tracked(ns: PatchedNamespace, code: str):
+    ns.begin_recording()
+    exec(code, ns)
+    return ns.end_recording()
+
+
+@pytest.fixture
+def env():
+    """(namespace, pool, detector) seeded with a small state."""
+    ns = PatchedNamespace()
+    exec("ser = {'k': ['b']}\nobj_foo = ser['k']\ndf = [1.0] * 8\n", ns)
+    pool = CoVariablePool.from_namespace(ns.user_items())
+    detector = DeltaDetector(pool)
+    return ns, pool, detector
+
+
+class TestUpdateKinds:
+    def test_creation(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "fresh = [1, 2]")
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"fresh"}) in delta.created
+        assert not delta.modified
+        assert not delta.deleted
+
+    def test_inplace_modification(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "df.append(2.0)")
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"df"}) in delta.modified
+
+    def test_deletion_of_singleton(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "del df")
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"df"}) in delta.deleted
+
+    def test_merge_creates_new_covariable(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "df.append(ser['k'])")
+        delta = detector.detect(record, ns.user_items())
+        merged = covar_key({"ser", "obj_foo", "df"})
+        assert merged in delta.created
+        assert covar_key({"df"}) in delta.deleted
+        assert covar_key({"ser", "obj_foo"}) in delta.deleted
+        assert pool.key_of("df") == merged
+
+    def test_split_on_reassignment(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "obj_foo = [9]")
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"ser", "obj_foo"}) in delta.deleted
+        assert covar_key({"ser"}) in delta.created
+        assert covar_key({"obj_foo"}) in delta.created
+
+    def test_no_op_read_not_flagged(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "len(df)")
+        delta = detector.detect(record, ns.user_items())
+        assert delta.is_empty
+
+    def test_modification_through_alias_detected_on_both_members(self, env):
+        # Modify the shared component through ser; obj_foo's graph changes
+        # too, but the co-variable is reported exactly once.
+        ns, pool, detector = env
+        record = run_tracked(ns, "ser['k'].append('c')")
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"ser", "obj_foo"}) in delta.modified
+        assert len(delta.modified) == 1
+
+
+class TestAccessPruning:
+    def test_unaccessed_covariables_not_checked(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "df.append(3.0)")
+        delta = detector.detect(record, ns.user_items())
+        assert "ser" not in delta.checked_names
+        assert "obj_foo" not in delta.checked_names
+        assert "df" in delta.checked_names
+
+    def test_accessing_one_member_checks_whole_covariable(self, env):
+        # Lemma 1's converse: an access to ser requires re-checking
+        # obj_foo as well, since the shared objects may have changed.
+        ns, pool, detector = env
+        record = run_tracked(ns, "ser['k'][0] = 'B'")
+        delta = detector.detect(record, ns.user_items())
+        assert {"ser", "obj_foo"} <= delta.checked_names
+
+    def test_check_all_checks_everything(self, env):
+        ns, pool, _ = env
+        detector = DeltaDetector(pool, check_all=True)
+        record = run_tracked(ns, "noop = 1")
+        delta = detector.detect(record, ns.user_items())
+        assert {"ser", "obj_foo", "df", "noop"} <= delta.checked_names
+
+    def test_none_record_is_conservative(self, env):
+        ns, pool, detector = env
+        delta = detector.detect(None, ns.user_items())
+        assert {"ser", "obj_foo", "df"} <= delta.checked_names
+
+    def test_accessed_keys_recorded_for_dependencies(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "df.append(sum(len(v) for v in ser.values()))")
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"df"}) in delta.accessed_keys
+        assert covar_key({"ser", "obj_foo"}) in delta.accessed_keys
+
+
+class TestConservativeCases:
+    def test_opaque_covariable_flagged_on_access(self):
+        ns = PatchedNamespace()
+        exec("gen = (i for i in range(5))\n", ns)
+        pool = CoVariablePool.from_namespace(ns.user_items())
+        detector = DeltaDetector(pool)
+        record = run_tracked(ns, "repr(gen)")  # read-only access
+        delta = detector.detect(record, ns.user_items())
+        assert covar_key({"gen"}) in delta.modified  # conservative
+
+    def test_empty_namespace(self):
+        ns = PatchedNamespace()
+        pool = CoVariablePool.from_namespace({})
+        detector = DeltaDetector(pool)
+        record = run_tracked(ns, "pass")
+        delta = detector.detect(record, ns.user_items())
+        assert delta.is_empty
+
+    def test_detection_seconds_populated(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "df.append(1.0)")
+        delta = detector.detect(record, ns.user_items())
+        assert delta.detection_seconds > 0
+
+    def test_updated_combines_created_and_modified(self, env):
+        ns, pool, detector = env
+        record = run_tracked(ns, "fresh = [0]\ndf.append(4.0)")
+        delta = detector.detect(record, ns.user_items())
+        assert set(delta.updated) == {covar_key({"fresh"}), covar_key({"df"})}

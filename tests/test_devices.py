@@ -1,0 +1,96 @@
+"""Tests for the simulated off-process stores."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.libsim.devices import (
+    GPU_STORE,
+    REMOTE_STORE,
+    DeviceStore,
+    OffProcessHandle,
+    contains_offprocess,
+    store_by_name,
+)
+
+
+class TestDeviceStore:
+    def test_put_get_delete(self):
+        store = DeviceStore("test")
+        key = store.put({"w": 1})
+        assert store.get(key) == {"w": 1}
+        assert key in store
+        store.delete(key)
+        assert key not in store
+
+    def test_explicit_key(self):
+        store = DeviceStore("test")
+        store.put("payload", key="mine")
+        assert store.get("mine") == "payload"
+
+    def test_store_by_name(self):
+        assert store_by_name("gpu") is GPU_STORE
+        assert store_by_name("remote") is REMOTE_STORE
+        with pytest.raises(KeyError):
+            store_by_name("tape")
+
+
+class TestOffProcessHandle:
+    def test_fetch_and_update(self):
+        handle = OffProcessHandle("gpu", np.zeros(4))
+        handle.update(np.ones(4))
+        assert handle.fetch().sum() == 4
+
+    def test_reduce_round_trips_payload(self):
+        original = OffProcessHandle("gpu", np.arange(8))
+        restored = pickle.loads(pickle.dumps(original, protocol=5))
+        assert np.array_equal(restored.fetch(), np.arange(8))
+        # The restored handle is a fresh device allocation, not the same key.
+        assert restored.key != original.key
+
+    def test_equality_compares_payloads(self):
+        left = OffProcessHandle("gpu", np.arange(3))
+        right = OffProcessHandle("gpu", np.arange(3))
+        assert left == right
+
+    def test_free_releases(self):
+        handle = OffProcessHandle("gpu", 1)
+        handle.free()
+        with pytest.raises(KeyError):
+            handle.fetch()
+
+
+class TestContainsOffprocess:
+    def test_direct_handle(self):
+        assert contains_offprocess(OffProcessHandle("gpu", 1))
+
+    def test_nested_in_containers(self):
+        handle = OffProcessHandle("remote", 1)
+        assert contains_offprocess([{"deep": (handle,)}])
+
+    def test_nested_in_instance_attributes(self):
+        class Holder:
+            def __init__(self):
+                self.inner = OffProcessHandle("gpu", 2)
+
+        assert contains_offprocess(Holder())
+
+    def test_plain_data_clean(self):
+        assert not contains_offprocess({"a": [1, 2], "b": np.zeros(3)})
+
+    def test_modules_never_offprocess(self):
+        assert not contains_offprocess(np)
+
+    def test_cycles_terminate(self):
+        loop = []
+        loop.append(loop)
+        assert not contains_offprocess(loop)
+
+    def test_depth_bound(self):
+        handle = OffProcessHandle("gpu", 1)
+        nested = [[[[[[[[[handle]]]]]]]]]
+        assert not contains_offprocess(nested, max_depth=3)
+        assert contains_offprocess(nested, max_depth=20)

@@ -1,0 +1,66 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CheckoutError,
+    CheckpointNotFoundError,
+    DeserializationError,
+    KernelError,
+    KishuError,
+    RestorationError,
+    SerializationError,
+    SnapshotError,
+    StorageError,
+    TrackingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SerializationError,
+            DeserializationError,
+            CheckpointNotFoundError,
+            CheckoutError,
+            RestorationError,
+            KernelError,
+            StorageError,
+            SnapshotError,
+            TrackingError,
+        ],
+    )
+    def test_all_derive_from_kishu_error(self, exc_type):
+        assert issubclass(exc_type, KishuError)
+
+    def test_restoration_is_a_checkout_error(self):
+        # Callers catching CheckoutError must also see fallback failures.
+        assert issubclass(RestorationError, CheckoutError)
+
+    def test_catching_base_covers_library_failures(self):
+        with pytest.raises(KishuError):
+            raise StorageError("lost payload")
+
+
+class TestSerializationError:
+    def test_message_names_the_covariable(self):
+        error = SerializationError({"b", "a"}, cause=TypeError("nope"))
+        assert "a, b" in str(error)
+        assert "nope" in str(error)
+
+    def test_carries_structured_fields(self):
+        cause = TypeError("boom")
+        error = SerializationError({"x"}, cause=cause)
+        assert error.covariable_names == frozenset({"x"})
+        assert error.cause is cause
+
+
+class TestKernelError:
+    def test_carries_cell_source_and_cause(self):
+        cause = NameError("nope")
+        error = KernelError("cell failed", cell_source="boom()", cause=cause)
+        assert error.cell_source == "boom()"
+        assert error.cause is cause

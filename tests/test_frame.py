@@ -1,0 +1,169 @@
+"""Tests for the columnar dataframe substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, Series
+
+
+class TestSeries:
+    def test_construction_and_len(self):
+        series = Series([1, 2, 3], name="s")
+        assert len(series) == 3
+        assert series.name == "s"
+
+    def test_arithmetic(self):
+        series = Series(np.array([1.0, 2.0]))
+        assert list((series + 1).values) == [2.0, 3.0]
+        assert list((series * 2).values) == [2.0, 4.0]
+        assert list((series - series).values) == [0.0, 0.0]
+
+    def test_comparison_produces_mask(self):
+        series = Series(np.array([1, 5, 3]))
+        mask = series > 2
+        assert list(mask.values) == [False, True, True]
+
+    def test_boolean_indexing(self):
+        series = Series(np.array([10, 20, 30]))
+        picked = series[series > 15]
+        assert list(picked.values) == [20, 30]
+
+    def test_setitem_mutates_in_place(self):
+        values = np.array([1, 2, 3])
+        series = Series(values)
+        series[0] = 9
+        assert values[0] == 9  # aliased, as pandas semantics require
+
+    def test_map(self):
+        series = Series(np.array([1, 2]))
+        assert list(series.map(lambda v: v * 10).values) == [10, 20]
+
+    def test_replace_inplace(self):
+        series = Series(np.array([1, 2, 1]))
+        series.replace_inplace(1, 7)
+        assert list(series.values) == [7, 2, 7]
+
+    def test_reductions(self):
+        series = Series(np.array([1.0, 3.0]))
+        assert series.sum() == 4.0
+        assert series.mean() == 2.0
+        assert series.min() == 1.0
+        assert series.max() == 3.0
+
+    def test_copy_is_independent(self):
+        series = Series(np.array([1, 2]))
+        clone = series.copy()
+        clone[0] = 99
+        assert series.values[0] == 1
+
+    def test_equality(self):
+        assert Series([1, 2], name="x") == Series([1, 2], name="x")
+        assert not (Series([1, 2], name="x") == Series([1, 3], name="x"))
+
+
+class TestDataFrame:
+    def test_shape_and_columns(self):
+        frame = DataFrame({"a": [1, 2], "b": [3.0, 4.0]})
+        assert frame.shape == (2, 2)
+        assert frame.columns == ["a", "b"]
+
+    def test_column_access_aliases_storage(self):
+        frame = DataFrame({"a": np.array([1, 2])})
+        series = frame["a"]
+        series[0] = 5
+        assert frame.column_array("a")[0] == 5
+
+    def test_length_mismatch_rejected(self):
+        frame = DataFrame({"a": [1, 2]})
+        with pytest.raises(ValueError):
+            frame["b"] = [1, 2, 3]
+
+    def test_drop_returns_new_frame_sharing_columns(self):
+        frame = DataFrame({"a": np.array([1]), "b": np.array([2])})
+        dropped = frame.drop("a")
+        assert dropped.columns == ["b"]
+        assert "a" in frame  # original untouched
+        assert dropped.column_array("b") is frame.column_array("b")
+
+    def test_drop_missing_column(self):
+        with pytest.raises(KeyError):
+            DataFrame({"a": [1]}).drop("zzz")
+
+    def test_drop_inplace(self):
+        frame = DataFrame({"a": [1], "b": [2]})
+        frame.drop_inplace("a")
+        assert frame.columns == ["b"]
+
+    def test_assign_shares_untouched_columns(self):
+        frame = DataFrame({"a": np.array([1, 2])})
+        extended = frame.assign(b=np.array([3, 4]))
+        assert extended.column_array("a") is frame.column_array("a")
+
+    def test_boolean_row_filter(self):
+        frame = DataFrame({"a": np.array([1, 5, 3])})
+        mask = frame["a"] > 2
+        filtered = frame[mask]
+        assert list(filtered.column_array("a")) == [5, 3]
+
+    def test_sort_values(self):
+        frame = DataFrame({"k": np.array([3, 1, 2]), "v": np.array([30, 10, 20])})
+        ordered = frame.sort_values("k")
+        assert list(ordered.column_array("v")) == [10, 20, 30]
+        descending = frame.sort_values("k", descending=True)
+        assert list(descending.column_array("v")) == [30, 20, 10]
+
+    def test_groupby_agg_mean(self):
+        frame = DataFrame(
+            {"key": np.array([0, 0, 1]), "value": np.array([2.0, 4.0, 10.0])}
+        )
+        result = frame.groupby_agg("key", "value", "mean")
+        assert list(result.column_array("value")) == [3.0, 10.0]
+
+    def test_groupby_agg_sum_and_count(self):
+        frame = DataFrame({"key": np.array([0, 0, 1]), "value": np.array([1.0, 2.0, 3.0])})
+        assert list(frame.groupby_agg("key", "value", "sum").column_array("value")) == [3.0, 3.0]
+        assert list(frame.groupby_agg("key", "value", "count").column_array("value")) == [2.0, 1.0]
+
+    def test_groupby_unknown_aggregate(self):
+        frame = DataFrame({"key": np.array([0]), "value": np.array([1.0])})
+        with pytest.raises(ValueError):
+            frame.groupby_agg("key", "value", "median")
+
+    def test_describe_numeric_only(self):
+        frame = DataFrame({"n": np.array([1.0, 3.0]), "s": np.array(["a", "b"])})
+        summary = frame.describe()
+        assert summary["n"]["mean"] == 2.0
+        assert "s" not in summary
+
+    def test_train_test_split_deterministic_with_seed(self):
+        frame = DataFrame.from_random(100, 3, seed=1)
+        a_train, a_test = frame.train_test_split(0.25, seed=42)
+        b_train, b_test = frame.train_test_split(0.25, seed=42)
+        assert a_train == b_train
+        assert len(a_test) == 25
+
+    def test_train_test_split_varies_with_seed(self):
+        frame = DataFrame.from_random(100, 3, seed=1)
+        a_train, _ = frame.train_test_split(0.25, seed=1)
+        b_train, _ = frame.train_test_split(0.25, seed=2)
+        assert a_train != b_train
+
+    def test_head(self):
+        frame = DataFrame.from_random(10, 2, seed=0)
+        assert len(frame.head(3)) == 3
+
+    def test_apply_inplace(self):
+        frame = DataFrame({"a": np.array([1.0, 2.0])})
+        frame.apply_inplace("a", lambda col: col * 10)
+        assert list(frame.column_array("a")) == [10.0, 20.0]
+
+    def test_nbytes_positive(self):
+        assert DataFrame.from_random(10, 2).nbytes > 0
+
+    def test_equality(self):
+        left = DataFrame({"a": np.array([1, 2])})
+        right = DataFrame({"a": np.array([1, 2])})
+        assert left == right
+        assert not (left == DataFrame({"a": np.array([1, 3])}))

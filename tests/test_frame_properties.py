@@ -1,0 +1,124 @@
+"""Property-based tests for the dataframe substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame, Series
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+columns_strategy = st.dictionaries(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=122),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(min_value=0, max_value=50),  # per-column fill value
+    min_size=1,
+    max_size=5,
+)
+
+
+def make_frame(spec: dict, n_rows: int) -> DataFrame:
+    return DataFrame(
+        {name: np.full(n_rows, float(fill)) for name, fill in spec.items()}
+    )
+
+
+class TestFrameProperties:
+    @settings(max_examples=50)
+    @given(columns_strategy, st.integers(min_value=1, max_value=40))
+    def test_drop_then_assign_is_identity_on_values(self, spec, n_rows):
+        frame = make_frame(spec, n_rows)
+        column = sorted(spec)[0]
+        values = frame.column_array(column)
+        rebuilt = frame.drop(column).assign(**{column: values})
+        assert sorted(rebuilt.columns) == sorted(frame.columns)
+        assert np.array_equal(rebuilt.column_array(column), values)
+
+    @settings(max_examples=50)
+    @given(columns_strategy, st.integers(min_value=1, max_value=40))
+    def test_copy_never_aliases(self, spec, n_rows):
+        frame = make_frame(spec, n_rows)
+        clone = frame.copy()
+        for column in frame.columns:
+            clone.column_array(column)[0] = -999.0
+        for column in frame.columns:
+            assert frame.column_array(column)[0] != -999.0
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=60),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_sort_values_is_a_permutation(self, values, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.random(len(values))
+        frame = DataFrame({"k": np.asarray(values), "v": other})
+        ordered = frame.sort_values("k")
+        assert sorted(ordered.column_array("k")) == list(
+            np.sort(np.asarray(values))
+        )
+        assert sorted(ordered.column_array("v")) == sorted(other)
+
+    @settings(max_examples=50)
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_filter_partition(self, values):
+        frame = DataFrame({"x": np.asarray(values)})
+        threshold = float(np.median(np.asarray(values)))
+        above = frame[frame["x"] > threshold]
+        below_or_equal = frame[frame["x"] <= threshold]
+        assert len(above) + len(below_or_equal) == len(frame)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60)
+    )
+    def test_groupby_count_sums_to_rows(self, keys):
+        frame = DataFrame(
+            {"k": np.asarray(keys), "v": np.ones(len(keys))}
+        )
+        counts = frame.groupby_agg("k", "v", "count")
+        assert counts.column_array("v").sum() == len(keys)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(finite_floats, min_size=4, max_size=60),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_train_test_split_partitions_rows(self, values, seed):
+        frame = DataFrame({"x": np.asarray(values)})
+        train, test = frame.train_test_split(0.25, seed=seed)
+        assert len(train) + len(test) == len(frame)
+        combined = sorted(
+            list(train.column_array("x")) + list(test.column_array("x"))
+        )
+        assert combined == sorted(values)
+
+
+class TestSeriesProperties:
+    @settings(max_examples=50)
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_map_identity(self, values):
+        series = Series(np.asarray(values))
+        assert list(series.map(lambda v: v).values) == list(series.values)
+
+    @settings(max_examples=50)
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_add_then_subtract_roundtrips(self, values):
+        series = Series(np.asarray(values))
+        roundtrip = (series + 1.5) - 1.5
+        assert np.allclose(roundtrip.values, series.values)
+
+    @settings(max_examples=50)
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_mask_selects_exactly_matching(self, values):
+        series = Series(np.asarray(values))
+        threshold = float(np.asarray(values).mean())
+        picked = series[series > threshold]
+        assert all(v > threshold for v in picked.values)
+        assert len(picked) == sum(1 for v in values if v > threshold)

@@ -1,0 +1,185 @@
+"""Tests for the checkpoint graph: LCA, session states, diffs (§5.1–5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covariable import covar_key
+from repro.core.graph import CheckpointGraph, PayloadInfo, ROOT_ID
+from repro.errors import CheckpointNotFoundError
+
+
+def info(names, stored=True, size=10):
+    key = covar_key(names)
+    return key, PayloadInfo(key=key, stored=stored, serializer="primary", size_bytes=size)
+
+
+def add(graph, names_updated, deleted=(), deps=None, parent=None, source="cell"):
+    updated = dict([info(names) for names in names_updated])
+    return graph.add_node(
+        cell_source=source,
+        execution_count=len(graph),
+        updated=updated,
+        deleted={covar_key(names) for names in deleted},
+        dependencies=deps or {},
+        parent_id=parent,
+    )
+
+
+@pytest.fixture
+def fig10_graph():
+    """The paper's Fig 10 topology:
+
+    t1 writes {df},{gmm}; t2 updates {gmm}; t3 creates {plot};
+    checkout to t1; t4 updates {gmm}; t5 creates {plot} (second branch).
+    """
+    graph = CheckpointGraph()
+    t1 = add(graph, [{"df"}, {"gmm"}], source="df = load(); gmm = GMM()")
+    t2 = add(graph, [{"gmm"}], source="gmm.fit(k=3)")
+    t3 = add(graph, [{"plot"}], source="plot = gmm.result()")
+    graph.move_head(t1.node_id)
+    t4 = add(graph, [{"gmm"}], source="gmm.fit(k=10)")
+    t5 = add(graph, [{"plot"}], source="plot = gmm.result()")
+    return graph, t1, t2, t3, t4, t5
+
+
+class TestStructure:
+    def test_root_exists(self):
+        graph = CheckpointGraph()
+        assert ROOT_ID in graph
+        assert graph.head_id == ROOT_ID
+
+    def test_add_node_moves_head(self):
+        graph = CheckpointGraph()
+        node = add(graph, [{"x"}])
+        assert graph.head_id == node.node_id
+        assert node.parent_id == ROOT_ID
+
+    def test_branching_from_moved_head(self, fig10_graph):
+        graph, t1, t2, t3, t4, t5 = fig10_graph
+        assert t4.parent_id == t1.node_id
+        assert set(graph.children_of(t1.node_id)) == {t2.node_id, t4.node_id}
+
+    def test_unknown_node_raises(self):
+        graph = CheckpointGraph()
+        with pytest.raises(CheckpointNotFoundError):
+            graph.get("t99")
+
+    def test_path_to_root(self, fig10_graph):
+        graph, t1, t2, t3, *_ = fig10_graph
+        assert graph.path_to_root(t3.node_id) == [
+            t3.node_id,
+            t2.node_id,
+            t1.node_id,
+            ROOT_ID,
+        ]
+
+    def test_is_ancestor(self, fig10_graph):
+        graph, t1, t2, t3, t4, t5 = fig10_graph
+        assert graph.is_ancestor(t1.node_id, t5.node_id)
+        assert not graph.is_ancestor(t2.node_id, t5.node_id)
+        assert graph.is_ancestor(t3.node_id, t3.node_id)
+
+
+class TestLCA:
+    def test_cross_branch(self, fig10_graph):
+        graph, t1, t2, t3, t4, t5 = fig10_graph
+        assert graph.lowest_common_ancestor(t3.node_id, t5.node_id) == t1.node_id
+
+    def test_ancestor_is_its_own_lca(self, fig10_graph):
+        graph, t1, t2, t3, *_ = fig10_graph
+        assert graph.lowest_common_ancestor(t1.node_id, t3.node_id) == t1.node_id
+
+    def test_same_node(self, fig10_graph):
+        graph, _, t2, *_ = fig10_graph
+        assert graph.lowest_common_ancestor(t2.node_id, t2.node_id) == t2.node_id
+
+    def test_symmetry(self, fig10_graph):
+        graph, t1, t2, t3, t4, t5 = fig10_graph
+        assert graph.lowest_common_ancestor(
+            t3.node_id, t4.node_id
+        ) == graph.lowest_common_ancestor(t4.node_id, t3.node_id)
+
+
+class TestSessionStates:
+    def test_state_accumulates_versions(self, fig10_graph):
+        # The paper's worked example: state t3 = {plot}@t3, {gmm}@t2, {df}@t1.
+        graph, t1, t2, t3, *_ = fig10_graph
+        state = graph.get(t3.node_id).state
+        assert state.version_of(covar_key({"plot"})) == t3.node_id
+        assert state.version_of(covar_key({"gmm"})) == t2.node_id
+        assert state.version_of(covar_key({"df"})) == t1.node_id
+
+    def test_overwritten_version_absent(self, fig10_graph):
+        graph, t1, t2, *_ = fig10_graph
+        state = graph.get(t2.node_id).state
+        # {gmm}@t1 was overwritten by CE t2 (Definition 5 condition 2).
+        assert state.version_of(covar_key({"gmm"})) == t2.node_id
+
+    def test_deletion_removes_from_state(self):
+        graph = CheckpointGraph()
+        add(graph, [{"x"}, {"y"}])
+        add(graph, [], deleted=[{"x"}])
+        assert graph.head.state.keys() == {covar_key({"y"})}
+
+    def test_membership_change_supersedes_by_name(self):
+        graph = CheckpointGraph()
+        add(graph, [{"a"}, {"b"}])
+        merged = add(graph, [{"a", "b"}], deleted=[{"a"}, {"b"}])
+        state = graph.head.state
+        assert state.keys() == {covar_key({"a", "b"})}
+        assert state.version_of(covar_key({"a", "b"})) == merged.node_id
+
+
+class TestStateDifference:
+    def test_fig10_checkout_t5_to_t3(self, fig10_graph):
+        # The paper's worked diff: {df} identical; {gmm} and {plot} diverged.
+        graph, t1, t2, t3, t4, t5 = fig10_graph
+        diff = graph.state_difference(t5.node_id, t3.node_id)
+        assert covar_key({"df"}) in diff.identical
+        loads = dict(diff.to_load)
+        assert loads[covar_key({"gmm"})] == t2.node_id
+        assert loads[covar_key({"plot"})] == t3.node_id
+        assert diff.lca_id == t1.node_id
+        assert diff.to_delete_names == frozenset()
+
+    def test_undo_deletes_new_names(self):
+        graph = CheckpointGraph()
+        t1 = add(graph, [{"x"}])
+        add(graph, [{"fresh"}])
+        diff = graph.state_difference(graph.head_id, t1.node_id)
+        assert diff.to_delete_names == frozenset({"fresh"})
+        assert covar_key({"x"}) in diff.identical
+
+    def test_noop_diff(self, fig10_graph):
+        graph, *_, t5 = fig10_graph
+        diff = graph.state_difference(t5.node_id, t5.node_id)
+        assert not diff.to_load
+        assert not diff.to_delete_names
+
+    def test_same_version_on_both_branches_is_identical(self, fig10_graph):
+        graph, t1, t2, t3, t4, t5 = fig10_graph
+        diff = graph.state_difference(t5.node_id, t3.node_id)
+        # df was written at t1 (the LCA) and never touched since.
+        assert covar_key({"df"}) in diff.identical
+
+    def test_rewritten_same_names_diverges(self):
+        # x updated on both branches: same key, different versions.
+        graph = CheckpointGraph()
+        t1 = add(graph, [{"x"}])
+        t2 = add(graph, [{"x"}])
+        graph.move_head(t1.node_id)
+        t3 = add(graph, [{"x"}])
+        diff = graph.state_difference(t3.node_id, t2.node_id)
+        assert dict(diff.to_load)[covar_key({"x"})] == t2.node_id
+
+
+class TestMetadataSize:
+    def test_grows_with_nodes(self):
+        graph = CheckpointGraph()
+        sizes = []
+        for i in range(20):
+            add(graph, [{f"v{i}"}])
+            sizes.append(graph.metadata_size_estimate())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]

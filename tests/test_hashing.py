@@ -1,0 +1,77 @@
+"""Tests for the array fast-path digests (§6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import combine, digest_array, digest_bytes, fnv1a64
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a64(b"hello") == fnv1a64(b"hello")
+
+    def test_different_inputs_differ(self):
+        assert fnv1a64(b"hello") != fnv1a64(b"hellp")
+
+    def test_empty_input(self):
+        assert isinstance(fnv1a64(b""), int)
+
+    def test_large_buffer_folded(self):
+        big = bytes(1_000_000)
+        assert fnv1a64(big) == fnv1a64(bytes(1_000_000))
+        tweaked = bytearray(big)
+        tweaked[500_000] = 1
+        assert fnv1a64(big) != fnv1a64(bytes(tweaked))
+
+    def test_accepts_memoryview(self):
+        data = bytearray(b"abc")
+        assert fnv1a64(memoryview(data)) == fnv1a64(b"abc")
+
+
+class TestDigestBytes:
+    def test_backends_agree_with_themselves(self):
+        for backend in ("fnv", "blake2b"):
+            assert digest_bytes(b"x", backend=backend) == digest_bytes(
+                b"x", backend=backend
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            digest_bytes(b"x", backend="md5000")
+
+
+class TestDigestArray:
+    def test_content_sensitivity(self):
+        a = np.arange(100, dtype=np.float64)
+        b = a.copy()
+        assert digest_array(a) == digest_array(b)
+        b[50] += 1
+        assert digest_array(a) != digest_array(b)
+
+    def test_dtype_sensitivity(self):
+        ints = np.zeros(8, dtype=np.int64)
+        floats = np.zeros(8, dtype=np.float64)
+        assert digest_array(ints) != digest_array(floats)
+
+    def test_shape_sensitivity(self):
+        flat = np.zeros(12)
+        grid = np.zeros((3, 4))
+        assert digest_array(flat) != digest_array(grid)
+
+    def test_noncontiguous_input(self):
+        base = np.arange(20)
+        strided = base[::2]
+        assert digest_array(strided) == digest_array(np.ascontiguousarray(strided))
+
+
+class TestCombine:
+    def test_order_sensitive(self):
+        assert combine(1, 2) != combine(2, 1)
+
+    def test_deterministic(self):
+        assert combine(7, 8, 9) == combine(7, 8, 9)
+
+    def test_arity_sensitive(self):
+        assert combine(1) != combine(1, 0)

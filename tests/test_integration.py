@@ -1,0 +1,186 @@
+"""Cross-module integration tests: full notebooks under Kishu.
+
+These drive the complete system — kernel, tracking, checkpointing,
+checkout, fallback — over the real evaluation workloads, asserting the
+correctness properties the paper claims (exact restoration, sub-state
+loading, failure tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import KishuSession
+from repro.core.storage import SQLiteCheckpointStore
+from repro.kernel.kernel import NotebookKernel
+from repro.workloads import build_notebook
+
+SCALE = 0.05
+
+
+def state_snapshot(kernel):
+    """Comparable snapshot of user state (numpy-aware)."""
+    import pickle
+
+    snapshot = {}
+    for name, value in kernel.user_variables().items():
+        try:
+            snapshot[name] = pickle.dumps(value, protocol=5)
+        except Exception:
+            snapshot[name] = f"<unpicklable {type(value).__qualname__}>"
+    return snapshot
+
+
+def assert_states_equivalent(expected, actual, *, allow_unpicklable=True):
+    assert set(expected) == set(actual), (
+        set(expected) ^ set(actual)
+    )
+    for name in expected:
+        if allow_unpicklable and isinstance(expected[name], str):
+            assert actual[name] == expected[name]
+        else:
+            assert actual[name] == actual[name]  # comparable payload exists
+            assert expected[name] == actual[name], f"variable {name} differs"
+
+
+@pytest.mark.parametrize(
+    "name", ["Cluster", "TPS", "Sklearn", "HW-LM", "StoreSales", "Qiskit", "TorchGPU", "Ray"]
+)
+def test_full_notebook_runs_under_kishu(name):
+    spec = build_notebook(name, SCALE)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    for cell in spec.cells:
+        kernel.run_cell(cell)
+    assert len(session.log()) == spec.cell_count
+
+
+@pytest.mark.parametrize("name", ["TPS", "Sklearn", "StoreSales"])
+def test_undo_restores_exact_prior_state(name):
+    spec = build_notebook(name, SCALE)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    target = spec.primary_undo_index
+
+    snapshots = {}
+    for index, cell in enumerate(spec.cells):
+        kernel.run_cell(cell)
+        if index == target - 1:
+            snapshots["before"] = state_snapshot(kernel)
+        if index == target:
+            break
+
+    session.checkout(f"t{target}")  # node ids are 1-based per cell
+    assert_states_equivalent(snapshots["before"], state_snapshot(kernel))
+
+
+def test_branch_exploration_round_trip():
+    spec = build_notebook("Cluster", SCALE)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    branch_point = spec.branch_point_index
+    for cell in spec.cells:
+        kernel.run_cell(cell)
+    tip_a = session.head_id
+    snapshot_a = state_snapshot(kernel)
+
+    session.checkout(f"t{branch_point + 1}")
+    for cell in spec.cells[branch_point + 1 :]:
+        kernel.run_cell(cell, raise_on_error=False)
+    tip_b = session.head_id
+    assert tip_b != tip_a
+
+    session.checkout(tip_a)
+    assert_states_equivalent(snapshot_a, state_snapshot(kernel))
+
+
+def test_incremental_checkout_loads_less_than_state():
+    spec = build_notebook("Sklearn", 0.1)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    target = spec.primary_undo_index
+    for cell in spec.cells[: target + 1]:
+        kernel.run_cell(cell)
+    total_stored = session.total_checkpoint_bytes()
+    report = session.checkout(f"t{target}")
+    # The paper's headline: only the small diverged co-variables move.
+    assert report.bytes_loaded < total_stored / 4
+    assert report.identical_keys  # most of the state was left in place
+
+
+def test_qiskit_unserializable_state_round_trips():
+    spec = build_notebook("Qiskit", SCALE)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    for cell in spec.cells:
+        kernel.run_cell(cell)
+    digest_before = kernel.get("run_digest").hexdigest()
+    tip = session.head_id
+
+    session.checkout("t20")
+    session.checkout(tip)
+    # The hash object cannot be serialized; fallback recomputation rebuilt
+    # it by re-running its cells in order.
+    assert kernel.get("run_digest").hexdigest() == digest_before
+
+
+def test_torchgpu_device_state_round_trips():
+    spec = build_notebook("TorchGPU", SCALE)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    for cell in spec.cells:
+        kernel.run_cell(cell)
+    val_loss = kernel.get("val_loss")
+    tip = session.head_id
+    session.checkout("t10")
+    session.checkout(tip)
+    assert kernel.get("val_loss") == val_loss
+    assert kernel.get("gpu_train").cpu().data.shape[0] > 0
+
+
+def test_sqlite_store_full_notebook(tmp_path):
+    spec = build_notebook("HW-LM", SCALE)
+    kernel = NotebookKernel()
+    store = SQLiteCheckpointStore(str(tmp_path / "kishu.db"))
+    session = KishuSession.init(kernel, store=store)
+    for cell in spec.cells:
+        kernel.run_cell(cell)
+    report = session.checkout("t40")
+    assert report.seconds > 0
+    assert len(kernel.user_variables()) > 0
+    store.close()
+
+
+def test_fault_injection_payload_corruption_recovers():
+    """Bit-rot every stored payload of one node: checkout must fall back
+    to recomputation and still restore the exact state."""
+    from repro.core.storage import StoredPayload
+
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    kernel.run_cell("import numpy as np")
+    kernel.run_cell("base = np.arange(10)")
+    kernel.run_cell("derived = base * 2")
+    target = session.head_id
+    node = session.graph.get(target)
+    for key in node.updated:
+        session.store.write_payload(
+            StoredPayload(node_id=target, key=key, data=b"\x00rot", serializer="primary")
+        )
+    kernel.run_cell("derived = None")
+    session.checkout(target)
+    assert np.array_equal(kernel.get("derived"), np.arange(10) * 2)
+
+
+def test_interleaved_undo_redo_stress():
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    kernel.run_cell("log = []")
+    checkpoints = [session.head_id]
+    for i in range(10):
+        kernel.run_cell(f"log.append({i})")
+        checkpoints.append(session.head_id)
+    for depth in (3, 7, 1, 10, 5):
+        session.checkout(checkpoints[depth])
+        assert kernel.get("log") == list(range(depth))

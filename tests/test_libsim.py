@@ -1,0 +1,242 @@
+"""Tests for the 146 simulated library classes and their personalities."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.serialization import FallbackPickler, SerializerChain
+from repro.core.vargraph import VarGraphBuilder
+from repro.errors import SerializationError
+from repro.libsim.registry import (
+    CATEGORY_TITLES,
+    all_specs,
+    expected_counts,
+    spec_by_name,
+    specs_by_category,
+    specs_by_personality,
+)
+
+
+class TestRegistryShape:
+    def test_paper_headline_counts(self):
+        counts = expected_counts()
+        assert counts == {
+            "total": 146,
+            "detection_success": 120,
+            "detection_false_positive": 14,
+            "detection_pickle_error": 12,
+            "criu_failures": 6,
+            "dumpsession_failures": 7,
+        }
+
+    def test_all_eight_categories_populated(self):
+        grouped = specs_by_category()
+        assert set(grouped) == set(CATEGORY_TITLES)
+        assert all(len(specs) >= 14 for specs in grouped.values())
+
+    def test_class_names_unique(self):
+        names = [spec.name for spec in all_specs()]
+        assert len(names) == len(set(names))
+
+    def test_every_class_default_constructible(self):
+        for spec in all_specs():
+            instance = spec.make()
+            assert type(instance) is spec.cls
+
+    def test_spec_by_name(self):
+        spec = spec_by_name("SimGaussianMixture")
+        assert spec.category == "machine-learning"
+        with pytest.raises(KeyError):
+            spec_by_name("SimNothing")
+
+    def test_criu_failures_are_the_offprocess_classes(self):
+        offenders = {s.name for s in all_specs() if not s.criu_compatible}
+        assert offenders == {
+            "SimTorchTensorGPU",
+            "SimTFTensorDevice",
+            "SimSparkSQLFrame",
+            "SimRayDataset",
+            "SimPipeline",
+            "SimBertTokenizer",
+        }
+
+    def test_dumpsession_failures_include_paper_examples(self):
+        offenders = {s.name for s in all_specs() if not s.dumpsession_compatible}
+        # Table 4's named examples: pl.LazyFrame and bokeh.figure analogues.
+        assert "SimLazyFrame" in offenders
+        assert "SimBokehFigure" in offenders
+        assert len(offenders) == 7
+
+
+class TestPersonalityBehaviour:
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("plain"), ids=lambda s: s.name
+    )
+    def test_plain_classes_roundtrip_equal(self, spec):
+        obj = spec.make()
+        restored = pickle.loads(pickle.dumps(obj, protocol=5))
+        assert restored == obj
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("custom-reduce"), ids=lambda s: s.name
+    )
+    def test_custom_reduce_roundtrips(self, spec):
+        obj = spec.make()
+        restored = pickle.loads(pickle.dumps(obj, protocol=5))
+        assert type(restored) is type(obj)
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("unserializable"), ids=lambda s: s.name
+    )
+    def test_unserializable_raise_on_pickle(self, spec):
+        with pytest.raises(Exception):
+            pickle.dumps(spec.make(), protocol=5)
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("load-fails"), ids=lambda s: s.name
+    )
+    def test_load_failures_pickle_but_refuse_to_load(self, spec):
+        blob = pickle.dumps(spec.make(), protocol=5)
+        with pytest.raises(Exception):
+            pickle.loads(blob)
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("silent-error"), ids=lambda s: s.name
+    )
+    def test_silent_errors_drop_state_without_raising(self, spec):
+        obj = spec.make()
+        restored = pickle.loads(pickle.dumps(obj, protocol=5))
+        assert restored != obj  # state silently lost
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("requires-fallback"), ids=lambda s: s.name
+    )
+    def test_requires_fallback_chain_behaviour(self, spec):
+        obj = spec.make()
+        chain = SerializerChain()
+        blob, pickler_name = chain.serialize({"x"}, {"x": obj})
+        assert pickler_name == "fallback"
+        restored = chain.deserialize(blob, pickler_name)
+        assert type(restored["x"]) is type(obj)
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("offprocess"), ids=lambda s: s.name
+    )
+    def test_offprocess_roundtrip_through_reduction(self, spec):
+        from repro.libsim.devices import contains_offprocess
+
+        obj = spec.make()
+        assert contains_offprocess(obj)
+        restored = pickle.loads(pickle.dumps(obj, protocol=5))
+        assert type(restored) is type(obj)
+
+    @pytest.mark.parametrize(
+        "spec", specs_by_personality("dynamic-attrs"), ids=lambda s: s.name
+    )
+    def test_dynamic_attrs_cause_false_positive_but_pickle_fine(self, spec):
+        builder = VarGraphBuilder()
+        obj = spec.make()
+        first = builder.build("x", obj)
+        second = builder.build("x", obj)
+        assert first.differs_from(second)  # FP on every traversal
+        restored = pickle.loads(pickle.dumps(obj, protocol=5))
+        assert type(restored) is type(obj)
+
+
+class TestDetectionMatchesTable5:
+    def test_all_classes_detect_real_updates(self):
+        # Zero false negatives: every class's attribute update is seen.
+        builder = VarGraphBuilder()
+        for spec in all_specs():
+            obj = spec.make()
+            before = builder.build("x", obj)
+            obj.probe_attr = "A"
+            after = builder.build("x", obj)
+            assert before.differs_from(after), spec.name
+
+    def test_success_classes_have_no_noop_flag(self):
+        builder = VarGraphBuilder()
+        for spec in all_specs():
+            if spec.expected_detection != "success":
+                continue
+            obj = spec.make()
+            first = builder.build("x", obj)
+            second = builder.build("x", obj)
+            assert not first.differs_from(second), spec.name
+
+    def test_flagged_classes_report_update_on_access(self):
+        builder = VarGraphBuilder()
+        for spec in all_specs():
+            if spec.expected_detection == "success":
+                continue
+            obj = spec.make()
+            first = builder.build("x", obj)
+            second = builder.build("x", obj)
+            assert first.differs_from(second), spec.name
+
+
+class TestBehaviouralSamples:
+    """Spot-checks that simulated classes do real work, not stubs."""
+
+    def test_gmm_fits(self):
+        import numpy as np
+
+        from repro.libsim.machine_learning import SimGaussianMixture
+
+        data = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        model = SimGaussianMixture(k=2, seed=0).fit(data)
+        means = model.result()["means"]
+        assert means[0] < 2 and means[1] > 8
+
+    def test_linear_regression_recovers_coefficients(self):
+        import numpy as np
+
+        from repro.libsim.machine_learning import SimLinearRegression
+
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = 3 * X[:, 0] + 2
+        model = SimLinearRegression().fit(X, y)
+        assert abs(model.coef[0] - 3) < 1e-6
+        assert abs(model.intercept - 2) < 1e-6
+
+    def test_tfidf_matrix_shape(self):
+        from repro.libsim.nlp import SimTfIdfVectorizer
+
+        matrix = SimTfIdfVectorizer().fit_transform(["a b", "b c"])
+        assert matrix.shape[0] == 2
+
+    def test_gpu_tensor_data_round_trips_via_device(self):
+        import numpy as np
+
+        from repro.libsim.deep_learning import SimTorchTensorGPU
+
+        tensor = SimTorchTensorGPU(shape=(3, 3), seed=1)
+        tensor.scale_(2.0)
+        cpu = tensor.cpu()
+        assert cpu.data.shape == (3, 3)
+
+    def test_ray_dataset_map_blocks(self):
+        from repro.libsim.distributed import SimRayDataset
+
+        ds = SimRayDataset(n_blocks=2, block_rows=10, seed=0)
+        before = ds.take_all().sum()
+        ds.map_blocks(lambda b: b * 2)
+        assert abs(ds.take_all().sum() - 2 * before) < 1e-9
+
+    def test_image_pipeline(self):
+        import numpy as np
+
+        from repro.libsim.computer_vision import SimAugmentationPipeline
+
+        image = np.arange(16.0).reshape(4, 4)
+        out = SimAugmentationPipeline(steps=("hflip",)).apply(image)
+        assert out[0, 0] == image[0, 3]
+
+    def test_bert_tokenizer_encodes(self):
+        from repro.libsim.pipelining import SimBertTokenizer
+
+        tokenizer = SimBertTokenizer()
+        ids = tokenizer.encode("the cat sat")
+        assert len(ids) == 3

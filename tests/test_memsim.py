@@ -1,0 +1,207 @@
+"""Tests for the simulated process memory substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SnapshotError
+from repro.memsim import (
+    Extent,
+    PageTable,
+    SimulatedProcess,
+    nominal_object_bytes,
+    restore_namespace,
+)
+
+
+class TestPageTable:
+    def test_write_read_roundtrip(self):
+        table = PageTable(page_size=64)
+        table.write(10, b"hello")
+        assert table.read(10, 5) == b"hello"
+
+    def test_cross_page_write(self):
+        table = PageTable(page_size=16)
+        data = bytes(range(40))
+        table.write(8, data)
+        assert table.read(8, 40) == data
+        assert table.dirty_pages() == {0, 1, 2}  # bytes [8, 48) span 3 pages
+
+    def test_unmapped_reads_zero(self):
+        table = PageTable(page_size=16)
+        assert table.read(100, 4) == b"\x00\x00\x00\x00"
+
+    def test_dirty_tracking_and_clear(self):
+        table = PageTable(page_size=16)
+        table.write(0, b"x")
+        assert table.dirty_pages() == {0}
+        table.clear_dirty()
+        assert table.dirty_pages() == set()
+
+    def test_one_byte_dirties_whole_page(self):
+        table = PageTable(page_size=4096)
+        table.write(4095, b"z")
+        assert table.dirty_pages() == {0}
+
+    def test_zero_extent(self):
+        table = PageTable(page_size=16)
+        table.write(0, b"abcdef")
+        table.zero(Extent(start=0, length=6))
+        assert table.read(0, 6) == bytes(6)
+
+    def test_page_digests_change_with_content(self):
+        table = PageTable(page_size=16)
+        table.write(0, b"aaaa")
+        before = table.page_digests({0})[0]
+        table.write(0, b"aaab")
+        assert table.page_digests({0})[0] != before
+
+    def test_extent_pages(self):
+        extent = Extent(start=10, length=30)
+        assert list(extent.pages(16)) == [0, 1, 2]
+        assert list(Extent(start=0, length=0).pages(16)) == []
+
+
+class TestLayout:
+    def test_interleaved_variables_share_pages(self):
+        # Two variables synced together fragment: their chunks interleave,
+        # so they share pages (the paper's Fig 4 pathology).
+        process = SimulatedProcess(page_size=4096, chunk_size=512)
+        data = {"sad": list(range(600)), "happy": list(range(600, 1200))}
+        process.sync_variables(data)
+        assert process.pages_of("sad") & process.pages_of("happy")
+
+    def test_lone_variable_is_contiguous(self):
+        process = SimulatedProcess(page_size=4096, chunk_size=512)
+        process.sync_variables({"solo": list(range(2000))})
+        layout = process.layout_of("solo")
+        assert len(layout.extents) == 1
+
+    def test_mutation_dirties_all_variable_pages(self):
+        process = SimulatedProcess(page_size=256, chunk_size=64)
+        data = {"a": list(range(300)), "b": list(range(300, 600))}
+        process.sync_variables(data)
+        process.snapshot(data)  # clears dirty
+        data["a"][0] = -1
+        process.sync_variables(data, changed_names={"a"})
+        dirty = process.pages.dirty_pages()
+        assert dirty >= process.pages_of("a") & dirty
+        assert dirty  # something got dirtied
+
+    def test_removed_variable_freed(self):
+        process = SimulatedProcess()
+        process.sync_variables({"x": [1, 2, 3]})
+        process.sync_variables({})
+        assert process.layout_of("x") is None
+
+    def test_touch_contiguous_variable_dirties_one_page(self):
+        # One allocation -> one refcount header -> one dirty page.
+        process = SimulatedProcess(page_size=256, chunk_size=64)
+        data = {"read_only": list(range(500))}
+        process.sync_variables(data)
+        process.snapshot(data)
+        process.touch_variable("read_only")
+        assert len(process.pages.dirty_pages()) == 1
+
+    def test_touch_fragmented_variable_dirties_chunk_pages(self):
+        # Interleaved structures have a header per chunk: reading them
+        # dirties far more pages (the paper's fragmentation pathology).
+        process = SimulatedProcess(page_size=256, chunk_size=64)
+        data = {"a": list(range(400)), "b": list(range(400, 800))}
+        process.sync_variables(data)
+        process.snapshot(data)
+        process.touch_variable("a")
+        assert len(process.pages.dirty_pages()) > 3
+
+    def test_touch_missing_variable_is_noop(self):
+        process = SimulatedProcess()
+        process.touch_variable("ghost")  # must not raise
+
+
+class TestSnapshots:
+    def test_full_snapshot_covers_heap(self):
+        process = SimulatedProcess()
+        data = {"x": list(range(1000))}
+        process.sync_variables(data)
+        snapshot = process.snapshot(data)
+        assert snapshot.size_bytes >= len(nominal_object_bytes(data["x"]))
+
+    def test_incremental_snapshot_smaller_when_unchanged(self):
+        process = SimulatedProcess()
+        data = {"x": list(range(1000)), "y": list(range(1000))}
+        process.sync_variables(data)
+        first = process.snapshot(data, incremental=True)
+        second = process.snapshot(data, incremental=True)
+        assert second.size_bytes < first.size_bytes
+
+    def test_incremental_snapshot_captures_changes(self):
+        process = SimulatedProcess()
+        data = {"x": [0] * 500}
+        process.sync_variables(data)
+        process.snapshot(data, incremental=True)
+        data["x"][0] = 9
+        process.sync_variables(data, changed_names={"x"})
+        delta = process.snapshot(data, incremental=True)
+        assert delta.size_bytes > 0
+
+    def test_offprocess_state_fails_snapshot(self):
+        from repro.libsim.deep_learning import SimTorchTensorGPU
+
+        process = SimulatedProcess()
+        data = {"tensor": SimTorchTensorGPU(shape=(2, 2))}
+        process.sync_variables(data)
+        with pytest.raises(SnapshotError):
+            process.snapshot(data)
+
+    def test_offprocess_override(self):
+        from repro.libsim.deep_learning import SimTorchTensorGPU
+
+        process = SimulatedProcess()
+        data = {"tensor": SimTorchTensorGPU(shape=(2, 2))}
+        process.sync_variables(data)
+        snapshot = process.snapshot(data, allow_offprocess=True)
+        assert snapshot.snapshot_id == 1
+
+
+class TestRestore:
+    def test_restore_from_full_snapshot(self):
+        process = SimulatedProcess()
+        data = {"x": [1, 2, 3], "y": "text"}
+        process.sync_variables(data)
+        snapshot = process.snapshot(data)
+        restored = restore_namespace([snapshot])
+        assert restored == data
+
+    def test_restore_pieces_incremental_chain(self):
+        process = SimulatedProcess()
+        data = {"x": [0] * 100}
+        process.sync_variables(data)
+        chain = [process.snapshot(data, incremental=True)]
+        data["x"][0] = 1
+        process.sync_variables(data, changed_names={"x"})
+        chain.append(process.snapshot(data, incremental=True))
+        restored = restore_namespace(chain)
+        assert restored["x"][0] == 1
+
+    def test_restore_preserves_numpy(self):
+        process = SimulatedProcess()
+        data = {"arr": np.arange(10)}
+        process.sync_variables(data)
+        snapshot = process.snapshot(data)
+        restored = restore_namespace([snapshot])
+        assert np.array_equal(restored["arr"], np.arange(10))
+
+    def test_restore_empty_chain_rejected(self):
+        with pytest.raises(SnapshotError):
+            restore_namespace([])
+
+    def test_unpicklable_carried_by_reference(self):
+        process = SimulatedProcess()
+        gen = (i for i in range(3))
+        data = {"gen": gen}
+        process.sync_variables(data)
+        snapshot = process.snapshot(data)
+        restored = restore_namespace([snapshot])
+        # A memory image preserves the object exactly (by reference here).
+        assert restored["gen"] is gen

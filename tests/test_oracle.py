@@ -1,0 +1,163 @@
+"""Randomized differential oracle for end-to-end checkout correctness.
+
+Generates random notebook programs from a vocabulary of state operations
+(creations, in-place mutations, aliasing merges, re-assignment splits,
+deletions), records a ground-truth bytestring snapshot of the full state
+after every cell, then performs random time-travel (including branching
+off mid-history and continuing with more random cells) and asserts the
+restored state's canonical pickle equals the recorded ground truth —
+value equality *and* shared-reference structure, the paper's §5.3 "same
+bytestring representation" guarantee.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+
+#: Operation templates; {a} and {b} are replaced with variable names.
+_CREATORS = [
+    "{a} = [{n}, {n} + 1, {n} + 2]",
+    "{a} = {{'k{n}': {n}, 'nested': [{n}]}}",
+    "{a} = list(range({n} % 7 + 1))",
+    "{a} = {n}",
+    "{a} = 'text-{n}' * ({n} % 3 + 1)",
+]
+_MUTATORS = [
+    "{a}.append({n})",
+    "{a}[0] = {n}",
+    "{a}.extend([{n}, {n}])",
+    "{a}.reverse()",
+    "{a}.sort(key=repr)",  # key=repr: mixed element types stay sortable
+]
+_DICT_MUTATORS = [
+    "{a}['k{n}'] = {n}",
+    "{a}['nested'].append({n})",
+]
+
+
+def generate_cell(rng: random.Random, live: List[str], counter: int) -> str:
+    """One random cell over the live variable names."""
+    roll = rng.random()
+    fresh = f"v{counter}"
+    if not live or roll < 0.30:
+        template = rng.choice(_CREATORS)
+        return template.format(a=fresh, n=counter)
+    target = rng.choice(live)
+    if roll < 0.55:
+        # In-place mutation; guard with type dispatch inside the cell so
+        # any live variable is a valid target.
+        mutation = rng.choice(_MUTATORS).format(a=target, n=counter)
+        dict_mutation = rng.choice(_DICT_MUTATORS).format(a=target, n=counter)
+        return (
+            f"if isinstance({target}, list):\n"
+            f"    {mutation}\n"
+            f"elif isinstance({target}, dict):\n"
+            f"    {dict_mutation}\n"
+            f"else:\n"
+            f"    {target} = {counter}"
+        )
+    if roll < 0.70:
+        # Alias: merge two co-variables (or wrap a primitive).
+        other = rng.choice(live)
+        return (
+            f"if isinstance({target}, (list, dict)):\n"
+            f"    {fresh} = [{target}, {other}]\n"
+            f"else:\n"
+            f"    {fresh} = [{counter}]"
+        )
+    if roll < 0.85:
+        # Re-assignment: splits the target out of its co-variable.
+        return f"{target} = [{counter}]"
+    if len(live) > 2:
+        return f"del {rng.choice(live)}"
+    return f"{fresh} = {counter}"
+
+
+def canonical_state(kernel: NotebookKernel) -> bytes:
+    """Order-normalized encoding of the full user state.
+
+    Captures every value (including dict insertion order and element
+    types) and the *sharing structure of mutable objects*, with shared
+    mutables labelled by first visit. Incidental identity of immutables
+    (CPython string/int interning) is deliberately ignored: restoration
+    cannot and need not preserve it.
+    """
+    items = kernel.user_variables()
+    labels: Dict[int, int] = {}
+
+    def walk(obj):
+        if isinstance(obj, (list, dict, set)):
+            if id(obj) in labels:
+                return ("ref", labels[id(obj)])
+            labels[id(obj)] = len(labels)
+            label = labels[id(obj)]
+            if isinstance(obj, list):
+                return ("list", label, tuple(walk(v) for v in obj))
+            if isinstance(obj, set):
+                return ("set", label, tuple(sorted(map(repr, obj))))
+            return (
+                "dict",
+                label,
+                # repr() the keys: raw key strings would leak CPython
+                # interning identity into the pickle memo and reintroduce
+                # the immutable-sharing false positive.
+                tuple((repr(k), walk(v)) for k, v in obj.items()),
+            )
+        return ("val", type(obj).__qualname__, repr(obj))
+
+    canonical = tuple((name, walk(items[name])) for name in sorted(items))
+    return pickle.dumps(canonical, protocol=5)
+
+
+def run_random_session(seed: int, n_cells: int = 25, n_checkouts: int = 8):
+    rng = random.Random(seed)
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+
+    ground_truth: Dict[str, bytes] = {}
+    counter = 0
+    for _ in range(n_cells):
+        live = sorted(kernel.user_variables())
+        cell = generate_cell(rng, live, counter)
+        counter += 1
+        kernel.run_cell(cell)
+        ground_truth[session.head_id] = canonical_state(kernel)
+
+    # Random time travel, with new random work after some checkouts
+    # (exercising branch creation mid-history).
+    for round_index in range(n_checkouts):
+        target = rng.choice(sorted(ground_truth))
+        session.checkout(target)
+        assert canonical_state(kernel) == ground_truth[target], (
+            f"seed={seed}: state mismatch after checkout to {target}"
+        )
+        if rng.random() < 0.5:
+            live = sorted(kernel.user_variables())
+            cell = generate_cell(rng, live, counter)
+            counter += 1
+            kernel.run_cell(cell)
+            ground_truth[session.head_id] = canonical_state(kernel)
+    return session
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_program_checkout_oracle(seed):
+    run_random_session(seed)
+
+
+def test_long_random_session_with_deep_history():
+    session = run_random_session(seed=999, n_cells=60, n_checkouts=20)
+    # The graph grew branches from mid-history checkouts.
+    branching_nodes = [
+        node
+        for node in session.graph.all_nodes()
+        if len(session.graph.children_of(node.node_id)) > 1
+    ]
+    assert branching_nodes, "expected at least one branch point"

@@ -1,0 +1,79 @@
+"""Tests for checkout planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covariable import covar_key
+from repro.core.graph import CheckpointGraph, PayloadInfo
+from repro.core.planner import CheckoutPlanner
+
+
+def add(graph, stored_names=(), unstored_names=(), deleted=(), parent=None):
+    updated = {}
+    for names in stored_names:
+        key = covar_key(names)
+        updated[key] = PayloadInfo(key=key, stored=True, serializer="primary", size_bytes=100)
+    for names in unstored_names:
+        key = covar_key(names)
+        updated[key] = PayloadInfo(key=key, stored=False)
+    return graph.add_node(
+        cell_source="cell",
+        execution_count=len(graph),
+        updated=updated,
+        deleted={covar_key(n) for n in deleted},
+        dependencies={},
+        parent_id=parent,
+    )
+
+
+class TestPlans:
+    def test_noop_plan(self):
+        graph = CheckpointGraph()
+        node = add(graph, [{"x"}])
+        plan = CheckoutPlanner(graph).plan(node.node_id, node.node_id)
+        assert plan.is_noop
+
+    def test_undo_plan_loads_old_version(self):
+        graph = CheckpointGraph()
+        t1 = add(graph, [{"x"}])
+        t2 = add(graph, [{"x"}])
+        plan = CheckoutPlanner(graph).plan(t2.node_id, t1.node_id)
+        assert len(plan.loads) == 1
+        assert plan.loads[0].key == covar_key({"x"})
+        assert plan.loads[0].node_id == t1.node_id
+        assert plan.loads[0].stored
+        assert plan.bytes_to_load == 100
+
+    def test_unstored_payload_flagged_for_recomputation(self):
+        graph = CheckpointGraph()
+        t1 = add(graph, unstored_names=[{"gen"}])
+        add(graph, [], deleted=[{"gen"}])
+        plan = CheckoutPlanner(graph).plan(graph.head_id, t1.node_id)
+        assert plan.needs_recomputation
+        assert not plan.loads[0].stored
+
+    def test_delete_names_for_new_variables(self):
+        graph = CheckpointGraph()
+        t1 = add(graph, [{"x"}])
+        add(graph, [{"fresh"}])
+        plan = CheckoutPlanner(graph).plan(graph.head_id, t1.node_id)
+        assert plan.delete_names == frozenset({"fresh"})
+
+    def test_identical_reported(self):
+        graph = CheckpointGraph()
+        add(graph, [{"stay"}])
+        t2 = add(graph, [{"change"}])
+        add(graph, [{"change"}])
+        plan = CheckoutPlanner(graph).plan(graph.head_id, t2.node_id)
+        assert covar_key({"stay"}) in plan.identical
+        assert [load.key for load in plan.loads] == [covar_key({"change"})]
+
+    def test_missing_version_info_treated_as_unstored(self):
+        graph = CheckpointGraph()
+        t1 = add(graph, [{"x"}])
+        # Corrupt the node's updated map (simulated metadata loss).
+        graph.get(t1.node_id).updated.clear()
+        add(graph, [], deleted=[{"x"}])
+        plan = CheckoutPlanner(graph).plan(graph.head_id, t1.node_id)
+        assert plan.needs_recomputation

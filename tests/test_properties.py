@@ -1,0 +1,213 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covariable import covar_key, group_into_components
+from repro.core.graph import CheckpointGraph, PayloadInfo
+from repro.core.hashing import combine, digest_bytes, fnv1a64
+from repro.core.serialization import SerializerChain
+from repro.core.vargraph import VarGraphBuilder
+from repro.core.versioning import SessionState
+
+# -- strategies ----------------------------------------------------------------
+
+primitives = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+nested_data = st.recursive(
+    primitives,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+        st.tuples(children, children),
+    ),
+    max_leaves=20,
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+
+
+# -- hashing -------------------------------------------------------------------
+
+
+class TestHashingProperties:
+    @given(st.binary(max_size=256))
+    def test_fnv_deterministic(self, data):
+        assert fnv1a64(data) == fnv1a64(data)
+
+    @given(st.binary(max_size=256))
+    def test_digest_in_64_bit_range(self, data):
+        assert 0 <= digest_bytes(data) < 2**64
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**63), max_size=8))
+    def test_combine_deterministic(self, digests):
+        assert combine(*digests) == combine(*digests)
+
+
+# -- vargraph ---------------------------------------------------------------------
+
+
+class TestVarGraphProperties:
+    @settings(max_examples=60)
+    @given(nested_data)
+    def test_rebuild_of_same_object_is_equal(self, data):
+        builder = VarGraphBuilder()
+        first = builder.build("x", data)
+        second = builder.build("x", data)
+        assert not first.differs_from(second)
+
+    @settings(max_examples=60)
+    @given(nested_data)
+    def test_graph_is_closed_under_children(self, data):
+        graph = VarGraphBuilder().build("x", data)
+        for node in graph.nodes:
+            for child_index in node.children:
+                assert 0 <= child_index < len(graph.nodes)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(), min_size=1, max_size=10))
+    def test_mutation_always_detected(self, values):
+        builder = VarGraphBuilder()
+        data = list(values)
+        before = builder.build("ls", data)
+        data.append(999_999_999)
+        after = builder.build("ls", data)
+        assert before.differs_from(after)
+
+
+# -- co-variable grouping ------------------------------------------------------------
+
+
+class TestGroupingProperties:
+    @settings(max_examples=40)
+    @given(st.dictionaries(names, nested_data, min_size=1, max_size=6))
+    def test_components_partition_the_names(self, namespace):
+        graphs = VarGraphBuilder().build_many(namespace)
+        components = group_into_components(graphs)
+        flattened = [name for component in components for name in component]
+        assert sorted(flattened) == sorted(namespace)
+
+    @settings(max_examples=40)
+    @given(st.dictionaries(names, nested_data, min_size=2, max_size=6))
+    def test_components_agree_with_pairwise_sharing(self, namespace):
+        graphs = VarGraphBuilder().build_many(namespace)
+        components = group_into_components(graphs)
+        membership = {}
+        for index, component in enumerate(components):
+            for name in component:
+                membership[name] = index
+        for a in namespace:
+            for b in namespace:
+                if a < b and graphs[a].shares_objects_with(graphs[b]):
+                    assert membership[a] == membership[b]
+
+
+# -- serialization ----------------------------------------------------------------------
+
+
+class TestSerializationProperties:
+    @settings(max_examples=50)
+    @given(nested_data)
+    def test_payload_roundtrip_preserves_value(self, data):
+        chain = SerializerChain()
+        blob, pickler = chain.serialize({"x"}, {"x": data})
+        assert chain.deserialize(blob, pickler)["x"] == pickle.loads(
+            pickle.dumps(data, protocol=5)
+        )
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(), min_size=1, max_size=5))
+    def test_shared_references_survive_roundtrip(self, values):
+        chain = SerializerChain()
+        shared = list(values)
+        blob, pickler = chain.serialize(
+            {"a", "b"}, {"a": shared, "b": [shared, shared]}
+        )
+        out = chain.deserialize(blob, pickler)
+        assert out["b"][0] is out["a"]
+        assert out["b"][1] is out["a"]
+
+
+# -- session state / checkpoint graph -------------------------------------------------------
+
+
+class TestSessionStateProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.sets(names, min_size=1, max_size=3), max_size=8))
+    def test_state_keys_never_share_names(self, update_sequence):
+        """Applying any sequence of updates keeps the state a partition:
+        no variable name may belong to two live co-variables."""
+        state = SessionState()
+        for step, key_names in enumerate(update_sequence):
+            state = state.child(f"t{step + 1}", [covar_key(key_names)], [])
+            seen = set()
+            for key in state.keys():
+                assert not (key & seen)
+                seen |= key
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20))
+    def test_lca_is_common_ancestor(self, parent_choices):
+        """On a randomly grown tree, the LCA is an ancestor of both nodes
+        and is the deepest such node on the root path."""
+        graph = CheckpointGraph()
+        node_ids = ["t0"]
+        for choice in parent_choices:
+            parent = node_ids[choice % len(node_ids)]
+            key = covar_key({"x"})
+            node = graph.add_node(
+                cell_source="c",
+                execution_count=len(node_ids),
+                updated={
+                    key: PayloadInfo(key=key, stored=True, serializer="p", size_bytes=1)
+                },
+                deleted=set(),
+                dependencies={},
+                parent_id=parent,
+            )
+            node_ids.append(node.node_id)
+        a, b = node_ids[len(node_ids) // 2], node_ids[-1]
+        lca = graph.lowest_common_ancestor(a, b)
+        assert graph.is_ancestor(lca, a)
+        assert graph.is_ancestor(lca, b)
+        path_a = set(graph.path_to_root(a))
+        path_b = set(graph.path_to_root(b))
+        common = path_a & path_b
+        assert max(common, key=graph.depth_of) == lca
+
+    @settings(max_examples=30)
+    @given(st.lists(st.sets(names, min_size=1, max_size=2), min_size=1, max_size=10))
+    def test_state_difference_identical_plus_loads_cover_target(self, updates):
+        graph = CheckpointGraph()
+        for step, key_names in enumerate(updates):
+            key = covar_key(key_names)
+            graph.add_node(
+                cell_source="c",
+                execution_count=step,
+                updated={
+                    key: PayloadInfo(key=key, stored=True, serializer="p", size_bytes=1)
+                },
+                deleted=set(),
+                dependencies={},
+            )
+        nodes = [n.node_id for n in graph.all_nodes()]
+        target = nodes[len(nodes) // 2]
+        diff = graph.state_difference(graph.head_id, target)
+        target_keys = graph.get(target).state.keys()
+        covered = set(diff.identical) | {key for key, _ in diff.to_load}
+        assert covered == target_keys

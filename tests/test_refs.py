@@ -1,0 +1,156 @@
+"""Tests for named refs: branches and tags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.refs import RefError, RefManager
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+
+
+@pytest.fixture
+def session():
+    kernel = NotebookKernel()
+    return KishuSession.init(kernel)
+
+
+class TestRefManager:
+    def test_tag_create_resolve(self):
+        refs = RefManager()
+        refs.create_tag("v1", "t3")
+        assert refs.resolve("v1") == "t3"
+
+    def test_tags_immutable(self):
+        refs = RefManager()
+        refs.create_tag("v1", "t3")
+        with pytest.raises(RefError):
+            refs.create_tag("v1", "t4")
+
+    def test_tag_delete(self):
+        refs = RefManager()
+        refs.create_tag("v1", "t3")
+        refs.delete_tag("v1")
+        assert refs.resolve("v1") is None
+        with pytest.raises(RefError):
+            refs.delete_tag("v1")
+
+    def test_branch_follows_head_only_when_active(self):
+        refs = RefManager()
+        refs.create_branch("dev", "t1")
+        refs.advance_active_branch("t2")  # no active branch: no-op
+        assert refs.resolve("dev") == "t1"
+        refs.activate_branch("dev")
+        refs.advance_active_branch("t3")
+        assert refs.resolve("dev") == "t3"
+
+    def test_cannot_delete_active_branch(self):
+        refs = RefManager()
+        refs.create_branch("dev", "t1")
+        refs.activate_branch("dev")
+        with pytest.raises(RefError):
+            refs.delete_branch("dev")
+
+    def test_branch_shadows_same_named_tag(self):
+        refs = RefManager()
+        refs.create_tag("x", "t1")
+        refs.create_branch("x", "t2")
+        assert refs.resolve("x") == "t2"
+
+    def test_invalid_names_rejected(self):
+        refs = RefManager()
+        for bad in ("", " lead", "has space", "-lead", "a\nb"):
+            with pytest.raises(RefError):
+                refs.create_tag(bad, "t1")
+
+    def test_names_of_decoration(self):
+        refs = RefManager()
+        refs.create_branch("dev", "t2")
+        refs.create_tag("v1", "t2")
+        assert refs.names_of("t2") == ["dev", "tag:v1"]
+        assert refs.names_of("t9") == []
+
+
+class TestSessionRefs:
+    def test_tag_and_checkout_by_tag(self, session):
+        session.run_cell("x = 'clean'")
+        session.tag("before-mess")
+        session.run_cell("x = 'messy'")
+        session.checkout("before-mess")
+        assert session.kernel.get("x") == "clean"
+
+    def test_tag_explicit_target(self, session):
+        session.run_cell("a = 1")
+        session.run_cell("b = 2")
+        session.tag("first", "t1")
+        session.checkout("first")
+        assert session.head_id == "t1"
+
+    def test_tag_unknown_target_rejected(self, session):
+        from repro.errors import CheckpointNotFoundError
+
+        session.run_cell("a = 1")
+        with pytest.raises(CheckpointNotFoundError):
+            session.tag("ghost", "t42")
+
+    def test_branch_advances_with_commits(self, session):
+        session.run_cell("x = 1")
+        session.branch("experiment")
+        session.run_cell("x = 2")
+        assert session.refs.resolve("experiment") == session.head_id
+
+    def test_branch_switching_round_trip(self, session):
+        session.run_cell("x = 'base'")
+        session.branch("main-line")
+        session.run_cell("x = 'main work'")
+        session.checkout("t1")
+        session.branch("side-line")
+        session.run_cell("x = 'side work'")
+
+        session.checkout("main-line")
+        assert session.kernel.get("x") == "main work"
+        session.checkout("side-line")
+        assert session.kernel.get("x") == "side work"
+        # Each branch kept advancing independently.
+        assert session.refs.resolve("main-line") != session.refs.resolve("side-line")
+
+    def test_detached_head_does_not_move_branches(self, session):
+        session.run_cell("x = 1")
+        session.branch("dev")
+        dev_tip_before = session.refs.resolve("dev")
+        session.checkout("t1")  # detached (by id)
+        session.run_cell("y = 2")
+        assert session.refs.resolve("dev") == dev_tip_before
+
+    def test_log_decorated_with_refs(self, session):
+        session.run_cell("x = 1")
+        session.tag("v1")
+        session.branch("dev")
+        entries = {e.node_id: e for e in session.log()}
+        assert "dev" in entries["t1"].refs
+        assert "tag:v1" in entries["t1"].refs
+
+
+class TestCliRefs:
+    def test_tag_and_branch_commands(self):
+        import io
+
+        from repro.cli import KishuRepl
+
+        stdin = io.StringIO(
+            "x = 'good'\n"
+            "%tag safe\n"
+            "%branch risky\n"
+            "x = 'bad'\n"
+            "%checkout safe\n"
+            "x\n"
+            "%log\n"
+            "%quit\n"
+        )
+        stdout = io.StringIO()
+        KishuRepl(stdin=stdin, stdout=stdout).run()
+        output = stdout.getvalue()
+        assert "tagged t1 as 'safe'" in output
+        assert "created branch 'risky'" in output
+        assert "Out[3]: 'good'" in output  # x restored to pre-branch value
+        assert "tag:safe" in output

@@ -1,0 +1,110 @@
+"""Tests for session durability: resume from a store after kernel restart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import CheckpointGraph, ROOT_ID
+from repro.core.session import KishuSession
+from repro.core.storage import InMemoryCheckpointStore, SQLiteCheckpointStore
+from repro.kernel.kernel import NotebookKernel
+
+
+def build_session(store):
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel, store=store)
+    kernel.run_cell("base = [1, 2, 3]")
+    kernel.run_cell("derived = {'sum': sum(base), 'ref': base}")
+    kernel.run_cell("note = 'hello'")
+    return kernel, session
+
+
+class TestGraphReconstruction:
+    def test_from_store_rebuilds_topology(self):
+        store = InMemoryCheckpointStore()
+        _, session = build_session(store)
+        rebuilt = CheckpointGraph.from_store(store)
+        assert len(rebuilt) == len(session.graph)
+        assert rebuilt.head_id == session.graph.head_id
+        for node in session.graph.all_nodes():
+            if node.node_id == ROOT_ID:
+                continue
+            clone = rebuilt.get(node.node_id)
+            assert clone.parent_id == node.parent_id
+            assert clone.cell_source == node.cell_source
+            assert clone.state == node.state
+            assert set(clone.updated) == set(node.updated)
+
+    def test_from_store_preserves_payload_availability(self):
+        store = InMemoryCheckpointStore()
+        kernel = NotebookKernel()
+        KishuSession.init(kernel, store=store)
+        kernel.run_cell("gen = (i for i in range(2))")  # unserializable
+        rebuilt = CheckpointGraph.from_store(store)
+        (info,) = rebuilt.get("t1").updated.values()
+        assert not info.stored
+
+    def test_from_empty_store(self):
+        rebuilt = CheckpointGraph.from_store(InMemoryCheckpointStore())
+        assert rebuilt.head_id == ROOT_ID
+        assert len(rebuilt) == 1
+
+
+class TestSessionResume:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_resume_restores_head_state(self, backend, tmp_path):
+        if backend == "memory":
+            store = InMemoryCheckpointStore()
+        else:
+            store = SQLiteCheckpointStore(str(tmp_path / "kishu.db"))
+        old_kernel, _ = build_session(store)
+
+        # Simulate a kernel crash: brand-new kernel, same store.
+        fresh_kernel = NotebookKernel()
+        resumed = KishuSession.resume(fresh_kernel, store)
+        assert fresh_kernel.get("base") == [1, 2, 3]
+        assert fresh_kernel.get("derived")["sum"] == 6
+        assert fresh_kernel.get("note") == "hello"
+        # Shared references survive the restart.
+        assert fresh_kernel.get("derived")["ref"] is fresh_kernel.get("base")
+        store.close()
+
+    def test_resume_continues_checkpointing(self):
+        store = InMemoryCheckpointStore()
+        _, original = build_session(store)
+        last = original.head_id
+
+        fresh_kernel = NotebookKernel()
+        resumed = KishuSession.resume(fresh_kernel, store)
+        fresh_kernel.run_cell("extra = len(base)")
+        assert resumed.graph.head.parent_id == last
+        assert fresh_kernel.get("extra") == 3
+
+    def test_resume_can_time_travel_into_pre_restart_history(self):
+        store = InMemoryCheckpointStore()
+        build_session(store)
+
+        fresh_kernel = NotebookKernel()
+        resumed = KishuSession.resume(fresh_kernel, store)
+        resumed.checkout("t1")
+        assert fresh_kernel.get("base") == [1, 2, 3]
+        assert fresh_kernel.get("derived", "<absent>") == "<absent>"
+
+    def test_resume_recomputes_unserializable_state(self):
+        store = InMemoryCheckpointStore()
+        kernel = NotebookKernel()
+        KishuSession.init(kernel, store=store)
+        kernel.run_cell("import hashlib")
+        kernel.run_cell("digest = hashlib.sha256(b'payload')")
+        expected = kernel.get("digest").hexdigest()
+
+        fresh_kernel = NotebookKernel()
+        KishuSession.resume(fresh_kernel, store)
+        assert fresh_kernel.get("digest").hexdigest() == expected
+
+    def test_resume_from_empty_store_is_clean_session(self):
+        fresh_kernel = NotebookKernel()
+        resumed = KishuSession.resume(fresh_kernel, InMemoryCheckpointStore())
+        assert resumed.head_id == ROOT_ID
+        fresh_kernel.run_cell("x = 1")
+        assert resumed.head_id == "t1"

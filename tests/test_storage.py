@@ -1,0 +1,143 @@
+"""Tests for checkpoint stores (SQLite and in-memory backends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covariable import covar_key
+from repro.core.storage import (
+    SQLiteCheckpointStore,
+    StoredNode,
+    StoredPayload,
+    decode_key,
+    encode_key,
+)
+from repro.errors import StorageError
+
+
+def make_node(node_id="t1", parent="t0"):
+    return StoredNode(
+        node_id=node_id,
+        parent_id=parent,
+        timestamp=int(node_id[1:]),
+        execution_count=int(node_id[1:]),
+        cell_source=f"x_{node_id} = 1",
+        deleted_keys=(covar_key({"old"}),),
+        dependencies=((covar_key({"dep"}), "t0"),),
+    )
+
+
+class TestKeyEncoding:
+    def test_roundtrip(self):
+        key = covar_key({"beta", "alpha"})
+        assert decode_key(encode_key(key)) == key
+
+    def test_canonical_order(self):
+        assert encode_key(covar_key({"b", "a"})) == encode_key(covar_key({"a", "b"}))
+
+    def test_empty_key(self):
+        assert decode_key(encode_key(frozenset())) == frozenset()
+
+
+class TestStoreParity:
+    """Both backends must behave identically (the `any_store` fixture
+    parameterizes over them)."""
+
+    def test_node_roundtrip(self, any_store):
+        node = make_node()
+        any_store.write_node(node)
+        (read,) = any_store.read_nodes()
+        assert read == node
+
+    def test_nodes_ordered_by_timestamp(self, any_store):
+        any_store.write_node(make_node("t3", "t2"))
+        any_store.write_node(make_node("t1", "t0"))
+        ids = [n.node_id for n in any_store.read_nodes()]
+        assert ids == ["t1", "t3"]
+
+    def test_payload_roundtrip(self, any_store):
+        payload = StoredPayload(
+            node_id="t1", key=covar_key({"x"}), data=b"blob", serializer="primary"
+        )
+        any_store.write_payload(payload)
+        read = any_store.read_payload("t1", covar_key({"x"}))
+        assert read.data == b"blob"
+        assert read.serializer == "primary"
+        assert read.stored
+
+    def test_tombstone_payload(self, any_store):
+        any_store.write_payload(
+            StoredPayload(node_id="t1", key=covar_key({"g"}), data=None, serializer=None)
+        )
+        read = any_store.read_payload("t1", covar_key({"g"}))
+        assert not read.stored
+        assert read.size_bytes == 0
+
+    def test_missing_payload_raises(self, any_store):
+        with pytest.raises(StorageError):
+            any_store.read_payload("t9", covar_key({"nope"}))
+
+    def test_payloads_of_node(self, any_store):
+        for name in ("a", "b"):
+            any_store.write_payload(
+                StoredPayload(
+                    node_id="t1",
+                    key=covar_key({name}),
+                    data=name.encode(),
+                    serializer="primary",
+                )
+            )
+        any_store.write_payload(
+            StoredPayload(
+                node_id="t2", key=covar_key({"c"}), data=b"c", serializer="primary"
+            )
+        )
+        assert len(any_store.payloads_of("t1")) == 2
+
+    def test_total_payload_bytes(self, any_store):
+        any_store.write_payload(
+            StoredPayload(
+                node_id="t1", key=covar_key({"a"}), data=b"12345", serializer="primary"
+            )
+        )
+        any_store.write_payload(
+            StoredPayload(node_id="t1", key=covar_key({"b"}), data=None, serializer=None)
+        )
+        assert any_store.total_payload_bytes() == 5
+
+    def test_payload_overwrite_replaces(self, any_store):
+        key = covar_key({"x"})
+        any_store.write_payload(
+            StoredPayload(node_id="t1", key=key, data=b"old", serializer="primary")
+        )
+        any_store.write_payload(
+            StoredPayload(node_id="t1", key=key, data=b"newer", serializer="fallback")
+        )
+        read = any_store.read_payload("t1", key)
+        assert read.data == b"newer"
+        assert read.serializer == "fallback"
+
+
+class TestSQLiteDurability:
+    def test_persists_across_connections(self, tmp_path):
+        path = str(tmp_path / "checkpoints.db")
+        with SQLiteCheckpointStore(path) as store:
+            store.write_node(make_node())
+            store.write_payload(
+                StoredPayload(
+                    node_id="t1",
+                    key=covar_key({"x"}),
+                    data=b"durable",
+                    serializer="primary",
+                )
+            )
+        with SQLiteCheckpointStore(path) as reopened:
+            assert len(reopened.read_nodes()) == 1
+            assert reopened.read_payload("t1", covar_key({"x"})).data == b"durable"
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        with SQLiteCheckpointStore(path) as store:
+            pass
+        with pytest.raises(Exception):
+            store.read_nodes()  # connection closed

@@ -1,0 +1,112 @@
+"""Tests for the state trackers compared in §7.6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_notebook_with_tracker
+from repro.tracking import AblatedKishuTracker, IPyFlowTracker, KishuTracker
+from repro.workloads.spec import NotebookSpec, make_cells
+
+
+def wide_state_notebook(n_variables: int = 40) -> NotebookSpec:
+    """Many independent variables, then cells touching only one."""
+    entries = [(f"v{i} = list(range(200))", ()) for i in range(n_variables)]
+    entries.extend((f"v0.append({i})", ()) for i in range(10))
+    return NotebookSpec(
+        name="Wide", topic="t", library="l", final=True,
+        hidden_states=0, out_of_order_cells=0, cells=make_cells(entries),
+    )
+
+
+def loop_notebook(iterations: int) -> NotebookSpec:
+    entries = [
+        ("data = list(range(100))", ()),
+        (
+            "acc = 0\n"
+            "i = 0\n"
+            f"while i < {iterations}:\n"
+            "    if i % 2 == 0:\n"
+            "        acc += data[i % len(data)]\n"
+            "    else:\n"
+            "        acc -= 1\n"
+            "    i += 1",
+            (),
+        ),
+    ]
+    return NotebookSpec(
+        name="Loop", topic="t", library="l", final=True,
+        hidden_states=0, out_of_order_cells=0, cells=make_cells(entries),
+    )
+
+
+class TestKishuTracker:
+    def test_records_one_cost_per_cell(self):
+        tracker, _ = run_notebook_with_tracker(wide_state_notebook(5), KishuTracker)
+        assert len(tracker.costs) == 15
+
+    def test_overhead_positive(self):
+        tracker, runtime = run_notebook_with_tracker(
+            wide_state_notebook(5), KishuTracker
+        )
+        assert tracker.total_tracking_seconds() > 0
+        assert tracker.overhead_fraction_of(runtime) > 0
+
+    def test_pruning_beats_check_all_on_wide_state(self):
+        # The §4.3 claim: pruned detection cost is bounded by the accessed
+        # portion, not the whole (wide) state.
+        spec = wide_state_notebook(40)
+        pruned, _ = run_notebook_with_tracker(spec, KishuTracker)
+        ablated, _ = run_notebook_with_tracker(spec, AblatedKishuTracker)
+        # Compare only the narrow-access cells at the end.
+        pruned_tail = sum(cost.seconds for cost in pruned.costs[-10:])
+        ablated_tail = sum(cost.seconds for cost in ablated.costs[-10:])
+        assert pruned_tail * 2 < ablated_tail
+
+    def test_detects_same_updates_as_ablated(self):
+        spec = wide_state_notebook(8)
+        pruned, _ = run_notebook_with_tracker(spec, KishuTracker)
+        ablated, _ = run_notebook_with_tracker(spec, AblatedKishuTracker)
+        assert pruned.pool.keys() == ablated.pool.keys()
+
+
+class TestIPyFlowTracker:
+    def test_overhead_scales_with_loop_iterations(self):
+        short, _ = run_notebook_with_tracker(loop_notebook(200), IPyFlowTracker)
+        long, _ = run_notebook_with_tracker(loop_notebook(4000), IPyFlowTracker)
+        assert long.costs[1].seconds > short.costs[1].seconds * 3
+
+    def test_kishu_unaffected_by_loop_iterations(self):
+        # Kishu's live analysis runs *between* cells, so looping control
+        # flow inside the cell costs it nothing extra (§2.4).
+        short, _ = run_notebook_with_tracker(loop_notebook(200), KishuTracker)
+        long, _ = run_notebook_with_tracker(loop_notebook(4000), KishuTracker)
+        assert long.costs[1].seconds < short.costs[1].seconds * 5
+
+    def test_fails_on_event_bound(self):
+        tracker = None
+
+        def factory(kernel):
+            nonlocal tracker
+            tracker = IPyFlowTracker(kernel, max_events_per_cell=500)
+            return tracker
+
+        run_notebook_with_tracker(loop_notebook(2000), factory)
+        assert tracker.failed
+        assert "complex control flow" in tracker.failure_reason
+
+    def test_resolves_symbols_live(self):
+        spec = loop_notebook(50)
+        tracker, _ = run_notebook_with_tracker(spec, IPyFlowTracker)
+        assert "data" in tracker._resolved_symbols or "acc" in tracker._resolved_symbols
+
+    def test_tracer_uninstalled_after_cell(self):
+        import sys
+
+        run_notebook_with_tracker(loop_notebook(10), IPyFlowTracker)
+        assert sys.gettrace() is None
+
+    def test_overhead_ratio(self):
+        tracker, _ = run_notebook_with_tracker(loop_notebook(500), IPyFlowTracker)
+        cost = tracker.costs[1]
+        assert cost.overhead_ratio > 0

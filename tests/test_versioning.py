@@ -1,0 +1,79 @@
+"""Tests for versioned co-variables and session-state metadata (§5.1)."""
+
+from __future__ import annotations
+
+from repro.core.covariable import covar_key
+from repro.core.versioning import SessionState, VersionedCoVariable
+
+
+class TestSessionStateDerivation:
+    def test_child_adds_updates(self):
+        state = SessionState()
+        child = state.child("t1", [covar_key({"x"})], [])
+        assert child.version_of(covar_key({"x"})) == "t1"
+
+    def test_child_supersedes_same_key(self):
+        state = SessionState({covar_key({"x"}): "t1"})
+        child = state.child("t2", [covar_key({"x"})], [])
+        assert child.version_of(covar_key({"x"})) == "t2"
+        assert len(child) == 1
+
+    def test_child_supersedes_overlapping_key(self):
+        # {x} and {y} merge into {x,y}: both old singletons must go.
+        state = SessionState({covar_key({"x"}): "t1", covar_key({"y"}): "t1"})
+        child = state.child("t2", [covar_key({"x", "y"})], [])
+        assert child.keys() == {covar_key({"x", "y"})}
+
+    def test_child_applies_deletions(self):
+        state = SessionState({covar_key({"x"}): "t1", covar_key({"y"}): "t1"})
+        child = state.child("t2", [], [covar_key({"x"})])
+        assert child.keys() == {covar_key({"y"})}
+
+    def test_split_supersedes_by_name_overlap(self):
+        state = SessionState({covar_key({"x", "y"}): "t1"})
+        child = state.child(
+            "t2", [covar_key({"x"}), covar_key({"y"})], [covar_key({"x", "y"})]
+        )
+        assert child.keys() == {covar_key({"x"}), covar_key({"y"})}
+
+    def test_untouched_versions_survive(self):
+        state = SessionState({covar_key({"a"}): "t1", covar_key({"b"}): "t2"})
+        child = state.child("t3", [covar_key({"c"})], [])
+        assert child.version_of(covar_key({"a"})) == "t1"
+        assert child.version_of(covar_key({"b"})) == "t2"
+
+    def test_parent_not_mutated(self):
+        state = SessionState({covar_key({"a"}): "t1"})
+        state.child("t2", [covar_key({"a"})], [])
+        assert state.version_of(covar_key({"a"})) == "t1"
+
+
+class TestQueries:
+    def test_names_union(self):
+        state = SessionState(
+            {covar_key({"a", "b"}): "t1", covar_key({"c"}): "t2"}
+        )
+        assert state.names() == {"a", "b", "c"}
+
+    def test_versioned_set(self):
+        state = SessionState({covar_key({"a"}): "t1"})
+        assert state.versioned() == {
+            VersionedCoVariable(key=covar_key({"a"}), node_id="t1")
+        }
+
+    def test_equality(self):
+        left = SessionState({covar_key({"a"}): "t1"})
+        right = SessionState({covar_key({"a"}): "t1"})
+        assert left == right
+        assert left != SessionState({covar_key({"a"}): "t2"})
+
+    def test_copy_is_independent(self):
+        state = SessionState({covar_key({"a"}): "t1"})
+        copied = state.copy()
+        assert copied == state
+        assert copied is not state
+
+    def test_contains_and_get(self):
+        state = SessionState({covar_key({"a"}): "t1"})
+        assert covar_key({"a"}) in state
+        assert state.get(covar_key({"zzz"})) is None

@@ -1,0 +1,141 @@
+"""Tests for the evaluation workloads (Table 2 / Table 8 fidelity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kernel import NotebookKernel
+from repro.workloads import (
+    NOTEBOOK_BUILDERS,
+    build_all,
+    build_notebook,
+    covariable_census,
+    covariable_size_fractions,
+    long_session_cells,
+    measure_access_patterns,
+    shared_referencing_workload,
+)
+
+SCALE = 0.05  # keep unit tests fast; benches use larger scales
+
+#: (name, cells, final, hidden states, out-of-order) from Tables 2 and 8.
+TABLE_2_AND_8 = [
+    ("Cluster", 24, True, 0, 0),
+    ("TPS", 49, True, 0, 0),
+    ("Sklearn", 44, False, 1, 2),
+    ("HW-LM", 81, True, 0, 0),
+    ("StoreSales", 41, True, 0, 0),
+    ("Qiskit", 85, False, 91, 1),
+    ("TorchGPU", 27, True, 0, 0),
+    ("Ray", 20, False, 1, 0),
+]
+
+
+class TestSpecsMatchPaperTables:
+    @pytest.mark.parametrize(
+        "name,cells,final,hidden,out_of_order",
+        TABLE_2_AND_8,
+        ids=[row[0] for row in TABLE_2_AND_8],
+    )
+    def test_metadata(self, name, cells, final, hidden, out_of_order):
+        spec = build_notebook(name, SCALE)
+        assert spec.cell_count == cells
+        assert spec.final is final
+        assert spec.hidden_states == hidden
+        assert spec.out_of_order_cells == out_of_order
+
+    def test_unknown_notebook_rejected(self):
+        with pytest.raises(KeyError):
+            build_notebook("NotANotebook")
+
+    def test_build_all_returns_eight(self):
+        assert len(build_all(SCALE)) == 8
+
+
+class TestNotebooksExecute:
+    @pytest.mark.parametrize("name", list(NOTEBOOK_BUILDERS), ids=str)
+    def test_runs_end_to_end(self, name):
+        spec = build_notebook(name, SCALE)
+        kernel = NotebookKernel()
+        for cell in spec.cells:
+            kernel.run_cell(cell)
+        assert kernel.user_variables()  # ended with live state
+
+    @pytest.mark.parametrize("name", list(NOTEBOOK_BUILDERS), ids=str)
+    def test_experiment_targets_defined(self, name):
+        spec = build_notebook(name, SCALE)
+        assert spec.undo_target_indices, name
+        assert spec.primary_undo_index is not None
+        assert spec.branch_point_index is not None
+        assert 0 <= spec.branch_point_index < spec.cell_count
+
+
+class TestWorkloadTraits:
+    def test_sklearn_cells_access_small_state_fraction(self):
+        # Fig 2's headline: the vast majority of cells touch <10% of the
+        # state (the paper reports 40/44 for Sklearn).
+        stats = measure_access_patterns(build_notebook("Sklearn", SCALE))
+        assert stats.cells_under_10_percent >= len(stats.cells) * 0.6
+
+    def test_create_modify_balance(self):
+        # Fig 2 bottom: creations and modifications are balanced (the
+        # paper reports a 45/55 split).
+        stats = measure_access_patterns(build_notebook("Sklearn", SCALE))
+        assert 0.25 <= stats.creation_fraction <= 0.80
+
+    def test_covariable_census_close_to_variable_count(self):
+        # Table 7: co-variable counts are close to variable counts —
+        # states consist of many small co-variables.
+        n_vars, n_covars = covariable_census(build_notebook("TPS", SCALE))
+        assert n_covars >= n_vars * 0.7
+        assert n_covars <= n_vars
+
+    def test_covariable_size_fractions_small(self):
+        # Fig 18's marker: each co-variable holds a small share of state.
+        fractions = covariable_size_fractions(build_notebook("HW-LM", SCALE))
+        assert sum(fractions) == pytest.approx(1.0)
+        assert sorted(fractions)[len(fractions) // 2] < 0.10  # median small
+
+
+class TestSyntheticWorkloads:
+    def test_shared_referencing_bundle_sizes(self):
+        spec = shared_referencing_workload(3, n_arrays=10, array_kb=8)
+        kernel = NotebookKernel()
+        for cell in spec.cells:
+            kernel.run_cell(cell)
+        assert len(kernel.get("bundle")) == 3
+
+    def test_shared_referencing_probe_updates_one_covariable(self):
+        from repro.core.covariable import CoVariablePool
+
+        spec = shared_referencing_workload(4, n_arrays=10, array_kb=8)
+        kernel = NotebookKernel()
+        for cell in spec.cells[:-1]:
+            kernel.run_cell(cell)
+        pool = CoVariablePool.from_namespace(kernel.user_variables())
+        bundle_key = pool.key_of("bundle")
+        assert len(bundle_key) == 5  # bundle + its 4 member arrays
+
+    def test_shared_referencing_bounds(self):
+        with pytest.raises(ValueError):
+            shared_referencing_workload(0)
+        with pytest.raises(ValueError):
+            shared_referencing_workload(11)
+
+    def test_long_session_prefix_is_full_pass(self):
+        spec = build_notebook("HW-LM", SCALE)
+        cells = long_session_cells(spec, 100, seed=0)
+        assert cells[: spec.cell_count] == list(spec.cells)
+        assert len(cells) == 100
+
+    def test_long_session_reexecutions_are_runnable(self):
+        spec = build_notebook("HW-LM", SCALE)
+        cells = long_session_cells(spec, spec.cell_count + 30, seed=1)
+        kernel = NotebookKernel()
+        for cell in cells:
+            kernel.run_cell(cell)
+
+    def test_long_session_shorter_than_one_pass(self):
+        spec = build_notebook("HW-LM", SCALE)
+        cells = long_session_cells(spec, 10)
+        assert len(cells) == 10

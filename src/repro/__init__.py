@@ -24,6 +24,8 @@ from repro.core import (
     InMemoryCheckpointStore,
     KishuSession,
     ReadOnlyCellAnalyzer,
+    RecoveryReport,
+    RetryPolicy,
     SerializerChain,
     SessionState,
     SQLiteCheckpointStore,
@@ -37,9 +39,12 @@ from repro.errors import (
     DeserializationError,
     KernelError,
     KishuError,
+    PermanentStorageError,
     RestorationError,
     SerializationError,
+    SimulatedCrash,
     StorageError,
+    TransientStorageError,
 )
 from repro.kernel import Cell, CellResult, NotebookKernel, PatchedNamespace
 
@@ -73,5 +78,10 @@ __all__ = [
     "CheckoutError",
     "RestorationError",
     "StorageError",
+    "TransientStorageError",
+    "PermanentStorageError",
+    "SimulatedCrash",
+    "RecoveryReport",
+    "RetryPolicy",
     "__version__",
 ]

@@ -14,19 +14,28 @@ Commands:
     %branch <name>       start a named branch at the head and switch to it
     %vars                list user variables
     %state               show the head's co-variable versions
+    %recover             scan the store for torn checkpoints and sweep them
     %help                command summary
     %quit                leave the session
 
-Run:  python -m repro.cli
+Run:  python -m repro.cli [--store PATH]
+
+With ``--store`` the session checkpoints into a durable SQLite database;
+if the file already holds history (e.g. from a session that crashed),
+the REPL resumes it: any torn checkpoint left by the crash is swept by
+the recovery scan (reported at startup), and the last committed state is
+restored into the fresh kernel.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Dict, List, Optional, TextIO
 
 from repro.core.graph import ROOT_ID
 from repro.core.session import KishuSession
+from repro.core.storage import CheckpointStore, SQLiteCheckpointStore
 from repro.errors import KishuError
 from repro.kernel.kernel import NotebookKernel
 
@@ -40,12 +49,20 @@ class KishuRepl:
         self,
         stdin: Optional[TextIO] = None,
         stdout: Optional[TextIO] = None,
+        store: Optional[CheckpointStore] = None,
         **session_kwargs,
     ) -> None:
         self.stdin = stdin if stdin is not None else sys.stdin
         self.stdout = stdout if stdout is not None else sys.stdout
         self.kernel = NotebookKernel()
-        self.session = KishuSession.init(self.kernel, **session_kwargs)
+        if store is not None and store.read_nodes():
+            # The store already holds committed history — resume it
+            # (restoring the last committed head) instead of starting over.
+            self.session = KishuSession.resume(self.kernel, store, **session_kwargs)
+            self._resumed = True
+        else:
+            self.session = KishuSession.init(self.kernel, store=store, **session_kwargs)
+            self._resumed = False
         self._running = False
         self._commands: Dict[str, Callable[[List[str]], None]] = {
             "log": self._cmd_log,
@@ -55,6 +72,7 @@ class KishuRepl:
             "branch": self._cmd_branch,
             "vars": self._cmd_vars,
             "state": self._cmd_state,
+            "recover": self._cmd_recover,
             "help": self._cmd_help,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
@@ -66,6 +84,14 @@ class KishuRepl:
         """Read and execute lines until EOF or %quit."""
         self._running = True
         self._print("kishu session started — %help for commands")
+        recovery = self.session.store.last_recovery
+        if recovery is not None and not recovery.clean:
+            self._print(f"recovery: {recovery.summary()}")
+        if self._resumed:
+            self._print(
+                f"resumed durable session at {self.session.head_id} "
+                f"({len(self.session.log())} checkpoint(s))"
+            )
         while self._running:
             self._print(
                 PROMPT_TEMPLATE.format(count=self.kernel.execution_count + 1),
@@ -176,6 +202,14 @@ class KishuRepl:
             names = ", ".join(sorted(key))
             self._print(f"  {{{names}}} @ {version}")
 
+    def _cmd_recover(self, arguments: List[str]) -> None:
+        try:
+            report = self.session.store.recover()
+        except KishuError as exc:
+            self._print(f"recover failed: {exc}")
+            return
+        self._print(report.summary())
+
     def _cmd_help(self, arguments: List[str]) -> None:
         self._print(__doc__.split("Commands:")[1].split("Run:")[0].rstrip())
 
@@ -190,8 +224,24 @@ class KishuRepl:
         self.stdout.flush()
 
 
-def main() -> None:
-    KishuRepl().run()
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Interactive Kishu notebook session.",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="durable SQLite checkpoint database (resumed if it has history)",
+    )
+    args = parser.parse_args(argv)
+    store = SQLiteCheckpointStore(args.store) if args.store else None
+    try:
+        KishuRepl(store=store).run()
+    finally:
+        if store is not None:
+            store.close()
 
 
 if __name__ == "__main__":

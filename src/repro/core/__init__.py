@@ -8,7 +8,7 @@ from repro.core.covariable import (
     covar_key,
     group_into_components,
 )
-from repro.core.delta import DeltaDetector, StateDelta
+from repro.core.delta import DeltaDetector, StateDelta, fold_deltas
 from repro.core.graph import (
     CheckpointGraph,
     CheckpointNode,
@@ -20,6 +20,7 @@ from repro.core.hashing import digest_array, digest_bytes, fnv1a64
 from repro.core.objectwalk import DEFAULT_POLICY, TraversalPolicy, Visit
 from repro.core.planner import CheckoutPlan, CheckoutPlanner, PlannedLoad
 from repro.core.restore import CheckoutReport, DataRestorer, StateLoader
+from repro.core.retry import NO_RETRY, RetryPolicy
 from repro.core.rules import ReadOnlyCellAnalyzer
 from repro.core.serialization import (
     Blocklist,
@@ -31,6 +32,7 @@ from repro.core.session import CellCheckpointMetrics, KishuSession, LogEntry
 from repro.core.storage import (
     CheckpointStore,
     InMemoryCheckpointStore,
+    RecoveryReport,
     SQLiteCheckpointStore,
     StoredNode,
     StoredPayload,
@@ -46,6 +48,7 @@ __all__ = [
     "group_into_components",
     "DeltaDetector",
     "StateDelta",
+    "fold_deltas",
     "CheckpointGraph",
     "CheckpointNode",
     "PayloadInfo",
@@ -63,6 +66,8 @@ __all__ = [
     "CheckoutReport",
     "DataRestorer",
     "StateLoader",
+    "NO_RETRY",
+    "RetryPolicy",
     "ReadOnlyCellAnalyzer",
     "Blocklist",
     "FallbackPickler",
@@ -73,6 +78,7 @@ __all__ = [
     "LogEntry",
     "CheckpointStore",
     "InMemoryCheckpointStore",
+    "RecoveryReport",
     "SQLiteCheckpointStore",
     "StoredNode",
     "StoredPayload",

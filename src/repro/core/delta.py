@@ -74,6 +74,31 @@ class StateDelta:
         return not (self.created or self.modified or self.deleted)
 
 
+def fold_deltas(older: StateDelta, newer: StateDelta) -> StateDelta:
+    """Combine two consecutive deltas into one equivalent delta.
+
+    Used when a checkpoint write failed and its delta must be carried
+    into the next checkpoint: the detector's pool was already advanced,
+    so the older delta cannot be re-detected — it is folded under the
+    newer one instead. The newer delta wins on conflicts; a co-variable
+    the newer delta re-created stops being deleted, and one it deleted
+    stops being updated.
+    """
+    folded = StateDelta()
+    folded.created = dict(older.created)
+    folded.modified = dict(older.modified)
+    for key in set(newer.updated) | newer.deleted:
+        folded.created.pop(key, None)
+        folded.modified.pop(key, None)
+    folded.created.update(newer.created)
+    folded.modified.update(newer.modified)
+    folded.deleted = (older.deleted - set(newer.updated)) | newer.deleted
+    folded.accessed_keys = older.accessed_keys | newer.accessed_keys
+    folded.checked_names = older.checked_names | newer.checked_names
+    folded.detection_seconds = older.detection_seconds + newer.detection_seconds
+    return folded
+
+
 class DeltaDetector:
     """Detects co-variable updates after each cell execution."""
 

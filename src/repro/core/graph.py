@@ -103,11 +103,20 @@ class CheckpointGraph:
         self._depth: Dict[str, int] = {ROOT_ID: 0}
         self.head_id: str = ROOT_ID
         self._next_timestamp = 1
+        #: Node ids found in a store but unreachable from the root (their
+        #: parent was swept by crash recovery); see :meth:`from_store`.
+        self.orphaned_node_ids: List[str] = []
 
     # -- construction ---------------------------------------------------------
 
     def new_node_id(self) -> str:
         return f"t{self._next_timestamp}"
+
+    @property
+    def next_timestamp(self) -> int:
+        """Timestamp the next added node will carry — exposed so callers
+        can persist a node's record *before* adding it to the graph."""
+        return self._next_timestamp
 
     def add_node(
         self,
@@ -253,13 +262,24 @@ class CheckpointGraph:
     def from_store(cls, store) -> "CheckpointGraph":
         """Rebuild the graph from a checkpoint store's node records.
 
-        Nodes are replayed in timestamp order, re-deriving each node's
+        Nodes are replayed in the store's deterministic order (timestamp,
+        then execution count, then insertion), re-deriving each node's
         session-state metadata; payload availability is recovered from the
         store's payload rows. The head is left at the latest node (callers
         may move it before checking out).
+
+        A node whose parent is absent — possible when crash recovery swept
+        an uncommitted ancestor — is skipped rather than fatal, along with
+        its descendants; their ids are recorded in ``orphaned_node_ids``
+        so callers can surface the loss. The result is always a valid
+        prefix tree of the original history.
         """
         graph = cls()
         for record in store.read_nodes():
+            parent_id = record.parent_id if record.parent_id is not None else ROOT_ID
+            if parent_id not in graph._nodes:
+                graph.orphaned_node_ids.append(record.node_id)
+                continue
             updated: Dict[CoVarKey, PayloadInfo] = {}
             for payload in store.payloads_of(record.node_id):
                 updated[payload.key] = PayloadInfo(

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.core.covariable import CoVariable, CoVariablePool, CoVarKey
 from repro.core.graph import CheckpointGraph
 from repro.core.planner import CheckoutPlan, CheckoutPlanner
+from repro.core.retry import RetryPolicy
 from repro.core.serialization import SerializerChain, active_globals
 from repro.core.storage import CheckpointStore
 from repro.errors import (
@@ -64,11 +65,13 @@ class DataRestorer:
         serializer: SerializerChain,
         *,
         max_depth: int = 10_000,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.serializer = serializer
         self.max_depth = max_depth
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def materialize(
         self,
@@ -131,7 +134,11 @@ class DataRestorer:
         self, key: CoVarKey, node_id: str, globals_for_load: Dict[str, Any]
     ) -> Optional[Dict[str, Any]]:
         try:
-            payload = self.store.read_payload(node_id, key)
+            # Transient read faults retry with backoff; anything storage
+            # still cannot produce degrades to fallback recomputation.
+            payload = self.retry.run(
+                lambda: self.store.read_payload(node_id, key)
+            )
         except StorageError:
             return None
         if payload.data is None:
@@ -192,13 +199,15 @@ class StateLoader:
         store: CheckpointStore,
         serializer: SerializerChain,
         pool: CoVariablePool,
+        *,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.serializer = serializer
         self.pool = pool
         self.planner = CheckoutPlanner(graph)
-        self.restorer = DataRestorer(graph, store, serializer)
+        self.restorer = DataRestorer(graph, store, serializer, retry=retry)
 
     def checkout(
         self, target_id: str, namespace: PatchedNamespace

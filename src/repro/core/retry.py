@@ -1,0 +1,64 @@
+"""Retry with exponential backoff for transient storage faults.
+
+Durable backends can fail transiently (SQLite lock contention, NFS
+hiccups). Checkpointing must not lose a cell's delta to a fault that
+would have succeeded milliseconds later, so storage operations run under
+a :class:`RetryPolicy`: :class:`~repro.errors.TransientStorageError`
+triggers capped exponential backoff; any other error propagates
+immediately (permanent faults are not worth waiting on, and a
+:class:`~repro.errors.SimulatedCrash` must never be absorbed).
+
+The sleep function is injectable so tests drive retries through a
+virtual clock (``repro.faults.clock``) without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import TransientStorageError
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff: delays base, base*mult, base*mult², …"""
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def run(self, operation: Callable[[], T]) -> T:
+        """Run ``operation``, retrying transient storage errors.
+
+        Raises the last :class:`TransientStorageError` once attempts are
+        exhausted — callers decide whether to then degrade (tombstone) or
+        abort the checkpoint.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return operation()
+            except TransientStorageError:
+                if attempt >= self.max_attempts:
+                    raise
+                self.sleep(self.delay_for(attempt))
+
+
+#: Policy for contexts that must not retry (e.g. benchmarks isolating
+#: single-attempt write cost).
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -19,14 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.covariable import CoVariablePool, CoVarKey
-from repro.core.delta import DeltaDetector, StateDelta
+from repro.core.delta import DeltaDetector, StateDelta, fold_deltas
 from repro.core.graph import CheckpointGraph, CheckpointNode, PayloadInfo, ROOT_ID
 from repro.core.planner import CheckoutPlanner
 from repro.core.refs import RefManager
 from repro.core.restore import CheckoutReport, StateLoader
+from repro.core.retry import RetryPolicy
 from repro.core.serialization import Blocklist, SerializerChain
 from repro.core.storage import (
     CheckpointStore,
@@ -35,7 +36,7 @@ from repro.core.storage import (
     StoredPayload,
 )
 from repro.core.vargraph import VarGraphBuilder
-from repro.errors import KishuError, SerializationError
+from repro.errors import KishuError, SerializationError, StorageError
 from repro.kernel.cells import Cell, CellResult
 from repro.kernel.events import POST_RUN_CELL, PRE_RUN_CELL, ExecutionInfo
 from repro.kernel.kernel import NotebookKernel
@@ -55,6 +56,9 @@ class CellCheckpointMetrics:
     bytes_written: int
     updated_covariables: int
     skipped_unserializable: int
+    #: Payloads degraded to tombstones because storage permanently
+    #: refused them; checkout recomputes these (§5.3).
+    degraded_payloads: int = 0
 
     @property
     def checkpoint_seconds(self) -> float:
@@ -92,6 +96,7 @@ class KishuSession:
         blocklist: Optional[Blocklist] = None,
         builder: Optional[VarGraphBuilder] = None,
         rule_analyzer: Optional["ReadOnlyCellAnalyzer"] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.kernel = kernel
         self.store = store if store is not None else InMemoryCheckpointStore()
@@ -101,11 +106,16 @@ class KishuSession:
         #: Optional §6.2 extension: skip delta detection entirely for cells
         #: the analyzer proves read-only (e.g. bare prints, `df.head()`).
         self.rule_analyzer = rule_analyzer
+        #: Backoff schedule for transient storage faults, applied to every
+        #: store operation issued while checkpointing or restoring.
+        self.retry = retry if retry is not None else RetryPolicy()
 
         self.pool = CoVariablePool(builder)
         self.detector = DeltaDetector(self.pool, check_all=check_all)
         self.graph = CheckpointGraph()
-        self.loader = StateLoader(self.graph, self.store, self.serializer, self.pool)
+        self.loader = StateLoader(
+            self.graph, self.store, self.serializer, self.pool, retry=self.retry
+        )
         self.planner = CheckoutPlanner(self.graph)
         self.refs = RefManager()
 
@@ -116,6 +126,9 @@ class KishuSession:
         self._pending_sources: List[str] = []
         self._pending_execution_count = 0
         self._pending_tags: Set[str] = set()
+        #: Delta of a checkpoint whose store write failed, folded into the
+        #: next successful checkpoint so the history loses no state.
+        self._carryover: Optional[Tuple[StateDelta, str]] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -139,7 +152,11 @@ class KishuSession:
         session = cls(kernel, store=store, **kwargs)
         session.graph = CheckpointGraph.from_store(store)
         session.loader = StateLoader(
-            session.graph, session.store, session.serializer, session.pool
+            session.graph,
+            session.store,
+            session.serializer,
+            session.pool,
+            retry=session.retry,
         )
         session.planner = CheckoutPlanner(session.graph)
         session.attach()
@@ -220,10 +237,24 @@ class KishuSession:
             delta = StateDelta()
         else:
             delta = self.detector.detect(record, self.kernel.user_variables())
-        node = self._write_checkpoint(
-            delta, sources, execution_count, cell_duration,
-            store_payloads=self.should_store_delta(tags),
-        )
+
+        if self._carryover is not None:
+            # A previous checkpoint's store write failed after the pool
+            # was already advanced; fold its delta under this one so no
+            # state update is lost from the history.
+            carried_delta, carried_sources = self._carryover
+            self._carryover = None
+            delta = fold_deltas(carried_delta, delta)
+            sources = f"{carried_sources}\n{sources}" if sources else carried_sources
+
+        try:
+            node = self._write_checkpoint(
+                delta, sources, execution_count, cell_duration,
+                store_payloads=self.should_store_delta(tags),
+            )
+        except StorageError:
+            self._carryover = (delta, sources)
+            raise
         self.refs.advance_active_branch(node.node_id)
         return node
 
@@ -245,11 +276,12 @@ class KishuSession:
         *,
         store_payloads: bool = True,
     ) -> CheckpointNode:
+        parent_id = self.graph.head_id
         parent_state = self.graph.head.state
         node_id = self.graph.new_node_id()
+        timestamp = self.graph.next_timestamp
 
         serialize_seconds = 0.0
-        write_seconds = 0.0
         bytes_written = 0
         skipped = 0
         updated_infos: Dict[CoVarKey, PayloadInfo] = {}
@@ -295,28 +327,35 @@ class KishuSession:
             if version is not None:
                 dependencies[key] = version
 
+        stored_node = StoredNode(
+            node_id=node_id,
+            parent_id=parent_id,
+            timestamp=timestamp,
+            execution_count=execution_count,
+            cell_source=cell_source,
+            deleted_keys=tuple(delta.deleted),
+            dependencies=tuple(dependencies.items()),
+        )
+
+        # Persist first, under the store's atomic commit protocol; the
+        # in-memory graph node is added only once the store committed, so
+        # a storage failure leaves both graph and store at the parent.
         started = time.perf_counter()
+        degraded, dropped_bytes = self._persist_atomically(
+            stored_node, payloads, updated_infos
+        )
+        write_seconds = time.perf_counter() - started
+        skipped += degraded
+        bytes_written -= dropped_bytes
+
         node = self.graph.add_node(
             cell_source=cell_source,
             execution_count=execution_count,
             updated=updated_infos,
             deleted=delta.deleted,
             dependencies=dependencies,
+            parent_id=parent_id,
         )
-        for payload in payloads:
-            self.store.write_payload(payload)
-        self.store.write_node(
-            StoredNode(
-                node_id=node.node_id,
-                parent_id=node.parent_id,
-                timestamp=node.timestamp,
-                execution_count=execution_count,
-                cell_source=cell_source,
-                deleted_keys=tuple(delta.deleted),
-                dependencies=tuple(dependencies.items()),
-            )
-        )
-        write_seconds = time.perf_counter() - started
 
         self.metrics.append(
             CellCheckpointMetrics(
@@ -329,9 +368,74 @@ class KishuSession:
                 bytes_written=bytes_written,
                 updated_covariables=len(delta.updated),
                 skipped_unserializable=skipped,
+                degraded_payloads=degraded,
             )
         )
         return node
+
+    def _persist_atomically(
+        self,
+        stored_node: StoredNode,
+        payloads: List[StoredPayload],
+        updated_infos: Dict[CoVarKey, PayloadInfo],
+    ) -> Tuple[int, int]:
+        """Write one checkpoint under begin/commit, with retry and
+        graceful degradation.
+
+        Every store call runs under the session's retry policy (transient
+        faults back off and retry). A payload that storage permanently
+        refuses is degraded to a tombstone — checkout will recompute it
+        (§5.3) — and ``updated_infos`` is amended to say so. A node write
+        or commit that fails permanently aborts the checkpoint: the open
+        transaction is rolled back and the error propagates.
+
+        A :class:`~repro.errors.SimulatedCrash` is a BaseException and
+        escapes without rollback — by design: a crashed process cannot
+        clean up, and recovery-on-open must cope with whatever remains.
+
+        Returns (degraded payload count, bytes not written due to
+        degradation).
+        """
+        store = self.store
+        node_id = stored_node.node_id
+        degraded = 0
+        dropped_bytes = 0
+        try:
+            self.retry.run(lambda: store.begin_checkpoint(node_id))
+            for payload in payloads:
+                written = self._write_payload_or_tombstone(payload)
+                if written is not payload:
+                    degraded += 1
+                    dropped_bytes += payload.size_bytes
+                    updated_infos[payload.key] = PayloadInfo(
+                        key=payload.key, stored=False
+                    )
+            self.retry.run(lambda: store.write_node(stored_node))
+            self.retry.run(lambda: store.commit_checkpoint(node_id))
+        except Exception:
+            try:
+                store.rollback_checkpoint(node_id)
+            except Exception:
+                pass  # recovery-on-open sweeps whatever rollback couldn't
+            raise
+        return degraded, dropped_bytes
+
+    def _write_payload_or_tombstone(self, payload: StoredPayload) -> StoredPayload:
+        """Write a payload, degrading to a tombstone if storage refuses it."""
+        try:
+            self.retry.run(lambda: self.store.write_payload(payload))
+            return payload
+        except StorageError:
+            if payload.data is None:
+                raise  # it already was a tombstone; nothing left to shed
+            tombstone = StoredPayload(
+                node_id=payload.node_id,
+                key=payload.key,
+                data=None,
+                serializer=None,
+            )
+            self.retry.run(lambda: self.store.write_payload(tombstone))
+            return tombstone
 
     # -- time-traveling -----------------------------------------------------------
 

@@ -13,14 +13,32 @@ A store holds (a) node metadata rows — enough to rebuild the checkpoint
 graph after a restart — and (b) payload rows: one pickled blob per
 versioned co-variable, or a tombstone for payloads that failed to
 serialize.
+
+Crash consistency
+-----------------
+A checkpoint spans many store writes (one payload per updated
+co-variable, plus the node row). A crash between any two of them must
+not leave a *torn* node — metadata without payloads, or vice versa —
+observable after restart. Stores therefore expose a commit protocol:
+
+    store.begin_checkpoint(node_id)
+    store.write_payload(...); ...; store.write_node(...)
+    store.commit_checkpoint(node_id)     # or rollback_checkpoint(...)
+
+Between ``begin`` and ``commit`` nothing is visible to readers: the
+SQLite backend holds one transaction and stamps the node row with a
+``committed`` marker only at commit; the in-memory backend buffers
+writes in a staging area merged atomically at commit. ``read_nodes()``
+returns committed nodes only, and opening a durable store sweeps any
+uncommitted leftovers (see :meth:`CheckpointStore.recover`).
 """
 
 from __future__ import annotations
 
-import json
 import sqlite3
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.covariable import CoVarKey, covar_key
 from repro.errors import StorageError
@@ -69,8 +87,42 @@ class StoredNode:
     dependencies: Tuple[Tuple[CoVarKey, str], ...]
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a recovery scan found (and removed) in a checkpoint store.
+
+    ``swept_nodes`` are node ids whose checkpoint never committed — the
+    session crashed mid-checkpoint — and were pruned so readers only ever
+    see whole checkpoints. ``orphan_payloads`` are (node_id, covar names)
+    pairs for payload rows with no surviving node row.
+    """
+
+    swept_nodes: Tuple[str, ...] = ()
+    orphan_payloads: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.swept_nodes and not self.orphan_payloads
+
+    def summary(self) -> str:
+        if self.clean:
+            return "store is clean: no torn checkpoints found"
+        parts = []
+        if self.swept_nodes:
+            parts.append(
+                f"swept {len(self.swept_nodes)} uncommitted checkpoint(s): "
+                + ", ".join(self.swept_nodes)
+            )
+        if self.orphan_payloads:
+            parts.append(f"pruned {len(self.orphan_payloads)} orphan payload(s)")
+        return "; ".join(parts)
+
+
 class CheckpointStore:
     """Interface both backends implement."""
+
+    #: Recovery scan result from the most recent open/recover, if any.
+    last_recovery: Optional[RecoveryReport] = None
 
     def write_node(self, node: StoredNode) -> None:
         raise NotImplementedError
@@ -93,6 +145,53 @@ class CheckpointStore:
     def close(self) -> None:
         """Release resources; in-memory stores are a no-op."""
 
+    # -- atomic checkpoint protocol --------------------------------------------
+
+    def begin_checkpoint(self, node_id: str) -> None:
+        """Start buffering writes for one checkpoint; nothing is visible
+        to readers until :meth:`commit_checkpoint`."""
+        raise NotImplementedError
+
+    def commit_checkpoint(self, node_id: str) -> None:
+        """Atomically publish every write since :meth:`begin_checkpoint`."""
+        raise NotImplementedError
+
+    def rollback_checkpoint(self, node_id: str) -> None:
+        """Discard every write since :meth:`begin_checkpoint`."""
+        raise NotImplementedError
+
+    @property
+    def in_checkpoint(self) -> bool:
+        """Whether a begin_checkpoint is currently open."""
+        return False
+
+    @contextmanager
+    def checkpoint(self, node_id: str) -> Iterator["CheckpointStore"]:
+        """Commit-protocol scope: commits on success, rolls back on error.
+
+        A :class:`~repro.errors.SimulatedCrash` (a BaseException) escapes
+        *without* rolling back — a crashed process gets no chance to clean
+        up; that is exactly the state recovery-on-open must handle.
+        """
+        self.begin_checkpoint(node_id)
+        try:
+            yield self
+        except Exception:
+            self.rollback_checkpoint(node_id)
+            raise
+        else:
+            self.commit_checkpoint(node_id)
+
+    def recover(self) -> RecoveryReport:
+        """Sweep torn state (uncommitted nodes, orphan payloads).
+
+        Durable stores run this automatically on open; it is also safe to
+        invoke at any quiescent point. Returns what was pruned.
+        """
+        report = RecoveryReport()
+        self.last_recovery = report
+        return report
+
     # -- context manager -------------------------------------------------------
 
     def __enter__(self) -> "CheckpointStore":
@@ -102,35 +201,127 @@ class CheckpointStore:
         self.close()
 
 
+def _node_sort_key(order: int, node: StoredNode) -> Tuple[int, int, int]:
+    """Deterministic node ordering: timestamp, then execution count, then
+    insertion order. Timestamps alone are not unique (two checkpoints in
+    the same clock second), and graph reconstruction requires parents to
+    sort before children."""
+    return (node.timestamp, node.execution_count, order)
+
+
 class InMemoryCheckpointStore(CheckpointStore):
-    """Dict-backed store, for tests and I/O-free benchmarking."""
+    """Dict-backed store, for tests and I/O-free benchmarking.
+
+    Checkpoint atomicity is provided by staged-dict buffering: between
+    ``begin_checkpoint`` and ``commit_checkpoint`` all writes land in a
+    staging area invisible to readers; commit merges it in one step.
+    """
 
     def __init__(self) -> None:
         self._nodes: Dict[str, StoredNode] = {}
-        self._payloads: Dict[Tuple[str, str], StoredPayload] = {}
+        self._node_order: Dict[str, int] = {}
+        self._insertions = 0
+        # Payloads indexed by node_id, then encoded co-variable key, so
+        # payloads_of() is O(payloads of that node), not O(all payloads).
+        self._payloads: Dict[str, Dict[str, StoredPayload]] = {}
+        self._txn_node: Optional[str] = None
+        self._staged_nodes: Dict[str, StoredNode] = {}
+        self._staged_payloads: Dict[str, Dict[str, StoredPayload]] = {}
+        self.last_recovery = None
+
+    # -- writes ----------------------------------------------------------------
 
     def write_node(self, node: StoredNode) -> None:
-        self._nodes[node.node_id] = node
-
-    def read_nodes(self) -> List[StoredNode]:
-        return sorted(self._nodes.values(), key=lambda node: node.timestamp)
+        if self._txn_node is not None:
+            self._staged_nodes[node.node_id] = node
+            return
+        self._store_node(node)
 
     def write_payload(self, payload: StoredPayload) -> None:
-        self._payloads[(payload.node_id, encode_key(payload.key))] = payload
+        target = (
+            self._staged_payloads if self._txn_node is not None else self._payloads
+        )
+        target.setdefault(payload.node_id, {})[encode_key(payload.key)] = payload
+
+    def _store_node(self, node: StoredNode) -> None:
+        if node.node_id not in self._node_order:
+            self._node_order[node.node_id] = self._insertions
+            self._insertions += 1
+        self._nodes[node.node_id] = node
+
+    # -- atomic checkpoint protocol --------------------------------------------
+
+    def begin_checkpoint(self, node_id: str) -> None:
+        if self._txn_node is not None:
+            raise StorageError(
+                f"checkpoint {self._txn_node!r} already in progress"
+            )
+        self._txn_node = node_id
+
+    def commit_checkpoint(self, node_id: str) -> None:
+        if self._txn_node != node_id:
+            raise StorageError(
+                f"commit_checkpoint({node_id!r}) without matching begin"
+            )
+        for node in self._staged_nodes.values():
+            self._store_node(node)
+        for owner, payloads in self._staged_payloads.items():
+            self._payloads.setdefault(owner, {}).update(payloads)
+        self._clear_stage()
+
+    def rollback_checkpoint(self, node_id: str) -> None:
+        self._clear_stage()
+
+    def _clear_stage(self) -> None:
+        self._txn_node = None
+        self._staged_nodes = {}
+        self._staged_payloads = {}
+
+    @property
+    def in_checkpoint(self) -> bool:
+        return self._txn_node is not None
+
+    # -- reads (committed state only) ------------------------------------------
+
+    def read_nodes(self) -> List[StoredNode]:
+        return sorted(
+            self._nodes.values(),
+            key=lambda node: _node_sort_key(self._node_order[node.node_id], node),
+        )
 
     def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
         try:
-            return self._payloads[(node_id, encode_key(key))]
+            return self._payloads[node_id][encode_key(key)]
         except KeyError:
             raise StorageError(
                 f"no payload for co-variable {sorted(key)} at node {node_id}"
             ) from None
 
     def payloads_of(self, node_id: str) -> List[StoredPayload]:
-        return [p for (nid, _), p in self._payloads.items() if nid == node_id]
+        return list(self._payloads.get(node_id, {}).values())
 
     def total_payload_bytes(self) -> int:
-        return sum(payload.size_bytes for payload in self._payloads.values())
+        return sum(
+            payload.size_bytes
+            for payloads in self._payloads.values()
+            for payload in payloads.values()
+        )
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Sweep staged leftovers (an abandoned checkpoint — the in-memory
+        analogue of a crash) and payloads whose node never committed."""
+        swept = tuple(sorted(self._staged_nodes))
+        self._clear_stage()
+        orphans: List[Tuple[str, str]] = []
+        for node_id in sorted(set(self._payloads) - set(self._nodes)):
+            for encoded in sorted(self._payloads[node_id]):
+                orphans.append((node_id, encoded))
+            del self._payloads[node_id]
+        report = RecoveryReport(swept_nodes=swept, orphan_payloads=tuple(orphans))
+        self.last_recovery = report
+        return report
 
 
 class SQLiteCheckpointStore(CheckpointStore):
@@ -139,6 +330,14 @@ class SQLiteCheckpointStore(CheckpointStore):
     Pass ``":memory:"`` for an ephemeral database or a path for a durable
     one. The schema is normalized: ``nodes``, ``node_deletes``,
     ``node_deps``, and ``payloads``.
+
+    Checkpoint atomicity: ``begin_checkpoint`` opens one SQLite
+    transaction; node rows written inside it carry ``committed = 0``
+    until ``commit_checkpoint`` flips the marker and commits. A process
+    crash mid-checkpoint (connection dropped without COMMIT) therefore
+    loses the whole transaction; if torn rows do reach disk through a
+    non-transactional path, the ``committed`` marker keeps them invisible
+    to :meth:`read_nodes` and the recovery scan on open sweeps them.
     """
 
     _SCHEMA = """
@@ -147,7 +346,8 @@ class SQLiteCheckpointStore(CheckpointStore):
         parent_id       TEXT,
         timestamp       INTEGER NOT NULL,
         execution_count INTEGER NOT NULL,
-        cell_source     TEXT NOT NULL
+        cell_source     TEXT NOT NULL,
+        committed       INTEGER NOT NULL DEFAULT 1
     );
     CREATE TABLE IF NOT EXISTS node_deletes (
         node_id   TEXT NOT NULL,
@@ -167,24 +367,60 @@ class SQLiteCheckpointStore(CheckpointStore):
         serializer TEXT,
         PRIMARY KEY (node_id, covar_key)
     );
+    CREATE INDEX IF NOT EXISTS idx_payloads_node ON payloads (node_id);
     """
 
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
-        self._conn = sqlite3.connect(path)
+        # Autocommit mode: transactions are managed explicitly so the
+        # checkpoint protocol can hold one open across many writes.
+        self._conn = sqlite3.connect(path, isolation_level=None)
+        self._txn_node: Optional[str] = None
         self._conn.executescript(self._SCHEMA)
-        self._conn.commit()
+        self._migrate()
+        self.last_recovery = self.recover()
+
+    def _migrate(self) -> None:
+        """Bring pre-durability databases (no ``committed`` column) up to
+        the current schema; existing rows are presumed committed."""
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(nodes)")
+        }
+        if "committed" not in columns:
+            self._conn.execute(
+                "ALTER TABLE nodes ADD COLUMN committed INTEGER NOT NULL DEFAULT 1"
+            )
+
+    # -- writes ----------------------------------------------------------------
+
+    @contextmanager
+    def _write_scope(self) -> Iterator[None]:
+        """One write's transaction scope: inside an open checkpoint this is
+        a no-op (the outer transaction owns atomicity); standalone writes
+        get their own immediate transaction."""
+        if self._txn_node is not None:
+            yield
+            return
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
 
     def write_node(self, node: StoredNode) -> None:
-        with self._conn:
+        committed = 0 if self._txn_node is not None else 1
+        with self._write_scope():
             self._conn.execute(
-                "INSERT OR REPLACE INTO nodes VALUES (?, ?, ?, ?, ?)",
+                "INSERT OR REPLACE INTO nodes VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     node.node_id,
                     node.parent_id,
                     node.timestamp,
                     node.execution_count,
                     node.cell_source,
+                    committed,
                 ),
             )
             self._conn.executemany(
@@ -199,11 +435,59 @@ class SQLiteCheckpointStore(CheckpointStore):
                 ],
             )
 
+    def write_payload(self, payload: StoredPayload) -> None:
+        with self._write_scope():
+            self._conn.execute(
+                "INSERT OR REPLACE INTO payloads VALUES (?, ?, ?, ?)",
+                (
+                    payload.node_id,
+                    encode_key(payload.key),
+                    payload.data,
+                    payload.serializer,
+                ),
+            )
+
+    # -- atomic checkpoint protocol --------------------------------------------
+
+    def begin_checkpoint(self, node_id: str) -> None:
+        if self._txn_node is not None:
+            raise StorageError(
+                f"checkpoint {self._txn_node!r} already in progress"
+            )
+        self._conn.execute("BEGIN IMMEDIATE")
+        self._txn_node = node_id
+
+    def commit_checkpoint(self, node_id: str) -> None:
+        if self._txn_node != node_id:
+            raise StorageError(
+                f"commit_checkpoint({node_id!r}) without matching begin"
+            )
+        self._conn.execute(
+            "UPDATE nodes SET committed = 1 WHERE node_id = ?", (node_id,)
+        )
+        self._conn.execute("COMMIT")
+        self._txn_node = None
+
+    def rollback_checkpoint(self, node_id: str) -> None:
+        if self._conn.in_transaction:
+            self._conn.execute("ROLLBACK")
+        self._txn_node = None
+        # Belt-and-braces: if any rows for this checkpoint reached disk
+        # outside the transaction, remove them now.
+        self._sweep_nodes([node_id], only_uncommitted=True)
+
+    @property
+    def in_checkpoint(self) -> bool:
+        return self._txn_node is not None
+
+    # -- reads (committed state only) ------------------------------------------
+
     def read_nodes(self) -> List[StoredNode]:
         nodes = []
         rows = self._conn.execute(
             "SELECT node_id, parent_id, timestamp, execution_count, cell_source"
-            " FROM nodes ORDER BY timestamp"
+            " FROM nodes WHERE committed = 1"
+            " ORDER BY timestamp, execution_count, rowid"
         ).fetchall()
         for node_id, parent_id, timestamp, execution_count, cell_source in rows:
             deleted = tuple(
@@ -231,18 +515,6 @@ class SQLiteCheckpointStore(CheckpointStore):
                 )
             )
         return nodes
-
-    def write_payload(self, payload: StoredPayload) -> None:
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO payloads VALUES (?, ?, ?, ?)",
-                (
-                    payload.node_id,
-                    encode_key(payload.key),
-                    payload.data,
-                    payload.serializer,
-                ),
-            )
 
     def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
         row = self._conn.execute(
@@ -277,5 +549,66 @@ class SQLiteCheckpointStore(CheckpointStore):
         ).fetchone()
         return int(row[0])
 
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Sweep uncommitted nodes and orphan payloads; runs on every open.
+
+        An open checkpoint transaction at recovery time is itself crash
+        debris (the writer died holding it): it is rolled back — the same
+        outcome a dropped connection produces — before the sweep.
+        """
+        if self._conn.in_transaction:
+            self._conn.execute("ROLLBACK")
+        self._txn_node = None
+        swept = [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT node_id FROM nodes WHERE committed = 0 ORDER BY node_id"
+            )
+        ]
+        orphans = self._conn.execute(
+            "SELECT node_id, covar_key FROM payloads"
+            " WHERE node_id NOT IN (SELECT node_id FROM nodes WHERE committed = 1)"
+            " ORDER BY node_id, covar_key"
+        ).fetchall()
+        if swept or orphans:
+            with self._write_scope():
+                self._sweep_nodes(swept, only_uncommitted=True)
+                self._conn.execute(
+                    "DELETE FROM payloads WHERE node_id NOT IN"
+                    " (SELECT node_id FROM nodes)"
+                )
+        report = RecoveryReport(
+            swept_nodes=tuple(swept),
+            orphan_payloads=tuple((nid, key) for nid, key in orphans),
+        )
+        self.last_recovery = report
+        return report
+
+    def _sweep_nodes(self, node_ids: List[str], *, only_uncommitted: bool) -> None:
+        for node_id in node_ids:
+            if only_uncommitted:
+                self._conn.execute(
+                    "DELETE FROM nodes WHERE node_id = ? AND committed = 0",
+                    (node_id,),
+                )
+            else:
+                self._conn.execute(
+                    "DELETE FROM nodes WHERE node_id = ?", (node_id,)
+                )
+            still_there = self._conn.execute(
+                "SELECT 1 FROM nodes WHERE node_id = ?", (node_id,)
+            ).fetchone()
+            if still_there is None:
+                for table in ("node_deletes", "node_deps", "payloads"):
+                    self._conn.execute(
+                        f"DELETE FROM {table} WHERE node_id = ?", (node_id,)
+                    )
+
     def close(self) -> None:
+        # Closing with an open transaction rolls it back — the same
+        # outcome as a process crash, which is what makes close() a
+        # faithful crash simulation for durable stores.
+        self._txn_node = None
         self._conn.close()

@@ -50,6 +50,33 @@ class StorageError(KishuError):
     """The checkpoint store rejected or lost a payload."""
 
 
+class TransientStorageError(StorageError):
+    """A storage operation failed in a way that may succeed on retry
+    (lock contention, momentary I/O hiccup). The session retries these
+    with exponential backoff before giving up."""
+
+
+class PermanentStorageError(StorageError):
+    """A storage operation failed in a way retrying cannot fix (disk
+    full, corrupted page). The session degrades gracefully: a payload
+    that cannot be written is recorded as a tombstone so checkout falls
+    back to recomputation (§5.3)."""
+
+
+class SimulatedCrash(BaseException):
+    """Process death injected at a kill-point by the fault layer.
+
+    Deliberately *not* a :class:`KishuError` — not even an
+    ``Exception`` — so no recovery or rollback code path can catch it:
+    a crashed process runs nothing further, and crash-consistency tests
+    must observe the store exactly as the crash left it.
+    """
+
+    def __init__(self, kill_point: str):
+        super().__init__(f"simulated crash at {kill_point}")
+        self.kill_point = kill_point
+
+
 class SnapshotError(KishuError):
     """An OS-level (simulated) snapshot could not be taken or restored."""
 

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+This package is the test substrate for Kishu's durability guarantees:
+seed-driven :class:`FaultPlan`\\ s describe *when* storage misbehaves
+(fail the Nth write, tear a checkpoint after K payloads, crash at an
+enumerated kill-point) and *how* (transient vs. permanent
+:class:`~repro.errors.StorageError`, serialization failure, or
+:class:`~repro.errors.SimulatedCrash`); :class:`FaultInjectingStore`
+composes over any :class:`~repro.core.storage.CheckpointStore` backend
+and executes the plan; :class:`VirtualClock` lets retry backoff run
+without real sleeping.
+"""
+
+from repro.faults.clock import SystemClock, VirtualClock
+from repro.faults.injector import FaultInjectingSerializer, FaultInjectingStore
+from repro.faults.plan import (
+    CHECKPOINT_OPS,
+    WRITE_OPS,
+    FaultPlan,
+    FaultRule,
+    FaultScript,
+)
+
+__all__ = [
+    "CHECKPOINT_OPS",
+    "WRITE_OPS",
+    "FaultInjectingSerializer",
+    "FaultInjectingStore",
+    "FaultPlan",
+    "FaultRule",
+    "FaultScript",
+    "SystemClock",
+    "VirtualClock",
+]

@@ -1,0 +1,52 @@
+"""Injectable clocks, so retry backoff is testable without real waiting.
+
+:class:`~repro.core.retry.RetryPolicy` takes a ``sleep`` callable;
+production uses :class:`SystemClock` (real ``time``), tests use
+:class:`VirtualClock`, which records every requested sleep and advances
+a virtual timeline instantly — fault tests can then assert the exact
+backoff schedule (base, base*mult, …) deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+
+class SystemClock:
+    """Real wall-clock time; the production default."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic clock: ``sleep`` advances virtual time instantly.
+
+    ``sleeps`` records every backoff delay requested, in order, so tests
+    can assert both *that* retries happened and *what* schedule they
+    followed.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+    @property
+    def total_slept(self) -> float:
+        return sum(self.sleeps)

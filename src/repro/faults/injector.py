@@ -1,0 +1,162 @@
+"""Fault-injecting wrappers that compose over real components.
+
+:class:`FaultInjectingStore` wraps any
+:class:`~repro.core.storage.CheckpointStore` and consults a
+:class:`~repro.faults.plan.FaultScript` before delegating each
+operation. It also keeps an ``op_log`` of every operation attempted —
+the fault-free trace is the kill-point universe the crash harness
+enumerates. After a :class:`~repro.errors.SimulatedCrash` fires, the
+wrapper is *dead*: every further operation raises, like a process whose
+storage connection died with it. The harness then "reboots" by reopening
+the underlying store (closing a SQLite connection mid-transaction rolls
+back, exactly as a real crash would).
+
+:class:`FaultInjectingSerializer` wraps a
+:class:`~repro.core.serialization.SerializerChain` the same way for the
+``serialize`` operation domain, turning fired rules into
+:class:`~repro.errors.SerializationError` so the session's tombstone /
+fallback-recomputation path is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.covariable import CoVarKey
+from repro.core.serialization import SerializerChain
+from repro.core.storage import (
+    CheckpointStore,
+    RecoveryReport,
+    StoredNode,
+    StoredPayload,
+)
+from repro.errors import (
+    PermanentStorageError,
+    SerializationError,
+    SimulatedCrash,
+)
+from repro.faults.plan import FaultPlan, FaultScript, _SerializationFaultSignal
+
+
+class FaultInjectingStore(CheckpointStore):
+    """A checkpoint store that misbehaves on schedule.
+
+    Faults fire *before* the operation reaches the inner store, so a
+    failed write leaves no partial effect of its own — partiality only
+    arises from the sequence being cut short, which is precisely what
+    the atomic commit protocol must tolerate.
+    """
+
+    def __init__(
+        self, inner: CheckpointStore, plan: Optional[FaultPlan] = None
+    ) -> None:
+        self.inner = inner
+        self.script: FaultScript = (plan or FaultPlan.none()).script()
+        self.op_log: List[str] = []
+        self.crashed = False
+
+    # -- gate ------------------------------------------------------------------
+
+    def _gate(self, op: str, detail: str = "") -> None:
+        if self.crashed:
+            raise PermanentStorageError(
+                f"store unreachable: simulated process crash already occurred "
+                f"(attempted {op})"
+            )
+        self.op_log.append(f"{op}:{detail}" if detail else op)
+        try:
+            self.script.check(op, detail)
+        except SimulatedCrash:
+            self.crashed = True
+            raise
+        except _SerializationFaultSignal as signal:
+            # A serialization rule aimed at a store op degenerates to a
+            # permanent storage fault — the nearest meaningful behaviour.
+            raise PermanentStorageError(str(signal)) from None
+
+    # -- delegated operations --------------------------------------------------
+
+    def write_node(self, node: StoredNode) -> None:
+        self._gate("write_node", node.node_id)
+        self.inner.write_node(node)
+
+    def read_nodes(self) -> List[StoredNode]:
+        self._gate("read_nodes")
+        return self.inner.read_nodes()
+
+    def write_payload(self, payload: StoredPayload) -> None:
+        self._gate("write_payload", payload.node_id)
+        self.inner.write_payload(payload)
+
+    def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
+        self._gate("read_payload", node_id)
+        return self.inner.read_payload(node_id, key)
+
+    def payloads_of(self, node_id: str) -> List[StoredPayload]:
+        self._gate("payloads_of", node_id)
+        return self.inner.payloads_of(node_id)
+
+    def total_payload_bytes(self) -> int:
+        return self.inner.total_payload_bytes()
+
+    def begin_checkpoint(self, node_id: str) -> None:
+        self._gate("begin_checkpoint", node_id)
+        self.inner.begin_checkpoint(node_id)
+
+    def commit_checkpoint(self, node_id: str) -> None:
+        self._gate("commit_checkpoint", node_id)
+        self.inner.commit_checkpoint(node_id)
+
+    def rollback_checkpoint(self, node_id: str) -> None:
+        self._gate("rollback_checkpoint", node_id)
+        self.inner.rollback_checkpoint(node_id)
+
+    @property
+    def in_checkpoint(self) -> bool:
+        return self.inner.in_checkpoint
+
+    def recover(self) -> RecoveryReport:
+        report = self.inner.recover()
+        self.last_recovery = report
+        return report
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- harness helpers -------------------------------------------------------
+
+    def checkpoint_op_count(self) -> int:
+        """Checkpoint-protocol operations attempted so far — the size of
+        the kill-point universe when recorded under a fault-free plan."""
+        return self.script.occurrences("checkpoint")
+
+
+class FaultInjectingSerializer:
+    """SerializerChain wrapper driving the ``serialize`` fault domain."""
+
+    def __init__(
+        self,
+        inner: Optional[SerializerChain] = None,
+        plan: Optional[FaultPlan] = None,
+        *,
+        script: Optional[FaultScript] = None,
+    ) -> None:
+        self.inner = inner if inner is not None else SerializerChain()
+        # Sharing a script with a FaultInjectingStore lets one plan span
+        # both serialization and storage domains with one set of counters.
+        self.script = script if script is not None else (plan or FaultPlan.none()).script()
+
+    def serialize(
+        self, key: CoVarKey, values: Dict[str, Any]
+    ) -> Tuple[bytes, str]:
+        try:
+            self.script.check("serialize", ",".join(sorted(key)))
+        except _SerializationFaultSignal as signal:
+            raise SerializationError(key, cause=signal) from signal
+        return self.inner.serialize(key, values)
+
+    def deserialize(self, data: bytes, serializer: Optional[str]) -> Any:
+        return self.inner.deserialize(data, serializer)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)

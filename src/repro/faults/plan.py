@@ -1,0 +1,221 @@
+"""Fault plans: deterministic, seed-driven schedules of storage misbehaviour.
+
+A :class:`FaultPlan` is an immutable list of :class:`FaultRule`\\ s. Each
+rule names an *operation domain* (one store method, or a group like
+``"write"``), the occurrence index within that domain at which it fires,
+how many consecutive occurrences it affects, and the fault ``kind``:
+
+* ``"transient"`` — raises :class:`~repro.errors.TransientStorageError`;
+  the retry layer should absorb it.
+* ``"permanent"`` — raises :class:`~repro.errors.PermanentStorageError`;
+  retrying is futile, the writer must degrade (tombstone) or abort.
+* ``"crash"`` — raises :class:`~repro.errors.SimulatedCrash`, modelling
+  process death at that kill-point; the store wrapper goes dead until
+  the harness "reboots" it.
+* ``"serialization"`` — consumed by
+  :class:`~repro.faults.injector.FaultInjectingSerializer` to make a
+  co-variable unserializable.
+
+Execution state (occurrence counters, exhausted rules) lives in a
+:class:`FaultScript`, created per run, so one plan can drive many runs —
+including the replay-under-every-kill-point loops of the crash harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    PermanentStorageError,
+    SimulatedCrash,
+    TransientStorageError,
+)
+
+#: Store mutation operations (the "write" domain).
+WRITE_OPS = ("write_node", "write_payload")
+
+#: Every operation of the atomic checkpoint protocol, in the order the
+#: session issues them — the kill-point universe for crash enumeration.
+CHECKPOINT_OPS = (
+    "begin_checkpoint",
+    "write_payload",
+    "write_node",
+    "commit_checkpoint",
+)
+
+_KINDS = ("transient", "permanent", "crash", "serialization")
+
+
+def _domains_of(op: str) -> Tuple[str, ...]:
+    """Domains a concrete operation belongs to, most specific first."""
+    domains = [op]
+    if op in WRITE_OPS:
+        domains.append("write")
+    if op in CHECKPOINT_OPS:
+        domains.append("checkpoint")
+    domains.append("*")
+    return tuple(domains)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Fire ``kind`` on occurrences [index, index + times) of ``op``.
+
+    ``times > 1`` models a fault that persists across retries: each retry
+    is a new occurrence of the domain, so ``times=2`` fails the original
+    attempt and its first retry, then lets the second retry through.
+    """
+
+    op: str
+    index: int
+    kind: str
+    times: int = 1
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.index < 0 or self.times < 1:
+            raise ValueError("index must be >= 0 and times >= 1")
+
+    def matches(self, domain: str, occurrence: int) -> bool:
+        return self.op == domain and self.index <= occurrence < self.index + self.times
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults; build via the named constructors."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: Optional[int] = None
+
+    # -- named constructors ----------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """No faults — used to record a run's op trace for enumeration."""
+        return cls()
+
+    @classmethod
+    def fail_nth_write(
+        cls, n: int, *, kind: str = "transient", times: int = 1
+    ) -> "FaultPlan":
+        """Fail the n-th store mutation (0-based, across nodes/payloads)."""
+        return cls(rules=(FaultRule("write", n, kind, times, note=f"nth-write:{n}"),))
+
+    @classmethod
+    def torn_after_payloads(cls, k: int) -> "FaultPlan":
+        """Crash after exactly ``k`` payload writes landed — the classic
+        torn-checkpoint scenario the commit protocol must mask."""
+        return cls(
+            rules=(FaultRule("write_payload", k, "crash", note=f"torn-after:{k}"),)
+        )
+
+    @classmethod
+    def crash_at_checkpoint_op(cls, index: int) -> "FaultPlan":
+        """Crash at the ``index``-th checkpoint-protocol operation — the
+        enumeration axis of the kill-point harness."""
+        return cls(
+            rules=(FaultRule("checkpoint", index, "crash", note=f"kill-point:{index}"),)
+        )
+
+    @classmethod
+    def serialization_failure(cls, index: int, *, times: int = 1) -> "FaultPlan":
+        """Make the ``index``-th serialization attempt fail."""
+        return cls(rules=(FaultRule("serialize", index, "serialization", times),))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        max_rules: int = 3,
+        horizon: int = 25,
+        kinds: Sequence[str] = ("transient", "transient", "permanent", "serialization"),
+        max_times: int = 3,
+    ) -> "FaultPlan":
+        """Seed-driven random plan: same seed, same faults, every run.
+
+        ``kinds`` is sampled uniformly, so repeats act as weights (the
+        default is transient-heavy). ``max_times`` stays below the default
+        retry budget so transient faults remain absorbable.
+        """
+        rng = random.Random(seed)
+        rules: List[FaultRule] = []
+        for _ in range(rng.randint(1, max_rules)):
+            kind = rng.choice(list(kinds))
+            if kind == "serialization":
+                op = "serialize"
+            else:
+                op = rng.choice(["write", "write_payload", "write_node", "checkpoint"])
+            times = rng.randint(1, max_times) if kind == "transient" else 1
+            rules.append(
+                FaultRule(
+                    op=op,
+                    index=rng.randrange(horizon),
+                    kind=kind,
+                    times=times,
+                    note=f"random(seed={seed})",
+                )
+            )
+        return cls(rules=tuple(rules), seed=seed)
+
+    def with_rule(self, rule: FaultRule) -> "FaultPlan":
+        return FaultPlan(rules=self.rules + (rule,), seed=self.seed)
+
+    def script(self) -> "FaultScript":
+        return FaultScript(self)
+
+
+class FaultScript:
+    """Mutable execution state of one run of a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._seen: Dict[str, int] = {}
+        self.fired: List[Tuple[FaultRule, str]] = []
+
+    def occurrences(self, domain: str) -> int:
+        return self._seen.get(domain, 0)
+
+    def check(self, op: str, detail: str = "") -> None:
+        """Record one occurrence of ``op``; raise if a rule fires.
+
+        The first matching rule (most specific domain, then plan order)
+        wins; its firing is logged in :attr:`fired` either way.
+        """
+        fired: Optional[FaultRule] = None
+        where = f"{op}#{self._seen.get(op, 0)}" + (f" ({detail})" if detail else "")
+        for domain in _domains_of(op):
+            occurrence = self._seen.get(domain, 0)
+            self._seen[domain] = occurrence + 1
+            if fired is None:
+                for rule in self.plan.rules:
+                    if rule.matches(domain, occurrence):
+                        fired = rule
+                        break
+        if fired is None:
+            return
+        self.fired.append((fired, where))
+        label = fired.note or f"{fired.op}[{fired.index}]"
+        if fired.kind == "transient":
+            raise TransientStorageError(f"injected transient fault ({label}) at {where}")
+        if fired.kind == "permanent":
+            raise PermanentStorageError(f"injected permanent fault ({label}) at {where}")
+        if fired.kind == "crash":
+            raise SimulatedCrash(where)
+        # "serialization" rules are interpreted by FaultInjectingSerializer,
+        # which calls check("serialize", ...) and maps this into a
+        # SerializationError carrying the co-variable's names.
+        raise _SerializationFaultSignal(label, where)
+
+
+class _SerializationFaultSignal(Exception):
+    """Internal: tells FaultInjectingSerializer a serialization rule fired."""
+
+    def __init__(self, label: str, where: str) -> None:
+        super().__init__(f"injected serialization fault ({label}) at {where}")
+        self.label = label
+        self.where = where

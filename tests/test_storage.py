@@ -55,6 +55,41 @@ class TestStoreParity:
         ids = [n.node_id for n in any_store.read_nodes()]
         assert ids == ["t1", "t3"]
 
+    def test_same_timestamp_orders_by_execution_count(self, any_store):
+        """Regression: same-second checkpoints must not reorder parent
+        after child on reload — execution count breaks the tie."""
+        shared_ts = 100
+        child = StoredNode(
+            node_id="t2", parent_id="t1", timestamp=shared_ts,
+            execution_count=2, cell_source="child",
+            deleted_keys=(), dependencies=(),
+        )
+        parent = StoredNode(
+            node_id="t1", parent_id="t0", timestamp=shared_ts,
+            execution_count=1, cell_source="parent",
+            deleted_keys=(), dependencies=(),
+        )
+        any_store.write_node(child)
+        any_store.write_node(parent)
+        ids = [n.node_id for n in any_store.read_nodes()]
+        assert ids == ["t1", "t2"]
+
+    def test_same_timestamp_and_count_keeps_insertion_order(self, any_store):
+        """Final tiebreaker: insertion order, so reload is deterministic
+        even for fully tied rows."""
+        rows = [
+            StoredNode(
+                node_id=f"t{i}", parent_id="t0", timestamp=7,
+                execution_count=7, cell_source=str(i),
+                deleted_keys=(), dependencies=(),
+            )
+            for i in (3, 1, 2)
+        ]
+        for row in rows:
+            any_store.write_node(row)
+        ids = [n.node_id for n in any_store.read_nodes()]
+        assert ids == ["t3", "t1", "t2"]
+
     def test_payload_roundtrip(self, any_store):
         payload = StoredPayload(
             node_id="t1", key=covar_key({"x"}), data=b"blob", serializer="primary"
@@ -141,3 +176,48 @@ class TestSQLiteDurability:
             pass
         with pytest.raises(Exception):
             store.read_nodes()  # connection closed
+
+    def test_full_round_trip_survives_reopen(self, tmp_path):
+        """Every persisted facet — nodes, deletes, deps, stored payloads,
+        and tombstones — must survive a close/reopen of a file-backed
+        store, byte for byte."""
+        path = str(tmp_path / "full.db")
+        node = StoredNode(
+            node_id="t1",
+            parent_id="t0",
+            timestamp=1,
+            execution_count=3,
+            cell_source="df = df.drop(columns=['x'])\ntotal = df.sum()",
+            deleted_keys=(covar_key({"tmp"}), covar_key({"old", "older"})),
+            dependencies=(
+                (covar_key({"df"}), "t0"),
+                (covar_key({"cfg", "params"}), "t0"),
+            ),
+        )
+        stored = StoredPayload(
+            node_id="t1", key=covar_key({"df"}), data=b"\x00blob\xff", serializer="primary"
+        )
+        tombstone = StoredPayload(
+            node_id="t1", key=covar_key({"cfg", "params"}), data=None, serializer=None
+        )
+        with SQLiteCheckpointStore(path) as store:
+            with store.checkpoint("t1"):
+                store.write_node(node)
+                store.write_payload(stored)
+                store.write_payload(tombstone)
+
+        with SQLiteCheckpointStore(path) as back:
+            assert back.last_recovery is not None and back.last_recovery.clean
+            (read,) = back.read_nodes()
+            assert (read.node_id, read.parent_id, read.timestamp) == ("t1", "t0", 1)
+            assert read.execution_count == 3
+            assert read.cell_source == node.cell_source
+            assert set(read.deleted_keys) == set(node.deleted_keys)
+            assert dict(read.dependencies) == dict(node.dependencies)
+            payload = back.read_payload("t1", covar_key({"df"}))
+            assert payload.data == b"\x00blob\xff"
+            assert payload.serializer == "primary"
+            ghost = back.read_payload("t1", covar_key({"cfg", "params"}))
+            assert not ghost.stored and ghost.data is None
+            assert back.total_payload_bytes() == len(b"\x00blob\xff")
+            assert len(back.payloads_of("t1")) == 2

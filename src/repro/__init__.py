@@ -47,6 +47,7 @@ from repro.errors import (
     TransientStorageError,
 )
 from repro.kernel import Cell, CellResult, NotebookKernel, PatchedNamespace
+from repro.telemetry import WalkStats, WalkTelemetry
 
 __version__ = "1.0.0"
 
@@ -83,5 +84,7 @@ __all__ = [
     "SimulatedCrash",
     "RecoveryReport",
     "RetryPolicy",
+    "WalkStats",
+    "WalkTelemetry",
     "__version__",
 ]

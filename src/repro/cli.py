@@ -14,6 +14,7 @@ Commands:
     %branch <name>       start a named branch at the head and switch to it
     %vars                list user variables
     %state               show the head's co-variable versions
+    %telemetry           walk-cache counters of the tracking hot path
     %recover             scan the store for torn checkpoints and sweep them
     %help                command summary
     %quit                leave the session
@@ -72,6 +73,7 @@ class KishuRepl:
             "branch": self._cmd_branch,
             "vars": self._cmd_vars,
             "state": self._cmd_state,
+            "telemetry": self._cmd_telemetry,
             "recover": self._cmd_recover,
             "help": self._cmd_help,
             "quit": self._cmd_quit,
@@ -201,6 +203,29 @@ class KishuRepl:
         for key, version in sorted(state.items(), key=lambda kv: sorted(kv[0])):
             names = ", ".join(sorted(key))
             self._print(f"  {{{names}}} @ {version}")
+
+    def _cmd_telemetry(self, arguments: List[str]) -> None:
+        """Cumulative walk counters: is tracking cost tracking the delta?"""
+        total = self.session.total_walk_stats()
+        builder = self.session.pool.builder
+        self._print("walk telemetry (all checkpoints):")
+        self._print(f"  objects visited     {total.objects_visited}")
+        self._print(f"  graphs built        {total.graphs_built}")
+        self._print(
+            f"  cache hits/misses   {total.cache_hits}/{total.cache_misses}"
+            f"  (hit ratio {total.hit_ratio:.0%})"
+        )
+        self._print(f"  nodes spliced       {total.nodes_spliced}")
+        self._print(f"  bytes hashed        {total.bytes_hashed}")
+        self._print(f"  cache invalidations {total.cache_invalidations}")
+        cache = getattr(builder, "cache", None)
+        if cache is not None:
+            self._print(
+                f"  cache now           {len(cache)} entries, "
+                f"{cache.total_nodes} nodes"
+            )
+        else:
+            self._print("  incremental walk cache disabled")
 
     def _cmd_recover(self, arguments: List[str]) -> None:
         try:

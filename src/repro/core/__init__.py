@@ -37,7 +37,13 @@ from repro.core.storage import (
     StoredNode,
     StoredPayload,
 )
-from repro.core.vargraph import GraphNode, VarGraph, VarGraphBuilder, graphs_equal
+from repro.core.vargraph import (
+    GraphNode,
+    SubtreeCache,
+    VarGraph,
+    VarGraphBuilder,
+    graphs_equal,
+)
 from repro.core.versioning import SessionState, VersionedCoVariable
 
 __all__ = [
@@ -83,6 +89,7 @@ __all__ = [
     "StoredNode",
     "StoredPayload",
     "GraphNode",
+    "SubtreeCache",
     "VarGraph",
     "VarGraphBuilder",
     "graphs_equal",

@@ -141,6 +141,13 @@ class CoVariablePool:
     def key_of(self, name: str) -> Optional[CoVarKey]:
         return self._key_of_name.get(name)
 
+    def graph_of(self, name: str) -> Optional[VarGraph]:
+        """The most recent VarGraph snapshot of one variable, if tracked."""
+        covariable = self.covariable_of(name)
+        if covariable is None:
+            return None
+        return covariable.graphs.get(name)
+
     def all_names(self) -> Set[str]:
         return set(self._key_of_name)
 

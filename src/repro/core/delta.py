@@ -34,6 +34,7 @@ from repro.core.covariable import (
     group_into_components,
 )
 from repro.kernel.namespace import AccessRecord, filter_user_names
+from repro.telemetry import WalkStats
 
 
 @dataclass
@@ -53,6 +54,10 @@ class StateDelta:
             this set is the work the access pruning saves.
         detection_seconds: Wall-clock cost of detection (tracking overhead,
             the quantity reported in Table 6 / Fig 17).
+        walk: Walk-telemetry counters attributable to this detection
+            (objects visited, cache hits/misses, nodes spliced, bytes
+            hashed, graphs built) — the §7.6-style evidence that tracking
+            cost tracks the delta, not the state.
     """
 
     created: Dict[CoVarKey, CoVariable] = field(default_factory=dict)
@@ -61,6 +66,7 @@ class StateDelta:
     accessed_keys: Set[CoVarKey] = field(default_factory=set)
     checked_names: Set[str] = field(default_factory=set)
     detection_seconds: float = 0.0
+    walk: WalkStats = field(default_factory=WalkStats)
 
     @property
     def updated(self) -> Dict[CoVarKey, CoVariable]:
@@ -96,6 +102,7 @@ def fold_deltas(older: StateDelta, newer: StateDelta) -> StateDelta:
     folded.accessed_keys = older.accessed_keys | newer.accessed_keys
     folded.checked_names = older.checked_names | newer.checked_names
     folded.detection_seconds = older.detection_seconds + newer.detection_seconds
+    folded.walk = older.walk + newer.walk
     return folded
 
 
@@ -118,7 +125,9 @@ class DeltaDetector:
             namespace_items: Current user variables, post-execution.
         """
         started = time.perf_counter()
+        before = self.pool.builder.telemetry.snapshot()
         delta = self._detect_inner(record, namespace_items)
+        delta.walk = self.pool.builder.telemetry.since(before)
         delta.detection_seconds = time.perf_counter() - started
         return delta
 
@@ -149,6 +158,15 @@ class DeltaDetector:
 
         if not candidate_names:
             return delta
+
+        # Incremental walk cache: a cell can only mutate objects it could
+        # reach, and it reaches objects only through accessed names (Lemma 1
+        # below variable granularity) — so exactly the subtrees intersecting
+        # the accessed names' previous id-sets are dirty; everything else
+        # splices from cache. Without access information (check-all mode,
+        # lost records) or with an under-approximated id-set (opaque or
+        # truncated prior graph) the whole cache is conservatively dropped.
+        self._invalidate_cache(accessed_names, record)
 
         # Re-generate VarGraphs for all candidates still present (§4.3
         # step 1). Names that vanished show up as absent here.
@@ -183,6 +201,29 @@ class DeltaDetector:
         delta.deleted = candidate_keys - surviving_keys
         self.pool.replace(candidate_keys, new_covariables)
         return delta
+
+    def _invalidate_cache(
+        self, accessed_names: Set[str], record: Optional[AccessRecord]
+    ) -> None:
+        """Drop cached subtrees the cell could have mutated (the dirty set)."""
+        builder = self.pool.builder
+        if getattr(builder, "cache", None) is None:
+            return
+        if self.check_all or record is None:
+            builder.invalidate_all()
+            return
+        dirty: Set[int] = set()
+        for name in accessed_names:
+            graph = self.pool.graph_of(name)
+            if graph is None:
+                continue
+            if graph.opaque or graph.truncated:
+                # The graph's id-set under-approximates what the cell could
+                # reach through this name; no sound dirty set exists.
+                builder.invalidate_all()
+                return
+            dirty |= graph.id_set
+        builder.invalidate_ids(dirty)
 
     @staticmethod
     def _graphs_changed(covariable: CoVariable, old_graphs: Dict[str, Any]) -> bool:

@@ -14,6 +14,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.telemetry import count_bytes_hashed
+
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -28,6 +30,7 @@ def fnv1a64(data: Union[bytes, bytearray, memoryview]) -> int:
     for the common case of small primitive payloads.
     """
     buffer = bytes(data)
+    count_bytes_hashed(len(buffer))
     if len(buffer) > 64:
         buffer = hashlib.blake2b(buffer, digest_size=16).digest()
     value = _FNV_OFFSET
@@ -42,7 +45,9 @@ def digest_bytes(data: Union[bytes, bytearray, memoryview], *, backend: str = "f
     if backend == "fnv":
         return fnv1a64(data)
     if backend == "blake2b":
-        digest = hashlib.blake2b(bytes(data), digest_size=8).digest()
+        buffer = bytes(data)
+        count_bytes_hashed(len(buffer))
+        digest = hashlib.blake2b(buffer, digest_size=8).digest()
         return int.from_bytes(digest, "big")
     raise ValueError(f"unknown hash backend {backend!r}")
 

@@ -22,6 +22,8 @@ Three kinds of nodes come out of a visit:
 
 from __future__ import annotations
 
+import marshal
+import re
 import types
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Tuple
@@ -66,27 +68,47 @@ class TraversalPolicy:
     The default policy implements the paper's behaviour for the Python data
     model; library-specific fast paths (e.g. hashing tensors instead of
     walking them) register themselves with :meth:`register`.
+
+    Policies layer: a policy constructed with a ``parent`` consults its own
+    handlers first and falls back to the parent chain. Builders walk with a
+    private layer over the shared :data:`DEFAULT_POLICY`, so
+    :meth:`register` on a builder's policy never leaks into other sessions
+    (or test runs) sharing the process.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, parent: Optional["TraversalPolicy"] = None) -> None:
         self._handlers: List[Tuple[type, Handler]] = []
+        self.parent = parent
 
     def register(self, type_: type, handler: Handler) -> None:
         """Register a handler consulted for instances of ``type_``.
 
         Handlers registered later win over earlier ones, so callers can
-        override defaults.
+        override defaults. Layered handlers win over the parent chain's.
         """
         self._handlers.insert(0, (type_, handler))
 
+    def layer(self) -> "TraversalPolicy":
+        """A fresh policy that inherits this one's rules without sharing
+        its mutable handler list."""
+        return TraversalPolicy(parent=self)
+
     def visit(self, obj: Any) -> Visit:
         """Classify one object and enumerate its children."""
+        visit = self._handled(obj)
+        if visit is not None:
+            return visit
+        return self._default_visit(obj)
+
+    def _handled(self, obj: Any) -> Optional[Visit]:
         for type_, handler in self._handlers:
             if isinstance(obj, type_):
                 visit = handler(obj)
                 if visit is not None:
                     return visit
-        return self._default_visit(obj)
+        if self.parent is not None:
+            return self.parent._handled(obj)
+        return None
 
     # -- default rules -------------------------------------------------------
 
@@ -133,8 +155,31 @@ def _set_children(obj: Iterable[Any]) -> Tuple[Any, ...]:
     return tuple(sorted(obj, key=_set_sort_key))
 
 
+_HEX_ADDRESS = re.compile(r"0x[0-9a-fA-F]+")
+
+
 def _set_sort_key(element: Any) -> Tuple[str, str]:
-    return (type(element).__qualname__, repr(element))
+    return (type(element).__qualname__, _stable_repr(element))
+
+
+def _stable_repr(element: Any) -> str:
+    """An address-free, process-stable ordering string for set elements.
+
+    ``repr`` of a default-repr object embeds its memory address, which
+    differs across processes (and across equal runs), so raw ``repr`` makes
+    set-child ordering — and hence graph digests — nondeterministic.
+    Primitives and their immutable containers have value-determined reprs;
+    everything else has hex addresses masked out. Two distinct elements
+    with identical masked reprs tie, which only perturbs their relative
+    order, never the set's membership digest.
+    """
+    if isinstance(element, PRIMITIVE_TYPES):
+        return repr(element)
+    if isinstance(element, tuple):
+        return "(" + ",".join(_stable_repr(item) for item in element) + ")"
+    if isinstance(element, frozenset):
+        return "{" + ",".join(sorted(_stable_repr(item) for item in element)) + "}"
+    return _HEX_ADDRESS.sub("0x", repr(element))
 
 
 def _code_identity(obj: Any) -> str:
@@ -160,10 +205,27 @@ def _function_visit(obj: Any) -> Visit:
     if bound_self is not None and not isinstance(bound_self, types.ModuleType):
         children.append(bound_self)
     if not children:
-        code = getattr(obj, "__code__", None)
-        identity = (_code_identity(obj), id(code) if code is not None else 0)
+        identity = (_code_identity(obj), _code_digest(getattr(obj, "__code__", None)))
         return Visit(kind="primitive", value=identity)
     return Visit(kind="composite", children=tuple(children))
+
+
+def _code_digest(code: Optional[types.CodeType]) -> int:
+    """Content digest of a code object — process-stable function identity.
+
+    ``id(code)`` (the former identity) is a memory address: it differs
+    across processes for identical code and made function-node digests
+    depend on allocation order. Marshal serializes the full code object
+    (bytecode, constants, nested code) deterministically for a given
+    interpreter version, so redefining an *identical* function is no longer
+    reported as a modification while any body change still is.
+    """
+    if code is None:
+        return 0
+    try:
+        return digest_bytes(marshal.dumps(code))
+    except ValueError:
+        return digest_bytes(code.co_code)
 
 
 def _instance_visit(obj: Any) -> Visit:

@@ -21,7 +21,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.covariable import CoVariable, CoVariablePool, CoVarKey
+from repro.core.covariable import (
+    CoVariable,
+    CoVariablePool,
+    CoVarKey,
+    group_into_components,
+)
 from repro.core.graph import CheckpointGraph
 from repro.core.planner import CheckoutPlan, CheckoutPlanner
 from repro.core.retry import RetryPolicy
@@ -237,6 +242,26 @@ class StateLoader:
             )
             materialized.append((load.key, values))
 
+        # Validate every materialized dict against its co-variable's member
+        # names BEFORE mutating the namespace: a payload that deserializes
+        # to a dict missing a member (corruption, a buggy reducer) must not
+        # crash the apply phase half-way through — after deletions were
+        # applied but before all plants landed.
+        incomplete = [
+            (key, sorted(set(key) - set(values)))
+            for key, values in materialized
+            if not set(key) <= set(values)
+        ]
+        if incomplete:
+            details = "; ".join(
+                f"co-variable {sorted(key)} missing {missing}"
+                for key, missing in incomplete
+            )
+            raise RestorationError(
+                f"checkout of {target_id} aborted before touching the "
+                f"namespace: materialized payload(s) incomplete — {details}"
+            )
+
         # Apply deletions, then plant loaded co-variables.
         for name in plan.delete_names:
             namespace.uproot(name)
@@ -257,7 +282,15 @@ class StateLoader:
         namespace: PatchedNamespace,
     ) -> None:
         """Step 2 of checkout: re-generate VarGraphs for updated
-        co-variables and re-partition the pool accordingly."""
+        co-variables and re-partition the pool accordingly.
+
+        The rebuilt graphs are re-grouped into connected components rather
+        than trusting the plan-key grouping: materialized values may alias
+        across plan keys (a shared dependency memoized by the restorer, a
+        nondeterministic recompute), and keeping them in separate
+        co-variables would violate Definition 1's disjointness invariant —
+        every later delta and checkout would then reason over a broken
+        partition."""
         touched_names: Set[str] = set(plan.delete_names)
         for key, _ in materialized:
             touched_names |= key
@@ -269,12 +302,28 @@ class StateLoader:
             for name in touched_names
             if self.pool.key_of(name) is not None
         }
+        # The old objects of every stale co-variable were just replaced (or
+        # deleted); drop their cached subtrees so the walk cache neither
+        # pins dead objects nor splices pre-checkout state.
+        builder = self.pool.builder
+        if getattr(builder, "cache", None) is not None:
+            stale_ids: Set[int] = set()
+            for key in stale_keys:
+                covariable = self.pool.get(key)
+                if covariable is not None:
+                    stale_ids |= covariable.id_set
+            builder.invalidate_ids(stale_ids)
+
         items = namespace.user_items()
-        rebuilt: List[CoVariable] = []
-        for key, _ in materialized:
-            graphs = self.pool.builder.build_many(
-                {name: items[name] for name in key if name in items}
+        restored_names = {
+            name for key, _ in materialized for name in key if name in items
+        }
+        graphs = builder.build_many({name: items[name] for name in restored_names})
+        rebuilt = [
+            CoVariable(
+                names=frozenset(member_names),
+                graphs={name: graphs[name] for name in member_names},
             )
-            if graphs:
-                rebuilt.append(CoVariable(names=frozenset(graphs), graphs=graphs))
+            for member_names in group_into_components(graphs)
+        ]
         self.pool.replace(stale_keys, rebuilt)

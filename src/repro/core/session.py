@@ -37,6 +37,7 @@ from repro.core.storage import (
 )
 from repro.core.vargraph import VarGraphBuilder
 from repro.errors import KishuError, SerializationError, StorageError
+from repro.telemetry import WalkStats
 from repro.kernel.cells import Cell, CellResult
 from repro.kernel.events import POST_RUN_CELL, PRE_RUN_CELL, ExecutionInfo
 from repro.kernel.kernel import NotebookKernel
@@ -59,6 +60,10 @@ class CellCheckpointMetrics:
     #: Payloads degraded to tombstones because storage permanently
     #: refused them; checkout recomputes these (§5.3).
     degraded_payloads: int = 0
+    #: Walk-telemetry counters of this checkpoint's delta detection:
+    #: objects visited, cache hits/misses, nodes spliced, bytes hashed,
+    #: graphs built (DESIGN.md §7).
+    walk: WalkStats = field(default_factory=WalkStats)
 
     @property
     def checkpoint_seconds(self) -> float:
@@ -97,6 +102,7 @@ class KishuSession:
         builder: Optional[VarGraphBuilder] = None,
         rule_analyzer: Optional["ReadOnlyCellAnalyzer"] = None,
         retry: Optional[RetryPolicy] = None,
+        incremental: bool = True,
     ) -> None:
         self.kernel = kernel
         self.store = store if store is not None else InMemoryCheckpointStore()
@@ -110,6 +116,12 @@ class KishuSession:
         #: store operation issued while checkpointing or restoring.
         self.retry = retry if retry is not None else RetryPolicy()
 
+        # The session's DeltaDetector observes every cell's access record
+        # and invalidates dirty subtrees before rebuilding, which is what
+        # makes the incremental walk cache sound — so the session-owned
+        # builder enables it (a caller-supplied builder is used as-is).
+        if builder is None:
+            builder = VarGraphBuilder(incremental=incremental)
         self.pool = CoVariablePool(builder)
         self.detector = DeltaDetector(self.pool, check_all=check_all)
         self.graph = CheckpointGraph()
@@ -369,6 +381,7 @@ class KishuSession:
                 updated_covariables=len(delta.updated),
                 skipped_unserializable=skipped,
                 degraded_payloads=degraded,
+                walk=delta.walk,
             )
         )
         return node
@@ -520,6 +533,13 @@ class KishuSession:
 
     def total_checkpoint_seconds(self) -> float:
         return sum(metric.checkpoint_seconds for metric in self.metrics)
+
+    def total_walk_stats(self) -> WalkStats:
+        """Cumulative walk-telemetry counters across all checkpoints."""
+        total = WalkStats()
+        for metric in self.metrics:
+            total = total + metric.walk
+        return total
 
     def total_tracking_seconds(self) -> float:
         return sum(metric.tracking_seconds for metric in self.metrics)

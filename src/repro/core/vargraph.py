@@ -16,20 +16,57 @@ The graph is stored as a flat node table with child indices, so comparison
 is a linear scan and intersection is a set operation, both independent of
 Python object identity semantics at compare time (the referenced objects may
 already be gone).
+
+Incremental construction (DESIGN.md §7)
+---------------------------------------
+
+Rebuilding a candidate co-variable after every cell re-walks the *entire*
+reachable graph, even when the cell touched one element of a huge shared
+structure. The :class:`SubtreeCache` removes that: while walking, the
+builder captures every self-contained subtree segment of the node table;
+a later build that reaches the same (unchanged) object splices the cached
+segment instead of re-walking and re-hashing it. Validity follows Lemma 1
+extended below variable granularity: a cell can only mutate objects it
+obtained references to, and every obtainable object is reachable from an
+accessed name — so the delta detector invalidates exactly the cached
+subtrees intersecting the accessed names' previous id-sets (the *dirty
+set*) and everything else splices verbatim. Spliced builds are
+node-table-identical to cold builds by construction: a segment is captured
+only when it is the contiguous, self-contained run of nodes a cold
+traversal emits for that subtree, and it is spliced only when the cold
+traversal would emit it at that exact position (first encounter, no
+overlap with already-visited nodes).
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro import telemetry as telemetry_mod
 from repro.core.hashing import combine, digest_bytes
-from repro.core.objectwalk import DEFAULT_POLICY, TraversalPolicy
+from repro.core.objectwalk import DEFAULT_POLICY, TraversalPolicy, _stable_repr
+from repro.telemetry import WalkTelemetry
 
 #: Guard against pathological graphs (e.g. million-node linked structures):
 #: past this many nodes the graph is truncated and marked opaque, which is
 #: conservative — the co-variable is then assumed updated whenever accessed.
 DEFAULT_MAX_NODES = 200_000
+
+#: Subtree segments larger than this are never cached: splicing them is
+#: cheap but capturing every nested giant segment would make the walk
+#: quadratic; their *children* still cache individually.
+DEFAULT_MAX_ENTRY_NODES = 4096
+
+#: Total node budget across all cached segments of one builder; oldest
+#: entries are evicted beyond it.
+DEFAULT_MAX_CACHED_NODES = 1_000_000
+
+#: Per-build ceiling on nodes copied into new cache entries, bounding the
+#: capture overhead of deeply nested structures (single-node array entries
+#: are exempt — they are the hashing fast path).
+DEFAULT_CAPTURE_BUDGET = 65_536
 
 
 @dataclass(frozen=True)
@@ -51,6 +88,9 @@ class GraphNode:
     kind: str
     value: Any
     children: Tuple[int, ...]
+
+
+_KIND_CODE = {"primitive": 1, "array": 2, "composite": 3, "opaque": 4}
 
 
 class VarGraph:
@@ -77,18 +117,21 @@ class VarGraph:
 
     @property
     def fingerprint(self) -> int:
-        """Digest of the full graph: structure, addresses, types, values.
+        """Digest of the graph's structure, types, kinds, and values.
 
-        Equal fingerprints with equal node counts are treated as "no
-        modification observed". Graph roots are compared pairwise in
-        :func:`graphs_equal` to rule out digest collisions on small graphs.
+        Deliberately excludes node addresses (``obj_id``) and uses only
+        process-stable value digests, so equal session states produce equal
+        fingerprints across interpreter runs and ``PYTHONHASHSEED`` values.
+        Address changes are still detected: :func:`graphs_equal` follows an
+        equal fingerprint with an exact node-table comparison, which
+        includes ``obj_id``.
         """
         if self._fingerprint is None:
             digests = []
             for node in self.nodes:
                 digests.append(
                     combine(
-                        node.obj_id,
+                        _KIND_CODE.get(node.kind, 0),
                         digest_bytes(node.type_name.encode()),
                         _value_digest(node.value),
                         *node.children,
@@ -135,29 +178,210 @@ def graphs_equal(a: VarGraph, b: VarGraph) -> bool:
 
 
 def _value_digest(value: Any) -> int:
+    """Process-stable digest of a node value.
+
+    Never routes through builtin ``hash()``: string hashing is randomized
+    by ``PYTHONHASHSEED``, which made graph fingerprints differ across
+    processes for identical state. Each branch mixes a type tag so equal
+    byte patterns of different types cannot collide.
+    """
     if value is None:
         return 0
+    if isinstance(value, bool):
+        return combine(7, int(value))
     if isinstance(value, int):
         return value & 0xFFFFFFFFFFFFFFFF
-    try:
-        return hash(value) & 0xFFFFFFFFFFFFFFFF
-    except TypeError:
-        return digest_bytes(repr(value).encode())
+    if isinstance(value, str):
+        return combine(1, digest_bytes(value.encode("utf-8", "surrogatepass")))
+    if isinstance(value, bytes):
+        return combine(2, digest_bytes(value))
+    if isinstance(value, float):
+        return combine(3, digest_bytes(struct.pack("<d", value)))
+    if isinstance(value, complex):
+        return combine(4, digest_bytes(struct.pack("<dd", value.real, value.imag)))
+    if isinstance(value, tuple):
+        return combine(5, *(_value_digest(item) for item in value))
+    return combine(6, digest_bytes(_stable_repr(value).encode()))
 
 
-class VarGraphBuilder:
-    """Builds VarGraphs by breadth-first reachability traversal."""
+class _CacheEntry:
+    """One cached subtree: a self-contained, segment-relative node table.
+
+    Holds a strong reference to the subtree's root. While the entry is
+    valid the root is by definition unmodified, so it transitively pins
+    every object in the segment — which is what makes id-keyed lookup
+    sound (a pinned object's address cannot be recycled)."""
+
+    __slots__ = ("root", "nodes", "ids", "mutable_ids", "contains_opaque")
 
     def __init__(
         self,
-        policy: TraversalPolicy = None,
-        max_nodes: int = DEFAULT_MAX_NODES,
+        root: Any,
+        nodes: Tuple[GraphNode, ...],
+        ids: FrozenSet[int],
+        mutable_ids: FrozenSet[int],
+        contains_opaque: bool,
     ) -> None:
-        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self.root = root
+        self.nodes = nodes
+        self.ids = ids
+        self.mutable_ids = mutable_ids
+        self.contains_opaque = contains_opaque
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+class SubtreeCache:
+    """Identity-keyed store of reusable node-table segments.
+
+    Entries are keyed by the root object's ``id`` and indexed in reverse by
+    every member id, so dirty-set invalidation is one dictionary lookup per
+    dirty object. Total size is bounded; the oldest entries evict first
+    (insertion order, refreshed on re-store).
+    """
+
+    def __init__(self, max_total_nodes: int = DEFAULT_MAX_CACHED_NODES) -> None:
+        self.max_total_nodes = max_total_nodes
+        self._entries: Dict[int, _CacheEntry] = {}
+        self._owners: Dict[int, Set[int]] = {}
+        self.total_nodes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, obj_id: int) -> Optional[_CacheEntry]:
+        return self._entries.get(obj_id)
+
+    def store(self, entry: _CacheEntry) -> None:
+        root_id = id(entry.root)
+        if root_id in self._entries:
+            self._discard(root_id)
+        self._entries[root_id] = entry
+        for member in entry.ids:
+            self._owners.setdefault(member, set()).add(root_id)
+        self.total_nodes += entry.size
+        while self.total_nodes > self.max_total_nodes and self._entries:
+            self._discard(next(iter(self._entries)))
+
+    def invalidate_ids(self, ids: Iterable[int]) -> int:
+        """Drop every entry whose segment contains any of ``ids``.
+
+        Returns the number of entries dropped."""
+        dropped = 0
+        for obj_id in ids:
+            owners = self._owners.get(obj_id)
+            if owners:
+                for root_id in list(owners):
+                    self._discard(root_id)
+                    dropped += 1
+        return dropped
+
+    def clear(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._owners.clear()
+        self.total_nodes = 0
+        return dropped
+
+    def _discard(self, root_id: int) -> None:
+        entry = self._entries.pop(root_id, None)
+        if entry is None:
+            return
+        self.total_nodes -= entry.size
+        for member in entry.ids:
+            owners = self._owners.get(member)
+            if owners is not None:
+                owners.discard(root_id)
+                if not owners:
+                    del self._owners[member]
+
+
+class VarGraphBuilder:
+    """Builds VarGraphs by breadth-first reachability traversal.
+
+    With ``incremental=True`` the builder memoizes self-contained subtree
+    segments in a :class:`SubtreeCache` and splices them into later builds.
+    The cache is sound only when every mutation is reported to it before
+    the next build: callers that observe mutations (the delta detector,
+    the checkout resync) feed the dirty set to :meth:`invalidate_ids` /
+    :meth:`invalidate_all` before rebuilding. A bare builder has no such
+    observer, so the default is ``incremental=False`` (every build walks
+    cold); :class:`~repro.core.session.KishuSession` and the trackers opt
+    in because their :class:`~repro.core.delta.DeltaDetector` derives the
+    dirty set from the patched namespace's access records (Lemma 1).
+
+    The builder's traversal policy is a private layer over the shared
+    :data:`~repro.core.objectwalk.DEFAULT_POLICY` (or over the policy
+    passed in), so handler registrations through ``builder.policy`` never
+    leak across sessions or test runs.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[TraversalPolicy] = None,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        *,
+        incremental: bool = False,
+        max_entry_nodes: int = DEFAULT_MAX_ENTRY_NODES,
+        max_cached_nodes: int = DEFAULT_MAX_CACHED_NODES,
+        capture_budget: int = DEFAULT_CAPTURE_BUDGET,
+        telemetry: Optional[WalkTelemetry] = None,
+    ) -> None:
+        base = policy if policy is not None else DEFAULT_POLICY
+        self.policy = base.layer()
         self.max_nodes = max_nodes
+        self.max_entry_nodes = max_entry_nodes
+        self.capture_budget = capture_budget
+        self.incremental = incremental
+        self._cache: Optional[SubtreeCache] = (
+            SubtreeCache(max_cached_nodes) if incremental else None
+        )
+        self.telemetry = telemetry if telemetry is not None else WalkTelemetry()
+
+    # -- cache control (dirty-set invalidation) --------------------------------
+
+    @property
+    def cache(self) -> Optional[SubtreeCache]:
+        return self._cache
+
+    def invalidate_ids(self, ids: Iterable[int]) -> int:
+        """Drop cached subtrees containing any of the (possibly mutated)
+        object ids. Called with the dirty set before a rebuild cycle."""
+        if self._cache is None:
+            return 0
+        dropped = self._cache.invalidate_ids(ids)
+        self.telemetry.cache_invalidations += dropped
+        return dropped
+
+    def invalidate_all(self) -> int:
+        """Drop the whole cache — the conservative fallback when no access
+        information exists (``check_all`` / lost records) or when a prior
+        graph was opaque or truncated (its id-set under-approximates
+        reachability, so the dirty set would too)."""
+        if self._cache is None:
+            return 0
+        dropped = self._cache.clear()
+        self.telemetry.cache_invalidations += dropped
+        return dropped
+
+    # -- construction -----------------------------------------------------------
 
     def build(self, name: str, obj: Any) -> VarGraph:
         """Construct the VarGraph for variable ``name`` bound to ``obj``."""
+        previous = telemetry_mod.activate(self.telemetry)
+        try:
+            return self._build(name, obj)
+        finally:
+            telemetry_mod.deactivate(previous)
+
+    def _build(self, name: str, obj: Any) -> VarGraph:
+        telemetry = self.telemetry
+        telemetry.graphs_built += 1
+        cache = self._cache
+        policy = self.policy
+
         nodes: List[GraphNode] = []
         id_set: set = set()
         index_of: Dict[int, int] = {}
@@ -165,10 +389,17 @@ class VarGraphBuilder:
         truncated = False
 
         # Worklist of (object, slot-filler). Children indices are patched in
-        # after each node's children have been assigned indices.
+        # after each node's children have been assigned indices. Spliced
+        # nodes never enter ``child_slots``: their children are final.
         pending: List[Any] = [obj]
         pending_parent: List[Optional[Tuple[int, int]]] = [None]
         child_slots: Dict[int, List[int]] = {}
+
+        # Open subtree spans, innermost last: (root object, segment start
+        # index, worklist watermark). A span closes — its subtree fully
+        # emitted — when the worklist shrinks back to its watermark.
+        spans: List[Tuple[Any, int, int]] = []
+        captured_nodes = 0
 
         while pending:
             current = pending.pop()
@@ -178,12 +409,49 @@ class VarGraphBuilder:
             if existing is not None:
                 if parent_slot is not None:
                     child_slots[parent_slot[0]][parent_slot[1]] = existing
+                captured_nodes += self._close_spans(
+                    spans, len(pending), nodes, child_slots, captured_nodes
+                )
                 continue
             if len(nodes) >= self.max_nodes:
                 truncated = True
                 break
 
-            visit = self.policy.visit(current)
+            if cache is not None:
+                entry = cache.lookup(obj_id)
+                if (
+                    entry is not None
+                    and len(nodes) + entry.size <= self.max_nodes
+                    and entry.ids.isdisjoint(index_of)
+                ):
+                    offset = len(nodes)
+                    for position, cached in enumerate(entry.nodes):
+                        nodes.append(
+                            GraphNode(
+                                obj_id=cached.obj_id,
+                                type_name=cached.type_name,
+                                kind=cached.kind,
+                                value=cached.value,
+                                children=tuple(
+                                    child + offset for child in cached.children
+                                ),
+                            )
+                        )
+                        index_of[cached.obj_id] = offset + position
+                    id_set |= entry.mutable_ids
+                    opaque = opaque or entry.contains_opaque
+                    if parent_slot is not None:
+                        child_slots[parent_slot[0]][parent_slot[1]] = offset
+                    telemetry.cache_hits += 1
+                    telemetry.nodes_spliced += entry.size
+                    captured_nodes += self._close_spans(
+                        spans, len(pending), nodes, child_slots, captured_nodes
+                    )
+                    continue
+                telemetry.cache_misses += 1
+
+            visit = policy.visit(current)
+            telemetry.objects_visited += 1
             node_index = len(nodes)
             index_of[obj_id] = node_index
             if parent_slot is not None:
@@ -204,22 +472,32 @@ class VarGraphBuilder:
                     children=(),  # patched below
                 )
             )
+            if cache is not None:
+                spans.append((current, node_index, len(pending)))
             for position, child in enumerate(visit.children):
                 pending.append(child)
                 pending_parent.append((node_index, position))
+            captured_nodes += self._close_spans(
+                spans, len(pending), nodes, child_slots, captured_nodes
+            )
 
         # Patch children tuples now that all indices are known. Unfilled
-        # slots (truncation) are dropped.
-        final_nodes = [
-            GraphNode(
-                obj_id=node.obj_id,
-                type_name=node.type_name,
-                kind=node.kind,
-                value=node.value,
-                children=tuple(i for i in child_slots[index] if i >= 0),
-            )
-            for index, node in enumerate(nodes)
-        ]
+        # slots (truncation) are dropped; spliced segments are already final.
+        final_nodes: List[GraphNode] = []
+        for index, node in enumerate(nodes):
+            slots = child_slots.get(index)
+            if slots is None:
+                final_nodes.append(node)
+            else:
+                final_nodes.append(
+                    GraphNode(
+                        obj_id=node.obj_id,
+                        type_name=node.type_name,
+                        kind=node.kind,
+                        value=node.value,
+                        children=tuple(i for i in slots if i >= 0),
+                    )
+                )
         return VarGraph(
             name=name,
             nodes=final_nodes,
@@ -228,6 +506,87 @@ class VarGraphBuilder:
             truncated=truncated,
         )
 
+    def _close_spans(
+        self,
+        spans: List[Tuple[Any, int, int]],
+        pending_len: int,
+        nodes: List[GraphNode],
+        child_slots: Dict[int, List[int]],
+        captured_so_far: int,
+    ) -> int:
+        """Close every span whose subtree is fully emitted; returns nodes
+        newly copied into the cache."""
+        captured = 0
+        while spans and pending_len <= spans[-1][2]:
+            root, start, _ = spans.pop()
+            captured += self._maybe_capture(
+                root, start, nodes, child_slots, captured_so_far + captured
+            )
+        return captured
+
+    def _maybe_capture(
+        self,
+        root: Any,
+        start: int,
+        nodes: List[GraphNode],
+        child_slots: Dict[int, List[int]],
+        captured_so_far: int,
+    ) -> int:
+        """Capture the closed span's segment (``nodes[start:]``) as a cache
+        entry if it is self-contained and within budget. Returns the number
+        of nodes copied (0 if skipped)."""
+        end = len(nodes)
+        size = end - start
+        root_kind = nodes[start].kind
+        if size == 1 and root_kind == "primitive":
+            return 0  # re-visiting a lone primitive is cheaper than caching
+        if size > self.max_entry_nodes:
+            return 0
+        if size > 1 and captured_so_far + size > self.capture_budget:
+            return 0  # keep capture overhead linear on deep nestings
+        segment: List[GraphNode] = []
+        segment_ids: List[int] = []
+        mutable_ids: List[int] = []
+        contains_opaque = False
+        for index in range(start, end):
+            node = nodes[index]
+            slots = child_slots.get(index)
+            children_abs = slots if slots is not None else node.children
+            relative: List[int] = []
+            for child in children_abs:
+                if child < start:
+                    return 0  # back-edge out of the segment: context-dependent
+                relative.append(child - start)
+            segment.append(
+                GraphNode(
+                    obj_id=node.obj_id,
+                    type_name=node.type_name,
+                    kind=node.kind,
+                    value=node.value,
+                    children=tuple(relative),
+                )
+            )
+            segment_ids.append(node.obj_id)
+            if node.kind != "primitive":
+                mutable_ids.append(node.obj_id)
+            if node.kind == "opaque":
+                contains_opaque = True
+        self._cache.store(
+            _CacheEntry(
+                root=root,
+                nodes=tuple(segment),
+                ids=frozenset(segment_ids),
+                mutable_ids=frozenset(mutable_ids),
+                contains_opaque=contains_opaque,
+            )
+        )
+        return size
+
     def build_many(self, items: Dict[str, Any]) -> Dict[str, VarGraph]:
-        """Build graphs for a mapping of variable names to objects."""
+        """Build graphs for a mapping of variable names to objects.
+
+        Within one call the namespace is quiescent, so subtrees cached by
+        earlier builds splice into later ones even without any dirty-set
+        information — shared structures are walked once per cycle, not once
+        per referencing variable."""
         return {name: self.build(name, obj) for name, obj in items.items()}

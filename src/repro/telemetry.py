@@ -1,0 +1,131 @@
+"""Walk telemetry — counters for the per-cell VarGraph hot path.
+
+The delta detector's cost is dominated by object-graph traversal: every
+candidate co-variable is re-walked after every cell (§4.2–4.3, Table 6 /
+Fig 17). The incremental construction layer (DESIGN.md §7) makes that cost
+proportional to the *delta* instead of the state; this module makes the
+claim measurable instead of asserted.
+
+A :class:`WalkTelemetry` is a set of monotonically increasing counters
+owned by one :class:`~repro.core.vargraph.VarGraphBuilder`:
+
+* ``objects_visited`` — traversal-policy visits (one per object walked);
+* ``cache_hits`` / ``cache_misses`` — subtree-cache lookups that spliced a
+  cached segment vs. fell through to a walk;
+* ``nodes_spliced`` — graph nodes copied from cached segments instead of
+  being re-walked;
+* ``bytes_hashed`` — raw bytes fed to the content-digest fast path
+  (arrays, buffers, strings);
+* ``graphs_built`` — VarGraph constructions (cold or incremental);
+* ``cache_invalidations`` — cached subtrees dropped by dirty-set
+  invalidation.
+
+Callers that want per-cell numbers take a :meth:`WalkTelemetry.snapshot`
+before the work and :meth:`WalkTelemetry.since` after; the resulting
+:class:`WalkStats` rides on ``StateDelta`` → ``CellCheckpointMetrics`` /
+``TrackingCost`` and surfaces in the CLI (``%telemetry``) and the
+``benchmarks/test_ablation_incremental_walk.py`` microbenchmark.
+
+``bytes_hashed`` is recorded at the hashing layer, which has no builder in
+scope; builders declare themselves the *active* telemetry for the duration
+of a build (:func:`activate` / :func:`deactivate`), and unattributed
+hashing lands on the module-wide :data:`GLOBAL_TELEMETRY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+_COUNTERS = (
+    "objects_visited",
+    "cache_hits",
+    "cache_misses",
+    "nodes_spliced",
+    "bytes_hashed",
+    "graphs_built",
+    "cache_invalidations",
+)
+
+
+@dataclass(frozen=True)
+class WalkStats:
+    """An immutable snapshot (or difference) of walk counters."""
+
+    objects_visited: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    nodes_spliced: int = 0
+    bytes_hashed: int = 0
+    graphs_built: int = 0
+    cache_invalidations: int = 0
+
+    def __add__(self, other: "WalkStats") -> "WalkStats":
+        return WalkStats(
+            **{name: getattr(self, name) + getattr(other, name) for name in _COUNTERS}
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in _COUNTERS}
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+class WalkTelemetry:
+    """Mutable walk counters owned by one builder (or the global sink)."""
+
+    __slots__ = _COUNTERS
+
+    def __init__(self) -> None:
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> WalkStats:
+        return WalkStats(**{name: getattr(self, name) for name in _COUNTERS})
+
+    def since(self, earlier: WalkStats) -> WalkStats:
+        """Counter increments accumulated after ``earlier`` was taken."""
+        return WalkStats(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in _COUNTERS
+            }
+        )
+
+    def reset(self) -> None:
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+
+#: Sink for hashing performed outside any builder's build (rare: direct
+#: digest calls from tests or library fast paths).
+GLOBAL_TELEMETRY = WalkTelemetry()
+
+_active: WalkTelemetry = GLOBAL_TELEMETRY
+
+
+def activate(telemetry: WalkTelemetry) -> WalkTelemetry:
+    """Make ``telemetry`` the recipient of hashing-layer counts.
+
+    Returns the previously active telemetry, which the caller must restore
+    with :func:`deactivate` (builds never run concurrently within one
+    interpreter, so a save/restore pair is sufficient and cheaper than a
+    context variable on this hot path).
+    """
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous
+
+
+def deactivate(previous: WalkTelemetry) -> None:
+    global _active
+    _active = previous
+
+
+def count_bytes_hashed(n: int) -> None:
+    """Called by the hashing layer for every buffer it digests."""
+    _active.bytes_hashed += n

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional, Set
 from repro.kernel.cells import Cell, CellResult
 from repro.kernel.kernel import NotebookKernel
 from repro.kernel.namespace import AccessRecord
+from repro.telemetry import WalkStats
 
 
 @dataclass
@@ -25,6 +26,9 @@ class TrackingCost:
     cell_duration: float
     failed: bool = False
     failure_reason: str = ""
+    #: Walk-telemetry counters of this cell's detection, for trackers that
+    #: build VarGraphs (None for trackers that do not walk object graphs).
+    walk: Optional[WalkStats] = None
 
     @property
     def overhead_ratio(self) -> float:

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.core.covariable import CoVariablePool
 from repro.core.delta import DeltaDetector
+from repro.core.vargraph import VarGraphBuilder
 from repro.kernel.cells import CellResult
 from repro.kernel.kernel import NotebookKernel
 from repro.kernel.namespace import AccessRecord
@@ -21,14 +22,20 @@ from repro.tracking.base import Tracker, TrackingCost
 
 
 class KishuTracker(Tracker):
-    """Access-pruned co-variable delta detection (Kishu, §4.3)."""
+    """Access-pruned co-variable delta detection (Kishu, §4.3).
+
+    ``incremental`` toggles the subtree walk cache (DESIGN.md §7); with it
+    off every detection re-walks candidate graphs cold, which is the
+    baseline the ``test_ablation_incremental_walk`` microbenchmark compares
+    against.
+    """
 
     name = "Kishu"
     _check_all = False
 
-    def __init__(self, kernel: NotebookKernel) -> None:
+    def __init__(self, kernel: NotebookKernel, *, incremental: bool = True) -> None:
         super().__init__(kernel)
-        self.pool = CoVariablePool()
+        self.pool = CoVariablePool(VarGraphBuilder(incremental=incremental))
         self.detector = DeltaDetector(self.pool, check_all=self._check_all)
 
     def after_cell(self, result: CellResult, record: Optional[AccessRecord]) -> None:
@@ -38,6 +45,7 @@ class KishuTracker(Tracker):
                 cell_index=len(self.costs),
                 seconds=delta.detection_seconds,
                 cell_duration=result.duration,
+                walk=delta.walk,
             )
         )
 

@@ -26,6 +26,7 @@ def shared_referencing_workload(
     *,
     n_arrays: int = 10,
     array_kb: int = 512,
+    probe: str = "bundle",
 ) -> NotebookSpec:
     """Fig 18 workload: ``arrays_in_covariable`` of ``n_arrays`` equal
     numpy arrays are inside one list; the rest stand alone. The final cell
@@ -34,12 +35,24 @@ def shared_referencing_workload(
 
     ``array_kb`` scales the paper's 64 MB arrays down to laptop size; the
     sweep shape depends only on the ratio.
+
+    ``probe`` selects how the probe cell reaches the array it rewrites:
+
+    * ``"bundle"`` (Fig 18's shape) — through the list, ``bundle[0][:] =
+      ...``. The cell accesses ``bundle``, so the whole co-variable is
+      dirty from the tracker's perspective.
+    * ``"member"`` — through the member's own name, ``arr_0[:] = ...``.
+      The cell accesses only ``arr_0``, so sub-variable dirty tracking
+      (the incremental walk cache) can keep every sibling array cached —
+      the ``test_ablation_incremental_walk`` microbenchmark's shape.
     """
     if not 1 <= arrays_in_covariable <= n_arrays:
         raise ValueError(
             f"arrays_in_covariable must be in [1, {n_arrays}],"
             f" got {arrays_in_covariable}"
         )
+    if probe not in ("bundle", "member"):
+        raise ValueError(f"probe must be 'bundle' or 'member', got {probe!r}")
     elements = array_kb * 1024 // 8
     entries = [
         ("import numpy as np", ()),
@@ -56,7 +69,10 @@ def shared_referencing_workload(
     entries.append((f"bundle = [{bundled}]", ()))
     # The probe cell: an in-place rewrite of one whole array inside the
     # bundle (the paper modifies one of the ten 64 MB arrays).
-    entries.append(("bundle[0][:] = bundle[0] * 1.01 + 0.5", ("probe",)))
+    if probe == "bundle":
+        entries.append(("bundle[0][:] = bundle[0] * 1.01 + 0.5", ("probe",)))
+    else:
+        entries.append(("arr_0[:] = arr_0 * 1.01 + 0.5", ("probe",)))
     return NotebookSpec(
         name=f"SharedRef-{arrays_in_covariable}of{n_arrays}",
         topic="Shared-referencing sweep",

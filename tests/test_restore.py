@@ -199,3 +199,95 @@ class TestFallbackRecomputation:
             session.checkout(target)
         # The live namespace must be untouched by the failed checkout.
         assert session.kernel.get("stable") == [7, 8]
+
+
+class TestCheckoutValidation:
+    """Materialized payloads are validated before the namespace is touched."""
+
+    def test_incomplete_payload_aborts_before_mutation(self, session):
+        session.run_cell("xs = [1, 2]")
+        target = session.head_id
+        session.run_cell("xs.append(3)")
+        session.run_cell("later = 'created after target'")
+
+        def truncated_materialize(key, node_id, **kwargs):
+            return {}  # deserialized to a dict missing every member
+
+        session.loader.restorer.materialize = truncated_materialize
+        with pytest.raises(RestorationError, match="before touching the namespace"):
+            session.checkout(target)
+        # Nothing was applied: no deletion, no plant, head unmoved.
+        assert session.kernel.get("xs") == [1, 2, 3]
+        assert session.kernel.get("later") == "created after target"
+        assert session.head_id != target
+
+    def test_partially_missing_member_reported_by_name(self, session):
+        session.run_cell("a = [1]")
+        session.run_cell("b = a")  # one co-variable {a, b}
+        target = session.head_id
+        session.run_cell("a.append(2)")
+
+        real_materialize = session.loader.restorer.materialize
+
+        def dropping_materialize(key, node_id, **kwargs):
+            values = real_materialize(key, node_id, **kwargs)
+            values.pop("b", None)
+            return values
+
+        session.loader.restorer.materialize = dropping_materialize
+        with pytest.raises(RestorationError, match="missing \\['b'\\]"):
+            session.checkout(target)
+        assert session.kernel.get("a") == [1, 2]
+        assert session.kernel.get("b") == [1, 2]
+
+
+class TestResyncRegrouping:
+    """_resync_pool re-groups rebuilt graphs instead of trusting plan keys.
+
+    Materialized values can alias across plan keys (a shared dependency
+    memoized by the restorer, a nondeterministic recompute); Definition 1
+    requires the pool partition to reflect the *restored* object graph.
+    """
+
+    def test_cross_key_aliasing_merges_covariables(self, session):
+        session.run_cell("xs = [1, 2]")
+        session.run_cell("ys = [3, 4]")
+        target = session.head_id
+        session.run_cell("xs.append(9)")
+        session.run_cell("ys.append(9)")
+
+        shared = [1, 2]
+
+        def aliasing_materialize(key, node_id, **kwargs):
+            return {name: shared for name in key}
+
+        session.loader.restorer.materialize = aliasing_materialize
+        session.checkout(target)
+        # Both names now point at one object; the pool must have merged
+        # them into a single co-variable.
+        assert session.kernel.get("xs") is session.kernel.get("ys")
+        merged = session.pool.covariable_of("xs")
+        assert merged is not None
+        assert set(merged.names) == {"xs", "ys"}
+        assert session.pool.covariable_of("ys") is merged
+
+    def test_detection_stays_sound_after_aliased_restore(self, session):
+        # The merged partition must keep working: a later mutation through
+        # one name is a modification of the merged co-variable.
+        session.run_cell("xs = [1, 2]")
+        session.run_cell("ys = [3, 4]")
+        target = session.head_id
+        session.run_cell("xs.append(9)")
+        session.run_cell("ys.append(9)")
+
+        shared = [1, 2]
+
+        def aliasing_materialize(key, node_id, **kwargs):
+            return {name: shared for name in key}
+
+        session.loader.restorer.materialize = aliasing_materialize
+        session.checkout(target)
+        session.run_cell("xs.append(5)")
+        assert session.kernel.get("ys") == [1, 2, 5]
+        merged_key = session.pool.key_of("ys")
+        assert merged_key == frozenset({"xs", "ys"})

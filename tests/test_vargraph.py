@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
 import numpy as np
 import pytest
 
@@ -117,8 +123,11 @@ class TestComparison:
         assert before.differs_from(after)
 
     def test_reassignment_to_new_object_detected(self, builder):
-        before = builder.build("x", [1, 2])
-        after = builder.build("x", [1, 2])  # equal value, different address
+        # Keep both lists alive so the second cannot recycle the first's
+        # address (in a live namespace the old binding survives the walk).
+        old, new = [1, 2], [1, 2]  # equal value, different address
+        before = builder.build("x", old)
+        after = builder.build("x", new)
         assert before.differs_from(after)
 
     def test_type_change_same_value_detected(self, builder):
@@ -171,15 +180,17 @@ class TestIntersection:
         assert left.shares_objects_with(right)
 
     def test_disjoint_objects_do_not_intersect(self, builder):
-        left = builder.build("x", [1, 2])
-        right = builder.build("y", [1, 2])
+        xs, ys = [1, 2], [1, 2]  # both alive: genuinely distinct addresses
+        left = builder.build("x", xs)
+        right = builder.build("y", ys)
         assert not left.shares_objects_with(right)
 
     def test_shared_primitives_do_not_join(self, builder):
         # Interned small ints/strings are shared by CPython but immutable:
         # they must not merge co-variables.
-        left = builder.build("x", [1, "a"])
-        right = builder.build("y", [1, "a"])
+        xs, ys = [1, "a"], [1, "a"]
+        left = builder.build("x", xs)
+        right = builder.build("y", ys)
         assert not left.shares_objects_with(right)
 
 
@@ -200,3 +211,59 @@ class TestCustomPolicy:
         builder = VarGraphBuilder(policy=policy)
         graph = builder.build("ls", [1])
         assert graph.nodes[0].kind == "composite"
+
+
+class TestProcessStableFingerprints:
+    """Graph fingerprints must agree across interpreter processes.
+
+    Builtin ``hash()`` of strings/bytes is salted by ``PYTHONHASHSEED``,
+    and ``repr()`` of default objects embeds memory addresses; either in
+    the digest path makes equal states fingerprint differently across
+    processes — which breaks cross-process checkpoint comparison.
+    """
+
+    SCRIPT = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.core.vargraph import VarGraphBuilder
+
+        def helper(x):
+            return x + 1
+
+        class Thing:
+            def __init__(self):
+                self.tag = "t"
+                self.box = frozenset({"a", ("b", 3)})
+
+        state = {
+            "text": "altogether elsewhere",
+            "blob": b"\\x00\\x01",
+            "nested": {"k": [1, 2.5, ("s", None)], "set": {"p", "q"}},
+            "arr": np.arange(12, dtype=np.float64),
+            "fn": helper,
+            "obj": Thing(),
+        }
+        builder = VarGraphBuilder()
+        for name in sorted(state):
+            print(name, builder.build(name, state[name]).fingerprint)
+        """
+    )
+
+    def _fingerprints(self, hash_seed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = str(pathlib.Path(__file__).parent.parent / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return result.stdout
+
+    def test_fingerprints_identical_across_hash_seeds(self):
+        first = self._fingerprints("0")
+        second = self._fingerprints("424242")
+        assert first == second
+        assert len(first.splitlines()) == 6

@@ -14,6 +14,15 @@ Quickstart::
     assert kernel.get("xs") == [1, 2, 3]
 """
 
+from repro.analysis import (
+    CellEffects,
+    CrossValidator,
+    EscapeKind,
+    LintEngine,
+    PurityRegistry,
+    RuleRegistry,
+    analyze_cell,
+)
 from repro.core import (
     Blocklist,
     CheckoutReport,
@@ -47,12 +56,20 @@ from repro.errors import (
     TransientStorageError,
 )
 from repro.kernel import Cell, CellResult, NotebookKernel, PatchedNamespace
-from repro.telemetry import WalkStats, WalkTelemetry
+from repro.telemetry import AnalysisStats, WalkStats, WalkTelemetry
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisStats",
     "Blocklist",
+    "CellEffects",
+    "CrossValidator",
+    "EscapeKind",
+    "LintEngine",
+    "PurityRegistry",
+    "RuleRegistry",
+    "analyze_cell",
     "CheckoutReport",
     "CheckpointGraph",
     "CoVariable",

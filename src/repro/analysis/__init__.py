@@ -1,0 +1,66 @@
+"""Static cell-effect analysis (DESIGN.md §8).
+
+A standalone static-analysis subsystem over notebook cells:
+
+* :func:`analyze_cell` — AST-based effect analysis producing per-cell
+  read/write/delete sets (definite vs. conditional) and an escape report
+  (:class:`CellEffects`);
+* :class:`LintEngine` / :class:`RuleRegistry` — a lint layer with stable
+  rule ids, severities, and suppression comments, surfaced as ``%lint``
+  in the REPL and ``repro lint`` on the command line;
+* :class:`CrossValidator` — runtime cross-validation of Lemma 1,
+  escalating cells whose access records cannot be trusted;
+* :class:`ReadOnlyCellAnalyzer` / :data:`GLOBAL_PURITY` — the §6.2
+  read-only cell rule, now with user-registerable purity whitelists
+  (``repro.core.rules`` re-exports these for backward compatibility).
+"""
+
+from repro.analysis.crossval import CrossValidator, ValidationOutcome
+from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+from repro.analysis.reporters import (
+    JsonReporter,
+    TextReporter,
+    finding_to_dict,
+    worst_severity,
+)
+from repro.analysis.rules import (
+    GLOBAL_PURITY,
+    PURE_BUILTINS,
+    PURE_METHODS,
+    Finding,
+    LintContext,
+    LintEngine,
+    LintRule,
+    PurityRegistry,
+    ReadOnlyCellAnalyzer,
+    RuleRegistry,
+    Severity,
+)
+from repro.analysis.visitor import EffectVisitor, analyze_cell, parse_cell
+
+__all__ = [
+    "CellEffects",
+    "CrossValidator",
+    "EffectVisitor",
+    "Escape",
+    "EscapeKind",
+    "Finding",
+    "GLOBAL_PURITY",
+    "JsonReporter",
+    "LintContext",
+    "LintEngine",
+    "LintRule",
+    "PURE_BUILTINS",
+    "PURE_METHODS",
+    "PurityRegistry",
+    "ReadOnlyCellAnalyzer",
+    "RuleRegistry",
+    "Severity",
+    "Span",
+    "TextReporter",
+    "ValidationOutcome",
+    "analyze_cell",
+    "finding_to_dict",
+    "parse_cell",
+    "worst_severity",
+]

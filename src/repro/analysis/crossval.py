@@ -1,0 +1,99 @@
+"""Runtime cross-validation of Lemma 1 (DESIGN.md §8).
+
+Lemma 1 (§4.3 of the paper) lets the delta detector skip every
+co-variable without an accessed member — but only as long as the patched
+namespace really observes every access. The static effect analysis gives
+an independent prediction of what a cell must touch, so the two can be
+cross-checked after every execution:
+
+* if the cell contains **escape hatches** (``exec``, ``globals()``, star
+  imports, frame access, …), the runtime record cannot be trusted at all;
+* if the runtime record **under-reports** — a *definite* static access is
+  missing from the :class:`~repro.kernel.namespace.AccessRecord` — the
+  tracking pipeline demonstrably missed something (a partially executed
+  cell, or a namespace patch blind spot).
+
+Either way the cell is *escalated*: the session runs that one detection
+in check-all mode (every pool member re-checked), restoring correctness
+at the cost the paper's AblatedKishu baseline pays on every cell. The
+discrepancy counters land in
+:class:`~repro.telemetry.AnalysisStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.analysis.effects import CellEffects
+from repro.kernel.namespace import AccessRecord, filter_user_names
+from repro.telemetry import AnalysisStats
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Verdict of one cell's static-vs-runtime comparison."""
+
+    #: Whether this cell's detection must run in check-all mode.
+    escalate: bool
+    #: Human-readable explanations ("escape:exec-eval", "under-report: x").
+    reasons: Tuple[str, ...]
+    #: Definite static accesses absent from the runtime record.
+    missing: FrozenSet[str]
+
+    @property
+    def confirmed(self) -> bool:
+        return not self.escalate
+
+
+class CrossValidator:
+    """Compares static cell effects against runtime access records."""
+
+    def __init__(self, stats: Optional[AnalysisStats] = None) -> None:
+        self.stats = stats if stats is not None else AnalysisStats()
+
+    def validate(
+        self, effects: CellEffects, record: AccessRecord
+    ) -> ValidationOutcome:
+        """Judge one committed cell execution.
+
+        Args:
+            effects: Static analysis of the committed source (merged when
+                several cells fold into one checkpoint).
+            record: The runtime access record of the same execution(s).
+        """
+        self.stats.cells_analyzed += 1
+        reasons = []
+
+        if effects.syntax_error is not None:
+            # The cell never executed; there is nothing to distrust.
+            return ValidationOutcome(
+                escalate=False,
+                reasons=("syntax-error: cell did not execute",),
+                missing=frozenset(),
+            )
+
+        if effects.escapes:
+            self.stats.escapes_found += len(effects.escapes)
+            kinds = sorted({escape.kind.value for escape in effects.escapes})
+            reasons.extend(f"escape:{kind}" for kind in kinds)
+
+        # Lemma 1 check: every definite static access must have been
+        # observed by the patched namespace. (Conditional accesses may
+        # legitimately not have executed, so only definite ones count.)
+        predicted = filter_user_names(set(effects.definite_accesses))
+        missing = frozenset(predicted - record.accessed)
+        if missing:
+            self.stats.predictions_violated += 1
+            reasons.append(
+                "under-report: " + ", ".join(sorted(missing))
+            )
+        else:
+            self.stats.predictions_confirmed += 1
+
+        escalate = bool(effects.escapes or effects.opaque_writes or missing)
+        if escalate:
+            self.stats.escalations += 1
+        return ValidationOutcome(
+            escalate=escalate, reasons=tuple(reasons), missing=missing
+        )

@@ -1,0 +1,64 @@
+"""Finding reporters — render lint results as text or JSON.
+
+Both reporters are pure functions over a list of
+:class:`~repro.analysis.rules.Finding`; the CLI (``repro lint``) and the
+REPL (``%lint``) choose between them with ``--format``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.rules import Finding, Severity
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule_id,
+        "severity": str(finding.severity),
+        "message": finding.message,
+        "label": finding.label,
+        "line": finding.span.line,
+        "col": finding.span.col,
+        "end_line": finding.span.end_line,
+        "end_col": finding.span.end_col,
+    }
+
+
+class TextReporter:
+    """Human-oriented one-line-per-finding output with a summary footer."""
+
+    def render(self, findings: Sequence[Finding]) -> str:
+        lines: List[str] = [finding.format() for finding in findings]
+        by_severity = Counter(str(finding.severity) for finding in findings)
+        if findings:
+            summary = ", ".join(
+                f"{count} {name}" for name, count in sorted(by_severity.items())
+            )
+            lines.append(f"{len(findings)} finding(s): {summary}")
+        else:
+            lines.append("no findings")
+        return "\n".join(lines)
+
+
+class JsonReporter:
+    """Machine-oriented output: a stable JSON document."""
+
+    def render(self, findings: Sequence[Finding]) -> str:
+        payload = {
+            "findings": [finding_to_dict(finding) for finding in findings],
+            "counts": {
+                str(severity): sum(
+                    1 for finding in findings if finding.severity is severity
+                )
+                for severity in Severity
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def worst_severity(findings: Sequence[Finding]) -> Severity:
+    """The highest severity present (``INFO`` when there are none)."""
+    return max((finding.severity for finding in findings), default=Severity.INFO)

@@ -1,0 +1,631 @@
+"""AST visitor computing per-cell effect sets (DESIGN.md §8).
+
+:func:`analyze_cell` parses a cell and walks it with :class:`EffectVisitor`
+to produce a :class:`~repro.analysis.effects.CellEffects`. The visitor
+tracks two orthogonal dimensions:
+
+* **scope** — a stack of module / class / function / lambda / comprehension
+  scopes, each with its pre-collected local-binding set, so that only
+  accesses resolving to the cell's global namespace are reported (a
+  function-local ``x = 1`` is not a cell write; a ``global x; x = 1`` is);
+* **conditionality** — a nesting counter incremented inside any region a
+  successful execution may skip (branch arms, loop bodies, ``try`` bodies
+  and handlers, short-circuit tails, comprehension elements, function and
+  lambda bodies). Accesses at depth zero are *definite*; the runtime
+  cross-validator may safely require them to appear in the access record.
+
+Escape hatches (``exec``, ``globals()``, star imports, ``setattr``, frame
+introspection, same-cell module patching) are reported with their spans;
+see :class:`~repro.analysis.effects.EscapeKind` for the taxonomy.
+"""
+
+from __future__ import annotations
+
+import ast
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+
+#: Callables whose invocation executes code the AST cannot see.
+EXEC_EVAL_NAMES = frozenset({"exec", "eval", "compile"})
+#: Callables returning the raw namespace mapping.
+NAMESPACE_NAMES = frozenset({"globals", "locals", "vars"})
+#: Callables that rebind or unbind attributes under computed names.
+REFLECTION_NAMES = frozenset({"setattr", "delattr"})
+#: Names through which modules are loaded dynamically.
+DYNAMIC_IMPORT_NAMES = frozenset({"__import__", "importlib"})
+#: Attribute names that reach interpreter frames or raw ``__dict__``s.
+FRAME_ATTRS = frozenset(
+    {"_getframe", "currentframe", "f_globals", "f_locals", "f_back",
+     "tb_frame", "gi_frame", "__globals__"}
+)
+
+_SCOPE_MODULE = "module"
+_SCOPE_CLASS = "class"
+_SCOPE_FUNCTION = "function"
+_SCOPE_LAMBDA = "lambda"
+_SCOPE_COMPREHENSION = "comprehension"
+
+#: Scope kinds whose bindings are invisible to nested scopes when
+#: resolving reads (class bodies do not form closures).
+_CLOSURE_SCOPES = (_SCOPE_FUNCTION, _SCOPE_LAMBDA, _SCOPE_COMPREHENSION)
+
+
+class _Scope:
+    """One lexical scope with its statically collected binding set."""
+
+    __slots__ = ("kind", "local_names", "global_names")
+
+    def __init__(self, kind: str, local_names: Set[str], global_names: Set[str]) -> None:
+        self.kind = kind
+        self.local_names = local_names
+        self.global_names = global_names
+
+
+def _collect_bindings(
+    body: Sequence[ast.stmt], params: Sequence[str] = ()
+) -> Tuple[Set[str], Set[str]]:
+    """Names bound locally in a scope body, and names declared ``global``.
+
+    Mirrors the compiler's symbol-table pass closely enough for effect
+    analysis: assignment targets, ``for``/``with``/``except`` binders,
+    imports, nested ``def``/``class`` names, walrus targets (which bind in
+    the nearest non-comprehension scope, so walruses inside comprehensions
+    still land here), and ``match`` captures. Does not descend into nested
+    function/class/lambda bodies — their bindings are their own.
+    """
+    local_names: Set[str] = set(params)
+    global_names: Set[str] = set()
+
+    def collect_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            local_names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    def collect_expr(node: ast.expr) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Lambda):
+                continue  # bindings inside belong to the lambda
+            if isinstance(child, ast.NamedExpr) and isinstance(
+                child.target, ast.Name
+            ):
+                local_names.add(child.target.id)
+
+    def collect_stmt(stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            local_names.add(stmt.name)
+            for decorator in stmt.decorator_list:
+                collect_expr(decorator)
+            return  # do not descend into the nested body
+        if isinstance(stmt, ast.Global):
+            global_names.update(stmt.names)
+            return
+        if isinstance(stmt, ast.Nonlocal):
+            # Binds in an enclosing function; not local here, not global.
+            return
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                collect_target(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                collect_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            collect_target(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            collect_target(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    collect_target(item.optional_vars)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local_names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    local_names.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                collect_target(target)
+        # Walrus targets hide anywhere an expression can appear.
+        for child_expr in ast.iter_child_nodes(stmt):
+            if isinstance(child_expr, ast.expr):
+                collect_expr(child_expr)
+        # Recurse into nested statement blocks of compound statements.
+        for field_name in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, field_name, None)
+            if isinstance(nested, list):
+                for nested_stmt in nested:
+                    if isinstance(nested_stmt, ast.stmt):
+                        collect_stmt(nested_stmt)
+        for handler in getattr(stmt, "handlers", []) or []:
+            if isinstance(handler, ast.ExceptHandler):
+                if handler.name:
+                    local_names.add(handler.name)
+                for nested_stmt in handler.body:
+                    collect_stmt(nested_stmt)
+        match_cases = getattr(stmt, "cases", None)
+        if match_cases:
+            for case in match_cases:
+                for pattern_node in ast.walk(case.pattern):
+                    captured = getattr(pattern_node, "name", None)
+                    if isinstance(captured, str):
+                        local_names.add(captured)
+                for nested_stmt in case.body:
+                    collect_stmt(nested_stmt)
+
+    for statement in body:
+        collect_stmt(statement)
+    local_names -= global_names
+    return local_names, global_names
+
+
+class EffectVisitor(ast.NodeVisitor):
+    """Computes the :class:`CellEffects` of one parsed cell."""
+
+    def __init__(self) -> None:
+        self.effects = CellEffects()
+        self._escapes: List[Escape] = []
+        self._scopes: List[_Scope] = []
+        self._conditional_depth = 0
+        #: Module names imported by this cell; attribute assignment on one
+        #: of these is flagged as a module-patch escape.
+        self._imported_modules: Set[str] = set()
+
+    # -- entry point -------------------------------------------------------
+
+    def analyze(self, module: ast.Module) -> CellEffects:
+        local_names, global_names = _collect_bindings(module.body)
+        self._scopes = [_Scope(_SCOPE_MODULE, local_names, global_names)]
+        for statement in module.body:
+            self.visit(statement)
+        self.effects.escapes = tuple(self._escapes)
+        return self.effects
+
+    # -- scope and conditionality helpers ----------------------------------
+
+    @contextmanager
+    def _scope(self, kind: str, local_names: Set[str], global_names: Set[str]) -> Iterator[None]:
+        self._scopes.append(_Scope(kind, local_names, global_names))
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    @contextmanager
+    def _conditional(self) -> Iterator[None]:
+        self._conditional_depth += 1
+        try:
+            yield
+        finally:
+            self._conditional_depth -= 1
+
+    @property
+    def _definite(self) -> bool:
+        return self._conditional_depth == 0
+
+    def _resolves_global(self, name: str) -> bool:
+        """True when a Load of ``name`` can reach the cell's globals."""
+        for index in range(len(self._scopes) - 1, -1, -1):
+            scope = self._scopes[index]
+            if name in scope.global_names:
+                return True
+            if scope.kind == _SCOPE_CLASS and index != len(self._scopes) - 1:
+                continue  # class bindings are invisible to nested scopes
+            if name in scope.local_names:
+                return scope.kind == _SCOPE_MODULE
+        return True  # unbound anywhere -> global (or builtin) lookup
+
+    def _binds_global(self, name: str, *, skip_comprehensions: bool = False) -> bool:
+        """True when a Store/Del of ``name`` rebinds the cell's globals."""
+        for index in range(len(self._scopes) - 1, -1, -1):
+            scope = self._scopes[index]
+            if skip_comprehensions and scope.kind == _SCOPE_COMPREHENSION:
+                continue
+            if name in scope.global_names:
+                return True
+            return scope.kind == _SCOPE_MODULE
+        return True
+
+    # -- effect recording --------------------------------------------------
+
+    def _read(self, name: str) -> None:
+        if self._resolves_global(name):
+            (self.effects.reads if self._definite
+             else self.effects.conditional_reads).add(name)
+
+    def _write(
+        self,
+        name: str,
+        node: Optional[ast.AST] = None,
+        *,
+        skip_comprehensions: bool = False,
+    ) -> None:
+        if self._binds_global(name, skip_comprehensions=skip_comprehensions):
+            (self.effects.writes if self._definite
+             else self.effects.conditional_writes).add(name)
+            self._check_hidden_global_store(name, node, "assignment to")
+
+    def _delete(self, name: str, node: Optional[ast.AST] = None) -> None:
+        if self._binds_global(name):
+            (self.effects.deletes if self._definite
+             else self.effects.conditional_deletes).add(name)
+            self._check_hidden_global_store(name, node, "deletion of")
+
+    def _check_hidden_global_store(
+        self, name: str, node: Optional[ast.AST], action: str
+    ) -> None:
+        # A global-binding store issued from inside a nested scope compiles
+        # to STORE_GLOBAL / DELETE_GLOBAL, which bypasses the patched
+        # dict's __setitem__ / __delitem__ — the rebinding leaves no trace
+        # in the access record, so it must be treated as an escape.
+        if node is not None and self._scopes[-1].kind != _SCOPE_MODULE:
+            self._escape(
+                EscapeKind.HIDDEN_GLOBAL_STORE,
+                node,
+                f"{action} global {name!r} from a nested scope "
+                "(compiles to STORE_GLOBAL, invisible to tracking)",
+            )
+
+    def _escape(self, kind: EscapeKind, node: ast.AST, detail: str) -> None:
+        self._escapes.append(Escape(kind=kind, span=Span.of(node), detail=detail))
+
+    # -- names, assignments, deletions -------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._read(node.id)
+            self._check_name_escape(node)
+        elif isinstance(node.ctx, ast.Store):
+            self._write(node.id, node)
+        elif isinstance(node.ctx, ast.Del):
+            self._delete(node.id, node)
+
+    def _check_name_escape(self, node: ast.Name) -> None:
+        name = node.id
+        if name in EXEC_EVAL_NAMES:
+            self._escape(EscapeKind.EXEC_EVAL, node, f"use of {name!r}")
+        elif name in NAMESPACE_NAMES:
+            self._escape(
+                EscapeKind.NAMESPACE_INTROSPECTION, node, f"use of {name}()"
+            )
+        elif name in REFLECTION_NAMES:
+            self._escape(EscapeKind.NAME_REFLECTION, node, f"use of {name!r}")
+        elif name in DYNAMIC_IMPORT_NAMES:
+            self._escape(EscapeKind.DYNAMIC_IMPORT, node, f"use of {name!r}")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._visit_target(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.visit(node.annotation)
+        if node.value is not None:
+            self.visit(node.value)
+            self._visit_target(node.target)
+        # A bare ``x: int`` annotates without binding; no write results.
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            self._read(node.target.id)
+            self._write(node.target.id, node.target)
+        else:
+            self._visit_target(node.target)
+
+    def _visit_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self._write(target.id, target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._visit_target(element)
+        elif isinstance(target, ast.Starred):
+            self._visit_target(target.value)
+        else:
+            # Attribute / Subscript stores mutate through a read of the
+            # root object; the patched namespace observes that read.
+            # (visit_Attribute flags module-patch escapes on Store.)
+            self.visit(target)
+
+    def _check_module_patch(self, target: ast.Attribute) -> None:
+        root: ast.expr = target
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id in self._imported_modules:
+            self._escape(
+                EscapeKind.MODULE_PATCH,
+                target,
+                f"assignment to attribute of module {root.id!r}",
+            )
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._delete(target.id, target)
+            else:
+                self.visit(target)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            # Walrus targets bind in the nearest non-comprehension scope.
+            self._write(node.target.id, node, skip_comprehensions=True)
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            self._write(bound, node)
+            self._imported_modules.add(bound)
+            if alias.name.split(".")[0] == "importlib":
+                self._escape(
+                    EscapeKind.DYNAMIC_IMPORT, node, "import of importlib"
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name == "*":
+                self.effects.opaque_writes = True
+                self._escape(
+                    EscapeKind.STAR_IMPORT,
+                    node,
+                    f"from {node.module or '.'} import *",
+                )
+            else:
+                self._write(alias.asname or alias.name, node)
+        if node.module and node.module.split(".")[0] == "importlib":
+            self._escape(EscapeKind.DYNAMIC_IMPORT, node, "import from importlib")
+
+    # -- calls and attributes ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in FRAME_ATTRS:
+            self._escape(
+                EscapeKind.FRAME_INTROSPECTION, node, f"access to .{node.attr}"
+            )
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self._check_module_patch(node)
+        self.generic_visit(node)
+
+    # -- conditional control flow ------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        with self._conditional():
+            for statement in node.body:
+                self.visit(statement)
+            for statement in node.orelse:
+                self.visit(statement)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)  # evaluated at least once
+        with self._conditional():
+            for statement in node.body:
+                self.visit(statement)
+            for statement in node.orelse:
+                self.visit(statement)
+
+    def _visit_for(self, node: "ast.For | ast.AsyncFor") -> None:
+        self.visit(node.iter)
+        with self._conditional():  # zero iterations possible
+            self._visit_target(node.target)
+            for statement in node.body:
+                self.visit(statement)
+            for statement in node.orelse:
+                self.visit(statement)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_for(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_for(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        # The body may be cut short by the very exception the handler
+        # catches, and a successful run executes at most some handlers —
+        # everything but ``finally`` is conditional.
+        with self._conditional():
+            for statement in node.body:
+                self.visit(statement)
+            for handler in node.handlers:
+                self.visit(handler)
+            for statement in node.orelse:
+                self.visit(statement)
+        for statement in node.finalbody:
+            self.visit(statement)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is not None:
+            self.visit(node.type)
+        if node.name:
+            # ``except E as e`` binds then unbinds ``e`` on handler exit.
+            self._write(node.name, node)
+            self._delete(node.name, node)
+        for statement in node.body:
+            self.visit(statement)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        self.visit(node.values[0])
+        with self._conditional():  # short-circuit may skip the tail
+            for value in node.values[1:]:
+                self.visit(value)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self.visit(node.test)
+        with self._conditional():
+            self.visit(node.body)
+            self.visit(node.orelse)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.visit(node.left)
+        self.visit(node.comparators[0])
+        with self._conditional():  # chained comparisons short-circuit
+            for comparator in node.comparators[1:]:
+                self.visit(comparator)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.visit(node.test)
+        if node.msg is not None:
+            with self._conditional():
+                self.visit(node.msg)
+
+    # -- nested scopes -----------------------------------------------------
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self._write(node.name, node)
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            self.visit(default)
+        for annotation_owner in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if annotation_owner.annotation is not None:
+                self.visit(annotation_owner.annotation)
+        if node.returns is not None:
+            self.visit(node.returns)
+        params = [
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        ]
+        local_names, global_names = _collect_bindings(node.body, params)
+        with self._scope(_SCOPE_FUNCTION, local_names, global_names):
+            with self._conditional():  # the body runs only if called
+                for statement in node.body:
+                    self.visit(statement)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            self.visit(default)
+        params = [
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        ]
+        local_names, _ = _collect_bindings([ast.Expr(value=node.body)], params)
+        with self._scope(_SCOPE_LAMBDA, local_names, set()):
+            with self._conditional():
+                self.visit(node.body)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._write(node.name, node)
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for base in node.bases:
+            self.visit(base)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+        local_names, global_names = _collect_bindings(node.body)
+        with self._scope(_SCOPE_CLASS, local_names, global_names):
+            # A class body executes exactly once, at definition time.
+            for statement in node.body:
+                self.visit(statement)
+
+    def _visit_comprehension(
+        self, generators: Sequence[ast.comprehension], *elements: ast.expr
+    ) -> None:
+        # The outermost iterable is evaluated eagerly in the enclosing
+        # scope; everything else runs lazily in the comprehension scope
+        # and only if that iterable is non-empty.
+        self.visit(generators[0].iter)
+        local_names: Set[str] = set()
+        for generator in generators:
+            targets, _ = _collect_bindings(
+                [ast.Assign(targets=[generator.target], value=ast.Constant(value=None))]
+            )
+            local_names |= targets
+        with self._scope(_SCOPE_COMPREHENSION, local_names, set()):
+            with self._conditional():
+                for index, generator in enumerate(generators):
+                    if index > 0:
+                        self.visit(generator.iter)
+                    for condition in generator.ifs:
+                        self.visit(condition)
+                for element in elements:
+                    self.visit(element)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node.generators, node.elt)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node.generators, node.elt)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node.generators, node.elt)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node.generators, node.key, node.value)
+
+    # -- match statements (3.10+) ------------------------------------------
+
+    def visit_Match(self, node: ast.AST) -> None:
+        subject = getattr(node, "subject", None)
+        if isinstance(subject, ast.expr):
+            self.visit(subject)
+        with self._conditional():
+            for case in getattr(node, "cases", []):
+                for pattern_node in ast.walk(case.pattern):
+                    captured = getattr(pattern_node, "name", None)
+                    if isinstance(captured, str):
+                        self._write(captured, pattern_node)
+                if case.guard is not None:
+                    self.visit(case.guard)
+                for statement in case.body:
+                    self.visit(statement)
+
+    # ``global`` / ``nonlocal`` are handled during binding collection.
+
+    def visit_Global(self, node: ast.Global) -> None:
+        pass
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        pass
+
+
+def parse_cell(source: str) -> Optional[ast.Module]:
+    """Parse cell source, returning ``None`` on syntax errors."""
+    try:
+        return ast.parse(source)
+    except SyntaxError:
+        return None
+
+
+def analyze_cell(source: str) -> CellEffects:
+    """Compute the static effect summary of one cell.
+
+    Never raises: a cell that fails to parse yields a
+    :class:`CellEffects` with ``syntax_error`` set and empty name sets
+    (such a cell cannot execute either).
+    """
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        return CellEffects(syntax_error=str(exc))
+    return EffectVisitor().analyze(module)

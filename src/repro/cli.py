@@ -14,12 +14,14 @@ Commands:
     %branch <name>       start a named branch at the head and switch to it
     %vars                list user variables
     %state               show the head's co-variable versions
-    %telemetry           walk-cache counters of the tracking hot path
+    %telemetry           walk-cache and static-analysis counters
+    %lint [source]       lint the session's cells (or an inline snippet)
     %recover             scan the store for torn checkpoints and sweep them
     %help                command summary
     %quit                leave the session
 
 Run:  python -m repro.cli [--store PATH]
+      python -m repro.cli lint [--format text|json] FILE...
 
 With ``--store`` the session checkpoints into a durable SQLite database;
 if the file already holds history (e.g. from a session that crashed),
@@ -34,6 +36,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, TextIO
 
+from repro.analysis import JsonReporter, LintEngine, Severity, TextReporter, worst_severity
 from repro.core.graph import ROOT_ID
 from repro.core.session import KishuSession
 from repro.core.storage import CheckpointStore, SQLiteCheckpointStore
@@ -74,6 +77,7 @@ class KishuRepl:
             "vars": self._cmd_vars,
             "state": self._cmd_state,
             "telemetry": self._cmd_telemetry,
+            "lint": self._cmd_lint,
             "recover": self._cmd_recover,
             "help": self._cmd_help,
             "quit": self._cmd_quit,
@@ -226,6 +230,32 @@ class KishuRepl:
             )
         else:
             self._print("  incremental walk cache disabled")
+        stats = self.session.analysis_stats
+        self._print("static analysis (DESIGN.md §8):")
+        self._print(f"  cells analyzed      {stats.cells_analyzed}")
+        self._print(f"  escapes found       {stats.escapes_found}")
+        self._print(
+            f"  predictions         {stats.predictions_confirmed} confirmed / "
+            f"{stats.predictions_violated} violated"
+        )
+        self._print(f"  escalations         {stats.escalations}")
+        self._print(f"  read-only skips     {stats.read_only_skips}")
+
+    def _cmd_lint(self, arguments: List[str]) -> None:
+        """Lint executed cells — or an inline snippet given as arguments."""
+        engine = LintEngine()
+        if arguments:
+            findings = engine.lint_source(" ".join(arguments), label="<input>")
+        else:
+            cells = [
+                (f"In[{result.execution_count}]", result.cell.source)
+                for result in self.kernel.history
+            ]
+            if not cells:
+                self._print("(no cells executed yet)")
+                return
+            findings = engine.lint_cells(cells)
+        self._print(TextReporter().render(findings))
 
     def _cmd_recover(self, arguments: List[str]) -> None:
         try:
@@ -249,7 +279,47 @@ class KishuRepl:
         self.stdout.flush()
 
 
-def main(argv: Optional[List[str]] = None) -> None:
+def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
+    """``repro lint`` — run the static cell analysis over script files.
+
+    Each file is linted as one cell (our example scripts and exported
+    notebooks are plain ``.py`` files). Exits non-zero only on
+    ``ERROR``-severity findings, or on any warning with ``--strict``.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static cell-effect lint (escape hatches, read-only cells).",
+    )
+    parser.add_argument("paths", metavar="FILE", nargs="+", help="python files to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    args = parser.parse_args(argv)
+
+    engine = LintEngine()
+    cells = []
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                cells.append((path, handle.read()))
+        except OSError as exc:
+            out.write(f"cannot read {path}: {exc}\n")
+            return 2
+    findings = engine.lint_cells(cells)
+    reporter = JsonReporter() if args.format_ == "json" else TextReporter()
+    out.write(reporter.render(findings) + "\n")
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if findings and worst_severity(findings) >= threshold else 0
+
+
+def main(argv: Optional[List[str]] = None) -> Optional[int]:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        return lint_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Interactive Kishu notebook session.",
@@ -260,14 +330,15 @@ def main(argv: Optional[List[str]] = None) -> None:
         default=None,
         help="durable SQLite checkpoint database (resumed if it has history)",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     store = SQLiteCheckpointStore(args.store) if args.store else None
     try:
         KishuRepl(store=store).run()
     finally:
         if store is not None:
             store.close()
+    return None
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main() or 0)

@@ -113,8 +113,34 @@ class DeltaDetector:
         self.pool = pool
         self.check_all = check_all
 
+    def needs_full_check(
+        self, record: Optional[AccessRecord], *, escalate: bool = False
+    ) -> bool:
+        """The single fallback decision: can access pruning be trusted?
+
+        Pruning (Lemma 1) is sound only when a complete access record
+        exists and nothing has challenged its completeness. Three things
+        disable it, all funneled through here so every consumer — the
+        candidate-selection step and the walk-cache invalidation — agrees:
+
+        * ``check_all`` — the detector-wide ablation switch (the paper's
+          AblatedKishu baseline, §7.6);
+        * ``record is None`` — no access information at all (e.g. a lost
+          or never-opened recording window); every pool member plus every
+          current name must be treated as accessed;
+        * ``escalate`` — a per-cell escalation requested by the runtime
+          cross-validator (DESIGN.md §8): the record exists but is not
+          trusted, because the cell contained tracking escape hatches or
+          under-reported a definite static access.
+        """
+        return self.check_all or escalate or record is None
+
     def detect(
-        self, record: Optional[AccessRecord], namespace_items: Dict[str, Any]
+        self,
+        record: Optional[AccessRecord],
+        namespace_items: Dict[str, Any],
+        *,
+        escalate: bool = False,
     ) -> StateDelta:
         """Compute the state delta and update the pool to the new partition.
 
@@ -123,22 +149,28 @@ class DeltaDetector:
                 (no information) is treated as "everything accessed", the
                 conservative fallback.
             namespace_items: Current user variables, post-execution.
+            escalate: Force check-all behaviour for this one detection
+                without flipping the detector-wide ``check_all`` switch —
+                the cross-validator's per-cell escalation path.
         """
         started = time.perf_counter()
         before = self.pool.builder.telemetry.snapshot()
-        delta = self._detect_inner(record, namespace_items)
+        delta = self._detect_inner(record, namespace_items, escalate)
         delta.walk = self.pool.builder.telemetry.since(before)
         delta.detection_seconds = time.perf_counter() - started
         return delta
 
     def _detect_inner(
-        self, record: Optional[AccessRecord], namespace_items: Dict[str, Any]
+        self,
+        record: Optional[AccessRecord],
+        namespace_items: Dict[str, Any],
+        escalate: bool,
     ) -> StateDelta:
         delta = StateDelta()
         known_names = self.pool.all_names()
         current_names = set(namespace_items)
 
-        if self.check_all or record is None:
+        if self.needs_full_check(record, escalate=escalate):
             accessed_names = known_names | current_names
         else:
             accessed_names = filter_user_names(record.accessed)
@@ -166,7 +198,7 @@ class DeltaDetector:
         # splices from cache. Without access information (check-all mode,
         # lost records) or with an under-approximated id-set (opaque or
         # truncated prior graph) the whole cache is conservatively dropped.
-        self._invalidate_cache(accessed_names, record)
+        self._invalidate_cache(accessed_names, record, escalate)
 
         # Re-generate VarGraphs for all candidates still present (§4.3
         # step 1). Names that vanished show up as absent here.
@@ -203,13 +235,16 @@ class DeltaDetector:
         return delta
 
     def _invalidate_cache(
-        self, accessed_names: Set[str], record: Optional[AccessRecord]
+        self,
+        accessed_names: Set[str],
+        record: Optional[AccessRecord],
+        escalate: bool,
     ) -> None:
         """Drop cached subtrees the cell could have mutated (the dirty set)."""
         builder = self.pool.builder
         if getattr(builder, "cache", None) is None:
             return
-        if self.check_all or record is None:
+        if self.needs_full_check(record, escalate=escalate):
             builder.invalidate_all()
             return
         dirty: Set[int] = set()

@@ -1,115 +1,45 @@
-"""Rule-based static cell analysis (§6.2 of the paper).
+"""Backward-compatibility shim — the rule-based cell analysis moved to
+:mod:`repro.analysis` (DESIGN.md §8).
 
-The paper notes that Kishu "can be extended to incorporate … rule-based
-cell analyses" to skip update detection for cells that provably cannot
-modify the state — the read-only printing cells (``y_train[:10]``,
-``df.head()``) whose detection overhead Fig 17 calls out (1.06× of a 2 ms
-cell).
-
-:class:`ReadOnlyCellAnalyzer` implements that extension conservatively: a
-cell qualifies as read-only only when *every* statement is an expression
-whose AST consists of name loads, constants, subscripts, attribute loads,
-and calls to a whitelist of known-pure callables (``print``, ``len``,
-``repr``, …, plus method names known to be non-mutating like ``head`` or
-``describe``). Anything else — assignments, deletes, arbitrary calls,
-imports — disqualifies the cell, so skipping detection is always safe.
+``repro.core.rules.ReadOnlyCellAnalyzer`` keeps working but is
+deprecated: import :class:`repro.analysis.ReadOnlyCellAnalyzer` instead,
+and extend the purity whitelists through
+:data:`repro.analysis.GLOBAL_PURITY` (or a private
+:class:`repro.analysis.PurityRegistry`) rather than by constructing
+analyzers with frozen whitelist arguments.
 """
 
 from __future__ import annotations
 
-import ast
+import warnings
 from typing import FrozenSet, Optional
 
-#: Built-in callables that cannot mutate their arguments' object graphs.
-PURE_BUILTINS: FrozenSet[str] = frozenset(
-    {"print", "len", "repr", "str", "type", "id", "abs", "min", "max",
-     "sum", "sorted", "list", "dict", "tuple", "set", "format", "round",
-     "any", "all", "isinstance", "hash", "bool", "int", "float"}
+from repro.analysis.rules import (  # noqa: F401 - re-exported for compatibility
+    PURE_BUILTINS,
+    PURE_METHODS,
+    PurityRegistry,
 )
-
-#: Method names conventionally non-mutating in data-science libraries
-#: (the paper's ``df.head`` example). Conservative: a library *could*
-#: define a mutating ``head``, so this list is user-extensible and the
-#: default rule set can be disabled entirely.
-PURE_METHODS: FrozenSet[str] = frozenset(
-    {"head", "tail", "describe", "info", "keys", "values", "items",
-     "mean", "sum", "min", "max", "std", "count", "copy", "hexdigest"}
-)
+from repro.analysis.rules import ReadOnlyCellAnalyzer as _ReadOnlyCellAnalyzer
 
 
-class ReadOnlyCellAnalyzer:
-    """Statically classifies cells that provably perform no state update."""
+class ReadOnlyCellAnalyzer(_ReadOnlyCellAnalyzer):
+    """Deprecated alias of :class:`repro.analysis.ReadOnlyCellAnalyzer`."""
 
     def __init__(
         self,
         pure_builtins: Optional[FrozenSet[str]] = None,
         pure_methods: Optional[FrozenSet[str]] = None,
+        *,
+        purity: Optional[PurityRegistry] = None,
     ) -> None:
-        self.pure_builtins = (
-            pure_builtins if pure_builtins is not None else PURE_BUILTINS
+        warnings.warn(
+            "repro.core.rules.ReadOnlyCellAnalyzer is deprecated; use "
+            "repro.analysis.ReadOnlyCellAnalyzer (and repro.analysis."
+            "GLOBAL_PURITY for whitelist registration) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.pure_methods = pure_methods if pure_methods is not None else PURE_METHODS
+        super().__init__(pure_builtins, pure_methods, purity=purity)
 
-    def is_read_only(self, source: str) -> bool:
-        """True only if every statement is a provably pure expression."""
-        try:
-            module = ast.parse(source)
-        except SyntaxError:
-            return False
-        if not module.body:
-            return True
-        return all(
-            isinstance(stmt, ast.Expr) and self._pure_expression(stmt.value)
-            for stmt in module.body
-        )
 
-    def _pure_expression(self, node: ast.expr) -> bool:
-        if isinstance(node, (ast.Constant, ast.Name)):
-            return True
-        if isinstance(node, ast.Attribute):
-            return self._pure_expression(node.value)
-        if isinstance(node, ast.Subscript):
-            return self._pure_expression(node.value) and self._pure_slice(node.slice)
-        if isinstance(node, (ast.Tuple, ast.List)):
-            return all(self._pure_expression(item) for item in node.elts)
-        if isinstance(node, ast.BinOp):
-            return self._pure_expression(node.left) and self._pure_expression(node.right)
-        if isinstance(node, ast.UnaryOp):
-            return self._pure_expression(node.operand)
-        if isinstance(node, ast.Compare):
-            return self._pure_expression(node.left) and all(
-                self._pure_expression(comp) for comp in node.comparators
-            )
-        if isinstance(node, ast.Call):
-            return self._pure_call(node)
-        if isinstance(node, ast.JoinedStr):
-            return all(
-                self._pure_expression(value.value)
-                for value in node.values
-                if isinstance(value, ast.FormattedValue)
-            )
-        return False
-
-    def _pure_slice(self, node: ast.expr) -> bool:
-        if isinstance(node, ast.Slice):
-            parts = (node.lower, node.upper, node.step)
-            return all(part is None or self._pure_expression(part) for part in parts)
-        return self._pure_expression(node)
-
-    def _pure_call(self, node: ast.Call) -> bool:
-        if any(isinstance(arg, ast.Starred) for arg in node.args):
-            return False
-        arguments_pure = all(
-            self._pure_expression(arg) for arg in node.args
-        ) and all(
-            keyword.value is not None and self._pure_expression(keyword.value)
-            for keyword in node.keywords
-        )
-        if not arguments_pure:
-            return False
-        func = node.func
-        if isinstance(func, ast.Name):
-            return func.id in self.pure_builtins
-        if isinstance(func, ast.Attribute):
-            return func.attr in self.pure_methods and self._pure_expression(func.value)
-        return False
+__all__ = ["PURE_BUILTINS", "PURE_METHODS", "PurityRegistry", "ReadOnlyCellAnalyzer"]

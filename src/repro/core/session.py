@@ -21,6 +21,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.analysis.crossval import CrossValidator
+from repro.analysis.effects import CellEffects
+from repro.analysis.visitor import analyze_cell
 from repro.core.covariable import CoVariablePool, CoVarKey
 from repro.core.delta import DeltaDetector, StateDelta, fold_deltas
 from repro.core.graph import CheckpointGraph, CheckpointNode, PayloadInfo, ROOT_ID
@@ -37,7 +40,7 @@ from repro.core.storage import (
 )
 from repro.core.vargraph import VarGraphBuilder
 from repro.errors import KishuError, SerializationError, StorageError
-from repro.telemetry import WalkStats
+from repro.telemetry import AnalysisStats, WalkStats
 from repro.kernel.cells import Cell, CellResult
 from repro.kernel.events import POST_RUN_CELL, PRE_RUN_CELL, ExecutionInfo
 from repro.kernel.kernel import NotebookKernel
@@ -64,6 +67,10 @@ class CellCheckpointMetrics:
     #: objects visited, cache hits/misses, nodes spliced, bytes hashed,
     #: graphs built (DESIGN.md §7).
     walk: WalkStats = field(default_factory=WalkStats)
+    #: True when the cross-validator distrusted this cell's access record
+    #: (escape hatches or an under-reported definite access) and detection
+    #: ran in check-all mode for this one cell (DESIGN.md §8).
+    escalated: bool = False
 
     @property
     def checkpoint_seconds(self) -> float:
@@ -103,6 +110,7 @@ class KishuSession:
         rule_analyzer: Optional["ReadOnlyCellAnalyzer"] = None,
         retry: Optional[RetryPolicy] = None,
         incremental: bool = True,
+        cross_validate: bool = True,
     ) -> None:
         self.kernel = kernel
         self.store = store if store is not None else InMemoryCheckpointStore()
@@ -115,6 +123,16 @@ class KishuSession:
         #: Backoff schedule for transient storage faults, applied to every
         #: store operation issued while checkpointing or restoring.
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Runtime cross-validation of Lemma 1 (DESIGN.md §8): after each
+        #: cell the static effect prediction is compared against the
+        #: runtime access record; cells with tracking escape hatches or
+        #: under-reported records are escalated to check-all detection.
+        self.validator = CrossValidator() if cross_validate else None
+        self.analysis_stats = (
+            self.validator.stats if self.validator is not None else AnalysisStats()
+        )
+        self._pending_effects: Optional[CellEffects] = None
+        self._installed_analyzer = False
 
         # The session's DeltaDetector observes every cell's access record
         # and invalidates dirty subtrees before rebuilding, which is what
@@ -187,6 +205,11 @@ class KishuSession:
             raise KishuError("session already attached")
         self.kernel.events.register(PRE_RUN_CELL, self._on_pre_run)
         self.kernel.events.register(POST_RUN_CELL, self._on_post_run)
+        if self.validator is not None and self.kernel.cell_analyzer is None:
+            # Install the pre-execution static-analysis hook so every
+            # cell's effects are computed before it runs.
+            self.kernel.cell_analyzer = analyze_cell
+            self._installed_analyzer = True
         self._attached = True
         existing = self.kernel.user_variables()
         if existing:
@@ -203,11 +226,25 @@ class KishuSession:
             return
         self.kernel.events.unregister(PRE_RUN_CELL, self._on_pre_run)
         self.kernel.events.unregister(POST_RUN_CELL, self._on_post_run)
+        if self._installed_analyzer:
+            self.kernel.cell_analyzer = None
+            self._installed_analyzer = False
         self._attached = False
 
     # -- hooks -------------------------------------------------------------------
 
     def _on_pre_run(self, info: ExecutionInfo) -> None:
+        if self.validator is not None:
+            effects = info.analysis
+            if not isinstance(effects, CellEffects):
+                # No analyzer on the kernel (or a foreign one): analyze
+                # here so cross-validation still sees every cell.
+                effects = analyze_cell(info.cell.source)
+            self._pending_effects = (
+                effects
+                if self._pending_effects is None
+                else self._pending_effects.merge(effects)
+            )
         if not self.kernel.user_ns.recording:
             self.kernel.user_ns.begin_recording()
 
@@ -235,20 +272,38 @@ class KishuSession:
         execution_count = self._pending_execution_count
         cell_duration = getattr(self, "_last_cell_duration", 0.0)
         tags = self._pending_tags
+        effects = self._pending_effects
         self._pending_record = None
         self._pending_sources = []
         self._pending_tags = set()
+        self._pending_effects = None
         #: Kept for subclasses whose should_store_delta needs the record
         #: (e.g. cost-based Det-replay's dependency-cost estimate).
         self._last_commit_record = record
 
-        if self.rule_analyzer is not None and self.rule_analyzer.is_read_only(sources):
+        # Cross-validate Lemma 1 (DESIGN.md §8): compare the static
+        # prediction against what the patched namespace recorded. Cells
+        # containing escape hatches, and cells whose record misses a
+        # definite static access, run this one detection in check-all
+        # mode — correctness is restored at AblatedKishu's per-cell cost.
+        escalate = False
+        if self.validator is not None and effects is not None:
+            escalate = self.validator.validate(effects, record).escalate
+
+        if (
+            self.rule_analyzer is not None
+            and not escalate
+            and self.rule_analyzer.is_read_only(sources)
+        ):
             # Rule-based fast path (§6.2): a provably read-only cell
             # cannot have updated any co-variable — write an empty
             # checkpoint without any VarGraph work.
             delta = StateDelta()
+            self.analysis_stats.read_only_skips += 1
         else:
-            delta = self.detector.detect(record, self.kernel.user_variables())
+            delta = self.detector.detect(
+                record, self.kernel.user_variables(), escalate=escalate
+            )
 
         if self._carryover is not None:
             # A previous checkpoint's store write failed after the pool
@@ -263,6 +318,7 @@ class KishuSession:
             node = self._write_checkpoint(
                 delta, sources, execution_count, cell_duration,
                 store_payloads=self.should_store_delta(tags),
+                escalated=escalate,
             )
         except StorageError:
             self._carryover = (delta, sources)
@@ -287,6 +343,7 @@ class KishuSession:
         cell_duration: float,
         *,
         store_payloads: bool = True,
+        escalated: bool = False,
     ) -> CheckpointNode:
         parent_id = self.graph.head_id
         parent_state = self.graph.head.state
@@ -382,6 +439,7 @@ class KishuSession:
                 skipped_unserializable=skipped,
                 degraded_payloads=degraded,
                 walk=delta.walk,
+                escalated=escalated,
             )
         )
         return node

@@ -10,7 +10,7 @@ application (§6.1 of the paper). Hooks registered here receive an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.kernel.cells import Cell, CellResult
 
@@ -22,10 +22,19 @@ _VALID_EVENTS = (PRE_RUN_CELL, POST_RUN_CELL)
 
 @dataclass(frozen=True)
 class ExecutionInfo:
-    """Payload passed to ``pre_run_cell`` hooks, mirroring IPython's."""
+    """Payload passed to ``pre_run_cell`` hooks, mirroring IPython's.
+
+    Attributes:
+        analysis: Result of the kernel's pre-execution cell analyzer
+            (a :class:`repro.analysis.CellEffects` when Kishu installed
+            its static analyzer), or ``None`` when no analyzer is set.
+            Computed once per execution, before any hook fires, so every
+            hook sees the same analysis of the cell about to run.
+    """
 
     cell: Cell
     execution_count: int
+    analysis: Optional[Any] = None
 
 
 class HookRegistry:

@@ -20,7 +20,7 @@ import ast
 import io
 import time
 from contextlib import redirect_stdout
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import KernelError
 from repro.kernel.cells import Cell, CellResult
@@ -51,6 +51,12 @@ class NotebookKernel:
         self.events = HookRegistry()
         self.execution_count = 0
         self.history: List[CellResult] = []
+        #: Pre-execution cell analyzer (the static-analysis hook). When
+        #: set, :meth:`run_cell` calls it with the cell source *before*
+        #: ``pre_run_cell`` fires and ships the result to hooks via
+        #: :attr:`~repro.kernel.events.ExecutionInfo.analysis`. Kishu
+        #: installs :func:`repro.analysis.analyze_cell` here on attach.
+        self.cell_analyzer: Optional[Callable[[str], Any]] = None
 
     # -- execution ----------------------------------------------------------
 
@@ -64,7 +70,15 @@ class NotebookKernel:
         if isinstance(cell, str):
             cell = Cell(source=cell)
         self.execution_count += 1
-        info = ExecutionInfo(cell=cell, execution_count=self.execution_count)
+        analysis: Optional[Any] = None
+        if self.cell_analyzer is not None:
+            try:
+                analysis = self.cell_analyzer(cell.source)
+            except Exception:
+                analysis = None  # analysis must never break execution
+        info = ExecutionInfo(
+            cell=cell, execution_count=self.execution_count, analysis=analysis
+        )
         self.events.trigger(PRE_RUN_CELL, info)
 
         result = self._execute_body(cell)

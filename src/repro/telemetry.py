@@ -100,6 +100,42 @@ class WalkTelemetry:
             setattr(self, name, 0)
 
 
+@dataclass
+class AnalysisStats:
+    """Counters of the static-analysis / cross-validation layer
+    (DESIGN.md §8).
+
+    Owned by one :class:`~repro.analysis.crossval.CrossValidator` (and
+    therefore one session). ``escalations`` is the interesting number: a
+    non-zero count means Lemma 1's runtime guarantee was not trusted for
+    those cells and detection fell back to check-all mode for exactly
+    them.
+    """
+
+    #: Cells whose effects were statically analyzed and cross-validated.
+    cells_analyzed: int = 0
+    #: Escape-hatch occurrences found (a single cell may contain several).
+    escapes_found: int = 0
+    #: Cells whose runtime record contained every definite static access.
+    predictions_confirmed: int = 0
+    #: Cells whose runtime record missed a definite static access.
+    predictions_violated: int = 0
+    #: Cells escalated to check-all detection (escapes or violations).
+    escalations: int = 0
+    #: Cells skipped entirely by the read-only rule (§6.2).
+    read_only_skips: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cells_analyzed": self.cells_analyzed,
+            "escapes_found": self.escapes_found,
+            "predictions_confirmed": self.predictions_confirmed,
+            "predictions_violated": self.predictions_violated,
+            "escalations": self.escalations,
+            "read_only_skips": self.read_only_skips,
+        }
+
+
 #: Sink for hashing performed outside any builder's build (rare: direct
 #: digest calls from tests or library fast paths).
 GLOBAL_TELEMETRY = WalkTelemetry()

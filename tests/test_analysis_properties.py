@@ -1,0 +1,142 @@
+"""Property-based soundness of the static write set (DESIGN.md §8).
+
+The cross-validator's escalation logic leans on one invariant: for any
+cell without escape hatches, the statically predicted write/delete set
+*over-approximates* the names the execution actually rebinds or unbinds.
+These tests generate random cells — assignments, augmented assignments,
+deletes, comprehensions, nested functions (with and without ``global``),
+try/except, walrus operators — run them in a real
+:class:`~repro.kernel.kernel.NotebookKernel`, and assert the superset
+relation against the observed namespace diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.analysis import analyze_cell  # noqa: E402
+from repro.kernel.kernel import NotebookKernel  # noqa: E402
+
+SEED_NAMES = ("a", "b", "c", "d")
+FRESH_NAMES = ("p", "q", "r", "s")
+
+names = st.sampled_from(SEED_NAMES + FRESH_NAMES)
+seeded = st.sampled_from(SEED_NAMES)
+literals = st.integers(min_value=0, max_value=9).map(str)
+atoms = st.one_of(seeded, literals)
+
+
+def expressions():
+    binary = st.tuples(atoms, st.sampled_from(("+", "*")), atoms).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    return st.one_of(atoms, binary)
+
+
+assignments = st.tuples(names, expressions()).map(lambda t: f"{t[0]} = {t[1]}")
+aug_assignments = st.tuples(seeded, expressions()).map(lambda t: f"{t[0]} += {t[1]}")
+deletes = seeded.map(lambda n: f"del {n}")
+comprehensions = st.tuples(names, expressions()).map(
+    lambda t: f"{t[0]} = [{t[1]} for _i in range(3)]"
+)
+walrus_comprehensions = st.tuples(names, seeded).map(
+    lambda t: f"xs = [({t[0]} := {t[1]} + _i) for _i in range(2)]"
+)
+global_functions = st.tuples(names, expressions()).map(
+    lambda t: f"def _fn():\n    global {t[0]}\n    {t[0]} = {t[1]}\n_fn()"
+)
+local_functions = st.tuples(names, expressions()).map(
+    lambda t: f"def _fn({t[0]}=0):\n    {t[0]} = {t[1]}\n    return {t[0]}\n_fn()"
+)
+try_excepts = st.tuples(names, seeded, expressions()).map(
+    lambda t: (
+        f"try:\n    {t[0]} = {t[1]}[0]\n"
+        f"except TypeError:\n    {t[0]} = {t[2]}"
+    )
+)
+
+statements = st.one_of(
+    assignments,
+    aug_assignments,
+    deletes,
+    comprehensions,
+    walrus_comprehensions,
+    global_functions,
+    local_functions,
+    try_excepts,
+)
+
+cells = st.lists(statements, min_size=1, max_size=6).map("\n".join)
+
+
+def run_and_diff(source: str):
+    """Execute ``source`` in a seeded kernel; return (effects, rebound, unbound)."""
+    kernel = NotebookKernel()
+    kernel.run_cell("a, b, c, d = 0, 1, 2, 3")
+    before = dict(kernel.user_variables())
+    kernel.run_cell(source, raise_on_error=False)
+    after = dict(kernel.user_variables())
+    rebound = {
+        name
+        for name in after
+        if name not in before or after[name] is not before[name]
+    }
+    unbound = set(before) - set(after)
+    return analyze_cell(source), rebound, unbound
+
+
+@settings(max_examples=120, deadline=None)
+@given(cells)
+def test_static_write_set_over_approximates_rebinding(source):
+    effects, rebound, unbound = run_and_diff(source)
+    assert effects.syntax_error is None, source
+    predicted = set(effects.all_writes) | set(effects.all_deletes)
+    # Internal helper names are part of the cell's own machinery and are
+    # legitimately predicted too; no filtering needed — the invariant is
+    # a plain superset.
+    assert rebound <= predicted, (source, rebound - predicted)
+    assert unbound <= predicted, (source, unbound - predicted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cells)
+def test_definite_accesses_recorded_for_escape_free_cells(source):
+    """Runtime record ⊇ definite static accesses — the exact invariant the
+    cross-validator enforces (no false escalations on escape-free cells).
+
+    Cells carrying escapes are exempt *by design*: e.g. a walrus target in
+    a comprehension (or a ``global`` store in a nested function) compiles
+    to STORE_GLOBAL, which bypasses the patched dict — the analyzer flags
+    those as HIDDEN_GLOBAL_STORE escapes and the validator escalates them
+    instead of trusting the record.
+    """
+    effects = analyze_cell(source)
+    if effects.has_escapes:
+        return
+    kernel = NotebookKernel()
+    kernel.run_cell("a, b, c, d = 0, 1, 2, 3")
+    kernel.user_ns.begin_recording()
+    result = kernel.run_cell(source, raise_on_error=False)
+    record = kernel.user_ns.end_recording()
+    if result.error is not None:
+        return  # a failed cell may legitimately skip later accesses
+    from repro.kernel.namespace import filter_user_names
+
+    predicted = filter_user_names(set(effects.definite_accesses))
+    assert predicted <= record.accessed, (source, predicted - record.accessed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.one_of(assignments, deletes), min_size=1, max_size=4))
+def test_straight_line_writes_are_definite(lines):
+    """Module-level assignments/deletes land in the *definite* sets."""
+    effects = analyze_cell("\n".join(lines))
+    for line in lines:
+        if line.startswith("del "):
+            assert line[4:] in effects.deletes
+        else:
+            target = line.split(" = ")[0]
+            assert target in effects.writes

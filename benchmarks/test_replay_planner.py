@@ -1,0 +1,98 @@
+"""Replay-planner benchmark: minimal static replay vs full-history rerun.
+
+The fallback path of §5.3 historically re-executed whole dependency
+chains. The static :class:`~repro.analysis.dataflow.ReplayPlanner`
+instead computes the minimal ordered cell subset reconstructing a target
+co-variable, consulting stored payloads as shortcut versions. This
+benchmark sweeps the Fig 18 shared-referencing workload — ``k`` of
+``n`` arrays bundled into one list co-variable, the probe mutating one
+array through the bundle — deletes the probe version's payload, and
+measures how many cells the planned checkout actually re-executed.
+
+The counters are deterministic (cell counts, not wall time), so the
+assertions hold at any machine speed. Results are written as a JSON
+artifact (``REPRO_BENCH_JSON``, default ``BENCH_pr4_replay.json``) for
+CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+
+from repro.core.session import KishuSession
+from repro.core.storage import StoredPayload
+from repro.kernel.kernel import NotebookKernel
+from repro.workloads import shared_referencing_workload
+
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr4_replay.json")
+
+N_ARRAYS = 10
+ARRAY_KB = 32
+
+
+def planned_checkout_stats(arrays_in_covariable: int):
+    """Run the workload, lose the probe version's payload, check out back
+    through the replay engine, and report the planner telemetry."""
+    gc.collect()
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel)
+    spec = shared_referencing_workload(
+        arrays_in_covariable, n_arrays=N_ARRAYS, array_kb=ARRAY_KB
+    )
+    for cell in spec.cells:
+        session.run_cell(cell.source)
+    target = session.head_id
+    bundle_key = session.pool.key_of("bundle")
+    version = session.graph.get(target).state.version_of(bundle_key)
+
+    # Diverge the co-variable, then lose the target version's payload.
+    session.run_cell("bundle[0][:] = 0.0")
+    session.store.write_payload(
+        StoredPayload(node_id=version, key=bundle_key, data=None, serializer=None)
+    )
+    report = session.checkout(target)
+    assert bundle_key in report.recomputed_keys
+
+    stats = session.plan_stats
+    assert stats.plans_executed == 1, "static replay must carry the checkout"
+    assert stats.validation_mismatches == 0
+    return {
+        "arrays_in_covariable": arrays_in_covariable,
+        "full_history_cells": len(spec.cells),
+        "cells_replayed": stats.cells_replayed,
+        "cells_skipped": stats.cells_skipped,
+        "payload_loads": stats.payload_loads,
+        "replay_fraction": stats.cells_replayed / len(spec.cells),
+    }
+
+
+def test_replay_planner_minimality(benchmark):
+    sweep = [planned_checkout_stats(k) for k in (2, 4, 8)]
+
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump({"shared_referencing_sweep": sweep}, handle, indent=2)
+    print()
+    for row in sweep:
+        print(
+            f"k={row['arrays_in_covariable']}: "
+            f"{row['cells_replayed']} of {row['full_history_cells']} cells "
+            f"replayed ({row['payload_loads']} payload loads, "
+            f"{row['cells_skipped']} skipped)"
+        )
+
+    for row in sweep:
+        # The acceptance bar: strictly fewer cells than full history,
+        # every time.
+        assert 0 < row["cells_replayed"] < row["full_history_cells"]
+        assert row["cells_skipped"] > 0
+    # The replay set tracks the co-variable size: bundling more arrays
+    # means more producer cells in the minimal plan.
+    replayed = [row["cells_replayed"] for row in sweep]
+    assert replayed == sorted(replayed)
+    assert replayed[-1] > replayed[0]
+
+    benchmark.pedantic(
+        lambda: planned_checkout_stats(4), rounds=1, iterations=1
+    )

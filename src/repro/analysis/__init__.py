@@ -16,7 +16,25 @@ A standalone static-analysis subsystem over notebook cells:
 """
 
 from repro.analysis.crossval import CrossValidator, ValidationOutcome
+from repro.analysis.dataflow import (
+    CellNode,
+    DefUseEdge,
+    EdgeKind,
+    NotebookDataflowGraph,
+    PlanStep,
+    ReplayPlan,
+    ReplayPlanner,
+    Resolution,
+    StoredVersion,
+    make_cell_node,
+    split_script_cells,
+)
 from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+from repro.analysis.flowrules import (
+    NotebookContext,
+    NotebookLintRule,
+    default_notebook_rules,
+)
 from repro.analysis.reporters import (
     JsonReporter,
     TextReporter,
@@ -40,7 +58,10 @@ from repro.analysis.visitor import EffectVisitor, analyze_cell, parse_cell
 
 __all__ = [
     "CellEffects",
+    "CellNode",
     "CrossValidator",
+    "DefUseEdge",
+    "EdgeKind",
     "EffectVisitor",
     "Escape",
     "EscapeKind",
@@ -50,17 +71,28 @@ __all__ = [
     "LintContext",
     "LintEngine",
     "LintRule",
+    "NotebookContext",
+    "NotebookDataflowGraph",
+    "NotebookLintRule",
     "PURE_BUILTINS",
     "PURE_METHODS",
+    "PlanStep",
     "PurityRegistry",
     "ReadOnlyCellAnalyzer",
+    "ReplayPlan",
+    "ReplayPlanner",
+    "Resolution",
     "RuleRegistry",
     "Severity",
     "Span",
+    "StoredVersion",
     "TextReporter",
     "ValidationOutcome",
     "analyze_cell",
+    "default_notebook_rules",
     "finding_to_dict",
+    "make_cell_node",
     "parse_cell",
+    "split_script_cells",
     "worst_severity",
 ]

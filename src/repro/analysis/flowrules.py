@@ -1,0 +1,278 @@
+"""Inter-cell (whole-notebook) lint rules — the KSH30x family.
+
+Per-cell rules in :mod:`repro.analysis.rules` see one cell at a time;
+the rules here see the :class:`~repro.analysis.dataflow.NotebookDataflowGraph`
+built over the whole execution history and can therefore reason about
+*relationships* between cells:
+
+* ``KSH301`` — a cell reads a name with no definite producer anywhere
+  before it (never defined, or only conditionally defined);
+* ``KSH302`` — a definite write is shadowed by a later definite write
+  before any cell reads it (dead write; checkpointing it wastes space);
+* ``KSH303`` — execution order diverges from notebook order (the
+  classic out-of-order notebook hazard that breaks top-to-bottom
+  reproduction);
+* ``KSH304`` — a read's value may flow through an escaped (opaque)
+  cell, making any static replay plan for it unsafe.
+
+The rules yield the same :class:`~repro.analysis.rules.Finding` type as
+per-cell rules, carrying ``cell_index`` so the engine can sort globally
+by (cell index, span, rule id) — the deterministic order the byte-stable
+``--format json`` contract depends on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.dataflow import (
+    CellNode,
+    NotebookDataflowGraph,
+    is_builtin_name,
+)
+from repro.analysis.effects import Span
+from repro.analysis.rules import Finding, LintRule, Severity
+
+__all__ = [
+    "DeadWriteRule",
+    "EscapedDependencyRule",
+    "ExecutionOrderRule",
+    "NotebookContext",
+    "NotebookLintRule",
+    "UseBeforeDefiniteDefRule",
+    "default_notebook_rules",
+]
+
+
+@dataclass(frozen=True)
+class NotebookContext:
+    """Everything a notebook-level rule may inspect."""
+
+    graph: NotebookDataflowGraph
+    execution_counts: Optional[Tuple[int, ...]] = None
+
+    @property
+    def cells(self) -> Tuple[CellNode, ...]:
+        return self.graph.cells
+
+
+def _first_load_span(source: str, name: str) -> Span:
+    """The span of the first Load of ``name`` in the cell, if locatable."""
+    try:
+        module = ast.parse(source)
+    except SyntaxError:
+        return Span(1, 0, 1, 0)
+    for node in ast.walk(module):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return Span.of(node)
+    return Span(1, 0, 1, 0)
+
+
+def _first_store_span(source: str, name: str) -> Span:
+    try:
+        module = ast.parse(source)
+    except SyntaxError:
+        return Span(1, 0, 1, 0)
+    for node in ast.walk(module):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Store)
+        ):
+            return Span.of(node)
+    return Span(1, 0, 1, 0)
+
+
+class NotebookLintRule(LintRule):
+    """Base class for rules that inspect the whole-notebook graph.
+
+    The per-cell ``check`` is intentionally inert — these rules only
+    participate in :meth:`~repro.analysis.rules.LintEngine.lint_notebook`.
+    """
+
+    def check(self, context: object) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def cell_finding(
+        self, cell: CellNode, message: str, span: Span
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            span=span,
+            label=cell.label,
+            cell_index=cell.index,
+        )
+
+
+class UseBeforeDefiniteDefRule(NotebookLintRule):
+    rule_id = "KSH301"
+    severity = Severity.WARNING
+    description = (
+        "cell reads a name no earlier cell definitely defines"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            for name in sorted(cell.external_reads):
+                if is_builtin_name(name):
+                    continue
+                resolution = notebook.graph.resolve(name, cell.index - 1)
+                if resolution.definite is not None:
+                    continue
+                if resolution.escapes:
+                    continue  # KSH304's concern, not a missing definition
+                span = _first_load_span(cell.source, name)
+                if resolution.conditional:
+                    producers = ", ".join(
+                        notebook.cells[index].label
+                        for index in resolution.conditional
+                    )
+                    yield self.cell_finding(
+                        cell,
+                        f"{name!r} is only conditionally defined before this "
+                        f"cell (guarded writes in {producers}); re-execution "
+                        "may raise NameError",
+                        span,
+                    )
+                elif resolution.killed:
+                    yield self.cell_finding(
+                        cell,
+                        f"{name!r} was deleted by an earlier cell and never "
+                        "redefined; this read only worked against stale "
+                        "session state",
+                        span,
+                    )
+                else:
+                    yield self.cell_finding(
+                        cell,
+                        f"{name!r} is read but no earlier cell defines it; "
+                        "top-to-bottom re-execution will raise NameError",
+                        span,
+                    )
+
+
+class DeadWriteRule(NotebookLintRule):
+    rule_id = "KSH302"
+    severity = Severity.WARNING
+    description = (
+        "definite write is shadowed by a later definite write before "
+        "any cell reads it"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        escape_cells = set(notebook.graph.escape_cells)
+        for name in notebook.graph.names():
+            events = notebook.graph.events_of(name)
+            if events is None:
+                continue
+            writes = events.definite_writes
+            reads = set(events.reads)
+            conditional = set(events.conditional_writes)
+            mutations = set(events.mutations)
+            deletes = set(events.definite_deletes) | set(
+                events.conditional_deletes
+            )
+            for earlier, later in zip(writes, writes[1:]):
+                window = range(earlier + 1, later + 1)
+                if any(index in reads for index in window):
+                    continue
+                if any(
+                    index in conditional
+                    or index in mutations
+                    or index in deletes
+                    or index in escape_cells
+                    for index in range(earlier + 1, later)
+                ):
+                    continue
+                if earlier in escape_cells:
+                    continue
+                cell = notebook.cells[earlier]
+                yield self.cell_finding(
+                    cell,
+                    f"write to {name!r} is shadowed by "
+                    f"{notebook.cells[later].label} before any cell reads "
+                    "it; the value is checkpointed but never used",
+                    _first_store_span(cell.source, name),
+                )
+
+
+class ExecutionOrderRule(NotebookLintRule):
+    rule_id = "KSH303"
+    severity = Severity.WARNING
+    description = (
+        "execution order diverges from notebook order"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        counts = notebook.execution_counts
+        if counts is None or len(counts) != len(notebook.cells):
+            return
+        previous: Optional[int] = None
+        previous_cell: Optional[CellNode] = None
+        for cell, count in zip(notebook.cells, counts):
+            if count <= 0:
+                continue  # unknown counter; nothing to compare
+            if previous is not None and count <= previous:
+                assert previous_cell is not None
+                yield self.cell_finding(
+                    cell,
+                    f"executed as In[{count}] but appears after "
+                    f"{previous_cell.label} (In[{previous}]); notebook "
+                    "order no longer reproduces the session",
+                    Span(1, 0, 1, 0),
+                )
+            previous = count
+            previous_cell = cell
+
+
+class EscapedDependencyRule(NotebookLintRule):
+    rule_id = "KSH304"
+    severity = Severity.WARNING
+    description = (
+        "read may depend on an escaped (opaque) cell; static replay "
+        "through it is unsafe"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            for name in sorted(cell.external_reads):
+                if is_builtin_name(name):
+                    continue
+                resolution = notebook.graph.resolve(name, cell.index - 1)
+                if not resolution.escapes:
+                    continue
+                producers = ", ".join(
+                    notebook.cells[index].label for index in resolution.escapes
+                )
+                yield self.cell_finding(
+                    cell,
+                    f"{name!r} may have been (re)defined by opaque cell(s) "
+                    f"{producers}; a static replay plan for this value is "
+                    "replay-unsafe",
+                    _first_load_span(cell.source, name),
+                )
+
+
+def default_notebook_rules() -> List[NotebookLintRule]:
+    """The built-in KSH30x rule set, in rule-id order."""
+    return [
+        UseBeforeDefiniteDefRule(),
+        DeadWriteRule(),
+        ExecutionOrderRule(),
+        EscapedDependencyRule(),
+    ]

@@ -20,6 +20,7 @@ def finding_to_dict(finding: Finding) -> Dict[str, Any]:
         "severity": str(finding.severity),
         "message": finding.message,
         "label": finding.label,
+        "cell": finding.cell_index,
         "line": finding.span.line,
         "col": finding.span.col,
         "end_line": finding.span.end_line,

@@ -217,13 +217,23 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding anchored to a source span."""
+    """One lint finding anchored to a source span.
+
+    ``cell_index`` places the finding in an execution history when the
+    lint ran over a whole notebook (``-1`` for single-cell lints); it is
+    the primary sort key so multi-cell output is deterministic.
+    """
 
     rule_id: str
     severity: Severity
     message: str
     span: Span
     label: str = "<cell>"
+    cell_index: int = -1
+
+    @property
+    def sort_key(self) -> Tuple[int, int, int, str]:
+        return (self.cell_index, self.span.line, self.span.col, self.rule_id)
 
     def format(self) -> str:
         return (
@@ -240,6 +250,7 @@ class LintContext:
     effects: CellEffects
     tree: Optional[ast.Module]
     label: str
+    cell_index: int = -1
 
 
 class LintRule:
@@ -263,6 +274,7 @@ class LintRule:
             message=message,
             span=span,
             label=context.label,
+            cell_index=context.cell_index,
         )
 
 
@@ -453,14 +465,22 @@ class LintEngine:
     def __init__(self, registry: Optional[RuleRegistry] = None) -> None:
         self.registry = registry if registry is not None else RuleRegistry.default()
 
-    def lint_source(self, source: str, label: str = "<cell>") -> List[Finding]:
+    def lint_source(
+        self, source: str, label: str = "<cell>", *, cell_index: int = -1
+    ) -> List[Finding]:
         """Lint one cell, honouring suppression comments."""
         effects = analyze_cell(source)
         try:
             tree: Optional[ast.Module] = ast.parse(source)
         except SyntaxError:
             tree = None
-        context = LintContext(source=source, effects=effects, tree=tree, label=label)
+        context = LintContext(
+            source=source,
+            effects=effects,
+            tree=tree,
+            label=label,
+            cell_index=cell_index,
+        )
         cell_wide, per_line = _suppressions(source)
         findings: List[Finding] = []
         for rule in self.registry.rules():
@@ -476,8 +496,65 @@ class LintEngine:
     ) -> List[Finding]:
         """Lint ``(label, source)`` pairs, concatenating the findings."""
         findings: List[Finding] = []
-        for label, source in cells:
-            findings.extend(self.lint_source(source, label=label))
+        for index, (label, source) in enumerate(cells):
+            findings.extend(
+                self.lint_source(source, label=label, cell_index=index)
+            )
+        return findings
+
+    def lint_notebook(
+        self,
+        cells: Iterable[Tuple[str, str]],
+        execution_counts: Optional[Iterable[int]] = None,
+    ) -> List[Finding]:
+        """Lint ``(label, source)`` pairs as one execution history.
+
+        Runs every per-cell rule on each cell *plus* the whole-notebook
+        KSH30x rules over the inter-cell dataflow graph. Findings are
+        globally sorted by (cell index, line, column, rule id) so the
+        output is byte-stable across runs. Suppression comments in a
+        cell silence notebook-level findings anchored to that cell,
+        exactly as they do per-cell findings.
+        """
+        # Imported lazily: flowrules imports Finding/LintRule from here.
+        from repro.analysis.dataflow import make_cell_node
+        from repro.analysis.flowrules import (
+            NotebookContext,
+            default_notebook_rules,
+        )
+
+        pairs = list(cells)
+        counts = (
+            tuple(execution_counts) if execution_counts is not None else None
+        )
+        findings: List[Finding] = []
+        suppressions: List[Tuple[FrozenSet[str], Dict[int, FrozenSet[str]]]] = []
+        nodes = []
+        for index, (label, source) in enumerate(pairs):
+            findings.extend(
+                self.lint_source(source, label=label, cell_index=index)
+            )
+            suppressions.append(_suppressions(source))
+            execution_count = (
+                counts[index] if counts is not None and index < len(counts) else 0
+            )
+            nodes.append(
+                make_cell_node(
+                    index, source, label=label, execution_count=execution_count
+                )
+            )
+        from repro.analysis.dataflow import NotebookDataflowGraph
+
+        graph = NotebookDataflowGraph(nodes)
+        notebook = NotebookContext(graph=graph, execution_counts=counts)
+        for rule in default_notebook_rules():
+            for finding in rule.check_notebook(notebook):
+                if 0 <= finding.cell_index < len(suppressions):
+                    cell_wide, per_line = suppressions[finding.cell_index]
+                    if self._suppressed(finding, cell_wide, per_line):
+                        continue
+                findings.append(finding)
+        findings.sort(key=lambda f: f.sort_key)
         return findings
 
     @staticmethod

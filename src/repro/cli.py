@@ -14,14 +14,16 @@ Commands:
     %branch <name>       start a named branch at the head and switch to it
     %vars                list user variables
     %state               show the head's co-variable versions
-    %telemetry           walk-cache and static-analysis counters
-    %lint [source]       lint the session's cells (or an inline snippet)
+    %telemetry           walk-cache, static-analysis, and replay counters
+    %lint [source]       lint the session's history (or an inline snippet)
+    %replay-plan <names> show the minimal replay plan for variables at a ref
     %recover             scan the store for torn checkpoints and sweep them
     %help                command summary
     %quit                leave the session
 
 Run:  python -m repro.cli [--store PATH]
-      python -m repro.cli lint [--format text|json] FILE...
+      python -m repro.cli lint [--format text|json] [--notebook] FILE...
+      python -m repro.cli plan [--format text|json] [--targets a,b] FILE
 
 With ``--store`` the session checkpoints into a durable SQLite database;
 if the file already holds history (e.g. from a session that crashed),
@@ -78,6 +80,7 @@ class KishuRepl:
             "state": self._cmd_state,
             "telemetry": self._cmd_telemetry,
             "lint": self._cmd_lint,
+            "replay-plan": self._cmd_replay_plan,
             "recover": self._cmd_recover,
             "help": self._cmd_help,
             "quit": self._cmd_quit,
@@ -240,9 +243,27 @@ class KishuRepl:
         )
         self._print(f"  escalations         {stats.escalations}")
         self._print(f"  read-only skips     {stats.read_only_skips}")
+        plans = self.session.plan_stats
+        self._print("replay planner (DESIGN.md §10):")
+        self._print(f"  plans computed      {plans.plans_computed}")
+        self._print(
+            f"  plans executed      {plans.plans_executed} "
+            f"(declined {plans.plans_declined}, unsafe {plans.unsafe_plans})"
+        )
+        self._print(
+            f"  cells replayed      {plans.cells_replayed} "
+            f"(skipped {plans.cells_skipped}, loads {plans.payload_loads})"
+        )
+        self._print(f"  validation mismatches {plans.validation_mismatches}")
 
     def _cmd_lint(self, arguments: List[str]) -> None:
-        """Lint executed cells — or an inline snippet given as arguments."""
+        """Lint executed cells — or an inline snippet given as arguments.
+
+        The session's history is linted as one notebook, so the
+        inter-cell KSH30x rules (use-before-def, dead writes,
+        execution-order divergence, escaped dependencies) fire alongside
+        the per-cell rules.
+        """
         engine = LintEngine()
         if arguments:
             findings = engine.lint_source(" ".join(arguments), label="<input>")
@@ -254,8 +275,28 @@ class KishuRepl:
             if not cells:
                 self._print("(no cells executed yet)")
                 return
-            findings = engine.lint_cells(cells)
+            counts = [result.execution_count for result in self.kernel.history]
+            findings = engine.lint_notebook(cells, execution_counts=counts)
         self._print(TextReporter().render(findings))
+
+    def _cmd_replay_plan(self, arguments: List[str]) -> None:
+        """Show the minimal replay plan reconstructing variables at a ref.
+
+        Usage: %replay-plan <name> [name...] [@ref]. Without @ref the
+        plan targets the head. Costs are measured cell durations where
+        available (CellCheckpointMetrics), AST size otherwise.
+        """
+        names = [arg for arg in arguments if not arg.startswith("@")]
+        refs = [arg[1:] for arg in arguments if arg.startswith("@")]
+        if not names or len(refs) > 1:
+            self._print("usage: %replay-plan <name> [name...] [@ref]")
+            return
+        try:
+            plan = self.session.plan_replay(names, refs[0] if refs else None)
+        except KishuError as exc:
+            self._print(f"replay-plan failed: {exc}")
+            return
+        self._print(plan.format())
 
     def _cmd_recover(self, arguments: List[str]) -> None:
         try:
@@ -298,6 +339,12 @@ def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     parser.add_argument(
         "--strict", action="store_true", help="exit non-zero on warnings too"
     )
+    parser.add_argument(
+        "--notebook",
+        action="store_true",
+        help="treat each file as a notebook (split into cells, run the "
+        "inter-cell KSH30x rules)",
+    )
     args = parser.parse_args(argv)
 
     engine = LintEngine()
@@ -309,17 +356,148 @@ def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         except OSError as exc:
             out.write(f"cannot read {path}: {exc}\n")
             return 2
-    findings = engine.lint_cells(cells)
+    if args.notebook:
+        from repro.analysis import split_script_cells
+
+        findings = []
+        for path, source in cells:
+            notebook_cells = [
+                (f"{path}[{index}]", cell_source)
+                for index, cell_source in enumerate(split_script_cells(source))
+            ]
+            findings.extend(engine.lint_notebook(notebook_cells))
+    else:
+        findings = engine.lint_cells(cells)
     reporter = JsonReporter() if args.format_ == "json" else TextReporter()
     out.write(reporter.render(findings) + "\n")
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     return 1 if findings and worst_severity(findings) >= threshold else 0
 
 
+def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
+    """``repro plan`` — static replay planning over a script or a store.
+
+    File mode splits the script into notebook-style cells (``# %%``
+    separators, else one cell per top-level statement), builds the
+    inter-cell dataflow graph, and prints the minimal ordered cell
+    subset whose re-execution reconstructs the target variables. With
+    ``--store`` the plan runs over a durable session's checkpoint chain
+    instead, consulting stored payloads as shortcut versions and using
+    measured cell durations as costs.
+
+    Output is deterministic: ``--format json`` is byte-stable for a
+    given input (sorted keys, sorted name lists, AST-size costs).
+    """
+    out = stdout if stdout is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro plan",
+        description="Static replay planning over notebook-style scripts.",
+    )
+    parser.add_argument(
+        "path",
+        metavar="FILE",
+        nargs="?",
+        default=None,
+        help="python script to plan over (split into cells)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="plan over a durable session's checkpoint chain instead",
+    )
+    parser.add_argument(
+        "--targets",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated variables to reconstruct (default: all live)",
+    )
+    parser.add_argument(
+        "--at",
+        metavar="REF",
+        default=None,
+        help="cell index (file mode) or checkpoint ref (store mode)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when the plan is incomplete or replay-unsafe",
+    )
+    args = parser.parse_args(argv)
+    if (args.path is None) == (args.store is None):
+        out.write("repro plan: exactly one of FILE or --store is required\n")
+        return 2
+
+    from repro.analysis.dataflow import (
+        NotebookDataflowGraph,
+        ReplayPlanner,
+        is_builtin_name,
+        split_script_cells,
+    )
+
+    if args.store is not None:
+        from repro.core.graph import CheckpointGraph
+        from repro.core.replay import ReplayEngine
+
+        store = SQLiteCheckpointStore(args.store)
+        try:
+            graph = CheckpointGraph.from_store(store)
+            engine = ReplayEngine(graph)
+            node_id = args.at if args.at is not None else graph.head_id
+            if node_id not in graph:
+                out.write(f"repro plan: no checkpoint {node_id!r} in store\n")
+                return 2
+            targets = (
+                [name.strip() for name in args.targets.split(",") if name.strip()]
+                if args.targets
+                else sorted(graph.get(node_id).state.names())
+            )
+            plan, _ = engine.plan_for(targets, node_id)
+        finally:
+            store.close()
+    else:
+        try:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            out.write(f"cannot read {args.path}: {exc}\n")
+            return 2
+        sources = split_script_cells(source)
+        dataflow = NotebookDataflowGraph.from_sources(
+            sources, labels=[f"{args.path}[{i}]" for i in range(len(sources))]
+        )
+        at_index = int(args.at) if args.at is not None else len(sources) - 1
+        targets = (
+            [name.strip() for name in args.targets.split(",") if name.strip()]
+            if args.targets
+            else [
+                name
+                for name in dataflow.live_names(at_index)
+                if not is_builtin_name(name)
+            ]
+        )
+        plan = ReplayPlanner(dataflow).plan(targets, at_index)
+
+    if args.format_ == "json":
+        import json
+
+        out.write(json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(plan.format() + "\n")
+    if args.strict and (not plan.is_complete or not plan.is_safe):
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> Optional[int]:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "lint":
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "plan":
+        return plan_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Interactive Kishu notebook session.",

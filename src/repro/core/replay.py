@@ -1,0 +1,341 @@
+"""Statically planned replay — checkout's preferred fallback path (§5.3).
+
+When a checkout needs a co-variable whose payload is missing (skipped as
+unserializable, degraded, corrupt, or deliberately unstored by the
+Det-replay baseline), the legacy :class:`~repro.core.restore.DataRestorer`
+recursion re-runs the producing cell on its *runtime-recorded*
+dependencies. That recursion is correct but blind: it replays whole
+dependency chains cell by cell, cannot skip over stored intermediate
+versions it passes, and cannot see lazy (call-time) reads the runtime
+record missed.
+
+The :class:`ReplayEngine` here does the same job through the static
+dataflow lens of :mod:`repro.analysis.dataflow`: it lifts the checkpoint
+chain leading to the target node into a
+:class:`~repro.analysis.dataflow.NotebookDataflowGraph`, asks the
+:class:`~repro.analysis.dataflow.ReplayPlanner` for the minimal ordered
+cell subset reconstructing the co-variable — consulting stored payloads
+and the checkout's materialization cache as shortcut versions — and
+executes the plan in a scratch :class:`~repro.kernel.namespace.PatchedNamespace`,
+cross-validating every replayed cell's runtime access record against its
+static effects exactly the way the session's
+:class:`~repro.analysis.crossval.CrossValidator` validates live cells.
+
+The engine is deliberately fail-safe: any plan that is incomplete,
+replay-unsafe (routes through an opaque cell), needs inputs the chain
+cannot produce, or fails mid-execution is *declined* — the caller falls
+back to the legacy recursion, so correctness never depends on the static
+analysis being right, only the saved work does (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.dataflow import (
+    CellNode,
+    NotebookDataflowGraph,
+    ReplayPlan,
+    ReplayPlanner,
+    StoredVersion,
+    ast_cost,
+    make_cell_node,
+)
+from repro.core.covariable import CoVarKey
+from repro.core.graph import ROOT_ID, CheckpointGraph, CheckpointNode
+from repro.kernel.namespace import PatchedNamespace, filter_user_names
+from repro.telemetry import PlanStats
+
+#: Loads the value dict of versioned co-variable (key, node_id) from
+#: storage, or None when the payload is absent/unloadable.
+ValueLoader = Callable[[CoVarKey, str], Optional[Dict[str, Any]]]
+
+
+class ReplayEngine:
+    """Plans and executes minimal static replays over a checkpoint chain."""
+
+    def __init__(
+        self,
+        graph: CheckpointGraph,
+        *,
+        stats: Optional[PlanStats] = None,
+        validate: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.stats = stats if stats is not None else PlanStats()
+        self.validate = validate
+        # Memoized per (chain position, source): tests tamper with node
+        # sources in place, so keying on the node id alone would serve
+        # stale analyses.
+        self._cells: Dict[Tuple[int, str], CellNode] = {}
+
+    # -- chain and graph construction ---------------------------------------
+
+    def chain_to(self, node_id: str) -> List[CheckpointNode]:
+        """Checkpoint nodes from the first cell to ``node_id``, in
+        execution order (the root's empty pseudo-cell is excluded)."""
+        path = self.graph.path_to_root(node_id)
+        return [
+            self.graph.get(ancestor)
+            for ancestor in reversed(path)
+            if ancestor != ROOT_ID
+        ]
+
+    def _cell_nodes(self, chain: List[CheckpointNode]) -> List[CellNode]:
+        cells: List[CellNode] = []
+        for index, node in enumerate(chain):
+            key = (index, node.cell_source)
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = make_cell_node(
+                    index,
+                    node.cell_source,
+                    label=node.node_id,
+                    execution_count=node.execution_count,
+                    node_id=node.node_id,
+                )
+                self._cells[key] = cell
+            cells.append(cell)
+        return cells
+
+    def dataflow_graph(self, node_id: str) -> NotebookDataflowGraph:
+        return NotebookDataflowGraph(self._cell_nodes(self.chain_to(node_id)))
+
+    # -- planning ------------------------------------------------------------
+
+    def _payload_lookup(
+        self,
+        chain: List[CheckpointNode],
+        *,
+        exclude: Optional[Tuple[CoVarKey, str]] = None,
+        cache: Optional[Dict[Tuple[CoVarKey, str], Dict[str, Any]]] = None,
+    ) -> Callable[[str, int], Optional[StoredVersion]]:
+        """Stored-version resolver over the chain's session states.
+
+        A name at chain index *i* is coverable by a load iff the session
+        state of chain[i] maps the name's co-variable to a version whose
+        payload is stored (or already materialized in the checkout
+        cache). The version being reconstructed right now is excluded —
+        its load already failed, which is why we are planning at all.
+        """
+
+        # A version's payload holds values as of after the node that
+        # *created* it; anchoring the load there (not at the query
+        # index) keeps it ordered before any replayed cell that reads
+        # the loaded names.
+        positions = {node.node_id: index for index, node in enumerate(chain)}
+
+        def lookup(name: str, upto: int) -> Optional[StoredVersion]:
+            if upto < 0 or upto >= len(chain):
+                return None
+            state = chain[upto].state
+            for key, version in state.items():
+                if name not in key:
+                    continue
+                if exclude is not None and (key, version) == exclude:
+                    return None
+                anchor = positions.get(version, upto)
+                if cache is not None and (key, version) in cache:
+                    return StoredVersion(
+                        names=key, ref=version, index=anchor, size_bytes=0
+                    )
+                if version not in self.graph:
+                    return None
+                info = self.graph.get(version).updated.get(key)
+                if info is not None and info.stored:
+                    return StoredVersion(
+                        names=key,
+                        ref=version,
+                        index=anchor,
+                        size_bytes=info.size_bytes,
+                    )
+                return None
+            return None
+
+        return lookup
+
+    def plan_for(
+        self,
+        names: Any,  # Iterable[str]
+        node_id: str,
+        *,
+        exclude: Optional[Tuple[CoVarKey, str]] = None,
+        cache: Optional[Dict[Tuple[CoVarKey, str], Dict[str, Any]]] = None,
+        cost_of: Optional[Callable[[CellNode], float]] = None,
+    ) -> Tuple[ReplayPlan, List[CheckpointNode]]:
+        """Compute (but do not execute) a replay plan for ``names`` at
+        ``node_id``. Returns the plan together with the chain it is
+        relative to (plan step indices are chain positions)."""
+        chain = self.chain_to(node_id)
+        graph = NotebookDataflowGraph(self._cell_nodes(chain))
+        planner = ReplayPlanner(
+            graph,
+            payload_lookup=self._payload_lookup(
+                chain, exclude=exclude, cache=cache
+            ),
+            cost_of=cost_of,
+        )
+        plan = planner.plan(sorted(names), len(chain) - 1 if chain else -1)
+        self.stats.plans_computed += 1
+        if not plan.is_safe:
+            self.stats.unsafe_plans += 1
+        return plan, chain
+
+    # -- execution -----------------------------------------------------------
+
+    def try_materialize(
+        self,
+        key: CoVarKey,
+        node_id: str,
+        *,
+        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]],
+        load_values: ValueLoader,
+        report: Optional[Any] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Reconstruct versioned co-variable (key, node_id) by planned
+        replay, or return None to decline (caller falls back to the
+        legacy recursion).
+
+        Declines when the plan is incomplete, needs external inputs the
+        chain cannot produce, is replay-unsafe, or fails mid-execution.
+        On success the checkout ``cache`` has been populated with every
+        versioned co-variable the replay produced along the way, so
+        sibling materializations reuse (and alias with) these objects.
+        """
+        if not chain_has(self.graph, node_id):
+            return None
+        plan, chain = self.plan_for(
+            key, node_id, exclude=(key, node_id), cache=cache
+        )
+        if (
+            not plan.is_complete
+            or not plan.is_safe
+            or plan.external_inputs
+            or not plan.replay_steps
+        ):
+            self.stats.plans_declined += 1
+            return None
+        values = self._execute(
+            plan, chain, cache=cache, load_values=load_values, report=report
+        )
+        if values is None:
+            self.stats.plans_declined += 1
+            return None
+        missing = [name for name in key if name not in values]
+        if missing:
+            self.stats.plans_declined += 1
+            return None
+        self.stats.plans_executed += 1
+        self.stats.cells_skipped += plan.cells_skipped
+        return {name: values[name] for name in key}
+
+    def _execute(
+        self,
+        plan: ReplayPlan,
+        chain: List[CheckpointNode],
+        *,
+        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]],
+        load_values: ValueLoader,
+        report: Optional[Any],
+    ) -> Optional[Dict[str, Any]]:
+        """Run the plan in a scratch patched namespace.
+
+        Returns the namespace's user variables on success, None on any
+        failure (a failed load, a raising cell, an incomplete result).
+        """
+        cells = self._cell_nodes(chain)
+        scratch = PatchedNamespace({"__builtins__": __builtins__})
+        for step in plan.steps:
+            if step.kind == "load":
+                covar = frozenset(step.names)
+                assert step.ref is not None
+                values = cache.get((covar, step.ref))
+                if values is None:
+                    values = load_values(covar, step.ref)
+                    if values is None or not set(covar) <= set(values):
+                        return None
+                    cache[(covar, step.ref)] = values
+                for name in sorted(covar):
+                    scratch.plant(name, values[name])
+                self.stats.payload_loads += 1
+                if report is not None:
+                    report.loaded_keys.append(covar)
+                    report.bytes_loaded += step.size_bytes
+            else:
+                node = chain[step.index]
+                cell = cells[step.index]
+                if self.validate:
+                    scratch.begin_recording()
+                try:
+                    code = compile(
+                        node.cell_source, f"<replay:{node.node_id}>", "exec"
+                    )
+                    exec(code, scratch)
+                except Exception:
+                    if self.validate and scratch.recording:
+                        scratch.end_recording()
+                    return None
+                if self.validate:
+                    record = scratch.end_recording()
+                    predicted = filter_user_names(
+                        set(cell.effects.definite_accesses)
+                    )
+                    if predicted - record.accessed:
+                        self.stats.validation_mismatches += 1
+                self.stats.cells_replayed += 1
+                self._cache_products(node, scratch, cache, report)
+        return scratch.user_items()
+
+    def _cache_products(
+        self,
+        node: CheckpointNode,
+        scratch: PatchedNamespace,
+        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]],
+        report: Optional[Any],
+    ) -> None:
+        """Record co-variables a replayed cell (re)produced.
+
+        Caching them under the same (key, version) scheme the
+        DataRestorer memoizes with lets sibling materializations in the
+        same checkout reuse these exact objects — preserving aliasing
+        across separately requested co-variables, exactly like the
+        legacy recursion's memoization does.
+        """
+        for key in node.updated:
+            if all(scratch.peek(name, _ABSENT) is not _ABSENT for name in key):
+                cache.setdefault(
+                    (key, node.node_id),
+                    {name: scratch.peek(name) for name in key},
+                )
+                if report is not None and key not in report.recomputed_keys:
+                    report.recomputed_keys.append(key)
+
+
+_ABSENT = object()
+
+
+def chain_has(graph: CheckpointGraph, node_id: str) -> bool:
+    return node_id in graph
+
+
+def session_cost_model(
+    durations: Dict[str, float],
+) -> Callable[[CellNode], float]:
+    """Cost model preferring measured cell durations, falling back to the
+    deterministic AST-size proxy for cells without metrics."""
+
+    def cost(cell: CellNode) -> float:
+        if cell.node_id is not None:
+            measured = durations.get(cell.node_id, 0.0)
+            if measured > 0.0:
+                return measured
+        return ast_cost(cell)
+
+    return cost
+
+
+__all__ = [
+    "ReplayEngine",
+    "ValueLoader",
+    "session_cost_model",
+]

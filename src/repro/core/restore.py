@@ -29,6 +29,7 @@ from repro.core.covariable import (
 )
 from repro.core.graph import CheckpointGraph
 from repro.core.planner import CheckoutPlan, CheckoutPlanner
+from repro.core.replay import ReplayEngine
 from repro.core.retry import RetryPolicy
 from repro.core.serialization import SerializerChain, active_globals
 from repro.core.storage import CheckpointStore
@@ -71,12 +72,17 @@ class DataRestorer:
         *,
         max_depth: int = 10_000,
         retry: Optional[RetryPolicy] = None,
+        replay_engine: Optional[ReplayEngine] = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.serializer = serializer
         self.max_depth = max_depth
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Statically planned replay (DESIGN.md §10), tried before the
+        #: recursive runtime-dependency recomputation. None disables the
+        #: static path entirely (legacy behavior).
+        self.replay_engine = replay_engine
 
     def materialize(
         self,
@@ -125,6 +131,28 @@ class DataRestorer:
             if values is not None and report is not None:
                 report.loaded_keys.append(key)
                 report.bytes_loaded += info.size_bytes
+        if values is None and self.replay_engine is not None and depth == 0:
+            # Preferred fallback: a statically planned minimal replay
+            # (DESIGN.md §10). The engine reports its own loads and
+            # recomputations and populates ``cache``; it returns None to
+            # decline, in which case the legacy recursion below runs.
+            # Only tried at the recursion root — inner frames are already
+            # executing the legacy strategy's dependency walk.
+            values = self.replay_engine.try_materialize(
+                key,
+                node_id,
+                cache=cache,
+                report=report,
+                load_values=lambda k, v: self._try_load(
+                    k, v, globals_for_load
+                ),
+            )
+            if (
+                values is not None
+                and report is not None
+                and key not in report.recomputed_keys
+            ):
+                report.recomputed_keys.append(key)
         if values is None:
             values = self._recompute(
                 key, node_id, globals_for_load, cache, report, depth
@@ -212,7 +240,11 @@ class StateLoader:
         self.serializer = serializer
         self.pool = pool
         self.planner = CheckoutPlanner(graph)
-        self.restorer = DataRestorer(graph, store, serializer, retry=retry)
+        self.replay_engine = ReplayEngine(graph)
+        self.restorer = DataRestorer(
+            graph, store, serializer, retry=retry,
+            replay_engine=self.replay_engine,
+        )
 
     def checkout(
         self, target_id: str, namespace: PatchedNamespace

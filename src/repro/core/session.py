@@ -29,6 +29,7 @@ from repro.core.delta import DeltaDetector, StateDelta, fold_deltas
 from repro.core.graph import CheckpointGraph, CheckpointNode, PayloadInfo, ROOT_ID
 from repro.core.planner import CheckoutPlanner
 from repro.core.refs import RefManager
+from repro.core.replay import session_cost_model
 from repro.core.restore import CheckoutReport, StateLoader
 from repro.core.retry import RetryPolicy
 from repro.core.serialization import Blocklist, SerializerChain
@@ -526,6 +527,30 @@ class KishuSession:
         else:
             self.refs.activate_branch(None)
         return report
+
+    def plan_replay(self, names, ref: Optional[str] = None):
+        """Compute (without executing) the minimal replay plan that would
+        reconstruct ``names`` at ``ref`` (default: the head) — the
+        ``%replay-plan`` command (DESIGN.md §10).
+
+        Cost estimates prefer measured cell durations from
+        :class:`CellCheckpointMetrics`, falling back to a deterministic
+        AST-size proxy for nodes without metrics (e.g. after resume).
+        """
+        node_id = self._resolve_or_head(ref)
+        durations = {
+            metric.node_id: metric.cell_duration for metric in self.metrics
+        }
+        plan, _ = self.loader.replay_engine.plan_for(
+            names, node_id, cost_of=session_cost_model(durations)
+        )
+        return plan
+
+    @property
+    def plan_stats(self):
+        """Replay-planner telemetry (plans, cells replayed vs skipped,
+        validation mismatches) — surfaced by ``%telemetry``."""
+        return self.loader.replay_engine.stats
 
     # -- refs (kishu branch / kishu tag) -----------------------------------------
 

@@ -136,6 +136,48 @@ class AnalysisStats:
         }
 
 
+@dataclass
+class PlanStats:
+    """Counters of the static replay planner / engine (DESIGN.md §10).
+
+    Owned by one :class:`~repro.core.replay.ReplayEngine` (and therefore
+    one session). ``validation_mismatches`` is the interesting number: a
+    non-zero count means a replayed cell's runtime access record missed a
+    definite static access — the same Lemma 1 cross-check the session
+    applies to live executions, applied to replays.
+    """
+
+    #: Replay plans computed (including plans that were only displayed).
+    plans_computed: int = 0
+    #: Plans actually executed to materialize a co-variable at checkout.
+    plans_executed: int = 0
+    #: Plans declined (unsafe, incomplete, or failed mid-execution) —
+    #: checkout fell back to recursive runtime-dependency recomputation.
+    plans_declined: int = 0
+    #: Cells re-executed by plan execution.
+    cells_replayed: int = 0
+    #: Cells a full-history replay would have run but plans skipped.
+    cells_skipped: int = 0
+    #: Stored payloads planted by plan execution instead of replaying.
+    payload_loads: int = 0
+    #: Replayed cells whose runtime record missed a definite static access.
+    validation_mismatches: int = 0
+    #: Plans flagged replay-unsafe because they route through opaque cells.
+    unsafe_plans: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "plans_computed": self.plans_computed,
+            "plans_executed": self.plans_executed,
+            "plans_declined": self.plans_declined,
+            "cells_replayed": self.cells_replayed,
+            "cells_skipped": self.cells_skipped,
+            "payload_loads": self.payload_loads,
+            "validation_mismatches": self.validation_mismatches,
+            "unsafe_plans": self.unsafe_plans,
+        }
+
+
 #: Sink for hashing performed outside any builder's build (rare: direct
 #: digest calls from tests or library fast paths).
 GLOBAL_TELEMETRY = WalkTelemetry()

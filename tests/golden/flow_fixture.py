@@ -1,0 +1,14 @@
+# Golden fixture for the whole-notebook lint and replay planner.
+# Cells are split on the `# %%` markers; the shape is chosen to fire
+# KSH301 (use before definite def), KSH302 (dead write) and KSH304
+# (escaped dependency) with stable spans.
+# %%
+xs = [1, 2]
+# %%
+xs = [3]
+# %%
+total = sum(xs) + offset
+# %%
+exec("offset = 1")
+# %%
+result = total + offset

@@ -1,0 +1,183 @@
+"""Tests for the whole-notebook KSH30x lint rules and golden CLI output."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.analysis.rules import LintEngine
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def notebook_findings(sources, execution_counts=None, rule=None):
+    cells = [(f"cell[{i}]", source) for i, source in enumerate(sources)]
+    findings = LintEngine().lint_notebook(cells, execution_counts=execution_counts)
+    if rule is not None:
+        findings = [f for f in findings if f.rule_id == rule]
+    return findings
+
+
+class TestUseBeforeDefiniteDef:
+    def test_fires_on_undefined_read(self):
+        findings = notebook_findings(["y = x + 1"], rule="KSH301")
+        assert len(findings) == 1
+        assert "'x'" in findings[0].message
+        assert findings[0].cell_index == 0
+
+    def test_silent_when_defined_earlier(self):
+        assert not notebook_findings(["x = 1", "y = x + 1"], rule="KSH301")
+
+    def test_silent_on_builtins(self):
+        assert not notebook_findings(["n = len([1])"], rule="KSH301")
+
+    def test_conditional_definition_variant(self):
+        findings = notebook_findings(
+            ["if flag:\n    x = 1", "y = x"], rule="KSH301"
+        )
+        messages = [f.message for f in findings if "'x'" in f.message]
+        assert messages and "conditionally" in messages[0]
+
+    def test_deleted_variant(self):
+        findings = notebook_findings(["x = 1", "del x", "y = x"], rule="KSH301")
+        assert findings and "deleted" in findings[0].message
+
+    def test_escape_window_deferred_to_ksh304(self):
+        findings = notebook_findings(["exec('x = 1')", "y = x"])
+        rules = {f.rule_id for f in findings if "'x'" in f.message}
+        assert "KSH304" in rules
+        assert "KSH301" not in rules
+
+
+class TestDeadWrite:
+    def test_fires_on_shadowed_write(self):
+        findings = notebook_findings(["x = 1", "x = 2", "y = x"], rule="KSH302")
+        assert len(findings) == 1
+        assert findings[0].cell_index == 0
+
+    def test_silent_when_read_between(self):
+        assert not notebook_findings(
+            ["x = 1", "y = x", "x = 2"], rule="KSH302"
+        )
+
+    def test_silent_when_mutated_between(self):
+        assert not notebook_findings(
+            ["xs = [1]", "xs.append(2)", "xs = []"], rule="KSH302"
+        )
+
+    def test_silent_when_escape_between(self):
+        assert not notebook_findings(
+            ["x = 1", "exec('print(x)')", "x = 2"], rule="KSH302"
+        )
+
+
+class TestExecutionOrder:
+    def test_fires_on_out_of_order_counts(self):
+        findings = notebook_findings(
+            ["a = 1", "b = 2"], execution_counts=[5, 3], rule="KSH303"
+        )
+        assert len(findings) == 1
+        assert findings[0].cell_index == 1
+        assert "In[3]" in findings[0].message
+
+    def test_silent_in_order(self):
+        assert not notebook_findings(
+            ["a = 1", "b = 2"], execution_counts=[1, 2], rule="KSH303"
+        )
+
+    def test_unknown_counts_skipped(self):
+        assert not notebook_findings(
+            ["a = 1", "b = 2"], execution_counts=[0, 0], rule="KSH303"
+        )
+
+
+class TestEscapedDependency:
+    def test_fires_on_read_through_escape_window(self):
+        findings = notebook_findings(
+            ["x = 1", "exec('x = 2')", "y = x"], rule="KSH304"
+        )
+        assert len(findings) == 1
+        assert findings[0].cell_index == 2
+        assert "replay-unsafe" in findings[0].message
+
+    def test_silent_without_escape(self):
+        assert not notebook_findings(["x = 1", "y = x"], rule="KSH304")
+
+
+class TestNotebookLintMechanics:
+    def test_suppression_comment_silences_notebook_finding(self):
+        noisy = notebook_findings(["y = x + 1"], rule="KSH301")
+        assert noisy
+        quiet = notebook_findings(
+            ["# kishu: disable=KSH301\ny = x + 1"], rule="KSH301"
+        )
+        assert not quiet
+
+    def test_findings_sorted_by_cell_then_span(self):
+        findings = notebook_findings(
+            ["b = undefined_two", "a = undefined_one"]
+        )
+        keys = [f.sort_key for f in findings]
+        assert keys == sorted(keys)
+
+    def test_per_cell_rules_still_run(self):
+        findings = notebook_findings(["exec('x = 1')"])
+        assert any(f.rule_id == "KSH101" for f in findings)
+
+
+class TestGoldenOutput:
+    """`--format json` must be byte-stable (satellite: deterministic output)."""
+
+    @pytest.fixture(autouse=True)
+    def _repo_root_cwd(self, monkeypatch):
+        # Golden files embed repo-relative labels.
+        monkeypatch.chdir(REPO_ROOT)
+
+    def run_main(self, main, argv):
+        from repro import cli
+
+        buffer = io.StringIO()
+        getattr(cli, main)(argv, stdout=buffer)
+        return buffer.getvalue()
+
+    def test_notebook_lint_json_matches_golden(self):
+        argv = [
+            "tests/golden/flow_fixture.py", "--notebook", "--format", "json"
+        ]
+        first = self.run_main("lint_main", argv)
+        second = self.run_main("lint_main", argv)
+        assert first == second  # byte-stable across runs
+        with open(os.path.join(GOLDEN_DIR, "flow_lint.json")) as handle:
+            assert first == handle.read()
+
+    def test_replay_plan_json_matches_golden(self):
+        argv = ["tests/golden/flow_fixture.py", "--format", "json"]
+        first = self.run_main("plan_main", argv)
+        second = self.run_main("plan_main", argv)
+        assert first == second
+        with open(os.path.join(GOLDEN_DIR, "replay_plan.json")) as handle:
+            assert first == handle.read()
+
+    def test_plan_strict_exit_code_on_unsafe_plan(self):
+        from repro.cli import plan_main
+
+        buffer = io.StringIO()
+        code = plan_main(
+            ["tests/golden/flow_fixture.py", "--strict"], stdout=buffer
+        )
+        assert code == 1  # the fixture routes through an exec() cell
+        assert "REPLAY-UNSAFE" in buffer.getvalue()
+
+    def test_plan_requires_exactly_one_source(self):
+        from repro.cli import plan_main
+
+        assert plan_main([], stdout=io.StringIO()) == 2
+        assert (
+            plan_main(
+                ["a.py", "--store", "b.sqlite"], stdout=io.StringIO()
+            )
+            == 2
+        )

@@ -124,11 +124,28 @@ class TestFallbackRecomputation:
         assert session.kernel.get("digest").hexdigest() == expected
         assert covar_key({"digest"}) in report.recomputed_keys
 
-    def test_lazy_generator_dependencies_are_a_known_limitation(self, session):
+    def test_lazy_generator_dependencies_resolved_by_static_replay(self, session):
         # A generator reads its free variables lazily, so the producing
-        # cell never *accesses* them (Lemma 1) and the recomputed
-        # generator cannot resolve them — the paper's §5.3 limitation
-        # for non-deterministic/lazy unserializables.
+        # cell never *accesses* them (Lemma 1) and the runtime dependency
+        # record misses them. The static dataflow plan sees the read in
+        # the genexp body, loads `seed` into the scratch namespace, and
+        # the restored generator resolves its free variables there —
+        # closing the paper's §5.3 lazy-read limitation (DESIGN.md §10).
+        session.run_cell("seed = [5]")
+        session.run_cell("gen = (i * seed[0] for i in range(3))")
+        target = session.head_id
+        session.run_cell("del gen")
+        session.checkout(target)
+        assert list(session.kernel.get("gen")) == [0, 5, 10]
+        assert session.plan_stats.plans_executed >= 1
+        assert session.plan_stats.validation_mismatches == 0
+
+    def test_lazy_generator_limitation_remains_without_static_replay(self, session):
+        # With the static replay engine disabled, the legacy recursion
+        # reruns the producing cell on its *runtime-recorded* deps only;
+        # the lazily-read `seed` is absent from the scratch namespace and
+        # iteration fails — the original §5.3 limitation.
+        session.loader.restorer.replay_engine = None
         session.run_cell("seed = [5]")
         session.run_cell("gen = (i * seed[0] for i in range(3))")
         target = session.head_id

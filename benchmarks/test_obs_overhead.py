@@ -1,0 +1,160 @@
+"""Observability overhead budget + Chrome trace artifact (ISSUE 5 CI).
+
+Two jobs in one module:
+
+* **Disabled-mode overhead budget** — the tentpole's contract is that a
+  session built with ``observe=False`` pays near-zero for the
+  instrumentation: every ``Observer`` verb bails on one attribute check
+  and ``span()`` returns a shared pre-built null context. The budget test
+  makes that measurable without A/B timing noise: it times the no-op
+  verbs directly (millions of calls, amortized), counts how many verb
+  calls one real commit actually issues (from an *enabled* run's recorded
+  spans/events/metrics), and asserts
+
+      verb_calls_per_commit x noop_verb_cost  <  3% of median commit time.
+
+  Both factors overcount (the call census doubles spans to count their
+  enter+exit, and pads with a flat allowance for registry shortcuts), so
+  the bound is conservative.
+
+* **Fig-14 trace artifact** — runs one Fig 14 notebook (TPS) through the
+  Kishu method with observation enabled, performs one checkout, and
+  writes the Chrome trace-event JSON covering both lifecycles
+  (``REPRO_TRACE_OUT``, default ``TRACE_fig14_kishu.json``) for CI
+  upload; open it in Perfetto / ``chrome://tracing``.
+
+Results land in ``REPRO_BENCH_JSON`` (default ``BENCH_pr5_obs.json``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.baselines import KishuMethod
+from repro.bench import run_notebook_with_method
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+from repro.obs import NO_OBSERVER
+from repro.workloads import build_notebook
+
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr5_obs.json")
+TRACE_PATH = os.environ.get("REPRO_TRACE_OUT", "TRACE_fig14_kishu.json")
+
+#: Shared-structure cells: enough payload that commits do real work, with
+#: aliasing so detection walks shared subtrees — a representative commit.
+def workload_cells(n_cells: int = 12):
+    cells = ["base = [[float(j) for j in range(50)] for _ in range(20)]"]
+    cells.append("bundle = [base[0], base[1], [0.0]]")
+    for index in range(n_cells - 2):
+        cells.append(f"v{index} = [i * 0.5 for i in range(400)]")
+    return cells
+
+
+def measure_noop_verb_cost(iterations: int = 200_000) -> float:
+    """Seconds per disabled-observer verb call, amortized over a tight
+    loop mixing every verb a commit path uses."""
+    obs = NO_OBSERVER
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("bench"):
+                pass
+            obs.count("bench.counter")
+            obs.observe("bench.bytes", 128, (64, 256))
+            obs.event("bench_event", reason="none")
+            obs.annotate(key=1)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    return elapsed / (iterations * 5)
+
+
+def census_verb_calls_per_commit(cells) -> float:
+    """Upper bound on Observer verb calls per commit, from an enabled run.
+
+    Every span start/finish, every event, and every registry write the
+    run recorded, divided by commits — plus a flat 25-call allowance per
+    commit for gated verbs that recorded nothing (zero counters, disabled
+    branches), so the census errs high.
+    """
+    session = KishuSession.init(NotebookKernel())
+    for cell in cells:
+        session.run_cell(cell)
+    commits = len(session.metrics)
+    spans = sum(1 for _ in session.observer.tracer.all_spans())
+    events = len(session.observer.events)
+    metric_writes = 0
+    for name in session.observer.metrics.names():
+        instrument = session.observer.metrics.get(name)
+        # Histograms know their observation count; counters/gauges count
+        # at least one write each (increments are inside the allowance).
+        metric_writes += getattr(instrument, "count", 1)
+    calls = 2 * spans + events + metric_writes + 25 * commits
+    return calls / commits
+
+
+def median_commit_seconds(cells) -> float:
+    session = KishuSession.init(NotebookKernel(), observe=False)
+    for cell in cells:
+        session.run_cell(cell)
+    return statistics.median(m.checkpoint_seconds for m in session.metrics)
+
+
+def test_disabled_observer_overhead_under_budget(benchmark):
+    cells = workload_cells()
+    noop_cost = measure_noop_verb_cost()
+    calls_per_commit = census_verb_calls_per_commit(cells)
+    commit_seconds = median_commit_seconds(cells)
+
+    overhead_seconds = calls_per_commit * noop_cost
+    overhead_fraction = overhead_seconds / commit_seconds
+
+    results = {
+        "noop_verb_cost_ns": noop_cost * 1e9,
+        "verb_calls_per_commit": calls_per_commit,
+        "median_commit_seconds_disabled": commit_seconds,
+        "overhead_seconds_per_commit": overhead_seconds,
+        "overhead_fraction": overhead_fraction,
+        "budget_fraction": 0.03,
+    }
+    print()
+    print(
+        f"disabled-observer budget: {calls_per_commit:.0f} verb calls/commit"
+        f" x {noop_cost * 1e9:.0f}ns = {overhead_seconds * 1e6:.1f}us"
+        f" vs {commit_seconds * 1e3:.2f}ms commit"
+        f" -> {overhead_fraction * 100:.3f}% (budget 3%)"
+    )
+
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert overhead_fraction < 0.03, (
+        f"disabled-mode observability overhead {overhead_fraction * 100:.2f}% "
+        f"exceeds the 3% commit budget"
+    )
+
+    benchmark.pedantic(measure_noop_verb_cost, args=(20_000,), rounds=1, iterations=1)
+
+
+def test_fig14_run_exports_chrome_trace():
+    spec = build_notebook("TPS", BENCH_SCALE)
+    run = run_notebook_with_method(spec, KishuMethod)
+    # One checkout so the trace covers the restore lifecycle too.
+    run.method.checkout(0)
+
+    session = run.method.session
+    tracer = session.observer.tracer
+    names = {span.name for span in tracer.all_spans()}
+    assert {"commit", "commit.persist", "checkout", "checkout.apply"} <= names
+
+    tracer.write_chrome_trace(TRACE_PATH)
+    payload = json.loads(open(TRACE_PATH, encoding="utf-8").read())
+    exported = {event["name"] for event in payload["traceEvents"]}
+    assert "commit" in exported and "checkout" in exported

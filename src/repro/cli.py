@@ -15,15 +15,19 @@ Commands:
     %vars                list user variables
     %state               show the head's co-variable versions
     %telemetry           walk-cache, static-analysis, and replay counters
+    %trace [--out FILE]  show the lifecycle span tree (or export Chrome trace)
+    %stats               session metrics registry (counters and histograms)
+    %events [type]       structured event log (optionally filtered by type)
     %lint [source]       lint the session's history (or an inline snippet)
     %replay-plan <names> show the minimal replay plan for variables at a ref
     %recover             scan the store for torn checkpoints and sweep them
     %help                command summary
     %quit                leave the session
 
-Run:  python -m repro.cli [--store PATH]
+Run:  python -m repro.cli [--store PATH] [--trace-out FILE]
       python -m repro.cli lint [--format text|json] [--notebook] FILE...
-      python -m repro.cli plan [--format text|json] [--targets a,b] FILE
+      python -m repro.cli plan [--format text|json] [--targets a,b] [--trace-out FILE] FILE
+      python -m repro.cli stats --store PATH [--format text|json]
 
 With ``--store`` the session checkpoints into a durable SQLite database;
 if the file already holds history (e.g. from a session that crashed),
@@ -79,6 +83,9 @@ class KishuRepl:
             "vars": self._cmd_vars,
             "state": self._cmd_state,
             "telemetry": self._cmd_telemetry,
+            "trace": self._cmd_trace,
+            "stats": self._cmd_stats,
+            "events": self._cmd_events,
             "lint": self._cmd_lint,
             "replay-plan": self._cmd_replay_plan,
             "recover": self._cmd_recover,
@@ -255,6 +262,86 @@ class KishuRepl:
             f"(skipped {plans.cells_skipped}, loads {plans.payload_loads})"
         )
         self._print(f"  validation mismatches {plans.validation_mismatches}")
+        declines = plans.declines_by_reason()
+        if declines:
+            rendered = ", ".join(f"{k}: {v}" for k, v in declines.items())
+            self._print(f"  declines by reason  {rendered}")
+        metrics = self.session.metrics
+        if metrics:
+            # Per-cell checkpoint size/time — the live Fig 13/14 numbers,
+            # from the commit.serialize / commit.persist spans.
+            self._print("per-cell checkpoints (size / store-write time):")
+            for metric in metrics:
+                self._print(
+                    f"  {metric.node_id}  [{metric.execution_count}]  "
+                    f"{metric.serialized_bytes} B serialized "
+                    f"({metric.bytes_written} B written), "
+                    f"store write {metric.store_write_seconds * 1e3:.2f} ms, "
+                    f"checkpoint {metric.checkpoint_seconds * 1e3:.2f} ms"
+                )
+
+    def _cmd_trace(self, arguments: List[str]) -> None:
+        """Show the lifecycle span tree, or export Chrome trace JSON.
+
+        Usage: %trace [--out FILE] [--last N]. The exported file opens in
+        chrome://tracing or Perfetto.
+        """
+        observer = self.session.observer
+        if not observer.enabled:
+            self._print("tracing disabled (session started with observe=False)")
+            return
+        out_path: Optional[str] = None
+        last: Optional[int] = None
+        index = 0
+        while index < len(arguments):
+            if arguments[index] == "--out" and index + 1 < len(arguments):
+                out_path = arguments[index + 1]
+                index += 2
+            elif arguments[index] == "--last" and index + 1 < len(arguments):
+                try:
+                    last = int(arguments[index + 1])
+                except ValueError:
+                    self._print("usage: %trace [--out FILE] [--last N]")
+                    return
+                index += 2
+            else:
+                self._print("usage: %trace [--out FILE] [--last N]")
+                return
+        if out_path is not None:
+            observer.tracer.write_chrome_trace(out_path)
+            spans = sum(1 for _ in observer.tracer.all_spans())
+            self._print(f"wrote {spans} span(s) to {out_path}")
+            return
+        self._print(observer.tracer.format_tree(last=last))
+
+    def _cmd_stats(self, arguments: List[str]) -> None:
+        """Print the session metrics registry (deterministic ordering)."""
+        observer = self.session.observer
+        if not observer.enabled:
+            self._print("metrics disabled (session started with observe=False)")
+            return
+        text = observer.metrics.render_text()
+        self._print(text if text else "(no metrics recorded)")
+
+    def _cmd_events(self, arguments: List[str]) -> None:
+        """Show the structured event log, optionally filtered by type."""
+        observer = self.session.observer
+        if not observer.enabled:
+            self._print("event log disabled (session started with observe=False)")
+            return
+        events = (
+            observer.events.of_type(*arguments)
+            if arguments
+            else list(observer.events)
+        )
+        if not events:
+            self._print("(no events recorded)")
+            return
+        for event in events:
+            fields = ", ".join(
+                f"{key}={value}" for key, value in sorted(event.fields.items())
+            )
+            self._print(f"  #{event.seq} {event.type}  {fields}")
 
     def _cmd_lint(self, arguments: List[str]) -> None:
         """Lint executed cells — or an inline snippet given as arguments.
@@ -426,6 +513,13 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         action="store_true",
         help="exit non-zero when the plan is incomplete or replay-unsafe",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        dest="trace_out",
+        help="export the planning span tree as Chrome trace-event JSON",
+    )
     args = parser.parse_args(argv)
     if (args.path is None) == (args.store is None):
         out.write("repro plan: exactly one of FILE or --store is required\n")
@@ -438,6 +532,9 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         split_script_cells,
     )
 
+    from repro.obs import Observer
+
+    observer = Observer() if args.trace_out else None
     if args.store is not None:
         from repro.core.graph import CheckpointGraph
         from repro.core.replay import ReplayEngine
@@ -445,7 +542,7 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         store = SQLiteCheckpointStore(args.store)
         try:
             graph = CheckpointGraph.from_store(store)
-            engine = ReplayEngine(graph)
+            engine = ReplayEngine(graph, observer=observer)
             node_id = args.at if args.at is not None else graph.head_id
             if node_id not in graph:
                 out.write(f"repro plan: no checkpoint {node_id!r} in store\n")
@@ -487,8 +584,57 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         out.write(json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n")
     else:
         out.write(plan.format() + "\n")
+    if observer is not None:
+        observer.tracer.write_chrome_trace(args.trace_out)
     if args.strict and (not plan.is_complete or not plan.is_safe):
         return 1
+    return 0
+
+
+def stats_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
+    """``repro stats`` — deterministic storage accounting over a store.
+
+    Reads a durable checkpoint database and prints the ``store.*``
+    metrics registry computed from its contents (node count, payload
+    byte histogram, tombstones, version-reuse dedup hits, and the
+    incremental-vs-monolithic size comparison). Output is byte-stable
+    for a given store — it is golden-tested — because the registry only
+    holds quantities that are a pure function of what was written, never
+    wall-clock measurements (DESIGN.md §11).
+    """
+    out = stdout if stdout is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Deterministic checkpoint-store metrics.",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        required=True,
+        help="durable SQLite checkpoint database to account",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.report import (
+        registry_from_store,
+        render_store_stats,
+        stats_as_dict,
+    )
+
+    store = SQLiteCheckpointStore(args.store)
+    try:
+        registry = registry_from_store(store)
+    finally:
+        store.close()
+    if args.format_ == "json":
+        import json
+
+        out.write(json.dumps(stats_as_dict(registry), indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_store_stats(registry) + "\n")
     return 0
 
 
@@ -498,6 +644,8 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         return lint_main(arguments[1:])
     if arguments and arguments[0] == "plan":
         return plan_main(arguments[1:])
+    if arguments and arguments[0] == "stats":
+        return stats_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Interactive Kishu notebook session.",
@@ -508,11 +656,27 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         default=None,
         help="durable SQLite checkpoint database (resumed if it has history)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        dest="trace_out",
+        help="on exit, export the session's lifecycle spans as Chrome "
+        "trace-event JSON",
+    )
     args = parser.parse_args(arguments)
     store = SQLiteCheckpointStore(args.store) if args.store else None
+    repl = None
     try:
-        KishuRepl(store=store).run()
+        repl = KishuRepl(store=store)
+        repl.run()
     finally:
+        if (
+            args.trace_out
+            and repl is not None
+            and repl.session.observer.enabled
+        ):
+            repl.session.observer.tracer.write_chrome_trace(args.trace_out)
         if store is not None:
             store.close()
     return None

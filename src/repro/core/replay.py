@@ -30,6 +30,8 @@ analysis being right, only the saved work does (DESIGN.md §10).
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.dataflow import (
@@ -44,11 +46,61 @@ from repro.analysis.dataflow import (
 from repro.core.covariable import CoVarKey
 from repro.core.graph import ROOT_ID, CheckpointGraph, CheckpointNode
 from repro.kernel.namespace import PatchedNamespace, filter_user_names
+from repro.obs import NO_OBSERVER, EventType, Observer
 from repro.telemetry import PlanStats
 
 #: Loads the value dict of versioned co-variable (key, node_id) from
 #: storage, or None when the payload is absent/unloadable.
 ValueLoader = Callable[[CoVarKey, str], Optional[Dict[str, Any]]]
+
+
+class DeclineReason(enum.Enum):
+    """Why the engine refused (or abandoned) a replay plan.
+
+    Every decline path of :meth:`ReplayEngine.try_materialize` maps onto
+    exactly one of these — the checkout report, the event log, and the
+    ``replay.declined.<reason>`` counters all carry the same value, so a
+    declined checkout is explainable after the fact instead of being one
+    anonymous tick of ``plans_declined``.
+    """
+
+    #: The target node is not in the checkpoint graph at all.
+    NO_CHAIN = "no-chain"
+    #: The plan routes through an opaque (escaped) cell — replay-unsafe.
+    UNSAFE = "unsafe"
+    #: The plan cannot produce every target name (missing producers).
+    INCOMPLETE = "incomplete"
+    #: The plan needs inputs the chain cannot produce (external reads).
+    EXTERNAL_INPUTS = "external-inputs"
+    #: The plan has no replay steps (nothing to execute — a pure-load
+    #: plan is the stored-payload path's job, not the engine's).
+    EMPTY_PLAN = "empty-plan"
+    #: A replayed cell raised, or a load step failed mid-execution.
+    EXEC_FAILED = "exec-failed"
+    #: Execution finished but did not produce every target name.
+    MISSING_OUTPUT = "missing-output"
+
+
+@dataclass(frozen=True)
+class PlanDecline:
+    """One machine-readable decline record (reason + human detail)."""
+
+    reason: DeclineReason
+    detail: str
+    names: Tuple[str, ...]
+    node_id: str
+
+    @property
+    def reason_value(self) -> str:
+        return self.reason.value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "reason": self.reason.value,
+            "detail": self.detail,
+            "names": list(self.names),
+            "node": self.node_id,
+        }
 
 
 class ReplayEngine:
@@ -60,10 +112,12 @@ class ReplayEngine:
         *,
         stats: Optional[PlanStats] = None,
         validate: bool = True,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.graph = graph
         self.stats = stats if stats is not None else PlanStats()
         self.validate = validate
+        self.observer = observer if observer is not None else NO_OBSERVER
         # Memoized per (chain position, source): tests tamper with node
         # sources in place, so keying on the node id alone would serve
         # stale analyses.
@@ -166,19 +220,27 @@ class ReplayEngine:
         """Compute (but do not execute) a replay plan for ``names`` at
         ``node_id``. Returns the plan together with the chain it is
         relative to (plan step indices are chain positions)."""
-        chain = self.chain_to(node_id)
-        graph = NotebookDataflowGraph(self._cell_nodes(chain))
-        planner = ReplayPlanner(
-            graph,
-            payload_lookup=self._payload_lookup(
-                chain, exclude=exclude, cache=cache
-            ),
-            cost_of=cost_of,
-        )
-        plan = planner.plan(sorted(names), len(chain) - 1 if chain else -1)
-        self.stats.plans_computed += 1
-        if not plan.is_safe:
-            self.stats.unsafe_plans += 1
+        with self.observer.span(
+            "replay.plan", node=node_id, targets=sorted(names)
+        ) as span:
+            chain = self.chain_to(node_id)
+            graph = NotebookDataflowGraph(self._cell_nodes(chain))
+            planner = ReplayPlanner(
+                graph,
+                payload_lookup=self._payload_lookup(
+                    chain, exclude=exclude, cache=cache
+                ),
+                cost_of=cost_of,
+            )
+            plan = planner.plan(sorted(names), len(chain) - 1 if chain else -1)
+            self.stats.plans_computed += 1
+            if not plan.is_safe:
+                self.stats.unsafe_plans += 1
+            span.set("chain_cells", len(chain))
+            span.set("replay_cells", plan.cells_replayed)
+            span.set("load_steps", len(plan.load_steps))
+            span.set("safe", plan.is_safe)
+            span.set("complete", plan.is_complete)
         return plan, chain
 
     # -- execution -----------------------------------------------------------
@@ -198,36 +260,111 @@ class ReplayEngine:
 
         Declines when the plan is incomplete, needs external inputs the
         chain cannot produce, is replay-unsafe, or fails mid-execution.
+        Every decline records a :class:`PlanDecline` (reason enum +
+        detail) on :attr:`PlanStats.declines`, the checkout report, and
+        the event log — the counter alone never tells the story.
         On success the checkout ``cache`` has been populated with every
         versioned co-variable the replay produced along the way, so
         sibling materializations reuse (and alias with) these objects.
         """
         if not chain_has(self.graph, node_id):
-            return None
+            return self._decline(
+                DeclineReason.NO_CHAIN,
+                f"node {node_id} not in checkpoint graph",
+                key,
+                node_id,
+                report,
+            )
         plan, chain = self.plan_for(
             key, node_id, exclude=(key, node_id), cache=cache
         )
-        if (
-            not plan.is_complete
-            or not plan.is_safe
-            or plan.external_inputs
-            or not plan.replay_steps
-        ):
-            self.stats.plans_declined += 1
-            return None
-        values = self._execute(
-            plan, chain, cache=cache, load_values=load_values, report=report
-        )
+        if not plan.is_safe:
+            return self._decline(
+                DeclineReason.UNSAFE,
+                "; ".join(plan.unsafe_reasons) or "plan routes through opaque cells",
+                key,
+                node_id,
+                report,
+            )
+        if not plan.is_complete:
+            return self._decline(
+                DeclineReason.INCOMPLETE,
+                "no producer for: " + ", ".join(plan.missing),
+                key,
+                node_id,
+                report,
+            )
+        if plan.external_inputs:
+            return self._decline(
+                DeclineReason.EXTERNAL_INPUTS,
+                "chain cannot produce: " + ", ".join(plan.external_inputs),
+                key,
+                node_id,
+                report,
+            )
+        if not plan.replay_steps:
+            return self._decline(
+                DeclineReason.EMPTY_PLAN,
+                "plan has no replay steps",
+                key,
+                node_id,
+                report,
+            )
+        with self.observer.span(
+            "replay.execute", node=node_id, covariable=sorted(key)
+        ) as span:
+            values, failure = self._execute(
+                plan, chain, cache=cache, load_values=load_values, report=report
+            )
+            span.set("ok", values is not None)
         if values is None:
-            self.stats.plans_declined += 1
-            return None
+            return self._decline(
+                DeclineReason.EXEC_FAILED, failure, key, node_id, report
+            )
         missing = [name for name in key if name not in values]
         if missing:
-            self.stats.plans_declined += 1
-            return None
+            return self._decline(
+                DeclineReason.MISSING_OUTPUT,
+                "replay did not produce: " + ", ".join(sorted(missing)),
+                key,
+                node_id,
+                report,
+            )
         self.stats.plans_executed += 1
         self.stats.cells_skipped += plan.cells_skipped
+        self.observer.event(
+            EventType.REPLAY_PLAN_EXECUTED,
+            covariable=sorted(key),
+            node=node_id,
+            cells_replayed=plan.cells_replayed,
+            cells_skipped=plan.cells_skipped,
+            loads=len(plan.load_steps),
+        )
         return {name: values[name] for name in key}
+
+    def _decline(
+        self,
+        reason: DeclineReason,
+        detail: str,
+        key: CoVarKey,
+        node_id: str,
+        report: Optional[Any],
+    ) -> None:
+        """Record one decline everywhere it must be visible, return None."""
+        decline = PlanDecline(
+            reason=reason, detail=detail, names=tuple(sorted(key)), node_id=node_id
+        )
+        self.stats.record_decline(decline)
+        if report is not None and hasattr(report, "declines"):
+            report.declines.append(decline)
+        self.observer.event(
+            EventType.REPLAY_PLAN_DECLINED,
+            reason=reason.value,
+            detail=detail,
+            covariable=sorted(key),
+            node=node_id,
+        )
+        return None
 
     def _execute(
         self,
@@ -237,11 +374,12 @@ class ReplayEngine:
         cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]],
         load_values: ValueLoader,
         report: Optional[Any],
-    ) -> Optional[Dict[str, Any]]:
+    ) -> Tuple[Optional[Dict[str, Any]], str]:
         """Run the plan in a scratch patched namespace.
 
-        Returns the namespace's user variables on success, None on any
-        failure (a failed load, a raising cell, an incomplete result).
+        Returns ``(user variables, "")`` on success, or ``(None,
+        detail)`` on any failure (a failed load, a raising cell, an
+        incomplete result) — the detail feeds the decline record.
         """
         cells = self._cell_nodes(chain)
         scratch = PatchedNamespace({"__builtins__": __builtins__})
@@ -253,7 +391,9 @@ class ReplayEngine:
                 if values is None:
                     values = load_values(covar, step.ref)
                     if values is None or not set(covar) <= set(values):
-                        return None
+                        return None, (
+                            f"load of {sorted(covar)} @ {step.ref} failed"
+                        )
                     cache[(covar, step.ref)] = values
                 for name in sorted(covar):
                     scratch.plant(name, values[name])
@@ -271,10 +411,12 @@ class ReplayEngine:
                         node.cell_source, f"<replay:{node.node_id}>", "exec"
                     )
                     exec(code, scratch)
-                except Exception:
+                except Exception as exc:
                     if self.validate and scratch.recording:
                         scratch.end_recording()
-                    return None
+                    return None, (
+                        f"replayed cell {node.node_id} raised {exc!r}"
+                    )
                 if self.validate:
                     record = scratch.end_recording()
                     predicted = filter_user_names(
@@ -284,7 +426,7 @@ class ReplayEngine:
                         self.stats.validation_mismatches += 1
                 self.stats.cells_replayed += 1
                 self._cache_products(node, scratch, cache, report)
-        return scratch.user_items()
+        return scratch.user_items(), ""
 
     def _cache_products(
         self,
@@ -335,6 +477,8 @@ def session_cost_model(
 
 
 __all__ = [
+    "DeclineReason",
+    "PlanDecline",
     "ReplayEngine",
     "ValueLoader",
     "session_cost_model",

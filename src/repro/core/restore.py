@@ -39,6 +39,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.kernel.namespace import PatchedNamespace
+from repro.obs import NO_OBSERVER, EventType, Observer
 
 
 @dataclass
@@ -52,6 +53,9 @@ class CheckoutReport:
     identical_keys: List[CoVarKey] = field(default_factory=list)
     deleted_names: List[str] = field(default_factory=list)
     bytes_loaded: int = 0
+    #: Replay-plan declines hit while materializing this checkout
+    #: (:class:`~repro.core.replay.PlanDecline` records, reason + detail).
+    declines: List[Any] = field(default_factory=list)
 
     @property
     def touched_names(self) -> Set[str]:
@@ -73,6 +77,7 @@ class DataRestorer:
         max_depth: int = 10_000,
         retry: Optional[RetryPolicy] = None,
         replay_engine: Optional[ReplayEngine] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.graph = graph
         self.store = store
@@ -83,6 +88,7 @@ class DataRestorer:
         #: recursive runtime-dependency recomputation. None disables the
         #: static path entirely (legacy behavior).
         self.replay_engine = replay_engine
+        self.observer = observer if observer is not None else NO_OBSERVER
 
     def materialize(
         self,
@@ -101,9 +107,12 @@ class DataRestorer:
         """
         if cache is None:
             cache = {}
-        return self._materialize(
-            key, node_id, globals_for_load, cache, report, depth=0
-        )
+        with self.observer.span(
+            "checkout.materialize", covariable=sorted(key), node=node_id
+        ):
+            return self._materialize(
+                key, node_id, globals_for_load, cache, report, depth=0
+            )
 
     def _materialize(
         self,
@@ -208,7 +217,10 @@ class DataRestorer:
             )
             temp_ns.update(dep_values)
         try:
-            exec(compile(node.cell_source, "<recompute>", "exec"), temp_ns)
+            with self.observer.span(
+                "replay.legacy", node=node_id, covariable=sorted(key), depth=depth
+            ):
+                exec(compile(node.cell_source, "<recompute>", "exec"), temp_ns)
         except Exception as exc:
             raise RestorationError(
                 f"re-running cell of node {node_id} failed while recomputing "
@@ -234,16 +246,22 @@ class StateLoader:
         pool: CoVariablePool,
         *,
         retry: Optional[RetryPolicy] = None,
+        observer: Optional[Observer] = None,
+        plan_stats: Optional["PlanStats"] = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.serializer = serializer
         self.pool = pool
+        self.observer = observer if observer is not None else NO_OBSERVER
         self.planner = CheckoutPlanner(graph)
-        self.replay_engine = ReplayEngine(graph)
+        self.replay_engine = ReplayEngine(
+            graph, observer=self.observer, stats=plan_stats
+        )
         self.restorer = DataRestorer(
             graph, store, serializer, retry=retry,
             replay_engine=self.replay_engine,
+            observer=self.observer,
         )
 
     def checkout(
@@ -256,55 +274,84 @@ class StateLoader:
         (3) move the head.
         """
         started = time.perf_counter()
-        plan = self.planner.plan(self.graph.head_id, target_id)
-        report = CheckoutReport(target_id=target_id)
-        report.identical_keys = sorted(plan.identical, key=sorted)
+        with self.observer.span("checkout", target=target_id) as root:
+            with self.observer.span("checkout.plan"):
+                plan = self.planner.plan(self.graph.head_id, target_id)
+                self.observer.annotate(
+                    loads=len(plan.loads),
+                    deletes=len(plan.delete_names),
+                    identical=len(plan.identical),
+                )
+            report = CheckoutReport(target_id=target_id)
+            report.identical_keys = sorted(plan.identical, key=sorted)
 
-        # Materialize every diverged co-variable before touching the live
-        # namespace, so a failed load cannot leave the state half-updated.
-        cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]] = {}
-        materialized: List[Tuple[CoVarKey, Dict[str, Any]]] = []
-        for load in plan.loads:
-            values = self.restorer.materialize(
-                load.key,
-                load.node_id,
-                globals_for_load=namespace,
-                cache=cache,
-                report=report,
+            # Materialize every diverged co-variable before touching the
+            # live namespace, so a failed load cannot leave the state
+            # half-updated.
+            cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]] = {}
+            materialized: List[Tuple[CoVarKey, Dict[str, Any]]] = []
+            for load in plan.loads:
+                values = self.restorer.materialize(
+                    load.key,
+                    load.node_id,
+                    globals_for_load=namespace,
+                    cache=cache,
+                    report=report,
+                )
+                materialized.append((load.key, values))
+
+            # Validate every materialized dict against its co-variable's
+            # member names BEFORE mutating the namespace: a payload that
+            # deserializes to a dict missing a member (corruption, a buggy
+            # reducer) must not crash the apply phase half-way through —
+            # after deletions were applied but before all plants landed.
+            incomplete = [
+                (key, sorted(set(key) - set(values)))
+                for key, values in materialized
+                if not set(key) <= set(values)
+            ]
+            if incomplete:
+                details = "; ".join(
+                    f"co-variable {sorted(key)} missing {missing}"
+                    for key, missing in incomplete
+                )
+                raise RestorationError(
+                    f"checkout of {target_id} aborted before touching the "
+                    f"namespace: materialized payload(s) incomplete — "
+                    f"{details}"
+                )
+
+            with self.observer.span("checkout.apply"):
+                # Apply deletions, then plant loaded co-variables.
+                for name in plan.delete_names:
+                    namespace.uproot(name)
+                    report.deleted_names.append(name)
+                for key, values in materialized:
+                    for name in key:
+                        namespace.plant(name, values[name])
+
+            with self.observer.span("checkout.resync"):
+                self._resync_pool(plan, materialized, namespace)
+            self.graph.move_head(target_id)
+            root.update(
+                {
+                    "loaded": len(report.loaded_keys),
+                    "recomputed": len(report.recomputed_keys),
+                    "bytes_loaded": report.bytes_loaded,
+                }
             )
-            materialized.append((load.key, values))
-
-        # Validate every materialized dict against its co-variable's member
-        # names BEFORE mutating the namespace: a payload that deserializes
-        # to a dict missing a member (corruption, a buggy reducer) must not
-        # crash the apply phase half-way through — after deletions were
-        # applied but before all plants landed.
-        incomplete = [
-            (key, sorted(set(key) - set(values)))
-            for key, values in materialized
-            if not set(key) <= set(values)
-        ]
-        if incomplete:
-            details = "; ".join(
-                f"co-variable {sorted(key)} missing {missing}"
-                for key, missing in incomplete
-            )
-            raise RestorationError(
-                f"checkout of {target_id} aborted before touching the "
-                f"namespace: materialized payload(s) incomplete — {details}"
-            )
-
-        # Apply deletions, then plant loaded co-variables.
-        for name in plan.delete_names:
-            namespace.uproot(name)
-            report.deleted_names.append(name)
-        for key, values in materialized:
-            for name in key:
-                namespace.plant(name, values[name])
-
-        self._resync_pool(plan, materialized, namespace)
-        self.graph.move_head(target_id)
         report.seconds = time.perf_counter() - started
+        self.observer.event(
+            EventType.CHECKOUT,
+            target=target_id,
+            loads=len(report.loaded_keys),
+            recomputes=len(report.recomputed_keys),
+            deletes=len(report.deleted_names),
+            declines=len(report.declines),
+            bytes_loaded=report.bytes_loaded,
+        )
+        self.observer.count("checkout.count")
+        self.observer.count("checkout.bytes_loaded", report.bytes_loaded)
         return report
 
     def _resync_pool(

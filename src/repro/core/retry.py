@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import Callable, Optional, TypeVar
 
 from repro.errors import TransientStorageError
 
@@ -32,6 +32,10 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 1.0
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    #: Observability sink for ``retry`` / ``retry_exhausted`` events
+    #: (DESIGN.md §11); sessions bind their observer here. ``None`` (and
+    #: the disabled observer) keep :meth:`run` allocation-free.
+    observer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -53,10 +57,25 @@ class RetryPolicy:
             attempt += 1
             try:
                 return operation()
-            except TransientStorageError:
+            except TransientStorageError as exc:
+                observer = self.observer
                 if attempt >= self.max_attempts:
+                    if observer is not None:
+                        observer.event(
+                            "retry_exhausted",
+                            attempts=attempt,
+                            error=str(exc),
+                        )
                     raise
-                self.sleep(self.delay_for(attempt))
+                delay = self.delay_for(attempt)
+                if observer is not None:
+                    observer.event(
+                        "retry",
+                        attempt=attempt,
+                        delay=delay,
+                        error=str(exc),
+                    )
+                self.sleep(delay)
 
 
 #: Policy for contexts that must not retry (e.g. benchmarks isolating

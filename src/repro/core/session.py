@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.analysis.crossval import CrossValidator
 from repro.analysis.effects import CellEffects
@@ -41,7 +41,13 @@ from repro.core.storage import (
 )
 from repro.core.vargraph import VarGraphBuilder
 from repro.errors import KishuError, SerializationError, StorageError
-from repro.telemetry import AnalysisStats, WalkStats
+from repro.obs import BYTE_BUCKETS, EventType, NO_OBSERVER, Observer
+from repro.telemetry import (
+    AnalysisStats,
+    PlanStats,
+    WalkStats,
+    publish_walk_stats,
+)
 from repro.kernel.cells import Cell, CellResult
 from repro.kernel.events import POST_RUN_CELL, PRE_RUN_CELL, ExecutionInfo
 from repro.kernel.kernel import NotebookKernel
@@ -72,6 +78,13 @@ class CellCheckpointMetrics:
     #: (escape hatches or an under-reported definite access) and detection
     #: ran in check-all mode for this one cell (DESIGN.md §8).
     escalated: bool = False
+    #: Total serialized payload bytes, *before* tombstone degradation
+    #: dropped anything (≥ ``bytes_written``) — the per-cell checkpoint
+    #: size of Fig 13, populated from the ``commit.serialize`` span.
+    serialized_bytes: int = 0
+    #: Store write+commit wall seconds, from the ``commit.persist`` span
+    #: (equal to ``write_seconds`` when tracing is disabled).
+    store_write_seconds: float = 0.0
 
     @property
     def checkpoint_seconds(self) -> float:
@@ -112,25 +125,49 @@ class KishuSession:
         retry: Optional[RetryPolicy] = None,
         incremental: bool = True,
         cross_validate: bool = True,
+        observe: Union[bool, Observer] = True,
     ) -> None:
         self.kernel = kernel
         self.store = store if store is not None else InMemoryCheckpointStore()
         self.serializer = serializer if serializer is not None else SerializerChain()
         self.blocklist = blocklist if blocklist is not None else Blocklist()
         self.auto_checkpoint = auto_checkpoint
+        #: Observability sinks (DESIGN.md §11): lifecycle tracer, metrics
+        #: registry, and structured event log. ``observe=False`` swaps in
+        #: the shared no-op observer (near-zero overhead — every verb
+        #: bails on one attribute check); passing an :class:`Observer`
+        #: shares sinks across sessions.
+        if isinstance(observe, Observer):
+            self.observer = observe
+        else:
+            self.observer = Observer() if observe else NO_OBSERVER
+        # Stats views (analysis.* / replay.*) share the observer's registry
+        # when observing; a disabled session gets private per-view
+        # registries so counting still works without leaking into the
+        # process-wide NO_OBSERVER sinks shared by every disabled session.
+        stats_registry = self.observer.metrics if self.observer.enabled else None
         #: Optional §6.2 extension: skip delta detection entirely for cells
         #: the analyzer proves read-only (e.g. bare prints, `df.head()`).
         self.rule_analyzer = rule_analyzer
         #: Backoff schedule for transient storage faults, applied to every
         #: store operation issued while checkpointing or restoring.
         self.retry = retry if retry is not None else RetryPolicy()
+        self.retry.observer = self.observer
+        self.store.observer = self.observer
         #: Runtime cross-validation of Lemma 1 (DESIGN.md §8): after each
         #: cell the static effect prediction is compared against the
         #: runtime access record; cells with tracking escape hatches or
         #: under-reported records are escalated to check-all detection.
-        self.validator = CrossValidator() if cross_validate else None
+        #: Its stats are a view over the session registry (``analysis.*``).
+        self.validator = (
+            CrossValidator(stats=AnalysisStats(registry=stats_registry))
+            if cross_validate
+            else None
+        )
         self.analysis_stats = (
-            self.validator.stats if self.validator is not None else AnalysisStats()
+            self.validator.stats
+            if self.validator is not None
+            else AnalysisStats(registry=stats_registry)
         )
         self._pending_effects: Optional[CellEffects] = None
         self._installed_analyzer = False
@@ -145,7 +182,10 @@ class KishuSession:
         self.detector = DeltaDetector(self.pool, check_all=check_all)
         self.graph = CheckpointGraph()
         self.loader = StateLoader(
-            self.graph, self.store, self.serializer, self.pool, retry=self.retry
+            self.graph, self.store, self.serializer, self.pool,
+            retry=self.retry,
+            observer=self.observer,
+            plan_stats=PlanStats(registry=stats_registry),
         )
         self.planner = CheckoutPlanner(self.graph)
         self.refs = RefManager()
@@ -188,6 +228,12 @@ class KishuSession:
             session.serializer,
             session.pool,
             retry=session.retry,
+            observer=session.observer,
+            plan_stats=PlanStats(
+                registry=session.observer.metrics
+                if session.observer.enabled
+                else None
+            ),
         )
         session.planner = CheckoutPlanner(session.graph)
         session.attach()
@@ -206,6 +252,7 @@ class KishuSession:
             raise KishuError("session already attached")
         self.kernel.events.register(PRE_RUN_CELL, self._on_pre_run)
         self.kernel.events.register(POST_RUN_CELL, self._on_post_run)
+        self.kernel.observer = self.observer
         if self.validator is not None and self.kernel.cell_analyzer is None:
             # Install the pre-execution static-analysis hook so every
             # cell's effects are computed before it runs.
@@ -227,6 +274,7 @@ class KishuSession:
             return
         self.kernel.events.unregister(PRE_RUN_CELL, self._on_pre_run)
         self.kernel.events.unregister(POST_RUN_CELL, self._on_post_run)
+        self.kernel.observer = NO_OBSERVER
         if self._installed_analyzer:
             self.kernel.cell_analyzer = None
             self._installed_analyzer = False
@@ -251,6 +299,9 @@ class KishuSession:
 
     def _on_post_run(self, result: CellResult) -> None:
         record = self.kernel.user_ns.end_recording()
+        self.observer.annotate(
+            accesses=len(record.accessed), writes=len(record.sets)
+        )
         if self._pending_record is None:
             self._pending_record = record
         else:
@@ -282,48 +333,102 @@ class KishuSession:
         #: (e.g. cost-based Det-replay's dependency-cost estimate).
         self._last_commit_record = record
 
-        # Cross-validate Lemma 1 (DESIGN.md §8): compare the static
-        # prediction against what the patched namespace recorded. Cells
-        # containing escape hatches, and cells whose record misses a
-        # definite static access, run this one detection in check-all
-        # mode — correctness is restored at AblatedKishu's per-cell cost.
-        escalate = False
-        if self.validator is not None and effects is not None:
-            escalate = self.validator.validate(effects, record).escalate
+        obs = self.observer
+        with obs.span("commit", execution_count=execution_count) as commit_span:
+            # Cross-validate Lemma 1 (DESIGN.md §8): compare the static
+            # prediction against what the patched namespace recorded. Cells
+            # containing escape hatches, and cells whose record misses a
+            # definite static access, run this one detection in check-all
+            # mode — correctness is restored at AblatedKishu's per-cell
+            # cost.
+            escalate = False
+            if self.validator is not None and effects is not None:
+                with obs.span("commit.crossval") as crossval_span:
+                    outcome = self.validator.validate(effects, record)
+                    crossval_span.set("escalate", outcome.escalate)
+                escalate = outcome.escalate
+                if escalate:
+                    obs.event(
+                        EventType.CROSSVAL_ESCALATION,
+                        execution_count=execution_count,
+                        reasons=list(outcome.reasons),
+                        missing=sorted(outcome.missing),
+                    )
 
-        if (
-            self.rule_analyzer is not None
-            and not escalate
-            and self.rule_analyzer.is_read_only(sources)
-        ):
-            # Rule-based fast path (§6.2): a provably read-only cell
-            # cannot have updated any co-variable — write an empty
-            # checkpoint without any VarGraph work.
-            delta = StateDelta()
-            self.analysis_stats.read_only_skips += 1
-        else:
-            delta = self.detector.detect(
-                record, self.kernel.user_variables(), escalate=escalate
+            if (
+                self.rule_analyzer is not None
+                and not escalate
+                and self.rule_analyzer.is_read_only(sources)
+            ):
+                # Rule-based fast path (§6.2): a provably read-only cell
+                # cannot have updated any co-variable — write an empty
+                # checkpoint without any VarGraph work.
+                delta = StateDelta()
+                self.analysis_stats.read_only_skips += 1
+            else:
+                with obs.span("commit.detect", escalate=escalate) as detect_span:
+                    delta = self.detector.detect(
+                        record, self.kernel.user_variables(), escalate=escalate
+                    )
+                    detect_span.update(
+                        {
+                            "updated": len(delta.updated),
+                            "deleted": len(delta.deleted),
+                            "objects_visited": delta.walk.objects_visited,
+                            "bytes_hashed": delta.walk.bytes_hashed,
+                        }
+                    )
+            if obs.enabled:
+                publish_walk_stats(obs.metrics, delta.walk)
+
+            if self._carryover is not None:
+                # A previous checkpoint's store write failed after the pool
+                # was already advanced; fold its delta under this one so no
+                # state update is lost from the history.
+                carried_delta, carried_sources = self._carryover
+                self._carryover = None
+                delta = fold_deltas(carried_delta, delta)
+                sources = (
+                    f"{carried_sources}\n{sources}" if sources else carried_sources
+                )
+                obs.event(
+                    EventType.DELTA_CARRYOVER,
+                    action="folded",
+                    execution_count=execution_count,
+                    carried_updates=len(carried_delta.updated),
+                )
+
+            try:
+                node = self._write_checkpoint(
+                    delta, sources, execution_count, cell_duration,
+                    store_payloads=self.should_store_delta(tags),
+                    escalated=escalate,
+                )
+            except StorageError as exc:
+                self._carryover = (delta, sources)
+                obs.event(
+                    EventType.DELTA_CARRYOVER,
+                    action="stashed",
+                    execution_count=execution_count,
+                    updates=len(delta.updated),
+                    error=type(exc).__name__,
+                )
+                raise
+            commit_span.update(
+                {"node": node.node_id, "updated": len(delta.updated)}
             )
-
-        if self._carryover is not None:
-            # A previous checkpoint's store write failed after the pool
-            # was already advanced; fold its delta under this one so no
-            # state update is lost from the history.
-            carried_delta, carried_sources = self._carryover
-            self._carryover = None
-            delta = fold_deltas(carried_delta, delta)
-            sources = f"{carried_sources}\n{sources}" if sources else carried_sources
-
-        try:
-            node = self._write_checkpoint(
-                delta, sources, execution_count, cell_duration,
-                store_payloads=self.should_store_delta(tags),
-                escalated=escalate,
-            )
-        except StorageError:
-            self._carryover = (delta, sources)
-            raise
+        metric = self.metrics[-1]
+        obs.event(
+            EventType.COMMIT,
+            node=node.node_id,
+            execution_count=execution_count,
+            updated=metric.updated_covariables,
+            bytes_written=metric.bytes_written,
+            skipped=metric.skipped_unserializable,
+            degraded=metric.degraded_payloads,
+            escalated=escalate,
+        )
+        obs.count("commit.count")
         self.refs.advance_active_branch(node.node_id)
         return node
 
@@ -351,44 +456,50 @@ class KishuSession:
         node_id = self.graph.new_node_id()
         timestamp = self.graph.next_timestamp
 
+        obs = self.observer
         serialize_seconds = 0.0
         bytes_written = 0
         skipped = 0
         updated_infos: Dict[CoVarKey, PayloadInfo] = {}
         payloads: List[StoredPayload] = []
 
-        for key, covariable in delta.updated.items():
-            data: Optional[bytes] = None
-            serializer_name: Optional[str] = None
-            if store_payloads and not self.blocklist.blocks_any(
-                covariable.type_names()
-            ):
-                values = {
-                    name: self.kernel.user_ns.peek(name) for name in key
-                }
-                started = time.perf_counter()
-                try:
-                    data, serializer_name = self.serializer.serialize(key, values)
-                except SerializationError:
-                    data = None
-                serialize_seconds += time.perf_counter() - started
-            if data is None:
-                skipped += 1
-            else:
-                bytes_written += len(data)
-            updated_infos[key] = PayloadInfo(
-                key=key,
-                stored=data is not None,
-                serializer=serializer_name if data is not None else None,
-                size_bytes=len(data) if data is not None else 0,
-            )
-            payloads.append(
-                StoredPayload(
-                    node_id=node_id,
+        with obs.span("commit.serialize") as serialize_span:
+            for key, covariable in delta.updated.items():
+                data: Optional[bytes] = None
+                serializer_name: Optional[str] = None
+                if store_payloads and not self.blocklist.blocks_any(
+                    covariable.type_names()
+                ):
+                    values = {
+                        name: self.kernel.user_ns.peek(name) for name in key
+                    }
+                    started = time.perf_counter()
+                    try:
+                        data, serializer_name = self.serializer.serialize(key, values)
+                    except SerializationError:
+                        data = None
+                    serialize_seconds += time.perf_counter() - started
+                if data is None:
+                    skipped += 1
+                else:
+                    bytes_written += len(data)
+                    obs.observe("store.payload_bytes", len(data), BYTE_BUCKETS)
+                updated_infos[key] = PayloadInfo(
                     key=key,
-                    data=data,
+                    stored=data is not None,
                     serializer=serializer_name if data is not None else None,
+                    size_bytes=len(data) if data is not None else 0,
                 )
+                payloads.append(
+                    StoredPayload(
+                        node_id=node_id,
+                        key=key,
+                        data=data,
+                        serializer=serializer_name if data is not None else None,
+                    )
+                )
+            serialize_span.update(
+                {"payloads": len(payloads), "bytes": bytes_written}
             )
 
         dependencies: Dict[CoVarKey, str] = {}
@@ -411,12 +522,15 @@ class KishuSession:
         # in-memory graph node is added only once the store committed, so
         # a storage failure leaves both graph and store at the parent.
         started = time.perf_counter()
-        degraded, dropped_bytes = self._persist_atomically(
-            stored_node, payloads, updated_infos
-        )
+        with obs.span("commit.persist", node=node_id) as persist_span:
+            degraded, dropped_bytes = self._persist_atomically(
+                stored_node, payloads, updated_infos
+            )
         write_seconds = time.perf_counter() - started
+        serialized_bytes = bytes_written
         skipped += degraded
         bytes_written -= dropped_bytes
+        persist_span.update({"bytes": bytes_written, "degraded": degraded})
 
         node = self.graph.add_node(
             cell_source=cell_source,
@@ -426,6 +540,28 @@ class KishuSession:
             dependencies=dependencies,
             parent_id=parent_id,
         )
+
+        if obs.enabled:
+            # Storage accounting (registry, ``store.*``): written vs
+            # reused payloads, and the incremental-vs-monolithic size
+            # comparison — a monolithic checkpointer would re-write every
+            # stored co-variable of the head state each commit.
+            obs.count("store.bytes_written", bytes_written)
+            obs.count("store.payloads_stored", len(payloads) - skipped)
+            obs.count("store.tombstones", skipped)
+            state = node.state
+            reused = sum(
+                1 for _, version in state.items() if version != node.node_id
+            )
+            obs.count("store.dedup_hits", reused)
+            obs.count("store.incremental_bytes", bytes_written)
+            monolithic = 0
+            for key, version in state.items():
+                info = self.graph.get(version).updated.get(key)
+                if info is not None:
+                    monolithic += info.size_bytes
+            obs.count("store.monolithic_bytes", monolithic)
+            obs.gauge("store.state_covariables", len(state))
 
         self.metrics.append(
             CellCheckpointMetrics(
@@ -441,6 +577,8 @@ class KishuSession:
                 degraded_payloads=degraded,
                 walk=delta.walk,
                 escalated=escalated,
+                serialized_bytes=serialized_bytes,
+                store_write_seconds=persist_span.duration or write_seconds,
             )
         )
         return node
@@ -481,6 +619,12 @@ class KishuSession:
                     dropped_bytes += payload.size_bytes
                     updated_infos[payload.key] = PayloadInfo(
                         key=payload.key, stored=False
+                    )
+                    self.observer.event(
+                        EventType.TOMBSTONE_DEGRADED,
+                        node=node_id,
+                        covariable=sorted(payload.key),
+                        bytes_dropped=payload.size_bytes,
                     )
             self.retry.run(lambda: store.write_node(stored_node))
             self.retry.run(lambda: store.commit_checkpoint(node_id))

@@ -42,6 +42,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.covariable import CoVarKey, covar_key
 from repro.errors import StorageError
+from repro.obs import EventType, NO_OBSERVER, Observer
 
 #: Separator for canonical co-variable key encoding. Unit-separator is not
 #: a valid Python identifier character, so it cannot collide with names.
@@ -123,6 +124,10 @@ class CheckpointStore:
 
     #: Recovery scan result from the most recent open/recover, if any.
     last_recovery: Optional[RecoveryReport] = None
+    #: Observability sink (DESIGN.md §11); the disabled default makes
+    #: every emission a single attribute check. Sessions rebind this to
+    #: their live observer; recovery scans report through it.
+    observer: Observer = NO_OBSERVER
 
     def write_node(self, node: StoredNode) -> None:
         raise NotImplementedError
@@ -188,8 +193,21 @@ class CheckpointStore:
         Durable stores run this automatically on open; it is also safe to
         invoke at any quiescent point. Returns what was pruned.
         """
-        report = RecoveryReport()
+        return self._record_recovery(RecoveryReport())
+
+    def _record_recovery(self, report: RecoveryReport) -> RecoveryReport:
+        """Publish a recovery scan: remember it and, when it actually
+        swept something, emit a ``recovery`` event (satellite of
+        DESIGN.md §11 — recovery actions must be visible outside the
+        report object)."""
         self.last_recovery = report
+        if not report.clean:
+            self.observer.event(
+                EventType.RECOVERY,
+                swept_nodes=list(report.swept_nodes),
+                orphan_payloads=[list(pair) for pair in report.orphan_payloads],
+            )
+            self.observer.count("store.recoveries")
         return report
 
     # -- context manager -------------------------------------------------------
@@ -320,8 +338,7 @@ class InMemoryCheckpointStore(CheckpointStore):
                 orphans.append((node_id, encoded))
             del self._payloads[node_id]
         report = RecoveryReport(swept_nodes=swept, orphan_payloads=tuple(orphans))
-        self.last_recovery = report
-        return report
+        return self._record_recovery(report)
 
 
 class SQLiteCheckpointStore(CheckpointStore):
@@ -583,8 +600,7 @@ class SQLiteCheckpointStore(CheckpointStore):
             swept_nodes=tuple(swept),
             orphan_payloads=tuple((nid, key) for nid, key in orphans),
         )
-        self.last_recovery = report
-        return report
+        return self._record_recovery(report)
 
     def _sweep_nodes(self, node_ids: List[str], *, only_uncommitted: bool) -> None:
         for node_id in node_ids:

@@ -36,6 +36,7 @@ from repro.errors import (
     SimulatedCrash,
 )
 from repro.faults.plan import FaultPlan, FaultScript, _SerializationFaultSignal
+from repro.obs import EventType
 
 
 class FaultInjectingStore(CheckpointStore):
@@ -68,11 +69,25 @@ class FaultInjectingStore(CheckpointStore):
             self.script.check(op, detail)
         except SimulatedCrash:
             self.crashed = True
+            self.observer.event(
+                EventType.FAULT_INJECTED, kind="crash", op=op, detail=detail
+            )
             raise
         except _SerializationFaultSignal as signal:
             # A serialization rule aimed at a store op degenerates to a
             # permanent storage fault — the nearest meaningful behaviour.
+            self.observer.event(
+                EventType.FAULT_INJECTED, kind="permanent", op=op, detail=detail
+            )
             raise PermanentStorageError(str(signal)) from None
+        except Exception as exc:
+            self.observer.event(
+                EventType.FAULT_INJECTED,
+                kind=type(exc).__name__,
+                op=op,
+                detail=detail,
+            )
+            raise
 
     # -- delegated operations --------------------------------------------------
 
@@ -116,9 +131,11 @@ class FaultInjectingStore(CheckpointStore):
         return self.inner.in_checkpoint
 
     def recover(self) -> RecoveryReport:
+        # Delegate the sweep, but publish through the wrapper's observer
+        # (the inner store usually has none bound): harnesses read
+        # ``recovery`` events from the session's log after a reboot.
         report = self.inner.recover()
-        self.last_recovery = report
-        return report
+        return self._record_recovery(report)
 
     def close(self) -> None:
         self.inner.close()

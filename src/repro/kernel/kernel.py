@@ -31,6 +31,7 @@ from repro.kernel.events import (
     HookRegistry,
 )
 from repro.kernel.namespace import PatchedNamespace
+from repro.obs import NO_OBSERVER, Observer
 
 
 class NotebookKernel:
@@ -57,6 +58,12 @@ class NotebookKernel:
         #: :attr:`~repro.kernel.events.ExecutionInfo.analysis`. Kishu
         #: installs :func:`repro.analysis.analyze_cell` here on attach.
         self.cell_analyzer: Optional[Callable[[str], Any]] = None
+        #: Observability sink (DESIGN.md §11). The attached session
+        #: rebinds this to its live observer; the disabled default keeps
+        #: un-observed kernels overhead-free. The ``cell`` span opened in
+        #: :meth:`run_cell` is the root under which the session's whole
+        #: commit span tree nests (hooks fire inside it).
+        self.observer: Observer = NO_OBSERVER
 
     # -- execution ----------------------------------------------------------
 
@@ -70,21 +77,27 @@ class NotebookKernel:
         if isinstance(cell, str):
             cell = Cell(source=cell)
         self.execution_count += 1
-        analysis: Optional[Any] = None
-        if self.cell_analyzer is not None:
-            try:
-                analysis = self.cell_analyzer(cell.source)
-            except Exception:
-                analysis = None  # analysis must never break execution
-        info = ExecutionInfo(
-            cell=cell, execution_count=self.execution_count, analysis=analysis
-        )
-        self.events.trigger(PRE_RUN_CELL, info)
+        with self.observer.span(
+            "cell", execution_count=self.execution_count
+        ) as cell_span:
+            analysis: Optional[Any] = None
+            if self.cell_analyzer is not None:
+                with self.observer.span("cell.analyze"):
+                    try:
+                        analysis = self.cell_analyzer(cell.source)
+                    except Exception:
+                        analysis = None  # analysis must never break execution
+            info = ExecutionInfo(
+                cell=cell, execution_count=self.execution_count, analysis=analysis
+            )
+            self.events.trigger(PRE_RUN_CELL, info)
 
-        result = self._execute_body(cell)
-        self.history.append(result)
+            with self.observer.span("cell.exec"):
+                result = self._execute_body(cell)
+            cell_span.set("ok", result.error is None)
+            self.history.append(result)
 
-        self.events.trigger(POST_RUN_CELL, result)
+            self.events.trigger(POST_RUN_CELL, result)
         if raise_on_error and result.error is not None:
             raise KernelError(
                 f"cell execution {result.execution_count} failed: {result.error!r}",

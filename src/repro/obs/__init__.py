@@ -1,0 +1,50 @@
+"""repro.obs — unified observability: tracing, metrics, event log.
+
+The three sinks (DESIGN.md §11):
+
+* :class:`~repro.obs.trace.Tracer` — nested lifecycle spans with
+  wall/CPU time and attributes; exports Chrome trace-event JSON and a
+  human-readable tree (``%trace``).
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms whose rendered output is byte-stable across
+  runs (``repro stats``). The legacy ``repro.telemetry`` stats classes
+  are views over this registry.
+* :class:`~repro.obs.events.EventLog` — typed, reason-carrying JSONL
+  events for decisions that counters alone cannot explain (plan
+  declines, escalations, fault injections, retries, recovery).
+
+One :class:`~repro.obs.recorder.Observer` bundles all three behind an
+enabled/disabled gate; :data:`~repro.obs.recorder.NO_OBSERVER` is the
+shared no-op used when a session opts out (``KishuSession(observe=False)``).
+"""
+
+from repro.obs.events import Event, EventLog, EventType
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import NO_OBSERVER, Observer, maybe_span
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "COUNT_BUCKETS",
+    "Counter",
+    "Event",
+    "EventLog",
+    "EventType",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NO_OBSERVER",
+    "NULL_SPAN",
+    "NullSpan",
+    "Observer",
+    "Span",
+    "Tracer",
+    "maybe_span",
+]

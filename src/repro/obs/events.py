@@ -1,0 +1,163 @@
+"""Structured event log: typed, reason-carrying lifecycle events.
+
+Counters say *how often*; the event log says *why*. Every decision the
+system used to make silently — declining a replay plan, escalating a
+cell to check-all detection, injecting a fault, retrying a store write,
+degrading a payload to a tombstone, sweeping a torn checkpoint — emits
+one :class:`Event` with a type from the taxonomy below and a flat dict
+of JSON-safe fields.
+
+Determinism rules (DESIGN.md §11): events carry a monotonically
+increasing ``seq`` assigned at emission, never a wall-clock timestamp,
+so :meth:`EventLog.to_jsonl` is byte-stable for a deterministic
+workload. Field values are coerced to JSON-safe primitives at emission
+(sets become sorted lists) so rendering cannot fail later.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class EventType:
+    """The event taxonomy. Values are stable wire names."""
+
+    #: A replay plan was declined; fields: reason, detail, covariable, node.
+    REPLAY_PLAN_DECLINED = "replay_plan_declined"
+    #: A replay plan executed; fields: covariable, node, cells_replayed, loads.
+    REPLAY_PLAN_EXECUTED = "replay_plan_executed"
+    #: The cross-validator escalated a cell; fields: reasons, missing,
+    #: execution_count.
+    CROSSVAL_ESCALATION = "crossval_escalation"
+    #: A fault rule fired; fields: kind, op, detail, note.
+    FAULT_INJECTED = "fault_injected"
+    #: A transient fault triggered a retry; fields: attempt, delay, error.
+    RETRY = "retry"
+    #: Retries were exhausted; fields: attempts, error.
+    RETRY_EXHAUSTED = "retry_exhausted"
+    #: A recovery scan swept torn state; fields: swept_nodes, orphan_payloads.
+    RECOVERY = "recovery"
+    #: A payload degraded to a tombstone; fields: covariable, node.
+    TOMBSTONE_DEGRADED = "tombstone_degraded"
+    #: A failed checkpoint's delta was folded forward; fields: node.
+    DELTA_CARRYOVER = "delta_carryover"
+    #: A checkpoint committed; fields: node, covariables, bytes, escalated.
+    COMMIT = "commit"
+    #: A checkout completed; fields: target, loads, recomputes, deletes.
+    CHECKOUT = "checkout"
+
+    ALL = (
+        REPLAY_PLAN_DECLINED,
+        REPLAY_PLAN_EXECUTED,
+        CROSSVAL_ESCALATION,
+        FAULT_INJECTED,
+        RETRY,
+        RETRY_EXHAUSTED,
+        RECOVERY,
+        TOMBSTONE_DEGRADED,
+        DELTA_CARRYOVER,
+        COMMIT,
+        CHECKOUT,
+    )
+
+
+class Event:
+    """One structured log record."""
+
+    __slots__ = ("seq", "type", "fields")
+
+    def __init__(self, seq: int, type: str, fields: Dict[str, Any]) -> None:
+        self.seq = seq
+        self.type = type
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = {"seq": self.seq, "type": self.type}
+        record.update(self.fields)
+        return record
+
+    def __repr__(self) -> str:
+        return f"Event({self.seq}, {self.type!r}, {self.fields!r})"
+
+
+class EventLog:
+    """Append-only in-memory event log with JSONL export."""
+
+    def __init__(self, *, max_events: int = 100_000) -> None:
+        self.events: List[Event] = []
+        self.max_events = max_events
+        self._seq = 0
+        self.dropped = 0
+
+    def emit(self, type: str, **fields: Any) -> Event:
+        event = Event(
+            self._seq, type, {key: _coerce(value) for key, value in fields.items()}
+        )
+        self._seq += 1
+        if len(self.events) >= self.max_events:
+            # Bounded retention: drop from the front; `dropped` records
+            # that the log is a suffix, never silently pretends otherwise.
+            removed = len(self.events) // 2 or 1
+            del self.events[:removed]
+            self.dropped += removed
+        self.events.append(event)
+        return event
+
+    def of_type(self, *types: str) -> List[Event]:
+        wanted = set(types)
+        return [event for event in self.events if event.type in wanted]
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.type] = totals.get(event.type, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One canonical JSON object per line; byte-stable for a
+        deterministic workload (sorted keys, no wall-clock fields)."""
+        return "\n".join(
+            json.dumps(event.as_dict(), sort_keys=True) for event in self.events
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> List[Dict[str, Any]]:
+        """Parse a written log back into dicts (for harnesses and CLI)."""
+        records: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+
+def _coerce(value: Any) -> Any:
+    """Make a field JSON-safe and deterministic at emission time."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_coerce(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _coerce(item) for key, item in value.items()}
+    return str(value)
+
+
+__all__ = ["Event", "EventLog", "EventType"]

@@ -1,0 +1,218 @@
+"""Central metrics registry: counters, gauges, deterministic histograms.
+
+The registry is the single numeric ground truth of the observability
+layer (DESIGN.md §11). Every instrument lives under a dotted name
+(``commit.payload_bytes``, ``replay.plans_declined``), is created on
+first use, and renders into one canonically ordered dictionary —
+``as_dict()`` followed by ``json.dumps(..., sort_keys=True)`` is
+byte-stable across runs by construction:
+
+* **Counters** and **gauges** hold integers (or floats the caller set
+  explicitly).
+* **Histograms** have *fixed* bucket bounds chosen at creation; only
+  integer per-bucket counts, the observation count, and the running sum
+  are kept. Given deterministic inputs (byte sizes, cell counts), the
+  rendered output is identical byte for byte on every run.
+
+Determinism rule: wall-clock or CPU-time measurements never enter the
+registry — they belong to spans (:mod:`repro.obs.trace`), which are
+excluded from golden output. Registries only ever hold quantities that
+are a pure function of the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default bucket upper bounds for byte-sized observations: powers of 4
+#: from 64 B to 4 MiB. An observation lands in the first bucket whose
+#: bound is >= the value; larger values land in the overflow bucket.
+BYTE_BUCKETS: Tuple[int, ...] = (
+    64,
+    256,
+    1024,
+    4096,
+    16384,
+    65536,
+    262144,
+    1048576,
+    4194304,
+)
+
+#: Default bucket bounds for small cardinalities (cells, co-variables).
+COUNT_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class Counter:
+    """A monotonically increasing integer (callers may also set it)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def as_value(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def as_value(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound histogram; deterministic given deterministic inputs.
+
+    ``bounds`` are inclusive upper bounds, strictly increasing. Bucket
+    ``i`` counts observations ``v <= bounds[i]`` (and greater than the
+    previous bound); anything above the last bound lands in the overflow
+    bucket rendered as ``"+Inf"``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[Number] = BYTE_BUCKETS) -> None:
+        bounds = tuple(bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("histogram bounds must be non-empty and increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts: List[int] = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum: Number = 0
+
+    def record(self, value: Number) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    def record_many(self, values: Iterable[Number]) -> None:
+        for value in values:
+            self.record(value)
+
+    def as_value(self) -> Dict[str, Number]:
+        buckets: Dict[str, Number] = {
+            f"le_{bound}": count for bound, count in zip(self.bounds, self.counts)
+        }
+        buckets["le_+Inf"] = self.overflow
+        return {"buckets": buckets, "count": self.count, "sum": self.sum}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Create-on-first-use instrument registry with canonical rendering."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[Number]] = None
+    ) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(
+                name, bounds if bounds is not None else BYTE_BUCKETS
+            )
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def _get(self, name: str, kind: type) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- rendering -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Name-sorted snapshot; json.dumps(sort_keys=True) of this is
+        byte-stable across runs for deterministic workloads."""
+        return {
+            name: self._instruments[name].as_value()
+            for name in sorted(self._instruments)
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    f"{name}  count={instrument.count} sum={instrument.sum}"
+                )
+                for bound, count in zip(instrument.bounds, instrument.counts):
+                    if count:
+                        lines.append(f"  le {bound}: {count}")
+                if instrument.overflow:
+                    lines.append(f"  le +Inf: {instrument.overflow}")
+            else:
+                lines.append(f"{name}  {instrument.value}")
+        return "\n".join(lines)
+
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,126 @@
+"""The Observer: one handle bundling tracer, metrics registry, event log.
+
+Every instrumented component takes (or is handed) an :class:`Observer`
+and calls four verbs on it:
+
+* ``obs.span(name, **attrs)`` — open a lifecycle span (context manager);
+* ``obs.event(type, **fields)`` — append a structured event (and bump
+  the ``events.<type>`` counter so event frequencies are queryable from
+  the registry without scanning the log);
+* ``obs.count/observe/gauge`` — registry shortcuts;
+* ``obs.annotate(**attrs)`` — attach attributes to the innermost open
+  span, from code that does not hold the span object.
+
+Disabled mode (:data:`NO_OBSERVER`, or ``Observer(enabled=False)``)
+short-circuits every verb before touching any sink: ``span`` returns a
+shared, pre-built null context manager and the rest return immediately
+after one attribute check — the near-zero-overhead guarantee the
+``benchmarks/test_obs_overhead.py`` budget test enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ContextManager, Iterator, Optional, Sequence, Union
+
+from contextlib import contextmanager
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager yielding the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class Observer:
+    """Bundles the three sinks behind one enabled/disabled gate."""
+
+    __slots__ = ("enabled", "tracer", "metrics", "events")
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+
+    # -- tracing ---------------------------------------------------------------
+
+    def span(
+        self, name: str, **attrs: Any
+    ) -> ContextManager[Union[Span, NullSpan]]:
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        return self.tracer.span(name, **attrs)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Set attributes on the innermost open span, if any."""
+        if not self.enabled:
+            return
+        current = self.tracer.current()
+        if current is not None:
+            current.attrs.update(attrs)
+
+    # -- events ----------------------------------------------------------------
+
+    def event(self, type: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        self.events.emit(type, **fields)
+        self.metrics.counter(f"events.{type}").inc()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def count(self, name: str, amount: Union[int, float] = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(amount)
+
+    def observe(
+        self,
+        name: str,
+        value: Union[int, float],
+        bounds: Optional[Sequence[Union[int, float]]] = None,
+    ) -> None:
+        if self.enabled:
+            self.metrics.histogram(name, bounds).record(value)
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+
+#: The process-wide disabled observer. Components default to this so
+#: construction order never matters; sessions swap in a live one.
+NO_OBSERVER = Observer(enabled=False)
+
+
+@contextmanager
+def maybe_span(
+    observer: Optional[Observer], name: str, **attrs: Any
+) -> Iterator[Union[Span, NullSpan]]:
+    """Span over a possibly-None observer (convenience for call sites
+    whose observer attribute is optional)."""
+    obs = observer if observer is not None else NO_OBSERVER
+    with obs.span(name, **attrs) as span:
+        yield span
+
+
+__all__ = ["NO_OBSERVER", "Observer", "maybe_span"]

@@ -1,0 +1,109 @@
+"""Deterministic storage accounting for ``repro stats`` (DESIGN.md §11).
+
+Rebuilds a :class:`~repro.obs.metrics.MetricsRegistry` from a checkpoint
+store's durable contents — nodes, payload sizes, tombstones, version
+reuse — so the rendered output depends only on what the workload wrote,
+never on when it ran. This is the registry behind the golden-tested
+``repro stats`` output: byte-stable for a deterministic workload.
+
+Metric semantics (all under ``store.*``):
+
+* ``store.nodes`` — committed checkpoint nodes;
+* ``store.payloads_stored`` / ``store.tombstones`` — payload rows with /
+  without data;
+* ``store.bytes_total`` — sum of stored payload sizes;
+* ``store.payload_bytes`` — per-payload size histogram (fixed
+  :data:`~repro.obs.metrics.BYTE_BUCKETS` bounds);
+* ``store.dedup_hits`` — versioned co-variables carried forward by
+  reference across commits: at each node, state entries whose version
+  points at an *earlier* node. A monolithic checkpointer re-writes all
+  of these every commit;
+* ``store.incremental_bytes`` vs ``store.monolithic_bytes`` — bytes this
+  (incremental) scheme stored vs what re-writing every co-variable's
+  current version at every commit would have stored. Their ratio is the
+  paper's checkpoint-size saving (Fig 15).
+
+Kept out of :mod:`repro.obs` re-exports on purpose: this module imports
+``repro.core`` (graph reconstruction), and core modules import
+``repro.obs`` — importing it lazily from the CLI keeps the layering
+acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs.metrics import BYTE_BUCKETS, MetricsRegistry
+
+
+def registry_from_store(store: Any) -> MetricsRegistry:
+    """Compute the deterministic ``store.*`` registry of a store's contents."""
+    from repro.core.graph import CheckpointGraph, ROOT_ID
+
+    graph = CheckpointGraph.from_store(store)
+    registry = MetricsRegistry()
+    nodes = registry.counter("store.nodes")
+    stored = registry.counter("store.payloads_stored")
+    tombstones = registry.counter("store.tombstones")
+    bytes_total = registry.counter("store.bytes_total")
+    dedup = registry.counter("store.dedup_hits")
+    incremental = registry.counter("store.incremental_bytes")
+    monolithic = registry.counter("store.monolithic_bytes")
+    sizes = registry.histogram("store.payload_bytes", BYTE_BUCKETS)
+
+    for node in sorted(graph.all_nodes(), key=lambda n: n.timestamp):
+        if node.node_id == ROOT_ID:
+            continue
+        nodes.inc()
+        for info in node.updated.values():
+            if info.stored:
+                stored.inc()
+                bytes_total.inc(info.size_bytes)
+                incremental.inc(info.size_bytes)
+                sizes.record(info.size_bytes)
+            else:
+                tombstones.inc()
+        for key, version in node.state.items():
+            if version != node.node_id:
+                dedup.inc()
+            info = graph.get(version).updated.get(key)
+            if info is not None:
+                monolithic.inc(info.size_bytes)
+
+    registry.gauge("store.head_state_covariables").set(
+        len(graph.get(graph.head_id).state)
+    )
+    return registry
+
+
+def size_ratio(registry: MetricsRegistry) -> float:
+    """Incremental-vs-monolithic checkpoint size ratio (lower is better)."""
+    monolithic = registry.counter("store.monolithic_bytes").value
+    if not monolithic:
+        return 1.0
+    return registry.counter("store.incremental_bytes").value / monolithic
+
+
+def render_store_stats(registry: MetricsRegistry) -> str:
+    """Human-readable ``repro stats`` text; deterministic line order."""
+    lines = registry.render_text().splitlines()
+    ratio = size_ratio(registry)
+    lines.append(f"store.size_ratio_incremental_vs_monolithic {ratio:.4f}")
+    return "\n".join(lines)
+
+
+def stats_as_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON form of ``repro stats`` output (sorted keys at render time)."""
+    payload: Dict[str, Any] = dict(registry.as_dict())
+    payload["store.size_ratio_incremental_vs_monolithic"] = round(
+        size_ratio(registry), 4
+    )
+    return payload
+
+
+__all__ = [
+    "registry_from_store",
+    "render_store_stats",
+    "size_ratio",
+    "stats_as_dict",
+]

@@ -1,0 +1,247 @@
+"""Span-based lifecycle tracing (DESIGN.md §11).
+
+A :class:`Span` is one timed region of a lifecycle — ``commit``,
+``commit.detect``, ``checkout.materialize`` — with wall and CPU time,
+structured attributes, and children. A :class:`Tracer` maintains the
+active span stack (spans nest by lexical scoping of ``with`` blocks,
+re-entrancy included: a commit performed *inside* a checkout's replay
+simply nests) and keeps every finished root span.
+
+Two export formats:
+
+* :meth:`Tracer.to_chrome_trace` — Chrome trace-event JSON (the
+  ``chrome://tracing`` / Perfetto ``traceEvents`` array of complete
+  ``"X"`` events), for flame-graph inspection of a real run;
+* :meth:`Tracer.format_tree` — a human-readable indented tree for the
+  ``%trace`` REPL command.
+
+Timing is wall-clock and therefore non-deterministic by nature; traces
+are never golden-tested byte-for-byte — only their *structure* (span
+names, nesting, attributes) is asserted. Deterministic numbers belong in
+the metrics registry instead.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed, attributed region; children nest inside it."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "start_wall",
+        "end_wall",
+        "start_cpu",
+        "end_cpu",
+        "seq",
+    )
+
+    def __init__(self, name: str, seq: int) -> None:
+        self.name = name
+        self.seq = seq
+        self.attrs: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+        self.start_wall = 0.0
+        self.end_wall = 0.0
+        self.start_cpu = 0.0
+        self.end_cpu = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return max(self.end_wall - self.start_wall, 0.0)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return max(self.end_cpu - self.start_cpu, 0.0)
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def update(self, attrs: Dict[str, Any]) -> None:
+        self.attrs.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+
+class NullSpan:
+    """The shared do-nothing span handed out by a disabled observer."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: Dict[str, Any] = {}
+    duration = 0.0
+    cpu_seconds = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def update(self, attrs: Dict[str, Any]) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Owns the span stack and the finished roots of one session."""
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        cpu_clock: Callable[[], float] = time.process_time,
+        max_roots: int = 10_000,
+    ) -> None:
+        self.clock = clock
+        self.cpu_clock = cpu_clock
+        self.roots: List[Span] = []
+        self.max_roots = max_roots
+        self._stack: List[Span] = []
+        self._seq = 0
+
+    # -- recording -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        span = self.start(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        span = Span(name, self._seq)
+        self._seq += 1
+        if attrs:
+            span.attrs.update(attrs)
+        span.start_wall = self.clock()
+        span.start_cpu = self.cpu_clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            if len(self.roots) >= self.max_roots:
+                # Bounded retention: drop the oldest roots, never grow
+                # without limit inside a long-lived session.
+                del self.roots[: len(self.roots) // 2]
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        span.end_cpu = self.cpu_clock()
+        span.end_wall = self.clock()
+        # Pop up to and including `span`, tolerating callers that finish
+        # out of order (a leaked child is closed with its parent).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end_cpu = span.end_cpu
+            top.end_wall = span.end_wall
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def all_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+        self._seq = 0
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> List[Dict[str, Any]]:
+        """Chrome trace-event ``traceEvents`` list (complete events).
+
+        Timestamps are microseconds relative to the first recorded span,
+        so the trace starts at t=0 regardless of process uptime.
+        """
+        if not self.roots:
+            return []
+        origin = self.roots[0].start_wall
+        events: List[Dict[str, Any]] = []
+        for span in self.all_spans():
+            args = {key: _json_safe(value) for key, value in sorted(span.attrs.items())}
+            args["cpu_us"] = int(span.cpu_seconds * 1e6)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": int((span.start_wall - origin) * 1e6),
+                    "dur": int(span.duration * 1e6),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        payload = {"traceEvents": self.to_chrome_trace(), "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def format_tree(self, *, last: Optional[int] = None) -> str:
+        """Human-readable span tree; ``last`` limits to the newest roots."""
+        roots = self.roots if last is None else self.roots[-last:]
+        if not roots:
+            return "(no spans recorded)"
+        lines: List[str] = []
+        for root in roots:
+            self._format_span(root, 0, lines)
+        return "\n".join(lines)
+
+    def _format_span(self, span: Span, depth: int, lines: List[str]) -> None:
+        attrs = ""
+        if span.attrs:
+            rendered = ", ".join(
+                f"{key}={_short(value)}" for key, value in sorted(span.attrs.items())
+            )
+            attrs = f"  [{rendered}]"
+        lines.append(
+            f"{'  ' * depth}{span.name}  "
+            f"{span.duration * 1e3:.2f}ms (cpu {span.cpu_seconds * 1e3:.2f}ms)"
+            f"{attrs}"
+        )
+        for child in span.children:
+            self._format_span(child, depth + 1, lines)
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sorted(str(item) for item in value)
+    return str(value)
+
+
+def _short(value: Any) -> str:
+    text = str(_json_safe(value))
+    return text if len(text) <= 48 else text[:45] + "..."
+
+
+__all__ = ["NULL_SPAN", "NullSpan", "Span", "Tracer"]

@@ -30,12 +30,26 @@ before the work and :meth:`WalkTelemetry.since` after; the resulting
 scope; builders declare themselves the *active* telemetry for the duration
 of a build (:func:`activate` / :func:`deactivate`), and unattributed
 hashing lands on the module-wide :data:`GLOBAL_TELEMETRY`.
+
+Since the observability layer (DESIGN.md §11) this module sits *on top
+of* :mod:`repro.obs`: :class:`AnalysisStats` and :class:`PlanStats` are
+no longer freestanding counter bags but **views over a**
+:class:`~repro.obs.metrics.MetricsRegistry` — attribute reads and writes
+go straight to registry counters (``analysis.*`` / ``replay.*``), so a
+session-bound stats object and ``repro stats`` always agree. A stats
+object constructed bare (no registry) gets a private registry, keeping
+the historical standalone behaviour. :class:`WalkTelemetry` stays a
+plain slotted counter bag — it is incremented per *object visited* on
+the walk hot path — and its per-commit deltas are published into the
+registry in one batch via :func:`publish_walk_stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
 
 _COUNTERS = (
     "objects_visited",
@@ -100,82 +114,153 @@ class WalkTelemetry:
             setattr(self, name, 0)
 
 
-@dataclass
-class AnalysisStats:
+class RegistryStats:
+    """Base for stats objects that are views over a metrics registry.
+
+    Attribute reads and writes of names in ``_FIELDS`` resolve to the
+    counter ``{_PREFIX}.{name}`` in the backing registry, so the
+    historical mutation style (``stats.escalations += 1``) keeps working
+    while ``repro stats`` reads the very same numbers from the registry.
+    Constructed without a registry, a private one is created — the
+    standalone behaviour every existing call site relies on.
+    """
+
+    _PREFIX = ""
+    _FIELDS: Tuple[str, ...] = ()
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **initial: int
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name, value in initial.items():
+            if name not in self._FIELDS:
+                raise TypeError(f"unknown counter {name!r}")
+            setattr(self, name, value)
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called for attributes not found normally — i.e. counters.
+        if name in type(self)._FIELDS:
+            try:
+                registry = self.__dict__["registry"]
+            except KeyError:
+                raise AttributeError(name) from None
+            return registry.counter(f"{self._PREFIX}.{name}").value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in type(self)._FIELDS:
+            self.__dict__["registry"].counter(f"{self._PREFIX}.{name}").set(value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({rendered})"
+
+
+class AnalysisStats(RegistryStats):
     """Counters of the static-analysis / cross-validation layer
-    (DESIGN.md §8).
+    (DESIGN.md §8), backed by ``analysis.*`` registry counters.
 
     Owned by one :class:`~repro.analysis.crossval.CrossValidator` (and
     therefore one session). ``escalations`` is the interesting number: a
     non-zero count means Lemma 1's runtime guarantee was not trusted for
     those cells and detection fell back to check-all mode for exactly
     them.
+
+    Fields: ``cells_analyzed`` (cells statically analyzed and
+    cross-validated), ``escapes_found`` (escape-hatch occurrences — one
+    cell may contain several), ``predictions_confirmed`` /
+    ``predictions_violated`` (runtime record contained / missed a
+    definite static access), ``escalations`` (cells escalated to
+    check-all detection), ``read_only_skips`` (cells skipped entirely by
+    the §6.2 read-only rule).
     """
 
-    #: Cells whose effects were statically analyzed and cross-validated.
-    cells_analyzed: int = 0
-    #: Escape-hatch occurrences found (a single cell may contain several).
-    escapes_found: int = 0
-    #: Cells whose runtime record contained every definite static access.
-    predictions_confirmed: int = 0
-    #: Cells whose runtime record missed a definite static access.
-    predictions_violated: int = 0
-    #: Cells escalated to check-all detection (escapes or violations).
-    escalations: int = 0
-    #: Cells skipped entirely by the read-only rule (§6.2).
-    read_only_skips: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "cells_analyzed": self.cells_analyzed,
-            "escapes_found": self.escapes_found,
-            "predictions_confirmed": self.predictions_confirmed,
-            "predictions_violated": self.predictions_violated,
-            "escalations": self.escalations,
-            "read_only_skips": self.read_only_skips,
-        }
+    _PREFIX = "analysis"
+    _FIELDS = (
+        "cells_analyzed",
+        "escapes_found",
+        "predictions_confirmed",
+        "predictions_violated",
+        "escalations",
+        "read_only_skips",
+    )
 
 
-@dataclass
-class PlanStats:
-    """Counters of the static replay planner / engine (DESIGN.md §10).
+class PlanStats(RegistryStats):
+    """Counters of the static replay planner / engine (DESIGN.md §10),
+    backed by ``replay.*`` registry counters.
 
     Owned by one :class:`~repro.core.replay.ReplayEngine` (and therefore
     one session). ``validation_mismatches`` is the interesting number: a
     non-zero count means a replayed cell's runtime access record missed a
     definite static access — the same Lemma 1 cross-check the session
     applies to live executions, applied to replays.
+
+    Fields: ``plans_computed`` (including plans only displayed),
+    ``plans_executed`` (plans that materialized a co-variable at
+    checkout), ``plans_declined`` (fell back to the legacy recursion —
+    each decline also carries a machine-readable reason in
+    :attr:`declines`), ``cells_replayed``, ``cells_skipped`` (cells a
+    full-history replay would have run), ``payload_loads`` (stored
+    payloads planted instead of replaying), ``validation_mismatches``,
+    ``unsafe_plans`` (plans routing through opaque cells).
     """
 
-    #: Replay plans computed (including plans that were only displayed).
-    plans_computed: int = 0
-    #: Plans actually executed to materialize a co-variable at checkout.
-    plans_executed: int = 0
-    #: Plans declined (unsafe, incomplete, or failed mid-execution) —
-    #: checkout fell back to recursive runtime-dependency recomputation.
-    plans_declined: int = 0
-    #: Cells re-executed by plan execution.
-    cells_replayed: int = 0
-    #: Cells a full-history replay would have run but plans skipped.
-    cells_skipped: int = 0
-    #: Stored payloads planted by plan execution instead of replaying.
-    payload_loads: int = 0
-    #: Replayed cells whose runtime record missed a definite static access.
-    validation_mismatches: int = 0
-    #: Plans flagged replay-unsafe because they route through opaque cells.
-    unsafe_plans: int = 0
+    _PREFIX = "replay"
+    _FIELDS = (
+        "plans_computed",
+        "plans_executed",
+        "plans_declined",
+        "cells_replayed",
+        "cells_skipped",
+        "payload_loads",
+        "validation_mismatches",
+        "unsafe_plans",
+    )
 
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "plans_computed": self.plans_computed,
-            "plans_executed": self.plans_executed,
-            "plans_declined": self.plans_declined,
-            "cells_replayed": self.cells_replayed,
-            "cells_skipped": self.cells_skipped,
-            "payload_loads": self.payload_loads,
-            "validation_mismatches": self.validation_mismatches,
-            "unsafe_plans": self.unsafe_plans,
-        }
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **initial: int
+    ) -> None:
+        super().__init__(registry, **initial)
+        #: Machine-readable decline records
+        #: (:class:`~repro.core.replay.PlanDecline`), newest last.
+        self.declines: List[Any] = []
+
+    @property
+    def last_decline(self) -> Optional[Any]:
+        return self.declines[-1] if self.declines else None
+
+    def record_decline(self, decline: Any) -> None:
+        self.declines.append(decline)
+        self.plans_declined += 1
+        self.registry.counter(
+            f"replay.declined.{getattr(decline, 'reason_value', decline)}"
+        ).inc()
+
+    def declines_by_reason(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for decline in self.declines:
+            reason = str(getattr(decline, "reason_value", decline))
+            totals[reason] = totals.get(reason, 0) + 1
+        return dict(sorted(totals.items()))
+
+
+def publish_walk_stats(registry: MetricsRegistry, stats: "WalkStats") -> None:
+    """Accumulate one walk-stats delta into ``walk.*`` registry counters.
+
+    Called once per commit (with the detection's per-cell delta), not on
+    the walk hot path — :class:`WalkTelemetry` stays a plain counter bag
+    precisely so per-object increments never pay registry lookups.
+    """
+    for name in _COUNTERS:
+        value = getattr(stats, name)
+        if value:
+            registry.counter(f"walk.{name}").inc(value)
 
 
 #: Sink for hashing performed outside any builder's build (rare: direct

@@ -1,0 +1,521 @@
+"""Unit tests for the observability layer (``repro.obs``, DESIGN.md §11).
+
+Covers the determinism contracts the tentpole rests on: fixed-bound
+histogram bucketing, byte-stable registry rendering, span nesting and
+re-entrancy (with injected clocks — wall-clock numbers are never
+golden-tested), Chrome trace-event export structure, the event log's
+seq-only (no wall-clock) records, the disabled observer's no-op surface,
+and the :class:`~repro.telemetry.RegistryStats` views that keep session
+stats and ``repro stats`` reading the same numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BYTE_BUCKETS,
+    COUNT_BUCKETS,
+    NO_OBSERVER,
+    NULL_SPAN,
+    Event,
+    EventLog,
+    EventType,
+    Histogram,
+    MetricsRegistry,
+    NullSpan,
+    Observer,
+    Tracer,
+    maybe_span,
+)
+from repro.telemetry import AnalysisStats, PlanStats, publish_walk_stats, WalkStats
+
+
+class FakeClock:
+    """Deterministic clock: returns ``start`` and advances ``step`` per call."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(**kwargs) -> Tracer:
+    return Tracer(clock=FakeClock(step=1.0), cpu_clock=FakeClock(step=0.25), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_boundary_values_land_in_inclusive_bucket(self):
+        hist = Histogram("h", BYTE_BUCKETS)
+        hist.record(64)  # exactly on the first bound -> le_64
+        hist.record(65)  # one past -> le_256
+        hist.record(4 * 1024 * 1024)  # exactly on the last bound
+        hist.record(4 * 1024 * 1024 + 1)  # past every bound -> overflow
+        value = hist.as_value()
+        assert value["buckets"]["le_64"] == 1
+        assert value["buckets"]["le_256"] == 1
+        assert value["buckets"]["le_4194304"] == 1
+        assert value["buckets"]["le_+Inf"] == 1
+        assert value["count"] == 4
+        assert value["sum"] == 64 + 65 + 2 * 4 * 1024 * 1024 + 1
+
+    def test_zero_and_negative_land_in_first_bucket(self):
+        hist = Histogram("h", COUNT_BUCKETS)
+        hist.record(0)
+        hist.record(-3)
+        assert hist.as_value()["buckets"]["le_1"] == 2
+
+    def test_record_many(self):
+        hist = Histogram("h", (10, 100))
+        hist.record_many([1, 5, 50, 500])
+        value = hist.as_value()
+        assert value["buckets"] == {"le_10": 2, "le_100": 1, "le_+Inf": 1}
+        assert value["count"] == 4
+
+    def test_bounds_must_be_increasing_and_non_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (10, 10))
+        with pytest.raises(ValueError):
+            Histogram("h", (100, 10))
+
+    def test_default_bucket_bounds_are_the_fixed_constants(self):
+        # Golden files depend on these exact bounds: changing them is a
+        # breaking change to every recorded stats file.
+        assert BYTE_BUCKETS == (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
+        assert COUNT_BUCKETS == (1, 2, 4, 8, 16, 32, 64, 128)
+        assert Histogram("h").bounds == BYTE_BUCKETS
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc(3)
+        assert registry.counter("a.b") is counter
+        assert registry.counter("a.b").value == 3
+        assert "a.b" in registry
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+        registry.histogram("h", (1, 2))
+        with pytest.raises(TypeError):
+            registry.counter("h")
+
+    def test_as_dict_is_name_sorted_and_json_byte_stable(self):
+        def build() -> MetricsRegistry:
+            registry = MetricsRegistry()
+            registry.counter("z.last").inc(2)
+            registry.gauge("a.first").set(7)
+            hist = registry.histogram("m.sizes", (10, 100))
+            hist.record_many([5, 50, 500])
+            return registry
+
+        first = json.dumps(build().as_dict(), sort_keys=True)
+        second = json.dumps(build().as_dict(), sort_keys=True)
+        assert first == second
+        assert list(build().as_dict()) == ["a.first", "m.sizes", "z.last"]
+
+    def test_render_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("commits").inc(2)
+        hist = registry.histogram("sizes", (10, 100))
+        hist.record_many([5, 500])
+        text = registry.render_text()
+        assert "commits  2" in text
+        assert "sizes  count=2 sum=505" in text
+        assert "  le 10: 1" in text
+        assert "  le +Inf: 1" in text
+        # Empty buckets are elided.
+        assert "le 100" not in text
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert registry.get("a") is registry.counter("a")
+        assert registry.get("missing") is None
+
+
+# ---------------------------------------------------------------------------
+# Tracer / spans
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_timing(self):
+        tracer = make_tracer()
+        with tracer.span("commit", execution_count=1) as commit:
+            with tracer.span("commit.detect") as detect:
+                detect.set("updated", 2)
+        assert tracer.current() is None
+        assert len(tracer.roots) == 1
+        assert commit.children == [detect]
+        assert detect.attrs == {"updated": 2}
+        # FakeClock ticks once per start/finish: detect spans 1 tick,
+        # commit spans 3 (start, detect start+finish, finish).
+        assert detect.duration == 1.0
+        assert commit.duration == 3.0
+        assert detect.cpu_seconds == 0.25
+
+    def test_reentrancy_commit_inside_checkout_nests(self):
+        # The real shape: a checkout's replay runs cells, whose POST
+        # trigger opens a commit span — it must nest, not corrupt the
+        # stack.
+        tracer = make_tracer()
+        with tracer.span("checkout"):
+            with tracer.span("replay.execute"):
+                with tracer.span("commit"):
+                    pass
+        (root,) = tracer.roots
+        assert [span.name for span in root.walk()] == [
+            "checkout",
+            "replay.execute",
+            "commit",
+        ]
+        assert root.find("commit") is not None
+        assert root.find("absent") is None
+
+    def test_out_of_order_finish_closes_leaked_children(self):
+        tracer = make_tracer()
+        outer = tracer.start("outer")
+        leaked = tracer.start("leaked")
+        tracer.finish(outer)  # finished before its child
+        assert tracer.current() is None
+        assert leaked.end_wall == outer.end_wall  # closed alongside
+        assert leaked.duration > 0.0
+
+    def test_span_open_has_zero_duration(self):
+        tracer = make_tracer()
+        span = tracer.start("open")
+        assert span.duration == 0.0
+        tracer.finish(span)
+        assert span.duration > 0.0
+
+    def test_chrome_trace_structure(self):
+        tracer = make_tracer()
+        with tracer.span("commit", node="n1", keys={"b", "a"}):
+            with tracer.span("commit.detect"):
+                pass
+        events = tracer.to_chrome_trace()
+        assert [event["name"] for event in events] == ["commit", "commit.detect"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert "cpu_us" in event["args"]
+        commit, detect = events
+        # Timestamps are microseconds relative to the first root.
+        assert commit["ts"] == 0
+        assert detect["ts"] == 1_000_000
+        assert commit["dur"] == 3_000_000
+        # Attribute values are JSON-safe: sets become sorted lists.
+        assert commit["args"]["keys"] == ["a", "b"]
+        assert commit["args"]["node"] == "n1"
+
+    def test_chrome_trace_empty_without_spans(self):
+        assert make_tracer().to_chrome_trace() == []
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        tracer = make_tracer()
+        with tracer.span("cell"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["traceEvents"][0]["name"] == "cell"
+
+    def test_format_tree(self):
+        tracer = make_tracer()
+        with tracer.span("commit", node="abc"):
+            with tracer.span("commit.persist"):
+                pass
+        with tracer.span("checkout"):
+            pass
+        tree = tracer.format_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("commit  ")
+        assert "[node=abc]" in lines[0]
+        assert lines[1].startswith("  commit.persist  ")
+        assert lines[2].startswith("checkout  ")
+        # `last` limits to the newest roots.
+        assert tracer.format_tree(last=1).splitlines()[0].startswith("checkout")
+        tracer.clear()
+        assert tracer.format_tree() == "(no spans recorded)"
+
+    def test_max_roots_bounded_retention(self):
+        tracer = make_tracer(max_roots=4)
+        for index in range(5):
+            with tracer.span(f"root{index}"):
+                pass
+        assert len(tracer.roots) == 3  # 4 halved to 2, plus the newest
+        assert tracer.roots[-1].name == "root4"
+
+    def test_all_spans_walks_every_root(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("a.1"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert [span.name for span in tracer.all_spans()] == ["a", "a.1", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_seq_monotonic_no_wallclock(self):
+        log = EventLog()
+        first = log.emit(EventType.COMMIT, node="a")
+        second = log.emit(EventType.CHECKOUT, target="b")
+        assert (first.seq, second.seq) == (0, 1)
+        for event in (first, second):
+            record = event.as_dict()
+            assert "time" not in record and "timestamp" not in record
+
+    def test_coercion_at_emission(self):
+        log = EventLog()
+        event = log.emit(
+            "t",
+            names={"b", "a"},
+            nested={"inner": frozenset({"y", "x"})},
+            mixed=[1, ("u", "v")],
+            obj=object,
+        )
+        assert event.fields["names"] == ["a", "b"]
+        assert event.fields["nested"] == {"inner": ["x", "y"]}
+        assert event.fields["mixed"] == [1, ["u", "v"]]
+        assert isinstance(event.fields["obj"], str)
+        # Everything must survive json.dumps.
+        json.dumps(event.as_dict())
+
+    def test_bounded_retention_records_dropped(self):
+        log = EventLog(max_events=4)
+        for index in range(6):
+            log.emit("t", index=index)
+        assert log.dropped == 2
+        assert len(log) == 4
+        # The log is a suffix: newest events survive, seq keeps counting.
+        assert [event.fields["index"] for event in log] == [2, 3, 4, 5]
+        assert log.events[-1].seq == 5
+
+    def test_of_type_and_counts(self):
+        log = EventLog()
+        log.emit(EventType.RETRY, attempt=1)
+        log.emit(EventType.RETRY, attempt=2)
+        log.emit(EventType.RECOVERY)
+        assert len(log.of_type(EventType.RETRY)) == 2
+        assert len(log.of_type(EventType.RETRY, EventType.RECOVERY)) == 3
+        assert log.counts() == {"recovery": 1, "retry": 2}
+
+    def test_jsonl_byte_stable_and_roundtrip(self, tmp_path):
+        def build() -> EventLog:
+            log = EventLog()
+            log.emit(EventType.REPLAY_PLAN_DECLINED, reason="unsafe", detail="x")
+            log.emit(EventType.COMMIT, node="n1", covariables={"b", "a"})
+            return log
+
+        first, second = build().to_jsonl(), build().to_jsonl()
+        assert first == second
+        for line in first.splitlines():
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+        path = tmp_path / "events.jsonl"
+        build().write_jsonl(str(path))
+        records = EventLog.read_jsonl(str(path))
+        assert [record["type"] for record in records] == [
+            "replay_plan_declined",
+            "commit",
+        ]
+        assert records[1]["covariables"] == ["a", "b"]
+
+    def test_write_empty_log(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        EventLog().write_jsonl(str(path))
+        assert EventLog.read_jsonl(str(path)) == []
+
+    def test_taxonomy_values_are_unique_wire_names(self):
+        assert len(EventType.ALL) == len(set(EventType.ALL))
+        assert all(name == name.lower() for name in EventType.ALL)
+
+
+# ---------------------------------------------------------------------------
+# Observer
+# ---------------------------------------------------------------------------
+
+
+class TestObserver:
+    def test_enabled_observer_records_everywhere(self):
+        obs = Observer()
+        with obs.span("commit") as span:
+            obs.annotate(updated=3)
+        assert span.attrs == {"updated": 3}
+        obs.event(EventType.RETRY, attempt=1)
+        obs.count("commit.count")
+        obs.observe("bytes", 100, (64, 256))
+        obs.gauge("covariables", 5)
+        assert len(obs.events) == 1
+        # Events double-count into the registry for frequency queries.
+        assert obs.metrics.counter("events.retry").value == 1
+        assert obs.metrics.counter("commit.count").value == 1
+        assert obs.metrics.histogram("bytes").count == 1
+        assert obs.metrics.gauge("covariables").value == 5
+
+    def test_disabled_observer_is_inert(self):
+        obs = Observer(enabled=False)
+        with obs.span("commit") as span:
+            obs.annotate(updated=3)
+            span.set("k", "v")
+            span.update({"a": 1})
+        assert span is NULL_SPAN
+        assert isinstance(span, NullSpan)
+        assert span.duration == 0.0 and span.cpu_seconds == 0.0
+        obs.event(EventType.RETRY, attempt=1)
+        obs.count("c")
+        obs.observe("h", 1, (10,))
+        obs.gauge("g", 1)
+        assert len(obs.events) == 0
+        assert len(obs.metrics) == 0
+        assert list(obs.tracer.all_spans()) == []
+
+    def test_disabled_span_context_is_shared(self):
+        # The no-op path allocates nothing per call.
+        obs = Observer(enabled=False)
+        assert obs.span("a") is obs.span("b") is NO_OBSERVER.span("c")
+
+    def test_maybe_span_with_none_observer(self):
+        with maybe_span(None, "anything") as span:
+            assert span is NULL_SPAN
+        obs = Observer()
+        with maybe_span(obs, "real") as span:
+            assert span.name == "real"
+        assert obs.tracer.roots[0] is span
+
+
+# ---------------------------------------------------------------------------
+# Registry-backed stats views
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryStats:
+    def test_attribute_mutation_routes_to_registry(self):
+        registry = MetricsRegistry()
+        stats = AnalysisStats(registry=registry)
+        stats.escalations += 1
+        stats.cells_analyzed = 4
+        assert registry.counter("analysis.escalations").value == 1
+        assert registry.counter("analysis.cells_analyzed").value == 4
+        # And reads see registry mutations made elsewhere.
+        registry.counter("analysis.escalations").inc()
+        assert stats.escalations == 2
+        assert stats.as_dict()["escalations"] == 2
+
+    def test_standalone_stats_get_private_registry(self):
+        first, second = AnalysisStats(), AnalysisStats()
+        first.escalations += 1
+        assert second.escalations == 0
+
+    def test_initial_kwargs_and_unknown_field(self):
+        stats = PlanStats(plans_executed=2)
+        assert stats.plans_executed == 2
+        with pytest.raises(TypeError):
+            AnalysisStats(bogus=1)
+        with pytest.raises(AttributeError):
+            stats.not_a_counter
+
+    def test_plan_stats_record_decline(self):
+        class StubDecline:
+            reason_value = "unsafe"
+
+        registry = MetricsRegistry()
+        stats = PlanStats(registry=registry)
+        decline = StubDecline()
+        stats.record_decline(decline)
+        stats.record_decline(decline)
+        assert stats.plans_declined == 2
+        assert stats.last_decline is decline
+        assert registry.counter("replay.declined.unsafe").value == 2
+        assert stats.declines_by_reason() == {"unsafe": 2}
+
+    def test_publish_walk_stats_batches_counters(self):
+        registry = MetricsRegistry()
+        delta = WalkStats(objects_visited=7, cache_hits=2, bytes_hashed=128)
+        publish_walk_stats(registry, delta)
+        publish_walk_stats(registry, delta)
+        assert registry.counter("walk.objects_visited").value == 14
+        assert registry.counter("walk.bytes_hashed").value == 256
+        # Zero fields create no instruments (keeps render output tight).
+        assert "walk.graphs_built" not in registry
+
+
+# ---------------------------------------------------------------------------
+# Golden: the registry's canonical JSON form is byte-stable
+# ---------------------------------------------------------------------------
+
+
+GOLDEN = "tests/golden/metrics_registry.json"
+
+
+def build_golden_registry() -> MetricsRegistry:
+    """A synthetic registry exercising every instrument kind with fixed
+    inputs — no pickle sizes, no wall-clock, nothing interpreter-version
+    dependent."""
+    registry = MetricsRegistry()
+    registry.counter("commit.count").inc(3)
+    registry.counter("store.bytes_written").inc(4096)
+    registry.counter("replay.declined.unsafe").inc(1)
+    registry.gauge("store.state_covariables").set(5)
+    registry.histogram("store.payload_bytes", BYTE_BUCKETS).record_many(
+        [32, 64, 65, 300, 5000, 70000, 5 * 1024 * 1024]
+    )
+    registry.histogram("replay.cells", COUNT_BUCKETS).record_many([1, 3, 9])
+    return registry
+
+
+class TestGoldenRegistry:
+    def test_matches_golden_file(self):
+        import pathlib
+
+        rendered = (
+            json.dumps(build_golden_registry().as_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        again = (
+            json.dumps(build_golden_registry().as_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        assert rendered == again, "registry rendering must be deterministic"
+        golden = pathlib.Path(__file__).parent / "golden" / "metrics_registry.json"
+        assert rendered == golden.read_text(), (
+            "canonical registry JSON drifted from tests/golden/"
+            "metrics_registry.json — regenerate the golden file only for an "
+            "intentional format change"
+        )

@@ -13,9 +13,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.covariable import covar_key
+from repro.core.replay import DeclineReason, PlanDecline
 from repro.core.session import KishuSession
 from repro.core.storage import SQLiteCheckpointStore, StoredPayload
 from repro.kernel.kernel import NotebookKernel
+from repro.obs import EventType
 
 from test_oracle import canonical_state
 
@@ -111,6 +113,27 @@ class TestDeletedPayloadFallback:
         assert key in report.recomputed_keys
         assert session.plan_stats.unsafe_plans >= 1
         assert session.plan_stats.plans_declined >= 1
+
+        # Satellite (ISSUE 5): a decline is machine-readable, not just a
+        # counter tick — the reason enum + detail ride on PlanStats, the
+        # checkout report, and the event log.
+        decline = session.plan_stats.last_decline
+        assert isinstance(decline, PlanDecline)
+        assert decline.reason is DeclineReason.UNSAFE
+        assert decline.detail  # a human explanation, never empty
+        assert decline.names == tuple(sorted(key))
+        assert report.declines and report.declines[-1] is decline
+        assert session.plan_stats.declines_by_reason()["unsafe"] >= 1
+
+        events = session.observer.events.of_type(EventType.REPLAY_PLAN_DECLINED)
+        assert events, "every decline must appear in the event log"
+        assert events[-1].fields["reason"] == "unsafe"
+        assert events[-1].fields["detail"] == decline.detail
+
+    def test_every_decline_reason_has_distinct_wire_value(self):
+        values = [reason.value for reason in DeclineReason]
+        assert len(values) == len(set(values))
+        assert all(value == value.lower() for value in values)
 
 
 @pytest.fixture

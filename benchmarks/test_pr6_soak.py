@@ -1,0 +1,58 @@
+"""Concurrent-session soak benchmark (ISSUE 6 CI artifact).
+
+Runs the :mod:`repro.fuzz.soak` fleet — 16 seeded sessions in parallel
+threads, each against its own SQLite store with a seed-deterministic
+fault plan active — and writes the aggregate report as the
+``BENCH_pr6_soak.json`` artifact: p50/p95/p99 commit and checkout
+latency, per-store byte growth, fault/retry counts, and the sampled
+checkout-oracle verdicts (which must all pass: latency numbers from a
+run that corrupted state would be meaningless).
+
+Scale: ``REPRO_SOAK_SESSIONS`` / ``REPRO_SOAK_CELLS`` override the fleet
+shape (the ISSUE 6 floor is 16 sessions; CI runs exactly that).
+Results land in ``REPRO_BENCH_JSON`` (default ``BENCH_pr6_soak.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.fuzz.soak import SoakConfig, run_soak
+
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr6_soak.json")
+N_SESSIONS = int(os.environ.get("REPRO_SOAK_SESSIONS", "16"))
+N_CELLS = int(os.environ.get("REPRO_SOAK_CELLS", "20"))
+
+
+def test_soak_fleet_and_artifact():
+    result = run_soak(
+        SoakConfig(
+            sessions=N_SESSIONS,
+            cells=N_CELLS,
+            seed=0,
+            store="sqlite",
+            faults=True,
+            checkout_every=4,
+        )
+    )
+
+    # Hard gates: the soak is a correctness harness first, a latency
+    # report second.
+    assert result["worker_errors"] == [], result["worker_errors"]
+    assert result["oracle"]["checks"] > 0
+    assert result["oracle"]["failures"] == 0
+    assert result["commits"] >= N_SESSIONS  # every session made progress
+    assert result["faults"]["fired"] > 0  # the fault plans were active
+
+    commit = result["commit_latency"]
+    checkout = result["checkout_latency"]
+    assert commit["count"] > 0 and checkout["count"] > 0
+    assert commit["p50_ms"] <= commit["p95_ms"] <= commit["p99_ms"]
+    growth = result["store_growth"]
+    assert len(growth["per_session_file_bytes"]) == N_SESSIONS
+    assert growth["total_file_bytes"] > 0
+
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -28,6 +28,8 @@ Run:  python -m repro.cli [--store PATH] [--trace-out FILE]
       python -m repro.cli lint [--format text|json] [--notebook] FILE...
       python -m repro.cli plan [--format text|json] [--targets a,b] [--trace-out FILE] FILE
       python -m repro.cli stats --store PATH [--format text|json]
+      python -m repro.cli fuzz [--seed S] [--iterations N] [--cells N] [--minimize]
+      python -m repro.cli fuzz --soak N [--out BENCH.json]
 
 With ``--store`` the session checkpoints into a durable SQLite database;
 if the file already holds history (e.g. from a session that crashed),
@@ -39,6 +41,7 @@ restored into the fresh kernel.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, TextIO
 
@@ -407,7 +410,44 @@ class KishuRepl:
         self.stdout.flush()
 
 
-def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
+def _open_store_strict(
+    path: str, err: TextIO, *, prog: str
+) -> Optional[SQLiteCheckpointStore]:
+    """Open a durable checkpoint store for reading, with clear failures.
+
+    ``SQLiteCheckpointStore`` happily *creates* a missing database, which
+    turns a typo'd path into a silently empty report; read-only commands
+    must refuse instead. Corrupt files (not SQLite, or SQLite without our
+    schema) fail here with one actionable message rather than a raw
+    sqlite3 traceback. Returns None after printing to ``err``.
+    """
+    import sqlite3
+
+    if not os.path.exists(path):
+        err.write(f"{prog}: store not found: {path}\n")
+        return None
+    try:
+        store = SQLiteCheckpointStore(path)
+    except Exception as exc:
+        err.write(f"{prog}: cannot open store {path}: {exc}\n")
+        return None
+    try:
+        store.read_nodes()
+    except (sqlite3.DatabaseError, KishuError) as exc:
+        store.close()
+        err.write(
+            f"{prog}: not a valid checkpoint store: {path} "
+            f"({type(exc).__name__}: {exc})\n"
+        )
+        return None
+    return store
+
+
+def lint_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
     """``repro lint`` — run the static cell analysis over script files.
 
     Each file is linted as one cell (our example scripts and exported
@@ -415,6 +455,7 @@ def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     ``ERROR``-severity findings, or on any warning with ``--strict``.
     """
     out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Static cell-effect lint (escape hatches, read-only cells).",
@@ -441,7 +482,7 @@ def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
             with open(path, "r", encoding="utf-8") as handle:
                 cells.append((path, handle.read()))
         except OSError as exc:
-            out.write(f"cannot read {path}: {exc}\n")
+            err.write(f"repro lint: cannot read {path}: {exc}\n")
             return 2
     if args.notebook:
         from repro.analysis import split_script_cells
@@ -461,7 +502,11 @@ def lint_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     return 1 if findings and worst_severity(findings) >= threshold else 0
 
 
-def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
+def plan_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
     """``repro plan`` — static replay planning over a script or a store.
 
     File mode splits the script into notebook-style cells (``# %%``
@@ -476,6 +521,7 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     given input (sorted keys, sorted name lists, AST-size costs).
     """
     out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
     parser = argparse.ArgumentParser(
         prog="repro plan",
         description="Static replay planning over notebook-style scripts.",
@@ -522,7 +568,10 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     )
     args = parser.parse_args(argv)
     if (args.path is None) == (args.store is None):
-        out.write("repro plan: exactly one of FILE or --store is required\n")
+        err.write(
+            "repro plan: exactly one of FILE or --store is required "
+            "(conflicting or missing input)\n"
+        )
         return 2
 
     from repro.analysis.dataflow import (
@@ -539,13 +588,15 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         from repro.core.graph import CheckpointGraph
         from repro.core.replay import ReplayEngine
 
-        store = SQLiteCheckpointStore(args.store)
+        store = _open_store_strict(args.store, err, prog="repro plan")
+        if store is None:
+            return 2
         try:
             graph = CheckpointGraph.from_store(store)
             engine = ReplayEngine(graph, observer=observer)
             node_id = args.at if args.at is not None else graph.head_id
             if node_id not in graph:
-                out.write(f"repro plan: no checkpoint {node_id!r} in store\n")
+                err.write(f"repro plan: no checkpoint {node_id!r} in store\n")
                 return 2
             targets = (
                 [name.strip() for name in args.targets.split(",") if name.strip()]
@@ -560,7 +611,7 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
             with open(args.path, "r", encoding="utf-8") as handle:
                 source = handle.read()
         except OSError as exc:
-            out.write(f"cannot read {args.path}: {exc}\n")
+            err.write(f"repro plan: cannot read {args.path}: {exc}\n")
             return 2
         sources = split_script_cells(source)
         dataflow = NotebookDataflowGraph.from_sources(
@@ -591,7 +642,11 @@ def plan_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     return 0
 
 
-def stats_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
+def stats_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
     """``repro stats`` — deterministic storage accounting over a store.
 
     Reads a durable checkpoint database and prints the ``store.*``
@@ -603,6 +658,7 @@ def stats_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     wall-clock measurements (DESIGN.md §11).
     """
     out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
     parser = argparse.ArgumentParser(
         prog="repro stats",
         description="Deterministic checkpoint-store metrics.",
@@ -624,7 +680,9 @@ def stats_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
         stats_as_dict,
     )
 
-    store = SQLiteCheckpointStore(args.store)
+    store = _open_store_strict(args.store, err, prog="repro stats")
+    if store is None:
+        return 2
     try:
         registry = registry_from_store(store)
     finally:
@@ -638,6 +696,256 @@ def stats_main(argv: List[str], stdout: Optional[TextIO] = None) -> int:
     return 0
 
 
+def fuzz_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """``repro fuzz`` — adversarial fuzzing and concurrent soak runs.
+
+    Default mode generates ``--iterations`` seeded programs (seeds
+    ``--seed .. --seed+N-1``) from the chosen grammar profile and runs
+    each through the checkout-equals-reexecution differential oracle.
+    Stdout is deterministic for a given (seed, cells, profile,
+    iterations): per-iteration verdict lines plus a summary, with no
+    wall-clock content — ``repro fuzz --seed S`` is byte-reproducible
+    across processes. Exit 0 when clean, 1 when any divergence was
+    found, 2 on usage errors.
+
+    ``--minimize`` shrinks every failing program with ddmin and writes a
+    ready-to-commit pinned-seed pytest file per failure into
+    ``--emit-dir`` (default ``tests/regressions``).
+
+    ``--soak N`` switches to the concurrent soak driver: N seeded
+    sessions in parallel threads against independent stores with fault
+    plans active; the aggregate latency/growth report is written as JSON
+    to ``--out`` (stdout with ``--format json`` otherwise).
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    from repro.fuzz import PROFILES
+
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Adversarial fuzzing against the checkout-equals-"
+        "reexecution oracle, and concurrent-session soak runs.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first seed (default 0)")
+    parser.add_argument(
+        "--iterations", type=int, default=1, help="consecutive seeds to run"
+    )
+    parser.add_argument(
+        "--cells", type=int, default=20, help="cells per generated program"
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="default",
+        help="grammar weight profile",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="time_budget",
+        help="stop starting new iterations after this many seconds",
+    )
+    parser.add_argument(
+        "--minimize",
+        action="store_true",
+        help="ddmin-shrink failing programs and emit pinned regression tests",
+    )
+    parser.add_argument(
+        "--emit-dir",
+        default="tests/regressions",
+        dest="emit_dir",
+        metavar="DIR",
+        help="directory for emitted regression tests (with --minimize)",
+    )
+    parser.add_argument(
+        "--print-program",
+        action="store_true",
+        dest="print_program",
+        help="print each generated program's cell text",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    parser.add_argument(
+        "--soak",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the concurrent soak driver with N sessions instead",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the soak report JSON here (soak mode)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        dest="store_dir",
+        metavar="DIR",
+        help="keep per-session soak stores here instead of a temp dir",
+    )
+    args = parser.parse_args(argv)
+    if args.soak is not None and args.minimize:
+        err.write(
+            "repro fuzz: --soak and --minimize are mutually exclusive "
+            "(the soak driver has no single failing program to shrink)\n"
+        )
+        return 2
+    if args.iterations < 1:
+        err.write("repro fuzz: --iterations must be >= 1\n")
+        return 2
+
+    if args.soak is not None:
+        import json
+
+        from repro.fuzz import FuzzConfig, SoakConfig, run_soak
+
+        try:
+            soak_config = SoakConfig(
+                sessions=args.soak,
+                cells=args.cells,
+                seed=args.seed,
+                store_dir=args.store_dir,
+                grammar=FuzzConfig(cells=1, **PROFILES[args.profile]),
+            )
+        except ValueError as exc:
+            err.write(f"repro fuzz: {exc}\n")
+            return 2
+        result = run_soak(soak_config)
+        rendered = json.dumps(result, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+        if args.format_ == "json" and not args.out:
+            out.write(rendered + "\n")
+        else:
+            commit = result["commit_latency"]
+            checkout = result["checkout_latency"]
+            out.write(
+                f"soak: {result['sessions']} session(s), "
+                f"{result['commits']} commit(s), "
+                f"commit p50/p95/p99 {commit['p50_ms']}/{commit['p95_ms']}/"
+                f"{commit['p99_ms']} ms, "
+                f"checkout p50/p95/p99 {checkout['p50_ms']}/{checkout['p95_ms']}/"
+                f"{checkout['p99_ms']} ms, "
+                f"{result['store_growth']['total_file_bytes']} store byte(s), "
+                f"{result['faults']['fired']} fault(s), "
+                f"{result['oracle']['failures']}/{result['oracle']['checks']} "
+                f"oracle failure(s)\n"
+            )
+            if args.out:
+                out.write(f"soak: report written to {args.out}\n")
+        failed = (
+            result["oracle"]["failures"] > 0
+            or result["worker_errors"]
+        )
+        return 1 if failed else 0
+
+    import time as _time
+
+    from repro.fuzz import (
+        ProgramGenerator,
+        profile as make_profile,
+        run_program_oracle,
+        shrink_program,
+        emit_regression_test,
+    )
+
+    try:
+        config = make_profile(args.profile, cells=args.cells)
+    except ValueError as exc:
+        err.write(f"repro fuzz: {exc}\n")
+        return 2
+    generator = ProgramGenerator(config)
+    started = _time.monotonic()
+    records = []
+    ran = 0
+    for seed in range(args.seed, args.seed + args.iterations):
+        if (
+            args.time_budget is not None
+            and ran > 0
+            and _time.monotonic() - started >= args.time_budget
+        ):
+            err.write(
+                f"repro fuzz: time budget exhausted after {ran} iteration(s)\n"
+            )
+            break
+        program = generator.generate(seed)
+        report = run_program_oracle(program)
+        ran += 1
+        records.append((program, report))
+        if args.format_ == "text":
+            if args.print_program:
+                out.write(f"# seed {seed}\n{program.text}\n# ===\n")
+            verdict = "ok" if report.ok else (
+                "DIVERGED: " + "; ".join(d.describe() for d in report.divergences)
+            )
+            out.write(
+                f"seed {seed} cells {len(program.cells)} "
+                f"fingerprint {program.fingerprint()[:12]} {verdict}\n"
+            )
+
+    failures = [(p, r) for p, r in records if not r.ok]
+    emitted = []
+    if args.minimize and failures:
+        for program, report in failures:
+            kinds = sorted({d.kind for d in report.divergences})
+            minimized = shrink_program(program, kind=kinds[0] if kinds else None)
+            path = os.path.join(
+                args.emit_dir, f"test_fuzz_seed_{program.seed}.py"
+            )
+            emit_regression_test(
+                minimized,
+                seed=program.seed,
+                path=path,
+                original_cells=len(program.cells),
+                config=program.config,
+                origin=f"repro fuzz --profile {args.profile}",
+            )
+            emitted.append(path)
+            out.write(
+                f"minimized seed {program.seed}: {len(program.cells)} -> "
+                f"{len(minimized)} cell(s), pinned at {path}\n"
+            )
+
+    if args.format_ == "json":
+        import json
+
+        payload = {
+            "profile": args.profile,
+            "cells": args.cells,
+            "first_seed": args.seed,
+            "iterations_requested": args.iterations,
+            "iterations_run": ran,
+            "divergence_count": sum(len(r.divergences) for _, r in records),
+            "results": [
+                {
+                    "seed": p.seed,
+                    "fingerprint": p.fingerprint(),
+                    "ok": r.ok,
+                    "divergences": [d.describe() for d in r.divergences],
+                }
+                for p, r in records
+            ],
+            "regressions_emitted": emitted,
+        }
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(
+            f"fuzz: {ran} iteration(s), {len(failures)} failing program(s), "
+            f"{sum(len(r.divergences) for _, r in records)} divergence(s)\n"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> Optional[int]:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "lint":
@@ -646,6 +954,8 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         return plan_main(arguments[1:])
     if arguments and arguments[0] == "stats":
         return stats_main(arguments[1:])
+    if arguments and arguments[0] == "fuzz":
+        return fuzz_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Interactive Kishu notebook session.",

@@ -222,6 +222,24 @@ class DataRestorer:
             ):
                 exec(compile(node.cell_source, "<recompute>", "exec"), temp_ns)
         except Exception as exc:
+            # The kernel commits cells that raise: a cell can error live,
+            # leave its (partially mutated) namespace behind, and still
+            # produce a checkpoint — conservative dirty-marking then bumps
+            # co-variables the cell never wrote. Replaying such a cell
+            # reproduces the same deterministic error at the same point,
+            # with the same partial effects applied to the materialized
+            # dependencies in ``temp_ns``. If every name of the key is
+            # present there, the failed replay IS the faithful
+            # reconstruction; only a key the replay cannot resolve at all
+            # is a hard restoration failure.
+            if all(name in temp_ns for name in key):
+                self.observer.event(
+                    EventType.REPLAY_ERROR_TOLERATED,
+                    node=node_id,
+                    covariable=sorted(key),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return {name: temp_ns[name] for name in key}
             raise RestorationError(
                 f"re-running cell of node {node_id} failed while recomputing "
                 f"co-variable {sorted(key)}: {exc!r}"

@@ -665,12 +665,50 @@ class KishuSession:
         resolved = self.refs.resolve(ref)
         checkpoint_id = resolved if resolved is not None else ref
         report = self.loader.checkout(checkpoint_id, self.kernel.user_ns)
+        self._discard_carryover_after_checkout(checkpoint_id, report)
         self.checkout_reports.append(report)
         if ref in self.refs.branches():
             self.refs.activate_branch(ref)
         else:
             self.refs.activate_branch(None)
         return report
+
+    def _discard_carryover_after_checkout(
+        self, target_id: str, report: CheckoutReport
+    ) -> None:
+        """A checkout abandons state that never reached the store.
+
+        When a checkpoint write fails, its delta is stashed as a
+        carryover to be folded under the next commit. A checkout moves
+        to a *recorded* state, so the carried delta belongs to the
+        abandoned timeline — and the checkout plan, which diffs
+        committed states only, cannot see names the failed cell
+        created. Without this pass those names would survive time
+        travel in both the namespace and the pool.
+        """
+        if self._carryover is None:
+            return
+        carried_delta, _ = self._carryover
+        self._carryover = None
+        target_names = self.graph.get(target_id).state.names()
+        for key, covariable in carried_delta.created.items():
+            stale = [name for name in key if name not in target_names]
+            if not stale:
+                continue
+            for name in stale:
+                self.kernel.user_ns.uproot(name)
+                report.deleted_names.append(name)
+            # Any member the target does know was repartitioned by the
+            # checkout resync; a key of only-stale names lingers whole.
+            pool_key = self.pool.key_of(stale[0])
+            if pool_key is not None and not (set(pool_key) & target_names):
+                self.pool.replace([pool_key], [])
+        self.observer.event(
+            EventType.DELTA_CARRYOVER,
+            action="discarded",
+            target=target_id,
+            carried_updates=len(carried_delta.updated),
+        )
 
     def plan_replay(self, names, ref: Optional[str] = None):
         """Compute (without executing) the minimal replay plan that would

@@ -1,0 +1,61 @@
+"""Adversarial workload fuzzer and concurrent-session soak harness.
+
+``repro.fuzz`` turns the checkout-equals-reexecution guarantee into a
+property checked against programs nobody hand-wrote (DESIGN.md §12):
+
+* :mod:`repro.fuzz.grammar` — seeded cell-program generator over a
+  weighted grammar of hard constructs (aliasing, in-place mutation,
+  del+rebind, conditional writes, closures, generators, escapes,
+  libsim handles); ``(seed, config)`` fully determines the program.
+* :mod:`repro.fuzz.oracle` — differential oracle: replay through a
+  session, check out every commit, compare canonical state against a
+  cold re-execution; cross-check the PR 5 telemetry invariants.
+* :mod:`repro.fuzz.shrink` — ddmin minimizer and the regression-test
+  emitter that turns any divergence into a pinned-seed test file.
+* :mod:`repro.fuzz.soak` — N concurrent seeded sessions over
+  independent stores with fault plans active; p50/p95/p99 commit and
+  checkout latency plus store growth (``BENCH_pr6_soak.json``).
+
+CLI: ``repro fuzz --seed S --cells N --iterations K [--minimize]``.
+"""
+
+from repro.fuzz.grammar import (
+    CONSTRUCTS,
+    PROFILES,
+    FuzzConfig,
+    FuzzProgram,
+    ProgramGenerator,
+    profile,
+)
+from repro.fuzz.oracle import (
+    Divergence,
+    OracleReport,
+    canonical_state,
+    run_cells_oracle,
+    run_fuzz_iteration,
+    run_program_oracle,
+)
+from repro.fuzz.shrink import emit_regression_test, shrink_cells, shrink_program
+from repro.fuzz.soak import SoakConfig, SoakSessionResult, percentile, run_soak
+
+__all__ = [
+    "CONSTRUCTS",
+    "PROFILES",
+    "FuzzConfig",
+    "FuzzProgram",
+    "ProgramGenerator",
+    "profile",
+    "Divergence",
+    "OracleReport",
+    "canonical_state",
+    "run_cells_oracle",
+    "run_fuzz_iteration",
+    "run_program_oracle",
+    "emit_regression_test",
+    "shrink_cells",
+    "shrink_program",
+    "SoakConfig",
+    "SoakSessionResult",
+    "percentile",
+    "run_soak",
+]

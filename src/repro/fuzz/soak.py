@@ -1,0 +1,258 @@
+"""Concurrent-session soak driver: fleet-style stress with fault plans.
+
+Runs N seeded sessions in parallel threads, each against its *own*
+independent checkpoint store wrapped in a
+:class:`~repro.faults.injector.FaultInjectingStore` driving a
+seed-deterministic :class:`~repro.faults.plan.FaultPlan` (transient
+faults the retry layer must absorb, permanent faults the
+tombstone/carryover machinery must degrade around, serialization faults
+forcing fallback recomputation at checkout). Every session interleaves
+commits with mid-history checkouts — verified against recorded ground
+truth — so branch switching happens under load.
+
+The report aggregates p50/p95/p99 commit and checkout latency across
+the fleet, per-store byte growth, fault/retry counts, and the sampled
+oracle verdicts; :func:`run_soak` returns it as a JSON-safe dict — the
+``BENCH_pr6_soak.json`` artifact (ISSUE 6 / ROADMAP "heavy-traffic soak
+harness").
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional
+
+from repro.core.session import KishuSession
+from repro.core.storage import InMemoryCheckpointStore, SQLiteCheckpointStore
+from repro.errors import KishuError, StorageError
+from repro.faults.injector import FaultInjectingStore
+from repro.faults.plan import FaultPlan
+from repro.fuzz.grammar import FuzzConfig, ProgramGenerator
+from repro.fuzz.oracle import canonical_state
+from repro.kernel.kernel import NotebookKernel
+
+__all__ = ["SoakConfig", "SoakSessionResult", "run_soak", "percentile"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak run's shape; seed-deterministic end to end."""
+
+    sessions: int = 16
+    cells: int = 30
+    seed: int = 0
+    #: Attempt a mid-history checkout every this many cells.
+    checkout_every: int = 5
+    #: "sqlite" (per-session temp database files, real fsync costs and
+    #: on-disk growth) or "memory".
+    store: str = "sqlite"
+    store_dir: Optional[str] = None
+    #: Inject a seed-deterministic fault plan into every session's store.
+    faults: bool = True
+    #: Grammar the per-session programs are drawn from.
+    grammar: FuzzConfig = field(default_factory=lambda: FuzzConfig(cells=1))
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if self.cells < 1:
+            raise ValueError("cells must be >= 1")
+        if self.checkout_every < 1:
+            raise ValueError("checkout_every must be >= 1")
+        if self.store not in ("sqlite", "memory"):
+            raise ValueError(f"store must be 'sqlite' or 'memory', got {self.store!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value.to_dict() if f.name == "grammar" else value
+        return out
+
+
+@dataclass
+class SoakSessionResult:
+    """What one fleet member measured."""
+
+    index: int
+    seed: int
+    commits: int = 0
+    commit_seconds: List[float] = field(default_factory=list)
+    checkout_seconds: List[float] = field(default_factory=list)
+    payload_bytes: int = 0
+    store_file_bytes: int = 0
+    faults_fired: int = 0
+    storage_errors: int = 0
+    oracle_checks: int = 0
+    oracle_failures: int = 0
+    error: Optional[str] = None
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _session_worker(
+    config: SoakConfig, index: int, result: SoakSessionResult
+) -> None:
+    rng = random.Random(result.seed)
+    grammar = FuzzConfig(
+        **{
+            **config.grammar.to_dict(),
+            "cells": config.cells,
+            "branch_cells": 0,
+        }
+    )
+    program = ProgramGenerator(grammar).generate(result.seed)
+
+    store_path: Optional[str] = None
+    inner: Optional[Any] = None
+    store: Optional[FaultInjectingStore] = None
+    kernel = NotebookKernel()
+    truth: Dict[str, bytes] = {}
+    committed: List[str] = []
+
+    try:
+        if config.store == "sqlite":
+            assert config.store_dir is not None
+            store_path = os.path.join(config.store_dir, f"session-{index:03d}.db")
+            inner = SQLiteCheckpointStore(store_path)
+        else:
+            inner = InMemoryCheckpointStore()
+        plan = (
+            FaultPlan.random(
+                result.seed ^ 0x5A5A,
+                max_rules=3,
+                horizon=config.cells * 3,
+                kinds=("transient", "transient", "transient", "serialization", "permanent"),
+            )
+            if config.faults
+            else FaultPlan.none()
+        )
+        store = FaultInjectingStore(inner, plan)
+        session = KishuSession.init(kernel, store=store)
+
+        for cell_index, cell in enumerate(program.cells):
+            before = len(session.metrics)
+            try:
+                kernel.run_cell(cell, raise_on_error=False)
+            except (StorageError, KishuError):
+                # A permanent store fault aborted this commit; the delta
+                # is carried over and folded into the next one.
+                result.storage_errors += 1
+            for metric in session.metrics[before:]:
+                result.commits += 1
+                result.commit_seconds.append(metric.checkpoint_seconds)
+                truth[metric.node_id] = canonical_state(kernel)
+                committed.append(metric.node_id)
+
+            if committed and (cell_index + 1) % config.checkout_every == 0:
+                target = rng.choice(committed)
+                try:
+                    report = session.checkout(target)
+                except (StorageError, KishuError):
+                    result.storage_errors += 1
+                else:
+                    result.checkout_seconds.append(report.seconds)
+                    result.oracle_checks += 1
+                    if canonical_state(kernel) != truth[target]:
+                        result.oracle_failures += 1
+    except Exception as exc:  # surface crashes as data, not thread death
+        result.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if store is not None:
+            result.faults_fired = len(store.script.fired)
+        if inner is not None:
+            try:
+                result.payload_bytes = inner.total_payload_bytes()
+            except Exception:
+                pass
+            try:
+                inner.close()
+            except Exception:
+                pass
+        if store_path is not None and os.path.exists(store_path):
+            result.store_file_bytes = os.path.getsize(store_path)
+        else:
+            result.store_file_bytes = result.payload_bytes
+
+
+def run_soak(config: SoakConfig) -> Dict[str, Any]:
+    """Run the fleet and aggregate the report (JSON-safe dict)."""
+    import tempfile
+
+    owns_dir = config.store == "sqlite" and config.store_dir is None
+    tmpdir: Optional[tempfile.TemporaryDirectory] = None
+    if owns_dir:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        config = SoakConfig(**{**config.to_dict(), "grammar": config.grammar, "store_dir": tmpdir.name})
+    elif config.store == "sqlite" and config.store_dir is not None:
+        os.makedirs(config.store_dir, exist_ok=True)
+
+    results = [
+        SoakSessionResult(index=i, seed=config.seed * 7919 + i)
+        for i in range(config.sessions)
+    ]
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=_session_worker,
+            args=(config, i, results[i]),
+            name=f"soak-{i}",
+            daemon=True,
+        )
+        for i in range(config.sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if tmpdir is not None:
+        tmpdir.cleanup()
+
+    commit_ms = [s * 1e3 for r in results for s in r.commit_seconds]
+    checkout_ms = [s * 1e3 for r in results for s in r.checkout_seconds]
+
+    def stats(samples: List[float]) -> Dict[str, float]:
+        return {
+            "count": len(samples),
+            "p50_ms": round(percentile(samples, 50), 4),
+            "p95_ms": round(percentile(samples, 95), 4),
+            "p99_ms": round(percentile(samples, 99), 4),
+            "max_ms": round(max(samples), 4) if samples else 0.0,
+        }
+
+    return {
+        "config": config.to_dict(),
+        "sessions": config.sessions,
+        "wall_seconds": round(wall, 3),
+        "commit_latency": stats(commit_ms),
+        "checkout_latency": stats(checkout_ms),
+        "store_growth": {
+            "per_session_payload_bytes": [r.payload_bytes for r in results],
+            "per_session_file_bytes": [r.store_file_bytes for r in results],
+            "total_payload_bytes": sum(r.payload_bytes for r in results),
+            "total_file_bytes": sum(r.store_file_bytes for r in results),
+        },
+        "faults": {
+            "fired": sum(r.faults_fired for r in results),
+            "storage_errors": sum(r.storage_errors for r in results),
+        },
+        "oracle": {
+            "checks": sum(r.oracle_checks for r in results),
+            "failures": sum(r.oracle_failures for r in results),
+        },
+        "commits": sum(r.commits for r in results),
+        "worker_errors": [r.error for r in results if r.error],
+    }

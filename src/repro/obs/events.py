@@ -42,6 +42,9 @@ class EventType:
     TOMBSTONE_DEGRADED = "tombstone_degraded"
     #: A failed checkpoint's delta was folded forward; fields: node.
     DELTA_CARRYOVER = "delta_carryover"
+    #: Fallback recomputation re-ran a cell that raised (as it did live)
+    #: but still resolved the key; fields: node, covariable, error.
+    REPLAY_ERROR_TOLERATED = "replay_error_tolerated"
     #: A checkpoint committed; fields: node, covariables, bytes, escalated.
     COMMIT = "commit"
     #: A checkout completed; fields: target, loads, recomputes, deletes.
@@ -57,6 +60,7 @@ class EventType:
         RECOVERY,
         TOMBSTONE_DEGRADED,
         DELTA_CARRYOVER,
+        REPLAY_ERROR_TOLERATED,
         COMMIT,
         CHECKOUT,
     )

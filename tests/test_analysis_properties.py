@@ -20,6 +20,8 @@ from hypothesis import given, settings, strategies as st  # noqa: E402
 from repro.analysis import analyze_cell  # noqa: E402
 from repro.kernel.kernel import NotebookKernel  # noqa: E402
 
+pytestmark = pytest.mark.slow
+
 SEED_NAMES = ("a", "b", "c", "d")
 FRESH_NAMES = ("p", "q", "r", "s")
 

@@ -1,0 +1,143 @@
+"""CLI error paths: wrong inputs must fail fast, loudly, and on stderr.
+
+Every case asserts three things: nonzero (specifically 2, the usage-error
+convention) exit status, an actionable message containing the golden
+snippet from ``tests/golden/cli_errors.json``, and nothing on stdout —
+error text must never pollute machine-readable output.
+
+``SQLiteCheckpointStore`` silently *creates* missing databases, so the
+read-only subcommands guard with an existence + schema probe; the
+missing/corrupt/wrong-schema cases pin that guard.
+"""
+
+import io
+import json
+import pathlib
+import sqlite3
+
+import pytest
+
+from repro.cli import fuzz_main, lint_main, plan_main, stats_main
+from repro.core.session import KishuSession
+from repro.core.storage import SQLiteCheckpointStore
+from repro.kernel.kernel import NotebookKernel
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden" / "cli_errors.json").read_text()
+)
+
+
+def run(main, argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def assert_usage_error(case, code, stdout, stderr):
+    assert code == 2, f"{case}: expected exit 2, got {code}"
+    assert GOLDEN[case] in stderr, f"{case}: stderr was {stderr!r}"
+    assert stdout == "", f"{case}: stdout must stay clean, got {stdout!r}"
+
+
+@pytest.fixture()
+def session_store(tmp_path):
+    """A real store with one committed cell (for bad-ref probing)."""
+    path = tmp_path / "session.db"
+    store = SQLiteCheckpointStore(str(path))
+    kernel = NotebookKernel()
+    KishuSession.init(kernel, store=store)
+    kernel.run_cell("a = [1, 2]")
+    store.close()
+    return str(path)
+
+
+@pytest.fixture()
+def corrupt_store(tmp_path):
+    path = tmp_path / "corrupt.db"
+    path.write_bytes(b"this is not a sqlite database at all")
+    return str(path)
+
+
+@pytest.fixture()
+def wrong_schema_store(tmp_path):
+    path = tmp_path / "foreign.db"
+    conn = sqlite3.connect(str(path))
+    conn.execute("CREATE TABLE nodes (foo TEXT)")
+    conn.commit()
+    conn.close()
+    return str(path)
+
+
+class TestPlanErrors:
+    def test_no_input(self):
+        assert_usage_error("plan_no_input", *run(plan_main, []))
+
+    def test_conflicting_inputs(self, tmp_path, session_store):
+        script = tmp_path / "nb.py"
+        script.write_text("a = 1\n")
+        code, stdout, stderr = run(
+            plan_main, [str(script), "--store", session_store]
+        )
+        assert_usage_error("plan_both_inputs", code, stdout, stderr)
+
+    def test_missing_store(self, tmp_path):
+        code, stdout, stderr = run(
+            plan_main, ["--store", str(tmp_path / "nope.db")]
+        )
+        assert_usage_error("plan_missing_store", code, stdout, stderr)
+        # The guard must not create the file it failed to find.
+        assert not (tmp_path / "nope.db").exists()
+
+    def test_missing_file(self, tmp_path):
+        code, stdout, stderr = run(plan_main, [str(tmp_path / "nope.py")])
+        assert_usage_error("plan_missing_file", code, stdout, stderr)
+
+    def test_bad_ref_in_valid_store(self, session_store):
+        code, stdout, stderr = run(
+            plan_main, ["--store", session_store, "--at", "nosuch-ref"]
+        )
+        assert_usage_error("plan_bad_ref", code, stdout, stderr)
+
+
+class TestStatsErrors:
+    def test_missing_store(self, tmp_path):
+        code, stdout, stderr = run(
+            stats_main, ["--store", str(tmp_path / "nope.db")]
+        )
+        assert_usage_error("stats_missing_store", code, stdout, stderr)
+        assert not (tmp_path / "nope.db").exists()
+
+    def test_corrupt_store(self, corrupt_store):
+        code, stdout, stderr = run(stats_main, ["--store", corrupt_store])
+        assert_usage_error("stats_corrupt_store", code, stdout, stderr)
+
+    def test_wrong_schema_store(self, wrong_schema_store):
+        code, stdout, stderr = run(stats_main, ["--store", wrong_schema_store])
+        assert_usage_error("stats_wrong_schema", code, stdout, stderr)
+
+    def test_valid_store_still_works(self, session_store):
+        code, stdout, stderr = run(stats_main, ["--store", session_store])
+        assert code == 0
+        assert stdout
+        assert stderr == ""
+
+
+class TestLintErrors:
+    def test_missing_file(self, tmp_path):
+        code, stdout, stderr = run(lint_main, [str(tmp_path / "nope.py")])
+        assert_usage_error("lint_missing_file", code, stdout, stderr)
+
+
+class TestFuzzErrors:
+    def test_soak_conflicts_with_minimize(self):
+        code, stdout, stderr = run(fuzz_main, ["--soak", "2", "--minimize"])
+        assert_usage_error("fuzz_soak_minimize_conflict", code, stdout, stderr)
+
+    def test_iterations_must_be_positive(self):
+        code, stdout, stderr = run(fuzz_main, ["--iterations", "0"])
+        assert_usage_error("fuzz_bad_iterations", code, stdout, stderr)
+
+    def test_unknown_profile_is_an_argparse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            fuzz_main(["--profile", "nonesuch"], stderr=io.StringIO())
+        assert excinfo.value.code == 2

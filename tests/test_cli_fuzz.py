@@ -1,0 +1,114 @@
+"""``repro fuzz`` happy paths: reproducible output, JSON shape, soak, minimize."""
+
+import io
+import json
+
+import repro.fuzz
+from repro.cli import fuzz_main
+from repro.fuzz.oracle import Divergence, OracleReport
+
+
+def run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = fuzz_main(argv, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestFuzzText:
+    def test_clean_run_exits_zero(self):
+        code, stdout, stderr = run(["--seed", "2", "--cells", "8"])
+        assert code == 0
+        assert "seed 2 cells 8" in stdout
+        assert "0 failing program(s)" in stdout
+
+    def test_output_is_byte_reproducible(self):
+        argv = ["--seed", "5", "--iterations", "2", "--cells", "8"]
+        first = run(argv)
+        second = run(argv)
+        assert first == second
+
+    def test_print_program_shows_cells(self):
+        code, stdout, _ = run(
+            ["--seed", "0", "--cells", "4", "--print-program"]
+        )
+        assert code == 0
+        assert "# seed 0" in stdout
+        assert "# ---" in stdout
+
+
+class TestFuzzJson:
+    def test_json_shape(self):
+        code, stdout, _ = run(
+            ["--seed", "1", "--iterations", "2", "--cells", "6", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(stdout)
+        assert payload["iterations_run"] == 2
+        assert payload["divergence_count"] == 0
+        assert [r["seed"] for r in payload["results"]] == [1, 2]
+        assert all(len(r["fingerprint"]) == 64 for r in payload["results"])
+
+    def test_json_is_byte_reproducible(self):
+        argv = ["--seed", "3", "--cells", "6", "--format", "json"]
+        assert run(argv) == run(argv)
+
+
+class TestFuzzMinimize:
+    def test_divergence_is_shrunk_and_pinned(self, tmp_path, monkeypatch):
+        # Force a failing oracle so the minimize → emit pipeline runs
+        # without needing a live bug in the checkout stack.
+        def fake_oracle(program, **kwargs):
+            report = OracleReport(seed=program.seed, n_cells=len(program.cells))
+            report.divergences.append(
+                Divergence(
+                    kind="checkout",
+                    node_id="t1",
+                    cell_index=0,
+                    detail="synthetic",
+                    seed=program.seed,
+                )
+            )
+            return report
+
+        monkeypatch.setattr(repro.fuzz, "run_program_oracle", fake_oracle)
+        monkeypatch.setattr(
+            repro.fuzz, "shrink_program", lambda program, **kw: ["a = 1"]
+        )
+        code, stdout, _ = run(
+            [
+                "--seed",
+                "9",
+                "--cells",
+                "5",
+                "--minimize",
+                "--emit-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        emitted = tmp_path / "test_fuzz_seed_9.py"
+        assert emitted.exists()
+        assert "seed=9" in emitted.read_text()
+        assert "minimized seed 9: 5 -> 1 cell(s)" in stdout
+        assert "DIVERGED" in stdout
+
+
+class TestFuzzSoak:
+    def test_soak_writes_report(self, tmp_path):
+        out_path = tmp_path / "soak.json"
+        code, stdout, _ = run(
+            ["--soak", "2", "--cells", "4", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "soak: 2 session(s)" in stdout
+        payload = json.loads(out_path.read_text())
+        assert payload["sessions"] == 2
+        assert payload["oracle"]["failures"] == 0
+
+    def test_soak_json_to_stdout(self):
+        code, stdout, _ = run(
+            ["--soak", "2", "--cells", "3", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(stdout)
+        assert payload["sessions"] == 2

@@ -7,6 +7,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.frame import DataFrame, Series
+import pytest
+
+pytestmark = pytest.mark.slow
 
 finite_floats = st.floats(
     allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6

@@ -1,0 +1,102 @@
+"""The concurrent soak driver: fleet aggregation and its report shape."""
+
+import os
+
+import pytest
+
+from repro.fuzz.soak import SoakConfig, percentile, run_soak
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 99) == 7.5
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+class TestSoakConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sessions": 0},
+            {"cells": 0},
+            {"checkout_every": 0},
+            {"store": "postgres"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SoakConfig(**kwargs)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = SoakConfig(sessions=2).to_dict()
+        json.dumps(payload)
+        assert payload["sessions"] == 2
+        assert isinstance(payload["grammar"], dict)
+
+
+class TestRunSoak:
+    def test_memory_fleet_report_shape(self):
+        result = run_soak(
+            SoakConfig(sessions=3, cells=6, store="memory", checkout_every=2)
+        )
+        assert result["sessions"] == 3
+        assert result["commits"] > 0
+        assert result["worker_errors"] == []
+        assert result["oracle"]["checks"] > 0
+        assert result["oracle"]["failures"] == 0
+        for section in ("commit_latency", "checkout_latency"):
+            stats = result[section]
+            assert set(stats) == {"count", "p50_ms", "p95_ms", "p99_ms", "max_ms"}
+            assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+        growth = result["store_growth"]
+        assert len(growth["per_session_payload_bytes"]) == 3
+        assert growth["total_payload_bytes"] == sum(
+            growth["per_session_payload_bytes"]
+        )
+
+    def test_sqlite_fleet_writes_per_session_stores(self, tmp_path):
+        result = run_soak(
+            SoakConfig(
+                sessions=2,
+                cells=5,
+                store="sqlite",
+                store_dir=str(tmp_path),
+                checkout_every=3,
+            )
+        )
+        files = sorted(os.listdir(tmp_path))
+        assert files == ["session-000.db", "session-001.db"]
+        assert all(b > 0 for b in result["store_growth"]["per_session_file_bytes"])
+        assert result["worker_errors"] == []
+        assert result["oracle"]["failures"] == 0
+
+    def test_fault_plans_actually_fire(self):
+        # Across a few sessions the seed-deterministic plans must inject
+        # at least one fault — otherwise the soak isn't exercising the
+        # degradation paths it claims to.
+        result = run_soak(
+            SoakConfig(sessions=4, cells=8, store="memory", seed=1)
+        )
+        assert result["faults"]["fired"] > 0
+        assert result["oracle"]["failures"] == 0
+        assert result["worker_errors"] == []
+
+    def test_faultless_mode(self):
+        result = run_soak(
+            SoakConfig(sessions=2, cells=4, store="memory", faults=False)
+        )
+        assert result["faults"]["fired"] == 0
+        assert result["faults"]["storage_errors"] == 0

@@ -16,6 +16,7 @@ Three layers of coverage:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -232,6 +233,7 @@ operations = st.lists(
 )
 
 
+@pytest.mark.slow
 class TestIncrementalEquivalence:
     @settings(max_examples=40, deadline=None)
     @given(operations)

@@ -13,6 +13,9 @@ from repro.core.hashing import combine, digest_bytes, fnv1a64
 from repro.core.serialization import SerializerChain
 from repro.core.vargraph import VarGraphBuilder
 from repro.core.versioning import SessionState
+import pytest
+
+pytestmark = pytest.mark.slow
 
 # -- strategies ----------------------------------------------------------------
 

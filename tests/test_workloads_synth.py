@@ -1,0 +1,172 @@
+"""Direct unit tests for the synthetic workload generators and specs.
+
+The Fig 18/19 generators were previously exercised only through the
+benchmark harness; these tests pin their contracts directly — validation,
+cell structure, aliasing shape, re-execution pools — plus the
+``PYTHONHASHSEED`` independence audit: generated cell text must be a pure
+function of the arguments in any interpreter.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.kernel.kernel import NotebookKernel
+from repro.workloads.spec import NotebookSpec, make_cells
+from repro.workloads.synth import long_session_cells, shared_referencing_workload
+
+
+class TestSharedReferencingWorkload:
+    def test_rejects_out_of_range_bundle_size(self):
+        with pytest.raises(ValueError, match="arrays_in_covariable"):
+            shared_referencing_workload(0)
+        with pytest.raises(ValueError, match="arrays_in_covariable"):
+            shared_referencing_workload(11, n_arrays=10)
+
+    def test_rejects_unknown_probe(self):
+        with pytest.raises(ValueError, match="probe"):
+            shared_referencing_workload(3, probe="sideways")
+
+    def test_cell_structure(self):
+        spec = shared_referencing_workload(3, n_arrays=10)
+        # import + N_ELEMENTS + ten arrays + bundle + probe.
+        assert spec.cell_count == 14
+        assert spec.name == "SharedRef-3of10"
+        assert spec.cells[-2].source == "bundle = [arr_0, arr_1, arr_2]"
+        assert spec.cells[-1].has_tag("probe")
+        assert "bundle[0]" in spec.cells[-1].source
+
+    def test_member_probe_targets_the_array_name(self):
+        spec = shared_referencing_workload(2, probe="member")
+        assert spec.cells[-1].source.startswith("arr_0[:]")
+
+    def test_workload_executes_with_real_aliasing(self):
+        spec = shared_referencing_workload(2, array_kb=1)
+        kernel = NotebookKernel()
+        for cell in spec.cells:
+            kernel.run_cell(cell)
+        variables = kernel.user_variables()
+        assert variables["bundle"][0] is variables["arr_0"]
+        assert variables["bundle"][1] is variables["arr_1"]
+        assert len(variables["bundle"]) == 2
+
+    def test_deterministic_across_calls(self):
+        first = shared_referencing_workload(4)
+        second = shared_referencing_workload(4)
+        assert [c.source for c in first.cells] == [c.source for c in second.cells]
+
+
+class TestLongSessionCells:
+    def _spec(self):
+        return NotebookSpec(
+            name="Tiny",
+            topic="test",
+            library="none",
+            final=True,
+            hidden_states=0,
+            out_of_order_cells=0,
+            cells=make_cells(
+                [
+                    ("a = [1]", ()),
+                    ("a.append(2)", ()),
+                    ("b = len(a)", ()),
+                ]
+            ),
+        )
+
+    def test_short_request_is_a_prefix(self):
+        spec = self._spec()
+        cells = long_session_cells(spec, 2)
+        assert cells == list(spec.cells)[:2]
+
+    def test_long_request_reexecutes_from_the_pool(self):
+        spec = self._spec()
+        cells = long_session_cells(spec, 10, seed=3)
+        assert len(cells) == 10
+        assert cells[:3] == list(spec.cells)
+        pool_ids = {cell.cell_id for cell in spec.cells}
+        assert all(cell.cell_id in pool_ids for cell in cells[3:])
+
+    def test_deterministic_for_a_seed(self):
+        spec = self._spec()
+        first = [c.cell_id for c in long_session_cells(spec, 12, seed=5)]
+        second = [c.cell_id for c in long_session_cells(spec, 12, seed=5)]
+        assert first == second
+
+    def test_sequence_executes_cleanly(self):
+        spec = self._spec()
+        kernel = NotebookKernel()
+        for cell in long_session_cells(spec, 8, seed=1):
+            kernel.run_cell(cell)
+
+
+class TestNotebookSpec:
+    def test_make_cells_assigns_ids_and_tags(self):
+        cells = make_cells([("a = 1", ("undo-target",)), ("b = 2", ())])
+        assert cells[0].cell_id == "cell-0"
+        assert cells[0].has_tag("undo-target")
+        assert not cells[1].tags
+
+    def test_undo_and_branch_properties(self):
+        spec = NotebookSpec(
+            name="S",
+            topic="t",
+            library="l",
+            final=False,
+            hidden_states=1,
+            out_of_order_cells=0,
+            cells=make_cells(
+                [
+                    ("a = 1", ("undo-target",)),
+                    ("b = 2", ("undo-target",)),
+                    ("m = 3", ("model-train",)),
+                ]
+            ),
+        )
+        assert spec.undo_target_indices == [0, 1]
+        assert spec.primary_undo_index == 1  # falls back to the last target
+        assert spec.branch_point_index == 1
+        assert spec.category == "in-progress"
+
+
+class TestHashSeedIndependence:
+    """Workload cell text must not depend on interpreter hash salting."""
+
+    SCRIPT = textwrap.dedent(
+        """
+        import hashlib
+        from repro.workloads.synth import (
+            long_session_cells,
+            shared_referencing_workload,
+        )
+        digest = hashlib.sha256()
+        for k in (1, 3, 7):
+            spec = shared_referencing_workload(k, array_kb=1)
+            for cell in spec.cells:
+                digest.update(cell.source.encode())
+        spec = shared_referencing_workload(2, array_kb=1)
+        for cell in long_session_cells(spec, 30, seed=4):
+            digest.update(cell.cell_id.encode())
+        print(digest.hexdigest())
+        """
+    )
+
+    def _digest(self, hash_seed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = str(pathlib.Path(__file__).parent.parent / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return result.stdout.strip()
+
+    def test_identical_across_hash_seeds(self):
+        assert self._digest("0") == self._digest("31337")

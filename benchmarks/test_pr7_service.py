@@ -1,0 +1,130 @@
+"""Multi-session service benchmark (ISSUE 7 CI artifact).
+
+The write-ahead commit queue's acceptance criterion: with an injected
+per-write delay on the shared store, ``commit()`` cost as seen by the
+session (capture + enqueue) stays flat — independent of the delay —
+while the same workload committed *synchronously* pays the delay three
+times per checkpoint (payload, node row, commit marker). After every
+run, ``drain()`` + checkout must still satisfy the
+checkout-equals-reexecution oracle: latency numbers from a run that
+lost or corrupted state would be meaningless.
+
+Results land in ``REPRO_BENCH_JSON`` (default ``BENCH_pr7_service.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.core.storage import SQLiteCheckpointStore
+from repro.faults.injector import SlowStore
+from repro.fuzz.oracle import canonical_state
+from repro.fuzz.soak import percentile
+from repro.service import SessionManager
+
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr7_service.json")
+
+#: Injected per-write delays (seconds). Every checkpoint performs three
+#: delayed store operations, so the synchronous cost floor is 3x this.
+WRITE_DELAYS = (0.0, 0.005, 0.02)
+
+_CELLS: Dict[str, List[str]] = {
+    "alpha": [
+        "data = list(range(200))",
+        "total = sum(data)",
+        "squares = [d * d for d in data]",
+        "peak = max(squares)",
+        "report = {'total': total, 'peak': peak}",
+    ],
+    "beta": [
+        "text = 'kishu ' * 50",
+        "words = text.split()",
+        "counts = {w: words.count(w) for w in set(words)}",
+        "longest = max(words, key=len)",
+        "summary = (longest, len(counts))",
+    ],
+}
+
+
+def _run_fleet(tmp_path, delay: float, *, queue: bool) -> Dict[str, object]:
+    """One fleet run at one injected delay; returns latency samples and
+    oracle verdicts."""
+    label = "queued" if queue else "sync"
+    path = str(tmp_path / f"{label}-{int(delay * 1e3)}ms.db")
+    store = SlowStore(SQLiteCheckpointStore(path), write_delay=delay)
+    commit_seconds: List[float] = []
+    oracle_checks = 0
+    oracle_failures = 0
+    with SessionManager(store, queue=queue) as manager:
+        sessions = {sid: manager.create(sid) for sid in _CELLS}
+        truth = {}
+        for step in range(max(len(c) for c in _CELLS.values())):
+            for sid, session in sessions.items():
+                if step >= len(_CELLS[sid]):
+                    continue
+                session.run_cell(_CELLS[sid][step])
+                truth[(sid, session.head_id)] = canonical_state(session.kernel)
+        for sid, session in sessions.items():
+            commit_seconds.extend(m.checkpoint_seconds for m in session.metrics)
+            # drain() + checkout: the oracle gate behind the barrier.
+            session.drain()
+            for entry in session.log():
+                session.checkout(entry.node_id)
+                oracle_checks += 1
+                if canonical_state(session.kernel) != truth[(sid, entry.node_id)]:
+                    oracle_failures += 1
+        queue_stats = manager.queue.stats() if manager.queue is not None else None
+    samples_ms = [s * 1e3 for s in commit_seconds]
+    return {
+        "write_delay_ms": delay * 1e3,
+        "commits": len(samples_ms),
+        "commit_p50_ms": round(percentile(samples_ms, 50), 4),
+        "commit_p95_ms": round(percentile(samples_ms, 95), 4),
+        "oracle_checks": oracle_checks,
+        "oracle_failures": oracle_failures,
+        "queue": queue_stats,
+    }
+
+
+def test_enqueue_latency_flat_under_injected_write_delay(tmp_path):
+    queued = [_run_fleet(tmp_path, d, queue=True) for d in WRITE_DELAYS]
+    # Synchronous contrast at the largest delay only: it exists to prove
+    # the injected delay is real, not to wait through every rung.
+    sync = _run_fleet(tmp_path, WRITE_DELAYS[-1], queue=False)
+
+    # Correctness gates first.
+    for run in [*queued, sync]:
+        assert run["oracle_checks"] > 0
+        assert run["oracle_failures"] == 0, run
+    for run in queued:
+        stats = run["queue"]
+        assert stats["written"] == stats["enqueued"] > 0
+        assert not stats["crashed"]
+
+    # The synchronous path pays >= 3 delayed ops per checkpoint.
+    floor_ms = 3 * WRITE_DELAYS[-1] * 1e3
+    assert sync["commit_p50_ms"] >= floor_ms, sync
+
+    # The queued path must not: its p95 stays below a single injected
+    # delay at every rung — independent of how slow the store is.
+    for run in queued:
+        assert run["commit_p95_ms"] < WRITE_DELAYS[-1] * 1e3, run
+    # And flat across rungs: the slowest-store p95 is within noise
+    # (10ms) of the no-delay p95.
+    spread = queued[-1]["commit_p95_ms"] - queued[0]["commit_p95_ms"]
+    assert spread < 10.0, [r["commit_p95_ms"] for r in queued]
+
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "write_delays_ms": [d * 1e3 for d in WRITE_DELAYS],
+                "queued": queued,
+                "sync_at_max_delay": sync,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

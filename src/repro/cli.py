@@ -29,7 +29,10 @@ Run:  python -m repro.cli [--store PATH] [--trace-out FILE]
       python -m repro.cli plan [--format text|json] [--targets a,b] [--trace-out FILE] FILE
       python -m repro.cli stats --store PATH [--format text|json]
       python -m repro.cli fuzz [--seed S] [--iterations N] [--cells N] [--minimize]
-      python -m repro.cli fuzz --soak N [--out BENCH.json]
+      python -m repro.cli fuzz --soak N [--service] [--out BENCH.json]
+      python -m repro.cli sessions list --store PATH [--status S] [--json]
+      python -m repro.cli sessions resume --store PATH SESSION_ID
+      python -m repro.cli sessions rename --store PATH SESSION_ID NEW_PATH
 
 With ``--store`` the session checkpoints into a durable SQLite database;
 if the file already holds history (e.g. from a session that crashed),
@@ -792,6 +795,12 @@ def fuzz_main(
         metavar="DIR",
         help="keep per-session soak stores here instead of a temp dir",
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="soak the fleet through one shared store behind the "
+        "session manager's write-ahead commit queue (soak mode)",
+    )
     args = parser.parse_args(argv)
     if args.soak is not None and args.minimize:
         err.write(
@@ -814,6 +823,7 @@ def fuzz_main(
                 cells=args.cells,
                 seed=args.seed,
                 store_dir=args.store_dir,
+                service=args.service,
                 grammar=FuzzConfig(cells=1, **PROFILES[args.profile]),
             )
         except ValueError as exc:
@@ -829,6 +839,11 @@ def fuzz_main(
         else:
             commit = result["commit_latency"]
             checkout = result["checkout_latency"]
+            faults_fired = result["faults"]["fired"]
+            if "service" in result:
+                # Service mode counts faults at the shared store, not
+                # per worker.
+                faults_fired = result["service"]["faults_fired"]
             out.write(
                 f"soak: {result['sessions']} session(s), "
                 f"{result['commits']} commit(s), "
@@ -837,7 +852,7 @@ def fuzz_main(
                 f"checkout p50/p95/p99 {checkout['p50_ms']}/{checkout['p95_ms']}/"
                 f"{checkout['p99_ms']} ms, "
                 f"{result['store_growth']['total_file_bytes']} store byte(s), "
-                f"{result['faults']['fired']} fault(s), "
+                f"{faults_fired} fault(s), "
                 f"{result['oracle']['failures']}/{result['oracle']['checks']} "
                 f"oracle failure(s)\n"
             )
@@ -946,6 +961,151 @@ def fuzz_main(
     return 1 if failures else 0
 
 
+def sessions_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """``repro sessions`` — inspect and reattach to a multi-session store.
+
+    One durable database can hold many sessions (DESIGN.md §13), each a
+    row in the ``sessions`` registry with its own checkpoint namespace.
+    ``list`` shows the registry (``--status`` filters, ``--json`` for
+    machines); ``resume`` reattaches a REPL to one session's history —
+    the blind reconnect: Friday's state, Monday's terminal; ``rename``
+    migrates a session to a new notebook path without touching history.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="repro sessions",
+        description="Multi-session checkpoint store registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="show the session registry")
+    list_parser.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="durable SQLite checkpoint database",
+    )
+    list_parser.add_argument(
+        "--status", choices=("active", "detached"), default=None,
+        help="only sessions in this registry state",
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    resume_parser = sub.add_parser(
+        "resume", help="reattach a REPL to one session's history"
+    )
+    resume_parser.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="durable SQLite checkpoint database",
+    )
+    resume_parser.add_argument("session_id", help="session to resume")
+
+    rename_parser = sub.add_parser(
+        "rename", help="migrate a session to a new notebook path"
+    )
+    rename_parser.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="durable SQLite checkpoint database",
+    )
+    rename_parser.add_argument("session_id", help="session to rename")
+    rename_parser.add_argument("notebook_path", help="new notebook path")
+
+    args = parser.parse_args(argv)
+
+    store = _open_store_strict(args.store, err, prog="repro sessions")
+    if store is None:
+        return 2
+
+    if args.command == "list":
+        try:
+            records = store.list_sessions()
+        finally:
+            store.close()
+        # Opening a store handle registers its own session; hide that
+        # freshly minted empty row so a read-only listing shows only
+        # sessions that actually hold history or were named on purpose.
+        records = [
+            r
+            for r in records
+            if not (
+                r.session_id == store.session_id
+                and r.checkpoints == 0
+                and r.notebook_path is None
+            )
+        ]
+        if args.status is not None:
+            records = [r for r in records if r.status == args.status]
+        if args.json:
+            import json
+
+            out.write(
+                json.dumps(
+                    [
+                        {
+                            "session_id": r.session_id,
+                            "notebook_path": r.notebook_path,
+                            "status": r.status,
+                            "checkpoints": r.checkpoints,
+                        }
+                        for r in records
+                    ],
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        elif not records:
+            out.write("no sessions\n")
+        else:
+            for r in records:
+                path = r.notebook_path if r.notebook_path else "-"
+                out.write(
+                    f"{r.session_id}  {r.status:<8}  "
+                    f"{r.checkpoints} checkpoint(s)  {path}\n"
+                )
+        return 0
+
+    if args.command == "rename":
+        try:
+            if not store.has_session(args.session_id):
+                err.write(
+                    f"repro sessions: unknown session: {args.session_id}\n"
+                )
+                return 2
+            store.rename_session(args.session_id, args.notebook_path)
+        finally:
+            store.close()
+        out.write(f"renamed {args.session_id} -> {args.notebook_path}\n")
+        return 0
+
+    # resume: bind a REPL to the session's namespaced view. The view
+    # shares the root handle's backend, so closing the root closes both.
+    if not store.has_session(args.session_id):
+        known = ", ".join(r.session_id for r in store.list_sessions()) or "none"
+        err.write(
+            f"repro sessions: unknown session: {args.session_id} "
+            f"(known: {known})\n"
+        )
+        store.close()
+        return 2
+    view = store.for_session(args.session_id)
+    try:
+        repl = KishuRepl(stdout=out, store=view)
+        store.set_session_status(args.session_id, "active")
+        try:
+            repl.run()
+        finally:
+            store.set_session_status(args.session_id, "detached")
+    finally:
+        store.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> Optional[int]:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "lint":
@@ -956,6 +1116,8 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         return stats_main(arguments[1:])
     if arguments and arguments[0] == "fuzz":
         return fuzz_main(arguments[1:])
+    if arguments and arguments[0] == "sessions":
+        return sessions_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Interactive Kishu notebook session.",

@@ -292,6 +292,10 @@ class StateLoader:
         (3) move the head.
         """
         started = time.perf_counter()
+        # Write-ahead barrier: wait out (and surface failures from) any
+        # queued commits so checkout only ever sees a consistent
+        # committed prefix. Synchronous stores make this a no-op.
+        self.store.drain()
         with self.observer.span("checkout", target=target_id) as root:
             with self.observer.span("checkout.plan"):
                 plan = self.planner.plan(self.graph.head_id, target_id)

@@ -788,6 +788,27 @@ class KishuSession:
     def head_id(self) -> str:
         return self.graph.head_id
 
+    @property
+    def session_id(self) -> str:
+        """Which session's rows this session reads and writes in the
+        (possibly shared) store."""
+        return self.store.session_id
+
+    # -- write-ahead barrier -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Wait until every accepted commit is applied to the store.
+
+        A no-op for synchronous stores; against a write-ahead
+        :class:`~repro.service.queue.QueuedStore` this is the barrier
+        the service's durability contract is stated in terms of.
+        """
+        self.store.flush()
+
+    def drain(self) -> None:
+        """:meth:`flush`, then raise any asynchronous write failures."""
+        self.store.drain()
+
     # -- convenience ---------------------------------------------------------------
 
     def run_cell(self, cell, **kwargs) -> CellResult:

@@ -20,6 +20,7 @@ fallback-recomputation path is exercised.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.covariable import CoVarKey
@@ -54,7 +55,32 @@ class FaultInjectingStore(CheckpointStore):
         self.inner = inner
         self.script: FaultScript = (plan or FaultPlan.none()).script()
         self.op_log: List[str] = []
-        self.crashed = False
+        # Crash state is shared with every for_session() sibling view:
+        # one simulated disk died for all sessions at once.
+        self._crash_cell: List[bool] = [False]
+
+    @property
+    def crashed(self) -> bool:
+        return self._crash_cell[0]
+
+    @crashed.setter
+    def crashed(self, value: bool) -> None:
+        self._crash_cell[0] = value
+
+    @property
+    def session_id(self) -> str:  # type: ignore[override]
+        return self.inner.session_id
+
+    def for_session(self, session_id: str, **kwargs: Any) -> "FaultInjectingStore":
+        """A sibling wrapper over the inner store's session view, sharing
+        this wrapper's fault script, op log, and crash state — so one
+        fault plan spans the whole fleet."""
+        view = FaultInjectingStore.__new__(FaultInjectingStore)
+        view.inner = self.inner.for_session(session_id, **kwargs)
+        view.script = self.script
+        view.op_log = self.op_log
+        view._crash_cell = self._crash_cell
+        return view
 
     # -- gate ------------------------------------------------------------------
 
@@ -140,12 +166,136 @@ class FaultInjectingStore(CheckpointStore):
     def close(self) -> None:
         self.inner.close()
 
+    # -- ungated pass-throughs -------------------------------------------------
+    # Lock hygiene, barriers, and registry metadata are not storage I/O:
+    # they neither extend the kill-point universe nor consult the script.
+
+    def release_crashed_checkpoint(self) -> None:
+        self.inner.release_crashed_checkpoint()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def drain(self) -> None:
+        self.inner.drain()
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+    def list_sessions(self):
+        return self.inner.list_sessions()
+
+    def register_session(self, session_id: str, notebook_path: Optional[str] = None, *, status: str = "detached") -> None:
+        self.inner.register_session(session_id, notebook_path, status=status)
+
+    def rename_session(self, session_id: str, notebook_path: str) -> None:
+        self.inner.rename_session(session_id, notebook_path)
+
+    def set_session_status(self, session_id: str, status: str) -> None:
+        self.inner.set_session_status(session_id, status)
+
+    def has_session(self, session_id: str) -> bool:
+        return self.inner.has_session(session_id)
+
     # -- harness helpers -------------------------------------------------------
 
     def checkpoint_op_count(self) -> int:
         """Checkpoint-protocol operations attempted so far — the size of
         the kill-point universe when recorded under a fault-free plan."""
         return self.script.occurrences("checkpoint")
+
+
+class SlowStore(CheckpointStore):
+    """A store whose *writes* take a configurable wall-clock delay.
+
+    The benchmark companion to :class:`FaultInjectingStore`: the service
+    acceptance criterion is that ``commit()`` enqueue latency stays flat
+    while the background writer absorbs the injected delay, and this
+    wrapper is the injected delay. Reads are untouched.
+    """
+
+    def __init__(self, inner: CheckpointStore, write_delay: float) -> None:
+        self.inner = inner
+        self.write_delay = write_delay
+
+    def _stall(self) -> None:
+        if self.write_delay > 0:
+            time.sleep(self.write_delay)
+
+    @property
+    def session_id(self) -> str:  # type: ignore[override]
+        return self.inner.session_id
+
+    def for_session(self, session_id: str, **kwargs: Any) -> "SlowStore":
+        return SlowStore(self.inner.for_session(session_id, **kwargs), self.write_delay)
+
+    def write_node(self, node: StoredNode) -> None:
+        self._stall()
+        self.inner.write_node(node)
+
+    def write_payload(self, payload: StoredPayload) -> None:
+        self._stall()
+        self.inner.write_payload(payload)
+
+    def begin_checkpoint(self, node_id: str) -> None:
+        self.inner.begin_checkpoint(node_id)
+
+    def commit_checkpoint(self, node_id: str) -> None:
+        self._stall()
+        self.inner.commit_checkpoint(node_id)
+
+    def rollback_checkpoint(self, node_id: str) -> None:
+        self.inner.rollback_checkpoint(node_id)
+
+    @property
+    def in_checkpoint(self) -> bool:
+        return self.inner.in_checkpoint
+
+    def read_nodes(self) -> List[StoredNode]:
+        return self.inner.read_nodes()
+
+    def read_payload(self, node_id: str, key: CoVarKey) -> StoredPayload:
+        return self.inner.read_payload(node_id, key)
+
+    def payloads_of(self, node_id: str) -> List[StoredPayload]:
+        return self.inner.payloads_of(node_id)
+
+    def total_payload_bytes(self) -> int:
+        return self.inner.total_payload_bytes()
+
+    def recover(self) -> RecoveryReport:
+        report = self.inner.recover()
+        return self._record_recovery(report)
+
+    def release_crashed_checkpoint(self) -> None:
+        self.inner.release_crashed_checkpoint()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def drain(self) -> None:
+        self.inner.drain()
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+    def list_sessions(self):
+        return self.inner.list_sessions()
+
+    def register_session(self, session_id: str, notebook_path: Optional[str] = None, *, status: str = "detached") -> None:
+        self.inner.register_session(session_id, notebook_path, status=status)
+
+    def rename_session(self, session_id: str, notebook_path: str) -> None:
+        self.inner.rename_session(session_id, notebook_path)
+
+    def set_session_status(self, session_id: str, status: str) -> None:
+        self.inner.set_session_status(session_id, status)
+
+    def has_session(self, session_id: str) -> bool:
+        return self.inner.has_session(session_id)
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 class FaultInjectingSerializer:

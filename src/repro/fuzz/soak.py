@@ -15,6 +15,14 @@ the fleet, per-store byte growth, fault/retry counts, and the sampled
 oracle verdicts; :func:`run_soak` returns it as a JSON-safe dict — the
 ``BENCH_pr6_soak.json`` artifact (ISSUE 6 / ROADMAP "heavy-traffic soak
 harness").
+
+With ``service=True`` the fleet shares *one* store behind a
+:class:`~repro.service.SessionManager`: every worker commits through
+the write-ahead queue into its own session namespace, and the fault
+wrapper sits at the shared root so injected failures land in the
+background writer (poisoning that session's lane) as well as on reads.
+The report gains a ``service`` section with queue statistics and the
+final session registry.
 """
 
 from __future__ import annotations
@@ -54,6 +62,10 @@ class SoakConfig:
     store_dir: Optional[str] = None
     #: Inject a seed-deterministic fault plan into every session's store.
     faults: bool = True
+    #: Run the fleet through one shared store behind a
+    #: :class:`~repro.service.SessionManager` (write-ahead commit queue,
+    #: per-session namespacing) instead of per-session private stores.
+    service: bool = False
     #: Grammar the per-session programs are drawn from.
     grammar: FuzzConfig = field(default_factory=lambda: FuzzConfig(cells=1))
 
@@ -103,7 +115,10 @@ def percentile(samples: List[float], q: float) -> float:
 
 
 def _session_worker(
-    config: SoakConfig, index: int, result: SoakSessionResult
+    config: SoakConfig,
+    index: int,
+    result: SoakSessionResult,
+    manager: Optional[Any] = None,
 ) -> None:
     rng = random.Random(result.seed)
     grammar = FuzzConfig(
@@ -121,26 +136,40 @@ def _session_worker(
     kernel = NotebookKernel()
     truth: Dict[str, bytes] = {}
     committed: List[str] = []
+    session = None
+    session_id = f"s{index + 1:03d}"
 
     try:
-        if config.store == "sqlite":
-            assert config.store_dir is not None
-            store_path = os.path.join(config.store_dir, f"session-{index:03d}.db")
-            inner = SQLiteCheckpointStore(store_path)
-        else:
-            inner = InMemoryCheckpointStore()
-        plan = (
-            FaultPlan.random(
-                result.seed ^ 0x5A5A,
-                max_rules=3,
-                horizon=config.cells * 3,
-                kinds=("transient", "transient", "transient", "serialization", "permanent"),
+        if manager is not None:
+            # Service mode: the manager hands out a write-ahead view of
+            # the one shared store; faults (and their poisoned-lane
+            # fallout) arrive through the shared root wrapper.
+            session = manager.create(
+                session_id,
+                notebook_path=f"notebook-{index:03d}.ipynb",
+                kernel=kernel,
             )
-            if config.faults
-            else FaultPlan.none()
-        )
-        store = FaultInjectingStore(inner, plan)
-        session = KishuSession.init(kernel, store=store)
+        else:
+            if config.store == "sqlite":
+                assert config.store_dir is not None
+                store_path = os.path.join(
+                    config.store_dir, f"session-{index:03d}.db"
+                )
+                inner = SQLiteCheckpointStore(store_path)
+            else:
+                inner = InMemoryCheckpointStore()
+            plan = (
+                FaultPlan.random(
+                    result.seed ^ 0x5A5A,
+                    max_rules=3,
+                    horizon=config.cells * 3,
+                    kinds=("transient", "transient", "transient", "serialization", "permanent"),
+                )
+                if config.faults
+                else FaultPlan.none()
+            )
+            store = FaultInjectingStore(inner, plan)
+            session = KishuSession.init(kernel, store=store)
 
         for cell_index, cell in enumerate(program.cells):
             before = len(session.metrics)
@@ -170,6 +199,20 @@ def _session_worker(
     except Exception as exc:  # surface crashes as data, not thread death
         result.error = f"{type(exc).__name__}: {exc}"
     finally:
+        if manager is not None:
+            # Fleet-level fault counts live in the shared root wrapper
+            # (reported once in the service section, not per worker).
+            if session is not None:
+                try:
+                    result.payload_bytes = session.store.total_payload_bytes()
+                except Exception:
+                    pass
+                try:
+                    manager.detach(session_id)
+                except Exception:
+                    pass
+            result.store_file_bytes = result.payload_bytes
+            return
         if store is not None:
             result.faults_fired = len(store.script.fired)
         if inner is not None:
@@ -199,6 +242,31 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
     elif config.store == "sqlite" and config.store_dir is not None:
         os.makedirs(config.store_dir, exist_ok=True)
 
+    manager: Optional[Any] = None
+    root_store: Optional[FaultInjectingStore] = None
+    shared_path: Optional[str] = None
+    if config.service:
+        from repro.service import SessionManager
+
+        if config.store == "sqlite":
+            assert config.store_dir is not None
+            shared_path = os.path.join(config.store_dir, "shared.db")
+            base: Any = SQLiteCheckpointStore(shared_path)
+        else:
+            base = InMemoryCheckpointStore()
+        plan = (
+            FaultPlan.random(
+                config.seed ^ 0xA5A5,
+                max_rules=3,
+                horizon=config.sessions * config.cells * 3,
+                kinds=("transient", "transient", "transient", "serialization", "permanent"),
+            )
+            if config.faults
+            else FaultPlan.none()
+        )
+        root_store = FaultInjectingStore(base, plan)
+        manager = SessionManager(root_store)
+
     results = [
         SoakSessionResult(index=i, seed=config.seed * 7919 + i)
         for i in range(config.sessions)
@@ -207,7 +275,7 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
     threads = [
         threading.Thread(
             target=_session_worker,
-            args=(config, i, results[i]),
+            args=(config, i, results[i], manager),
             name=f"soak-{i}",
             daemon=True,
         )
@@ -218,6 +286,30 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - started
+
+    service_report: Optional[Dict[str, Any]] = None
+    if manager is not None:
+        assert root_store is not None
+        queue_stats = manager.queue.stats() if manager.queue is not None else {}
+        registry = [
+            {
+                "session_id": record.session_id,
+                "status": record.status,
+                "checkpoints": record.checkpoints,
+            }
+            for record in manager.list()
+        ]
+        manager.close()
+        service_report = {
+            "queue": queue_stats,
+            "registry": registry,
+            "faults_fired": len(root_store.script.fired),
+            "shared_file_bytes": (
+                os.path.getsize(shared_path)
+                if shared_path is not None and os.path.exists(shared_path)
+                else sum(r.payload_bytes for r in results)
+            ),
+        }
     if tmpdir is not None:
         tmpdir.cleanup()
 
@@ -233,7 +325,7 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
             "max_ms": round(max(samples), 4) if samples else 0.0,
         }
 
-    return {
+    report: Dict[str, Any] = {
         "config": config.to_dict(),
         "sessions": config.sessions,
         "wall_seconds": round(wall, 3),
@@ -256,3 +348,6 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
         "commits": sum(r.commits for r in results),
         "worker_errors": [r.error for r in results if r.error],
     }
+    if service_report is not None:
+        report["service"] = service_report
+    return report

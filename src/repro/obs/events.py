@@ -49,6 +49,29 @@ class EventType:
     COMMIT = "commit"
     #: A checkout completed; fields: target, loads, recomputes, deletes.
     CHECKOUT = "checkout"
+    #: A store closed with a checkpoint still open and rolled it back
+    #: instead of abandoning it; fields: node, session.
+    CHECKPOINT_ROLLED_BACK_ON_CLOSE = "checkpoint_rolled_back_on_close"
+    #: A commit entered the write-ahead queue; fields: node, session, depth.
+    COMMIT_ENQUEUED = "commit_enqueued"
+    #: The background writer flushed a batch; fields: batch_size, sessions.
+    QUEUE_BATCH_WRITTEN = "queue_batch_written"
+    #: A queued commit permanently failed to persist; fields: node,
+    #: session, error.
+    QUEUE_WRITE_FAILED = "queue_write_failed"
+    #: The background writer died (simulated crash or fatal error);
+    #: fields: error, pending.
+    QUEUE_WRITER_CRASHED = "queue_writer_crashed"
+    #: A session joined the registry; fields: session, notebook_path.
+    SESSION_REGISTERED = "session_registered"
+    #: A session attached/resumed through the service; fields: session,
+    #: checkpoints.
+    SESSION_ATTACHED = "session_attached"
+    #: A session detached from the service; fields: session.
+    SESSION_DETACHED = "session_detached"
+    #: A session migrated to a new notebook path; fields: session,
+    #: notebook_path.
+    SESSION_RENAMED = "session_renamed"
 
     ALL = (
         REPLAY_PLAN_DECLINED,
@@ -63,6 +86,15 @@ class EventType:
         REPLAY_ERROR_TOLERATED,
         COMMIT,
         CHECKOUT,
+        CHECKPOINT_ROLLED_BACK_ON_CLOSE,
+        COMMIT_ENQUEUED,
+        QUEUE_BATCH_WRITTEN,
+        QUEUE_WRITE_FAILED,
+        QUEUE_WRITER_CRASHED,
+        SESSION_REGISTERED,
+        SESSION_ATTACHED,
+        SESSION_DETACHED,
+        SESSION_RENAMED,
     )
 
 

@@ -1,0 +1,18 @@
+"""repro.service — multi-session checkpoint service (DESIGN.md §13).
+
+One shared durable store, many concurrent notebook sessions:
+
+* :class:`~repro.service.manager.SessionManager` — the front door: a
+  session registry with create/attach/detach/resume/rename over
+  per-session store handles.
+* :class:`~repro.service.queue.CommitQueue` — the write-ahead commit
+  queue; a single background writer thread owns batching, fsync policy,
+  and retry, so a slow or faulting disk never blocks cell execution.
+* :class:`~repro.service.queue.QueuedStore` — the session-scoped
+  store handle that turns ``commit()`` into "enqueue delta".
+"""
+
+from repro.service.manager import SessionManager
+from repro.service.queue import CommitQueue, QueuedStore
+
+__all__ = ["CommitQueue", "QueuedStore", "SessionManager"]

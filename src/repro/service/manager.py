@@ -1,0 +1,246 @@
+"""SessionManager: many concurrent ``KishuSession``s over one shared store.
+
+The manager is the service front door (DESIGN.md §13): it owns the root
+store handle, one :class:`~repro.service.queue.CommitQueue`, and the
+session registry semantics —
+
+* ``create`` — register a new session (optionally bound to a notebook
+  path) and attach a live :class:`~repro.core.session.KishuSession`;
+* ``resume`` — blind reconnect: rebuild Friday's checkpoint graph from
+  the store on Monday and reattach with full history intact;
+* ``attach`` — return the live session or resume it;
+* ``detach`` — unhook from the kernel, flush the session's commit lane,
+  and mark it dormant in the registry;
+* ``rename`` — the rename catastrophe, fixed: session identity is the
+  session id, the notebook path is mutable registry metadata, so a
+  live session migrates to a new path mid-history without losing it.
+
+Every session gets its own store handle (a
+:class:`~repro.service.queue.QueuedStore` unless the queue is disabled),
+so concurrent kernels share the backend through the per-session
+namespacing in the store schema and the one background writer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.retry import RetryPolicy
+from repro.core.session import KishuSession
+from repro.core.storage import (
+    CheckpointStore,
+    InMemoryCheckpointStore,
+    SessionRecord,
+)
+from repro.errors import StorageError
+from repro.kernel.kernel import NotebookKernel
+from repro.obs import EventType, Observer
+from repro.service.queue import CommitQueue
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Fronts many concurrent sessions over one shared checkpoint store."""
+
+    def __init__(
+        self,
+        store: Optional[CheckpointStore] = None,
+        *,
+        observer: Optional[Observer] = None,
+        retry: Optional[RetryPolicy] = None,
+        queue: bool = True,
+        max_batch: int = 8,
+        max_depth: int = 256,
+        fsync: str = "per_commit",
+        session_defaults: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.store = store if store is not None else InMemoryCheckpointStore()
+        self.observer = observer if observer is not None else Observer()
+        self.store.observer = self.observer
+        self.queue: Optional[CommitQueue] = (
+            CommitQueue(
+                self.store,
+                retry=retry,
+                observer=self.observer,
+                max_batch=max_batch,
+                max_depth=max_depth,
+                fsync=fsync,
+            )
+            if queue
+            else None
+        )
+        self._session_defaults = dict(session_defaults or {})
+        self._sessions: Dict[str, KishuSession] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- store handles ---------------------------------------------------------
+
+    def session_store(
+        self, session_id: str, notebook_path: Optional[str] = None
+    ) -> CheckpointStore:
+        """A session-scoped store handle: write-ahead when the queue is
+        on, the raw shared view otherwise."""
+        view = self.store.for_session(session_id, notebook_path=notebook_path)
+        if self.queue is None:
+            return view
+        from repro.service.queue import QueuedStore
+
+        return QueuedStore(view, self.queue)
+
+    # -- registry semantics ----------------------------------------------------
+
+    def create(
+        self,
+        session_id: Optional[str] = None,
+        *,
+        notebook_path: Optional[str] = None,
+        kernel: Optional[NotebookKernel] = None,
+        **session_kwargs: object,
+    ) -> KishuSession:
+        """Register a brand-new session and attach it live."""
+        with self._lock:
+            self._check_open_locked()
+            sid = session_id if session_id is not None else self._next_id_locked()
+            if sid in self._sessions:
+                raise StorageError(f"session {sid!r} is already attached")
+            if session_id is not None and self.store.has_session(sid):
+                raise StorageError(
+                    f"session {sid!r} already exists; resume it instead"
+                )
+        store = self.session_store(sid, notebook_path)
+        session = KishuSession.init(
+            kernel if kernel is not None else NotebookKernel(),
+            store=store,
+            **{**self._session_defaults, **session_kwargs},  # type: ignore[arg-type]
+        )
+        with self._lock:
+            self._sessions[sid] = session
+        self.store.set_session_status(sid, "active")
+        self.observer.event(
+            EventType.SESSION_REGISTERED, session=sid, notebook_path=notebook_path
+        )
+        return session
+
+    def resume(
+        self,
+        session_id: str,
+        *,
+        kernel: Optional[NotebookKernel] = None,
+        **session_kwargs: object,
+    ) -> KishuSession:
+        """Blind reconnect: rebuild the session's graph from the store and
+        reattach to a fresh kernel with history intact."""
+        with self._lock:
+            self._check_open_locked()
+            if session_id in self._sessions:
+                raise StorageError(f"session {session_id!r} is already attached")
+        if not self.store.has_session(session_id):
+            raise StorageError(f"unknown session {session_id!r}")
+        store = self.session_store(session_id)
+        session = KishuSession.resume(
+            kernel if kernel is not None else NotebookKernel(),
+            store,
+            **{**self._session_defaults, **session_kwargs},  # type: ignore[arg-type]
+        )
+        with self._lock:
+            self._sessions[session_id] = session
+        self.store.set_session_status(session_id, "active")
+        self.observer.event(
+            EventType.SESSION_ATTACHED,
+            session=session_id,
+            checkpoints=len(store.read_nodes()),
+        )
+        return session
+
+    def attach(self, session_id: str, **kwargs: object) -> KishuSession:
+        """The live session if attached, otherwise :meth:`resume`."""
+        with self._lock:
+            live = self._sessions.get(session_id)
+        if live is not None:
+            return live
+        return self.resume(session_id, **kwargs)  # type: ignore[arg-type]
+
+    def detach(self, session_id: str) -> None:
+        """Unhook from the kernel, flush the commit lane, mark dormant."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise StorageError(f"session {session_id!r} is not attached")
+        session.detach()
+        try:
+            session.store.flush()
+        except StorageError:
+            pass
+        self.store.set_session_status(session_id, "detached")
+        self.observer.event(EventType.SESSION_DETACHED, session=session_id)
+
+    def rename(self, session_id: str, notebook_path: str) -> None:
+        """Migrate a session — live or dormant — to a new notebook path.
+
+        History rides along: identity is the session id, so nothing in
+        the checkpoint graph or store needs rewriting.
+        """
+        self.store.rename_session(session_id, notebook_path)
+        self.observer.event(
+            EventType.SESSION_RENAMED, session=session_id, notebook_path=notebook_path
+        )
+
+    def get(self, session_id: str) -> Optional[KishuSession]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def list(self, *, status: Optional[str] = None) -> List[SessionRecord]:
+        records = self.store.list_sessions()
+        if status is not None:
+            records = [record for record in records if record.status == status]
+        return records
+
+    def attached_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    # -- barriers --------------------------------------------------------------
+
+    def flush(self) -> None:
+        if self.queue is not None:
+            self.queue.flush()
+
+    def drain(self) -> None:
+        if self.queue is not None:
+            self.queue.drain()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _check_open_locked(self) -> None:
+        if self._closed:
+            raise StorageError("session manager is closed")
+
+    def _next_id_locked(self) -> str:
+        n = len(self.store.list_sessions()) + 1
+        while self.store.has_session(f"s{n}") or f"s{n}" in self._sessions:
+            n += 1
+        return f"s{n}"
+
+    def close(self) -> None:
+        """Detach every live session, stop the writer (draining first),
+        and close the shared store."""
+        if self._closed:
+            return
+        self._closed = True
+        for session_id in list(self.attached_ids()):
+            try:
+                self.detach(session_id)
+            except StorageError:
+                pass
+        if self.queue is not None:
+            self.queue.stop(drain=True)
+        self.store.close()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,138 @@
+"""``repro sessions`` — the multi-session store's CLI surface.
+
+``list`` renders the session registry (filterable, JSON-able),
+``rename`` performs the rename-catastrophe fix from the terminal, and
+``resume`` reattaches a REPL to one session's history by id — the
+blind-reconnect path, driven end to end through scripted stdin.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro.cli import sessions_main
+from repro.core.storage import SQLiteCheckpointStore
+from repro.service import SessionManager
+
+
+def run(argv, stdin=None):
+    out, err = io.StringIO(), io.StringIO()
+    if stdin is not None:
+        original = sys.stdin
+        sys.stdin = io.StringIO(stdin)
+        try:
+            code = sessions_main(argv, stdout=out, stderr=err)
+        finally:
+            sys.stdin = original
+    else:
+        code = sessions_main(argv, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+@pytest.fixture()
+def fleet_store(tmp_path):
+    """A durable store holding two sessions with history."""
+    path = str(tmp_path / "fleet.db")
+    with SessionManager(SQLiteCheckpointStore(path)) as manager:
+        alice = manager.create("alice", notebook_path="alice.ipynb")
+        alice.run_cell("x = 1")
+        alice.run_cell("y = x + 1")
+        bob = manager.create("bob", notebook_path="bob.ipynb")
+        bob.run_cell("z = 'hi'")
+    return path
+
+
+class TestSessionsList:
+    def test_lists_registry(self, fleet_store):
+        code, out, err = run(["list", "--store", fleet_store])
+        assert code == 0 and err == ""
+        assert "alice" in out and "alice.ipynb" in out
+        assert "bob" in out and "2 checkpoint(s)" in out
+
+    def test_json_output(self, fleet_store):
+        code, out, err = run(["list", "--store", fleet_store, "--json"])
+        assert code == 0
+        records = {r["session_id"]: r for r in json.loads(out)}
+        assert records["alice"]["checkpoints"] == 2
+        assert records["bob"]["notebook_path"] == "bob.ipynb"
+        assert records["alice"]["status"] == "detached"
+
+    def test_status_filter(self, fleet_store):
+        code, out, _ = run(
+            ["list", "--store", fleet_store, "--status", "active"]
+        )
+        assert code == 0
+        assert out == "no sessions\n"
+
+    def test_hides_own_empty_handle_row(self, fleet_store):
+        """The read-only open self-registers a 'default' handle; the
+        listing must not show that empty artifact."""
+        code, out, _ = run(["list", "--store", fleet_store])
+        assert code == 0
+        assert "default" not in out
+
+    def test_missing_store_fails(self, tmp_path):
+        code, out, err = run(["list", "--store", str(tmp_path / "nope.db")])
+        assert code == 2
+        assert "store not found" in err
+        assert out == ""
+
+
+class TestSessionsRename:
+    def test_renames_notebook_path(self, fleet_store):
+        code, out, _ = run(
+            ["rename", "--store", fleet_store, "alice", "renamed.ipynb"]
+        )
+        assert code == 0
+        assert "renamed alice -> renamed.ipynb" in out
+        _, out, _ = run(["list", "--store", fleet_store, "--json"])
+        records = {r["session_id"]: r for r in json.loads(out)}
+        assert records["alice"]["notebook_path"] == "renamed.ipynb"
+        assert records["alice"]["checkpoints"] == 2  # history intact
+
+    def test_unknown_session_fails(self, fleet_store):
+        code, _, err = run(
+            ["rename", "--store", fleet_store, "ghost", "x.ipynb"]
+        )
+        assert code == 2
+        assert "unknown session" in err
+
+
+class TestSessionsResume:
+    def test_resume_reattaches_history(self, fleet_store):
+        code, out, err = run(
+            ["resume", "--store", fleet_store, "alice"],
+            stdin="%log\n%vars\n%quit\n",
+        )
+        assert code == 0, err
+        assert "resumed durable session at t2 (2 checkpoint(s))" in out
+        assert "y = x + 1" in out  # %log shows the history
+        assert "x: int" in out and "y: int" in out  # state restored
+
+    def test_resume_marks_status_active_then_detached(self, fleet_store):
+        run(["resume", "--store", fleet_store, "alice"], stdin="%quit\n")
+        _, out, _ = run(["list", "--store", fleet_store, "--json"])
+        records = {r["session_id"]: r for r in json.loads(out)}
+        assert records["alice"]["status"] == "detached"
+
+    def test_resume_can_extend_history(self, fleet_store):
+        code, out, _ = run(
+            ["resume", "--store", fleet_store, "alice"],
+            stdin="w = y * 10\n%quit\n",
+        )
+        assert code == 0
+        _, out, _ = run(["list", "--store", fleet_store, "--json"])
+        records = {r["session_id"]: r for r in json.loads(out)}
+        assert records["alice"]["checkpoints"] == 3
+        assert records["bob"]["checkpoints"] == 1  # untouched
+
+    def test_unknown_session_lists_known(self, fleet_store):
+        code, out, err = run(["resume", "--store", fleet_store, "ghost"])
+        assert code == 2
+        assert "unknown session: ghost" in err
+        assert "alice" in err and "bob" in err
+        assert out == ""

@@ -100,3 +100,52 @@ class TestRunSoak:
         )
         assert result["faults"]["fired"] == 0
         assert result["faults"]["storage_errors"] == 0
+
+
+class TestServiceMode:
+    def test_shared_store_fleet_report(self, tmp_path):
+        result = run_soak(
+            SoakConfig(
+                sessions=3,
+                cells=6,
+                store="sqlite",
+                store_dir=str(tmp_path),
+                checkout_every=2,
+                service=True,
+            )
+        )
+        # One shared database, not per-session files.
+        assert sorted(os.listdir(tmp_path)) == ["shared.db"]
+        service = result["service"]
+        queue = service["queue"]
+        assert queue["enqueued"] >= queue["written"] > 0
+        assert not queue["crashed"]
+        registry = {r["session_id"]: r for r in service["registry"]}
+        for i in range(3):
+            record = registry[f"s{i + 1:03d}"]
+            assert record["status"] == "detached"
+            assert record["checkpoints"] > 0
+        assert service["shared_file_bytes"] > 0
+        assert result["oracle"]["failures"] == 0
+        assert result["worker_errors"] == []
+
+    def test_service_memory_fleet(self):
+        result = run_soak(
+            SoakConfig(sessions=2, cells=5, store="memory", service=True)
+        )
+        queue = result["service"]["queue"]
+        # Clean shutdown drains the queue: every accepted commit either
+        # landed or was recorded as a write failure, none lost.
+        assert queue["written"] + queue["write_failures"] == queue["enqueued"]
+        assert result["oracle"]["failures"] == 0
+        assert result["worker_errors"] == []
+
+    def test_service_faults_reported_at_fleet_level(self):
+        result = run_soak(
+            SoakConfig(sessions=4, cells=8, store="memory", seed=1, service=True)
+        )
+        # Per-worker fault counters stay zero (the wrapper is shared);
+        # the service section owns the fleet-level count.
+        assert result["faults"]["fired"] == 0
+        assert result["service"]["faults_fired"] >= 0
+        assert result["oracle"]["failures"] == 0

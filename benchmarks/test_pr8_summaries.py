@@ -1,0 +1,237 @@
+"""Interprocedural-summary benchmark (ISSUE 8 CI artifact).
+
+Runs a helper-heavy notebook workload twice — once with the
+interprocedural summary layer enabled (``use_summaries=True``, the
+default) and once with it disabled (the PR 3/4 intraprocedural
+baseline) — and writes ``BENCH_pr8_summaries.json`` with three
+comparisons:
+
+* **Escalation rate.** Without summaries every helper definition whose
+  body hides a ``global`` store surfaces an escape at the def cell and
+  escalates it to check-all detection; with summaries the escape is
+  deferred into the function summary and the hidden store is
+  compensated via summary-informed record completion, so the same
+  cells commit on the targeted path.
+* **Replayed-cell count.** Static replay plans for a set of target
+  names. Without summaries the opaque def cells widen every plan that
+  crosses them *and* mark it unsafe; an unsafe plan cannot be trusted
+  (the replay engine itself declines them at checkout), so its
+  effective cost is a full re-execution of the prefix. With summaries
+  the def cells are clean and the def-use edges through helper calls
+  are tight, so plans stay minimal and safe.
+* **Checkout fallbacks.** A workload whose generator-carrying
+  co-variables can never be stored forces the restore path to
+  reconstruct them: with summaries the engine executes its (safe)
+  minimal plans; without, every plan is declined as unsafe and the
+  legacy record-driven recursion runs instead.
+
+The artifact also carries a ``func-heavy`` fuzz campaign
+(``REPRO_FUZZ_ITERATIONS`` iterations, default 500) whose checkout
+oracle must report zero divergences — the soundness gate that makes
+the de-escalation numbers above meaningful. Results land in
+``REPRO_BENCH_JSON`` (default ``BENCH_pr8_summaries.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.dataflow import NotebookDataflowGraph, ReplayPlanner
+from repro.core.session import KishuSession
+from repro.fuzz.grammar import profile
+from repro.fuzz.oracle import run_fuzz_iteration
+from repro.kernel.kernel import NotebookKernel
+
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr8_summaries.json")
+N_FUZZ_ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERATIONS", "500"))
+
+# A notebook that factors its work through helpers, the shape the
+# summary layer exists for: two hidden-global-store helpers, one
+# argument mutator, one pure helper, and data/derivation cells between
+# the defs so replay plans have to cross the helper definitions.
+WORKLOAD = [
+    "raw = [3, 1, 4, 1, 5, 9, 2, 6]",
+    "def tally(xs):\n"
+    "    global total\n"
+    "    total = sum(xs)\n"
+    "    return total\n",
+    "def record(entry):\n"
+    "    global audit\n"
+    "    audit = audit + [entry]\n"
+    "    return len(audit)\n",
+    "audit = []",
+    "t = tally(raw)",
+    "n1 = record('tallied')",
+    "def push(xs, item):\n"
+    "    xs.append(item)\n"
+    "    return xs\n",
+    "push(raw, 7)",
+    "def normalize(xs, total):\n"
+    "    return [x / total for x in xs]\n",
+    "t2 = tally(raw)",
+    "norm = normalize(raw, t2)",
+    "n2 = record('normalized')",
+    "spread = max(norm) - min(norm)",
+    "report = f'{n2} events, spread {spread:.3f}'",
+]
+
+# (target names, chain index) pairs the replay comparison plans for —
+# a mix of tail artifacts, mid-notebook intermediates, and a name only
+# hidden stores produce.
+PLAN_TARGETS = [
+    (("report",), len(WORKLOAD) - 1),
+    (("spread",), len(WORKLOAD) - 2),
+    (("norm",), 10),
+    (("total",), 9),
+    (("audit", "n2"), 11),
+    (("t",), 4),
+]
+
+# Same helpers, but the derived co-variables carry generators, which no
+# pickler in the chain can serialize — every checkout of a state
+# containing them must take the replay path.
+CHECKOUT_WORKLOAD = [
+    "raw = [3, 1, 4, 1, 5, 9, 2, 6]",
+    "def tally(xs):\n"
+    "    global total\n"
+    "    total = sum(xs)\n"
+    "    return total\n",
+    "def record(entry):\n"
+    "    global audit\n"
+    "    audit = audit + [entry]\n"
+    "    return len(audit)\n",
+    "audit = []",
+    "t = tally(raw)",
+    "n1 = record('tallied')",
+    "g1 = (x * x for x in raw)\nv1 = next(g1)",
+    "g2 = (x + v1 for x in raw)\nv2 = next(g2)",
+    "g3 = (x - v2 for x in raw)\nv3 = next(g3)",
+    "n2 = record('derived')",
+]
+
+
+def _run_session(cells, use_summaries, checkout_targets=()):
+    """Execute ``cells`` in a fresh session; optionally bounce the head
+    through ``checkout_targets`` (indices into the commit list)."""
+    kernel = NotebookKernel()
+    session = KishuSession.init(kernel, use_summaries=use_summaries)
+    heads = []
+    for cell in cells:
+        kernel.run_cell(cell)
+        heads.append(session.head_id)
+    for index in checkout_targets:
+        session.checkout(heads[index])
+    legacy_replays = sum(
+        1
+        for span in session.observer.tracer.all_spans()
+        if span.name == "replay.legacy"
+    )
+    stats = session.analysis_stats
+    plans = session.plan_stats
+    return {
+        "cells": len(cells),
+        "escalations": stats.escalations,
+        "escalation_rate": round(stats.escalations / len(cells), 4),
+        "summary_deescalations": stats.summary_deescalations,
+        "summary_expansions": stats.summary_expansions,
+        "engine_cells_replayed": plans.cells_replayed,
+        "engine_unsafe_plans": plans.unsafe_plans,
+        "legacy_replays": legacy_replays,
+    }
+
+
+def _plan_comparison(use_summaries):
+    """Static replay plans over the workload, with the effective cost
+    convention the restore path enforces: an unsafe plan is declined,
+    so its effective cost is re-executing the whole prefix."""
+    graph = NotebookDataflowGraph.from_sources(
+        WORKLOAD, use_summaries=use_summaries
+    )
+    planner = ReplayPlanner(graph)
+    plans = []
+    for names, index in PLAN_TARGETS:
+        plan = planner.plan(names, index)
+        effective = plan.cells_replayed if plan.is_safe else plan.total_cells
+        plans.append(
+            {
+                "targets": list(names),
+                "at_index": index,
+                "cells_replayed": plan.cells_replayed,
+                "safe": plan.is_safe,
+                "effective_cells": effective,
+            }
+        )
+    return {
+        "plans": plans,
+        "total_effective_cells": sum(p["effective_cells"] for p in plans),
+        "unsafe_plans": sum(1 for p in plans if not p["safe"]),
+    }
+
+
+def _fuzz_campaign(iterations):
+    config = profile("func-heavy", cells=15, branch_cells=4)
+    divergent = []
+    commits_checked = 0
+    checkouts = 0
+    escalations = 0
+    for seed in range(iterations):
+        _, report = run_fuzz_iteration(seed, config)
+        commits_checked += report.commits_checked
+        checkouts += report.checkouts
+        escalations += report.escalations
+        if report.divergences:
+            divergent.append(seed)
+    return {
+        "profile": "func-heavy",
+        "iterations": iterations,
+        "commits_checked": commits_checked,
+        "checkouts": checkouts,
+        "escalations": escalations,
+        "divergent_seeds": divergent,
+        "divergences": len(divergent),
+    }
+
+
+def test_summary_benchmark_and_artifact():
+    escalation = {
+        "summaries_on": _run_session(WORKLOAD, True),
+        "summaries_off": _run_session(WORKLOAD, False),
+    }
+    replay = {
+        "summaries_on": _plan_comparison(True),
+        "summaries_off": _plan_comparison(False),
+    }
+    bounce = (3, len(CHECKOUT_WORKLOAD) - 1, 6, len(CHECKOUT_WORKLOAD) - 1)
+    checkout = {
+        "summaries_on": _run_session(CHECKOUT_WORKLOAD, True, bounce),
+        "summaries_off": _run_session(CHECKOUT_WORKLOAD, False, bounce),
+    }
+    campaign = _fuzz_campaign(N_FUZZ_ITERATIONS)
+
+    # Hard gates — the ISSUE 8 acceptance criteria.
+    assert campaign["divergences"] == 0, campaign["divergent_seeds"]
+    assert N_FUZZ_ITERATIONS < 500 or campaign["iterations"] >= 500
+    on, off = escalation["summaries_on"], escalation["summaries_off"]
+    assert on["escalations"] < off["escalations"]
+    assert on["escalation_rate"] < off["escalation_rate"]
+    assert on["summary_deescalations"] > 0
+    p_on, p_off = replay["summaries_on"], replay["summaries_off"]
+    assert p_on["total_effective_cells"] < p_off["total_effective_cells"]
+    assert p_on["unsafe_plans"] == 0 and p_off["unsafe_plans"] > 0
+    c_on, c_off = checkout["summaries_on"], checkout["summaries_off"]
+    # With summaries the engine's safe minimal plans carry the restore;
+    # without, every plan is declined and legacy recursion runs.
+    assert c_on["engine_unsafe_plans"] == 0 and c_on["legacy_replays"] == 0
+    assert c_off["engine_cells_replayed"] == 0 and c_off["legacy_replays"] > 0
+
+    result = {
+        "workload_cells": len(WORKLOAD),
+        "escalation": escalation,
+        "replay_plans": replay,
+        "checkout_fallbacks": checkout,
+        "fuzz_campaign": campaign,
+    }
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -12,7 +12,11 @@ A standalone static-analysis subsystem over notebook cells:
   escalating cells whose access records cannot be trusted;
 * :class:`ReadOnlyCellAnalyzer` / :data:`GLOBAL_PURITY` — the §6.2
   read-only cell rule, now with user-registerable purity whitelists
-  (``repro.core.rules`` re-exports these for backward compatibility).
+  (``repro.core.rules`` re-exports these for backward compatibility);
+* :class:`NotebookSummaries` / :class:`FunctionSummary` — interprocedural
+  function-effect summaries (DESIGN.md §14): a per-notebook call graph
+  with fixpoint effect propagation, versioned per cell and invalidated on
+  rebind, expanded at call sites by :func:`analyze_cell`.
 """
 
 from repro.analysis.crossval import CrossValidator, ValidationOutcome
@@ -54,6 +58,14 @@ from repro.analysis.rules import (
     RuleRegistry,
     Severity,
 )
+from repro.analysis.summaries import (
+    FunctionSummary,
+    InvalidationRecord,
+    NotebookSummaries,
+    SummaryView,
+    extract_cell_summaries,
+    resolve_summaries,
+)
 from repro.analysis.visitor import EffectVisitor, analyze_cell, parse_cell
 
 __all__ = [
@@ -66,7 +78,9 @@ __all__ = [
     "Escape",
     "EscapeKind",
     "Finding",
+    "FunctionSummary",
     "GLOBAL_PURITY",
+    "InvalidationRecord",
     "JsonReporter",
     "LintContext",
     "LintEngine",
@@ -74,6 +88,7 @@ __all__ = [
     "NotebookContext",
     "NotebookDataflowGraph",
     "NotebookLintRule",
+    "NotebookSummaries",
     "PURE_BUILTINS",
     "PURE_METHODS",
     "PlanStep",
@@ -86,13 +101,16 @@ __all__ = [
     "Severity",
     "Span",
     "StoredVersion",
+    "SummaryView",
     "TextReporter",
     "ValidationOutcome",
     "analyze_cell",
     "default_notebook_rules",
+    "extract_cell_summaries",
     "finding_to_dict",
     "make_cell_node",
     "parse_cell",
+    "resolve_summaries",
     "split_script_cells",
     "worst_severity",
 ]

@@ -78,6 +78,14 @@ class CrossValidator:
             kinds = sorted({escape.kind.value for escape in effects.escapes})
             reasons.extend(f"escape:{kind}" for kind in kinds)
 
+        # Interprocedural summary bookkeeping (DESIGN.md §14). Deferred
+        # escapes live in function summaries instead of the cell's escape
+        # list; they resurface at call sites, so their presence here does
+        # not force an escalation.
+        self.stats.summary_expansions += effects.summary_expansions
+        self.stats.summary_unknown_calls += effects.summary_unknown_calls
+        self.stats.summary_deferred_escapes += len(effects.deferred_escapes)
+
         # Lemma 1 check: every definite static access must have been
         # observed by the patched namespace. (Conditional accesses may
         # legitimately not have executed, so only definite ones count.)
@@ -94,6 +102,11 @@ class CrossValidator:
         escalate = bool(effects.escapes or effects.opaque_writes or missing)
         if escalate:
             self.stats.escalations += 1
+        elif effects.deferred_escapes:
+            # The intraprocedural analysis would have escalated this cell
+            # for the escapes inside its function bodies; deferral into
+            # summaries is exactly what spared it.
+            self.stats.summary_deescalations += 1
         return ValidationOutcome(
             escalate=escalate, reasons=tuple(reasons), missing=missing
         )

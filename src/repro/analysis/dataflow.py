@@ -46,6 +46,7 @@ import builtins
 import enum
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -60,6 +61,9 @@ from typing import (
 
 from repro.analysis.effects import CellEffects, Span
 from repro.analysis.visitor import analyze_cell
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken by lazy import
+    from repro.analysis.summaries import NotebookSummaries, SummaryView
 
 __all__ = [
     "CellNode",
@@ -226,7 +230,9 @@ def _base_name(node: ast.expr) -> Optional[str]:
     return None
 
 
-def in_place_mutation_targets(module: ast.Module) -> FrozenSet[str]:
+def in_place_mutation_targets(
+    module: ast.Module, *, skip_function_bodies: bool = False
+) -> FrozenSet[str]:
     """Names through which a cell may mutate an object without rebinding.
 
     Captures subscript/attribute stores and deletes (``x[0] = v``,
@@ -235,9 +241,31 @@ def in_place_mutation_targets(module: ast.Module) -> FrozenSet[str]:
     (``x.append(v)``). This over-approximates — a pure custom ``append``
     is still captured — which is the sound direction for replay planning:
     a possible mutator is included in the plan, never dropped.
+
+    With ``skip_function_bodies`` (summary mode), mutations inside
+    function/lambda bodies are excluded: they happen at call time and are
+    attributed to call sites through the callee's
+    :class:`~repro.analysis.summaries.FunctionSummary` instead of
+    spuriously marking the defining cell a mutator.
     """
     mutated: Set[str] = set()
-    for node in ast.walk(module):
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if skip_function_bodies and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                # Decorators and default values still evaluate at def time.
+                for decorator in getattr(child, "decorator_list", []):
+                    walk(decorator)
+                for default in list(child.args.defaults) + [
+                    d for d in child.args.kw_defaults if d is not None
+                ]:
+                    walk(default)
+                continue
+            visit(child)
+
+    def visit(node: ast.AST) -> None:
         if isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
             node.ctx, (ast.Store, ast.Del)
         ):
@@ -255,6 +283,9 @@ def in_place_mutation_targets(module: ast.Module) -> FrozenSet[str]:
                 name = _base_name(node.func.value)
                 if name is not None:
                     mutated.add(name)
+        walk(node)
+
+    walk(module)
     return frozenset(mutated)
 
 
@@ -310,9 +341,18 @@ def make_cell_node(
     label: Optional[str] = None,
     execution_count: int = 0,
     node_id: Optional[str] = None,
+    summaries: "Optional[SummaryView]" = None,
 ) -> CellNode:
-    """Analyze one cell source into a :class:`CellNode`."""
-    effects = analyze_cell(source)
+    """Analyze one cell source into a :class:`CellNode`.
+
+    With ``summaries`` the analysis is interprocedural: calls to
+    summarized helpers contribute their global reads (call-time-eager,
+    so they join ``external_reads`` rather than the planner's lazy set)
+    and their mutations (of globals and of global arguments), while
+    mutations *inside* summarizable function bodies stop being
+    attributed to the defining cell.
+    """
+    effects = analyze_cell(source, summaries)
     external: FrozenSet[str] = frozenset()
     mutators: FrozenSet[str] = frozenset()
     if effects.syntax_error is None:
@@ -322,7 +362,12 @@ def make_cell_node(
             module = None
         if module is not None:
             external = ordered_external_reads(module)
-            mutators = in_place_mutation_targets(module)
+            mutators = in_place_mutation_targets(
+                module, skip_function_bodies=summaries is not None
+            )
+            if summaries is not None:
+                external = frozenset(external | effects.summary_reads)
+                mutators = frozenset(mutators | effects.summary_mutations)
     return CellNode(
         index=index,
         label=label if label is not None else f"cell[{index}]",
@@ -454,6 +499,9 @@ class NotebookDataflowGraph:
                     "cells must be supplied in execution order with "
                     "contiguous indices"
                 )
+        #: The function-summary table used to analyze the cells, when the
+        #: graph was built with ``from_sources(use_summaries=True)``.
+        self.summaries: "Optional[NotebookSummaries]" = None
         self._events: Dict[str, _NameEvents] = {}
         self._escape_cells: List[int] = []
         self._build_events()
@@ -466,22 +514,42 @@ class NotebookDataflowGraph:
         *,
         labels: Optional[Sequence[str]] = None,
         execution_counts: Optional[Sequence[int]] = None,
+        use_summaries: bool = False,
     ) -> "NotebookDataflowGraph":
+        """Build the graph from cell sources in execution order.
+
+        With ``use_summaries`` a
+        :class:`~repro.analysis.summaries.NotebookSummaries` table is
+        threaded through the cells: each cell is analyzed with the
+        summaries its position can see (def-use edges through helper
+        calls become tight), and the populated table is retained as
+        ``graph.summaries`` for lint and reporting consumers.
+        """
+        table: "Optional[NotebookSummaries]" = None
+        if use_summaries:
+            from repro.analysis.summaries import NotebookSummaries
+
+            table = NotebookSummaries()
         cells = []
         for index, source in enumerate(sources):
-            cells.append(
-                make_cell_node(
-                    index,
-                    source,
-                    label=labels[index] if labels is not None else None,
-                    execution_count=(
-                        execution_counts[index]
-                        if execution_counts is not None
-                        else 0
-                    ),
-                )
+            view = table.view_for_cell(source) if table is not None else None
+            node = make_cell_node(
+                index,
+                source,
+                label=labels[index] if labels is not None else None,
+                execution_count=(
+                    execution_counts[index]
+                    if execution_counts is not None
+                    else 0
+                ),
+                summaries=view,
             )
-        return cls(cells)
+            if table is not None:
+                table.observe_cell(source, node.effects)
+            cells.append(node)
+        graph = cls(cells)
+        graph.summaries = table
+        return graph
 
     # -- construction -------------------------------------------------------
 

@@ -89,6 +89,13 @@ class EscapeKind(enum.Enum):
     #: patched dict subclass, so the rebinding is invisible to tracking
     #: (reads are safe: ``LOAD_GLOBAL`` honours ``__getitem__``).
     HIDDEN_GLOBAL_STORE = "hidden-global-store"
+    #: A call to a name whose function summary the notebook table has
+    #: invalidated (rebound by a later cell, wiped by an opaque cell, or
+    #: bound by a cell that raised). Unlike a never-summarized global, the
+    #: callee demonstrably comes from user code — it may perform hidden
+    #: global stores the runtime record cannot see, and no current summary
+    #: bounds its effects, so the call site must escalate.
+    STALE_SUMMARY_CALL = "stale-summary-call"
 
 
 @dataclass(frozen=True)
@@ -130,6 +137,31 @@ class CellEffects:
     #: Parse failure message; all other fields are empty when set (the
     #: cell also cannot have executed).
     syntax_error: Optional[str] = None
+
+    # -- interprocedural summary expansion (DESIGN.md §14) -----------------
+    #: Global names read / written / deleted on behalf of helper functions
+    #: the cell calls, expanded from their :class:`FunctionSummary`. These
+    #: are *also* folded into the conditional sets above (downstream
+    #: consumers need no special casing); the split-out copies let the
+    #: dataflow layer treat summary reads as call-time-eager and let
+    #: reporting attribute effects to helpers.
+    summary_reads: Set[str] = field(default_factory=set)
+    summary_writes: Set[str] = field(default_factory=set)
+    summary_deletes: Set[str] = field(default_factory=set)
+    #: Names whose object graphs a called helper may mutate in place
+    #: (globals mutated by the body, or global arguments bound to
+    #: parameters the body mutates).
+    summary_mutations: Set[str] = field(default_factory=set)
+    #: Escapes found inside summarizable function bodies at the def site.
+    #: Under summary analysis they are *deferred* — the body does not run
+    #: at definition time — and resurface at every call site via the
+    #: function's summary. Kept for telemetry and the KSH40x lint rules.
+    deferred_escapes: Tuple[Escape, ...] = ()
+    #: Number of call sites expanded through a function summary.
+    summary_expansions: int = 0
+    #: Calls to global, non-builtin names with no available summary
+    #: (undefined, rebound, or never summarizable) — the conservative top.
+    summary_unknown_calls: int = 0
 
     # -- derived views -----------------------------------------------------
 
@@ -185,5 +217,14 @@ class CellEffects:
             escapes=self.escapes + other.escapes,
             opaque_writes=self.opaque_writes or other.opaque_writes,
             syntax_error=self.syntax_error or other.syntax_error,
+            summary_reads=self.summary_reads | other.summary_reads,
+            summary_writes=self.summary_writes | other.summary_writes,
+            summary_deletes=self.summary_deletes | other.summary_deletes,
+            summary_mutations=self.summary_mutations | other.summary_mutations,
+            deferred_escapes=self.deferred_escapes + other.deferred_escapes,
+            summary_expansions=self.summary_expansions + other.summary_expansions,
+            summary_unknown_calls=(
+                self.summary_unknown_calls + other.summary_unknown_calls
+            ),
         )
         return merged

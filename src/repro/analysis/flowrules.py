@@ -15,6 +15,17 @@ built over the whole execution history and can therefore reason about
 * ``KSH304`` — a read's value may flow through an escaped (opaque)
   cell, making any static replay plan for it unsafe.
 
+The KSH40x family reasons over the interprocedural
+:class:`~repro.analysis.summaries.NotebookSummaries` table (DESIGN.md
+§14) instead of the dataflow graph:
+
+* ``KSH401`` — a call lets a helper mutate caller state in place
+  (a global, or an argument bound to a parameter the body mutates);
+* ``KSH402`` — a call reaches helper code that defeats namespace
+  tracking (hidden global stores, ``exec``, frame access, …);
+* ``KSH403`` — a rebinding invalidates a function's summary, demoting
+  every later call to the conservative unknown-callee analysis.
+
 The rules yield the same :class:`~repro.analysis.rules.Finding` type as
 per-cell rules, carrying ``cell_index`` so the engine can sort globally
 by (cell index, span, rule id) — the deterministic order the byte-stable
@@ -32,15 +43,19 @@ from repro.analysis.dataflow import (
     NotebookDataflowGraph,
     is_builtin_name,
 )
-from repro.analysis.effects import Span
+from repro.analysis.effects import EscapeKind, Span
 from repro.analysis.rules import Finding, LintRule, Severity
+from repro.analysis.summaries import FunctionSummary, NotebookSummaries
 
 __all__ = [
     "DeadWriteRule",
     "EscapedDependencyRule",
     "ExecutionOrderRule",
+    "HelperArgumentMutationRule",
+    "HelperHiddenEffectRule",
     "NotebookContext",
     "NotebookLintRule",
+    "SummaryInvalidationRule",
     "UseBeforeDefiniteDefRule",
     "default_notebook_rules",
 ]
@@ -52,6 +67,11 @@ class NotebookContext:
 
     graph: NotebookDataflowGraph
     execution_counts: Optional[Tuple[int, ...]] = None
+    #: Interprocedural summary table built over the same cells, for the
+    #: KSH40x rules. ``None`` disables that family (the KSH30x graph is
+    #: deliberately built *without* summaries, so its findings are
+    #: independent of whether the summary layer is enabled).
+    summaries: Optional[NotebookSummaries] = None
 
     @property
     def cells(self) -> Tuple[CellNode, ...]:
@@ -268,11 +288,188 @@ class EscapedDependencyRule(NotebookLintRule):
                 )
 
 
+# -- KSH40x: interprocedural summary rules (DESIGN.md §14) -----------------
+
+
+def _toplevel_named_calls(source: str) -> List[ast.Call]:
+    """Calls ``f(...)`` with a plain-name callee, outside any function or
+    lambda body (calls inside bodies belong to the callee's summary)."""
+    try:
+        module = ast.parse(source)
+    except SyntaxError:
+        return []
+    calls: List[ast.Call] = []
+
+    class _Collector(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass  # summary territory
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            pass
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+        def visit_Call(self, node: ast.Call) -> None:
+            if isinstance(node.func, ast.Name):
+                calls.append(node)
+            self.generic_visit(node)
+
+    _Collector().visit(module)
+    return calls
+
+
+def _describe_argument(expression: ast.expr) -> str:
+    if isinstance(expression, ast.Name):
+        return repr(expression.id)
+    rendered = ast.unparse(expression)
+    if len(rendered) > 40:
+        rendered = rendered[:37] + "..."
+    return repr(rendered)
+
+
+def _mutated_bindings(
+    call: ast.Call, summary: FunctionSummary
+) -> List[Tuple[str, str]]:
+    """(parameter, argument description) pairs for arguments bound to
+    parameters the callee's body may mutate in place."""
+    mutated = set(summary.mutated_params)
+    pairs: List[Tuple[str, str]] = []
+    params = list(summary.params)
+    for position, argument in enumerate(call.args):
+        if isinstance(argument, ast.Starred):
+            break  # later positional alignment is unknown
+        parameter = (
+            params[position] if position < len(params) else summary.vararg
+        )
+        if parameter is not None and parameter in mutated:
+            pairs.append((parameter, _describe_argument(argument)))
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in mutated:
+            pairs.append((keyword.arg, _describe_argument(keyword.value)))
+    return pairs
+
+
+class HelperArgumentMutationRule(NotebookLintRule):
+    rule_id = "KSH401"
+    severity = Severity.WARNING
+    description = (
+        "call lets a helper mutate caller state in place (argument or "
+        "global)"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        table = notebook.summaries
+        if table is None:
+            return
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            view = table.view_as_run(cell.index, cell.source)
+            for call in _toplevel_named_calls(cell.source):
+                assert isinstance(call.func, ast.Name)
+                summary = view.get(call.func.id)
+                if summary is None:
+                    continue
+                span = Span.of(call)
+                for parameter, argument in _mutated_bindings(call, summary):
+                    yield self.cell_finding(
+                        cell,
+                        f"call to {summary.name}() may mutate argument "
+                        f"{argument} in place (parameter {parameter!r}); "
+                        "the change is attributed to this cell's delta",
+                        span,
+                    )
+                for name in sorted(summary.global_mutations):
+                    yield self.cell_finding(
+                        cell,
+                        f"call to {summary.name}() may mutate global "
+                        f"{name!r} in place; the change is attributed to "
+                        "this cell's delta",
+                        span,
+                    )
+
+
+class HelperHiddenEffectRule(NotebookLintRule):
+    rule_id = "KSH402"
+    severity = Severity.WARNING
+    description = (
+        "call reaches helper code that defeats namespace tracking"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        table = notebook.summaries
+        if table is None:
+            return
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            view = table.view_as_run(cell.index, cell.source)
+            for call in _toplevel_named_calls(cell.source):
+                assert isinstance(call.func, ast.Name)
+                summary = view.get(call.func.id)
+                if summary is None or not summary.escapes:
+                    continue
+                kinds = ", ".join(
+                    sorted({escape.kind.value for escape in summary.escapes})
+                )
+                surfacing = any(
+                    escape.kind is not EscapeKind.HIDDEN_GLOBAL_STORE
+                    or summary.calls_unknown
+                    for escape in summary.escapes
+                )
+                if surfacing:
+                    tail = (
+                        "this cell's detection is escalated to "
+                        "check-all mode"
+                    )
+                else:
+                    tail = (
+                        "the hidden stores are bounded by the summary "
+                        "and folded into this cell's write set"
+                    )
+                yield self.cell_finding(
+                    cell,
+                    f"call to {summary.name}() reaches code that defeats "
+                    f"tracking ({kinds}); {tail}",
+                    Span.of(call),
+                )
+
+
+class SummaryInvalidationRule(NotebookLintRule):
+    rule_id = "KSH403"
+    severity = Severity.INFO
+    description = (
+        "rebinding invalidates a function summary; later calls use the "
+        "conservative analysis"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        table = notebook.summaries
+        if table is None:
+            return
+        for record in table.invalidations:
+            if not 0 <= record.cell_index < len(notebook.cells):
+                continue
+            cell = notebook.cells[record.cell_index]
+            base = record.name.split(".", 1)[0]
+            yield self.cell_finding(
+                cell,
+                f"{record.name!r} loses its function summary here "
+                f"({record.reason}); later calls fall back to the "
+                "conservative unknown-callee analysis",
+                _first_store_span(cell.source, base),
+            )
+
+
 def default_notebook_rules() -> List[NotebookLintRule]:
-    """The built-in KSH30x rule set, in rule-id order."""
+    """The built-in KSH30x + KSH40x rule set, in rule-id order."""
     return [
         UseBeforeDefiniteDefRule(),
         DeadWriteRule(),
         ExecutionOrderRule(),
         EscapedDependencyRule(),
+        HelperArgumentMutationRule(),
+        HelperHiddenEffectRule(),
+        SummaryInvalidationRule(),
     ]

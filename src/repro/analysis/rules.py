@@ -544,9 +544,18 @@ class LintEngine:
                 )
             )
         from repro.analysis.dataflow import NotebookDataflowGraph
+        from repro.analysis.summaries import NotebookSummaries
 
         graph = NotebookDataflowGraph(nodes)
-        notebook = NotebookContext(graph=graph, execution_counts=counts)
+        # The KSH40x rules need the interprocedural summary table; the
+        # KSH30x graph stays intraprocedural so its findings do not shift
+        # with the summary layer.
+        summaries = NotebookSummaries.from_sources(
+            [source for _, source in pairs]
+        )
+        notebook = NotebookContext(
+            graph=graph, execution_counts=counts, summaries=summaries
+        )
         for rule in default_notebook_rules():
             for finding in rule.check_notebook(notebook):
                 if 0 <= finding.cell_index < len(suppressions):

@@ -1,0 +1,1070 @@
+"""Interprocedural function-effect summaries (DESIGN.md §14).
+
+PR 3's :class:`~repro.analysis.visitor.EffectVisitor` stops at call
+boundaries: a def's body is analyzed only to find escapes, and
+``visit_Call`` learns nothing, so a notebook that factors work into
+helper functions degrades to runtime CrossValidator escalation and
+conservatively widened replay plans. This module closes that gap with a
+classic bottom-up summary analysis over the notebook's call graph:
+
+* **Extraction** — each summarizable function (a top-level undecorated
+  ``def``/``async def``, a top-level ``name = lambda …`` assignment, or
+  an undecorated method of a top-level class) yields a
+  :class:`RawSummary`: the intraprocedural facts of its body (global
+  reads/writes/deletes via :func:`analyze_function_body`, in-place
+  parameter/global mutations via the dataflow layer's mutation capture,
+  return-aliasing of parameters and globals, escapes, and its direct
+  call sites).
+
+* **Resolution** — :func:`resolve_summaries` closes the raw facts over
+  direct calls by fixpoint: every function starts from its own facts
+  (bottom) and repeatedly absorbs the current facts of its callees —
+  recursion and mutual recursion converge because the lattice is finite
+  unions. Higher-order flow is conservative: a parameter used in call
+  position absorbs the summary of any summarized function passed as that
+  argument, and a summarized function *loaded* outside a direct call
+  (aliased, stored, passed along) contributes its full effects to the
+  loader, because it may be invoked through any later alias.
+
+* **Versioning** — :class:`NotebookSummaries` keys every summary by the
+  cell that bound it. A later cell that rebinds the name (including via
+  a helper-mediated hidden store) *invalidates* the summary — calls
+  after the rebind fall back to the conservative top (no expansion, the
+  ``summary_unknown_calls`` counter) — and an opaque cell (``exec``,
+  star import, ``globals()``…) invalidates everything, because it can
+  rebind any name without the analysis seeing it.
+
+Soundness contract with the CrossValidator (DESIGN.md §14): deferring a
+def-site escape is safe only if every path by which the body's hidden
+effects can later run re-surfaces the escape. Direct calls do (call
+expansion), simple aliases do (the table follows ``alias = helper``),
+and every *other* load of an escape-carrying helper conservatively
+surfaces the escapes at the loading cell — so the set of escalated
+cells never loses a cell that actually needed escalation, it only moves
+the escalation from the def cell (where nothing ran) to the cells where
+the body can run.
+
+Everything here is deterministic: extraction walks the AST in source
+order, resolution iterates names sorted, and all serialized output uses
+sorted lists — byte-stable across runs and interpreters.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+from repro.analysis.visitor import (
+    _collect_bindings,
+    analyze_cell,
+    analyze_function_body,
+    function_params,
+    is_summarizable_def,
+)
+
+__all__ = [
+    "CallArg",
+    "CallSite",
+    "FunctionSummary",
+    "InvalidationRecord",
+    "NotebookSummaries",
+    "RawSummary",
+    "SummaryView",
+    "extract_cell_summaries",
+    "resolve_summaries",
+]
+
+#: Escape kinds that make a whole cell opaque to the summary table: after
+#: one of these runs, any binding may have changed behind the analysis'
+#: back, so every live summary is invalidated. ``HIDDEN_GLOBAL_STORE``
+#: and ``MODULE_PATCH`` name the state they touch and are handled by the
+#: per-name rebind rule instead.
+_OPAQUE_ESCAPE_KINDS = frozenset(
+    {
+        EscapeKind.EXEC_EVAL,
+        EscapeKind.NAMESPACE_INTROSPECTION,
+        EscapeKind.DYNAMIC_IMPORT,
+        EscapeKind.STAR_IMPORT,
+        EscapeKind.NAME_REFLECTION,
+        EscapeKind.FRAME_INTROSPECTION,
+    }
+)
+
+#: Fixpoint rounds are bounded by the call-graph diameter; this cap is a
+#: defensive backstop far above any real notebook's.
+_MAX_FIXPOINT_ROUNDS = 64
+
+
+# ---------------------------------------------------------------------------
+# Raw (intraprocedural) summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallArg:
+    """One argument of a recorded call site, as the extractor saw it."""
+
+    #: Positional index, or -1 for a keyword argument.
+    position: int
+    #: Keyword name, or None for a positional argument.
+    keyword: Optional[str]
+    #: The bare-``Name`` argument id when the argument is exactly a name.
+    base: Optional[str]
+    #: Whether ``base`` is a parameter of the *enclosing* function.
+    base_is_param: bool
+    #: Global-resolving names appearing anywhere in the argument
+    #: expression (sorted; excludes locals, parameters, and builtins).
+    global_names: Tuple[str, ...]
+    #: Enclosing-function parameters appearing in the expression.
+    param_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A direct ``callee(...)`` call recorded inside a function body."""
+
+    callee: str
+    span: Span
+    args: Tuple[CallArg, ...]
+    #: ``*args`` / ``**kwargs`` splat present — argument-to-parameter
+    #: mapping degrades to "any parameter".
+    has_star: bool
+
+
+@dataclass(frozen=True)
+class RawSummary:
+    """Intraprocedural facts of one function body, pre-fixpoint."""
+
+    name: str
+    qualname: str
+    cell_index: int
+    span: Span
+    params: Tuple[str, ...]
+    kwonly: Tuple[str, ...]
+    vararg: Optional[str]
+    kwarg: Optional[str]
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
+    deletes: FrozenSet[str]
+    mutated_params: FrozenSet[str]
+    global_mutations: FrozenSet[str]
+    returns_params: FrozenSet[str]
+    returns_globals: FrozenSet[str]
+    escapes: Tuple[Escape, ...]
+    calls: Tuple[CallSite, ...]
+    calls_params: FrozenSet[str]
+    #: Global non-builtin names loaded outside a direct-callee position —
+    #: if such a name carries a summary, its effects fold in (the body
+    #: may invoke it through an alias the analysis cannot follow).
+    aliased_names: FrozenSet[str]
+    calls_unknown: bool
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """A :class:`RawSummary` closed over direct calls by fixpoint."""
+
+    name: str
+    qualname: str
+    cell_index: int
+    span: Span
+    params: Tuple[str, ...]
+    kwonly: Tuple[str, ...]
+    vararg: Optional[str]
+    kwarg: Optional[str]
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
+    deletes: FrozenSet[str]
+    mutated_params: FrozenSet[str]
+    global_mutations: FrozenSet[str]
+    returns_params: FrozenSet[str]
+    returns_globals: FrozenSet[str]
+    escapes: Tuple[Escape, ...]
+    calls_params: FrozenSet[str]
+    #: Summarized functions whose effects were folded into this one.
+    callees: Tuple[str, ...]
+    #: The body (or a transitive callee) performs calls the analysis
+    #: could not resolve — the effect sets are a best effort, not a bound.
+    calls_unknown: bool
+
+    @property
+    def is_tracking_safe(self) -> bool:
+        """No escapes: calls are fully describable by the name sets."""
+        return not self.escapes
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-stable rendering (sorted keys and lists)."""
+        return {
+            "name": self.qualname,
+            "cell": self.cell_index,
+            "line": self.span.line,
+            "params": list(self.params)
+            + list(self.kwonly)
+            + ([f"*{self.vararg}"] if self.vararg else [])
+            + ([f"**{self.kwarg}"] if self.kwarg else []),
+            "reads": sorted(self.reads),
+            "writes": sorted(self.writes),
+            "deletes": sorted(self.deletes),
+            "mutates_params": sorted(self.mutated_params),
+            "mutates_globals": sorted(self.global_mutations),
+            "returns_aliases": sorted(
+                [f"param:{name}" for name in self.returns_params]
+                + [f"global:{name}" for name in self.returns_globals]
+            ),
+            "escapes": [
+                {
+                    "kind": escape.kind.value,
+                    "line": escape.span.line,
+                    "col": escape.span.col,
+                    "detail": escape.detail,
+                }
+                for escape in self.escapes
+            ],
+            "calls_params": sorted(self.calls_params),
+            "callees": list(self.callees),
+            "calls_unknown": self.calls_unknown,
+            "tracking_safe": self.is_tracking_safe,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+
+def _nested_local_names(body: Sequence[ast.stmt]) -> Set[str]:
+    """Local binding sets of every nested function scope in a body.
+
+    Used to keep nested-scope locals out of the enclosing function's
+    global-mutation set; a name local to *any* scope in the subtree is
+    not treated as a global mutation target. (A nested local shadowing a
+    mutated global of the same name is thereby missed — a plan-tightness
+    limitation only; runtime co-variable detection still observes the
+    actual state change.)
+    """
+    locals_seen: Set[str] = set()
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                positional, kwonly, vararg, kwarg = function_params(node)
+                params = list(positional) + list(kwonly)
+                if vararg:
+                    params.append(vararg)
+                if kwarg:
+                    params.append(kwarg)
+                nested_locals, _ = _collect_bindings(node.body, params)
+                locals_seen |= nested_locals
+                locals_seen |= set(params)
+            elif isinstance(node, ast.Lambda):
+                positional, kwonly, vararg, kwarg = function_params(node)
+                locals_seen |= set(positional) | set(kwonly)
+                if vararg:
+                    locals_seen.add(vararg)
+                if kwarg:
+                    locals_seen.add(kwarg)
+    return locals_seen
+
+
+def _return_alias_names(body: Sequence[ast.stmt]) -> List[str]:
+    """Bare names a function's return value may alias.
+
+    Handles ``return x``, ``return (x, y)``, ``return x if c else y``
+    and nested combinations; anything computed (``return x + 1``,
+    ``return f(x)``) builds a new object or is out of scope for the
+    alias model. Returns inside nested defs belong to the nested
+    function and are skipped.
+    """
+    names: List[str] = []
+
+    def collect(expression: ast.expr) -> None:
+        if isinstance(expression, ast.Name):
+            names.append(expression.id)
+        elif isinstance(expression, (ast.Tuple, ast.List)):
+            for element in expression.elts:
+                collect(element)
+        elif isinstance(expression, ast.Starred):
+            collect(expression.value)
+        elif isinstance(expression, ast.IfExp):
+            collect(expression.body)
+            collect(expression.orelse)
+
+    def walk(statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(statement, ast.Return) and statement.value is not None:
+                collect(statement.value)
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, attr, None)
+                if isinstance(nested, list):
+                    walk([s for s in nested if isinstance(s, ast.stmt)])
+            for handler in getattr(statement, "handlers", []) or []:
+                if isinstance(handler, ast.ExceptHandler):
+                    walk(handler.body)
+
+    walk(body)
+    return names
+
+
+def _is_builtin(name: str) -> bool:
+    import builtins
+
+    return hasattr(builtins, name)
+
+
+def _extract_raw(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    *,
+    qualname: str,
+    cell_index: int,
+) -> RawSummary:
+    """Intraprocedural facts of one def (no call resolution yet)."""
+    from repro.analysis.dataflow import in_place_mutation_targets
+
+    body_effects = analyze_function_body(node)
+    positional, kwonly, vararg, kwarg = function_params(node)
+    all_params: Set[str] = set(positional) | set(kwonly)
+    if vararg:
+        all_params.add(vararg)
+    if kwarg:
+        all_params.add(kwarg)
+    local_names, global_names = _collect_bindings(node.body, sorted(all_params))
+    invisible = local_names | all_params | _nested_local_names(node.body)
+    invisible -= global_names
+
+    body_module = ast.Module(body=list(node.body), type_ignores=[])
+    mutated = in_place_mutation_targets(body_module)
+    mutated_params = frozenset(name for name in mutated if name in all_params)
+    global_mutations = frozenset(
+        name
+        for name in mutated
+        if name not in invisible and not _is_builtin(name)
+    )
+
+    return_names = _return_alias_names(node.body)
+    returns_params = frozenset(n for n in return_names if n in all_params)
+    returns_globals = frozenset(
+        n for n in return_names if n not in invisible and n not in all_params
+    )
+
+    calls: List[CallSite] = []
+    calls_params: Set[str] = set()
+    calls_unknown = False
+    callee_ids: Set[int] = set()
+    for walk_node in ast.walk(body_module):
+        if not isinstance(walk_node, ast.Call):
+            continue
+        func = walk_node.func
+        if not isinstance(func, ast.Name):
+            continue
+        callee_ids.add(id(func))
+        if func.id in all_params:
+            calls_params.add(func.id)
+            continue
+        if func.id in invisible:
+            calls_unknown = True  # a local callable the analysis can't see
+            continue
+        if _is_builtin(func.id):
+            continue
+        calls.append(
+            _record_call_site(walk_node, func.id, all_params, invisible)
+        )
+
+    aliased: Set[str] = set()
+    for walk_node in ast.walk(body_module):
+        if (
+            isinstance(walk_node, ast.Name)
+            and isinstance(walk_node.ctx, ast.Load)
+            and id(walk_node) not in callee_ids
+            and walk_node.id not in invisible
+            and walk_node.id not in all_params
+            and not _is_builtin(walk_node.id)
+        ):
+            aliased.add(walk_node.id)
+
+    return RawSummary(
+        name=qualname.rsplit(".", 1)[-1],
+        qualname=qualname,
+        cell_index=cell_index,
+        span=Span.of(node),
+        params=positional,
+        kwonly=kwonly,
+        vararg=vararg,
+        kwarg=kwarg,
+        reads=body_effects.all_reads,
+        writes=body_effects.all_writes,
+        deletes=body_effects.all_deletes,
+        mutated_params=mutated_params,
+        global_mutations=global_mutations,
+        returns_params=returns_params,
+        returns_globals=returns_globals,
+        escapes=body_effects.escapes,
+        calls=tuple(calls),
+        calls_params=frozenset(calls_params),
+        aliased_names=frozenset(aliased),
+        calls_unknown=calls_unknown,
+    )
+
+
+def _record_call_site(
+    call: ast.Call,
+    callee: str,
+    params: Set[str],
+    invisible: Set[str],
+) -> CallSite:
+    def names_in(expression: ast.expr) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        global_names: Set[str] = set()
+        param_names: Set[str] = set()
+        for child in ast.walk(expression):
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                if child.id in params:
+                    param_names.add(child.id)
+                elif child.id not in invisible and not _is_builtin(child.id):
+                    global_names.add(child.id)
+        return tuple(sorted(global_names)), tuple(sorted(param_names))
+
+    args: List[CallArg] = []
+    has_star = False
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            has_star = True
+            arg = arg.value
+        base = arg.id if isinstance(arg, ast.Name) else None
+        global_names, param_names = names_in(arg)
+        args.append(
+            CallArg(
+                position=position,
+                keyword=None,
+                base=base,
+                base_is_param=base in params if base else False,
+                global_names=global_names,
+                param_names=param_names,
+            )
+        )
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            has_star = True
+        base = keyword.value.id if isinstance(keyword.value, ast.Name) else None
+        global_names, param_names = names_in(keyword.value)
+        args.append(
+            CallArg(
+                position=-1,
+                keyword=keyword.arg,
+                base=base,
+                base_is_param=base in params if base else False,
+                global_names=global_names,
+                param_names=param_names,
+            )
+        )
+    return CallSite(
+        callee=callee, span=Span.of(call), args=tuple(args), has_star=has_star
+    )
+
+
+def _lambda_raw(
+    name: str, node: ast.Lambda, *, cell_index: int
+) -> RawSummary:
+    """Raw summary of a top-level ``name = lambda ...`` assignment."""
+    synthetic = ast.FunctionDef(
+        name=name,
+        args=node.args,
+        body=[ast.Return(value=node.body)],
+        decorator_list=[],
+        returns=None,
+        type_comment=None,
+    )
+    ast.copy_location(synthetic, node)
+    ast.fix_missing_locations(synthetic)
+    return _extract_raw(synthetic, qualname=name, cell_index=cell_index)
+
+
+def extract_cell_summaries(
+    module: ast.Module, cell_index: int
+) -> Dict[str, RawSummary]:
+    """Raw summaries of every summarizable function a cell defines.
+
+    Covers directly-top-level undecorated defs, top-level
+    ``name = lambda …`` assignments, and undecorated methods of
+    top-level undecorated classes (keyed ``Class.method``; methods are
+    reported and linted but never expanded at call sites — attribute
+    calls are not resolved). Conditionally-defined functions (inside
+    ``if``/``for``/``try``) are *not* summarized: their binding is not
+    definite, so their def-site behavior stays exactly intraprocedural.
+    """
+    raws: Dict[str, RawSummary] = {}
+    for statement in module.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if is_summarizable_def(statement):
+                raws[statement.name] = _extract_raw(
+                    statement, qualname=statement.name, cell_index=cell_index
+                )
+        elif isinstance(statement, ast.Assign):
+            if (
+                len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and isinstance(statement.value, ast.Lambda)
+            ):
+                target = statement.targets[0].id
+                raws[target] = _lambda_raw(
+                    target, statement.value, cell_index=cell_index
+                )
+        elif isinstance(statement, ast.ClassDef):
+            if statement.decorator_list:
+                continue
+            for member in statement.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and is_summarizable_def(member):
+                    qualname = f"{statement.name}.{member.name}"
+                    raws[qualname] = _extract_raw(
+                        member, qualname=qualname, cell_index=cell_index
+                    )
+    return raws
+
+
+def _alias_assignments(module: ast.Module) -> List[Tuple[str, str]]:
+    """Top-level definite ``target = source`` name-to-name assignments."""
+    aliases: List[Tuple[str, str]] = []
+    for statement in module.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and isinstance(statement.value, ast.Name)
+        ):
+            aliases.append((statement.targets[0].id, statement.value.id))
+    return aliases
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Accum:
+    """Mutable per-function accumulator during the fixpoint."""
+
+    raw: RawSummary
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    deletes: Set[str] = field(default_factory=set)
+    mutated_params: Set[str] = field(default_factory=set)
+    global_mutations: Set[str] = field(default_factory=set)
+    escapes: Dict[Tuple[str, int, int, str], Escape] = field(default_factory=dict)
+    callees: Set[str] = field(default_factory=set)
+    calls_unknown: bool = False
+
+    def size(self) -> int:
+        return (
+            len(self.reads)
+            + len(self.writes)
+            + len(self.deletes)
+            + len(self.mutated_params)
+            + len(self.global_mutations)
+            + len(self.escapes)
+            + len(self.callees)
+            + int(self.calls_unknown)
+        )
+
+
+def _add_escapes(accum: _Accum, escapes: Sequence[Escape]) -> None:
+    for escape in escapes:
+        key = (
+            escape.kind.value,
+            escape.span.line,
+            escape.span.col,
+            escape.detail,
+        )
+        if key not in accum.escapes:
+            accum.escapes[key] = escape
+
+
+def _fold_callee(accum: _Accum, site: CallSite, callee: _Accum) -> None:
+    """Absorb a callee's current facts into the caller at one call site."""
+    accum.reads |= callee.reads
+    accum.writes |= callee.writes
+    accum.deletes |= callee.deletes
+    accum.global_mutations |= callee.global_mutations
+    accum.calls_unknown = accum.calls_unknown or callee.calls_unknown
+    accum.callees.add(callee.raw.qualname)
+    _add_escapes(accum, list(callee.escapes.values()))
+
+    raw = callee.raw
+    for arg in site.args:
+        if site.has_star:
+            mutates = bool(callee.mutated_params)
+        elif arg.keyword is not None:
+            mutates = arg.keyword in callee.mutated_params or (
+                raw.kwarg is not None
+                and arg.keyword not in raw.params
+                and arg.keyword not in raw.kwonly
+                and raw.kwarg in callee.mutated_params
+            )
+        else:
+            if arg.position < len(raw.params):
+                mutates = raw.params[arg.position] in callee.mutated_params
+            else:
+                mutates = (
+                    raw.vararg is not None
+                    and raw.vararg in callee.mutated_params
+                )
+        if mutates:
+            accum.global_mutations.update(arg.global_names)
+            accum.mutated_params.update(arg.param_names)
+
+
+def resolve_summaries(
+    raws: Mapping[str, RawSummary]
+) -> Dict[str, FunctionSummary]:
+    """Close a set of raw summaries over direct calls by fixpoint.
+
+    ``raws`` maps every binding visible at one point of the notebook to
+    its raw summary. Each function starts from its own intraprocedural
+    facts and monotonically absorbs callee facts until nothing grows;
+    recursion and mutual recursion converge because every set is drawn
+    from the finite universe of names in the program.
+    """
+    accums: Dict[str, _Accum] = {}
+    for name in sorted(raws):
+        raw = raws[name]
+        accum = _Accum(raw=raw)
+        accum.reads |= raw.reads
+        accum.writes |= raw.writes
+        accum.deletes |= raw.deletes
+        accum.mutated_params |= raw.mutated_params
+        accum.global_mutations |= raw.global_mutations
+        accum.calls_unknown = raw.calls_unknown
+        _add_escapes(accum, raw.escapes)
+        accums[name] = accum
+
+    for _round in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        for name in sorted(accums):
+            accum = accums[name]
+            before = accum.size()
+            for site in accum.raw.calls:
+                callee = accums.get(site.callee)
+                if callee is None:
+                    accum.calls_unknown = True
+                    continue
+                _fold_callee(accum, site, callee)
+                # A summarized function passed where the callee invokes a
+                # parameter contributes its effects as a callback.
+                if callee.raw.calls_params or site.has_star:
+                    for arg in site.args:
+                        if arg.base is None or arg.base_is_param:
+                            continue
+                        callback = accums.get(arg.base)
+                        if callback is not None and callback is not accum:
+                            _fold_callee(accum, site, callback)
+                            accum.reads |= callback.reads
+            # A summarized function loaded outside a direct call may be
+            # invoked through an alias the analysis cannot follow.
+            for aliased in sorted(accum.raw.aliased_names):
+                other = accums.get(aliased)
+                if other is not None and other is not accum:
+                    accum.reads |= other.reads
+                    accum.writes |= other.writes
+                    accum.deletes |= other.deletes
+                    accum.global_mutations |= other.global_mutations
+                    accum.calls_unknown = (
+                        accum.calls_unknown or other.calls_unknown
+                    )
+                    accum.callees.add(other.raw.qualname)
+                    _add_escapes(accum, list(other.escapes.values()))
+            if accum.size() != before:
+                changed = True
+        if not changed:
+            break
+
+    resolved: Dict[str, FunctionSummary] = {}
+    for name in sorted(accums):
+        accum = accums[name]
+        raw = accum.raw
+        resolved[name] = FunctionSummary(
+            name=raw.name,
+            qualname=raw.qualname,
+            cell_index=raw.cell_index,
+            span=raw.span,
+            params=raw.params,
+            kwonly=raw.kwonly,
+            vararg=raw.vararg,
+            kwarg=raw.kwarg,
+            reads=frozenset(accum.reads),
+            writes=frozenset(accum.writes),
+            deletes=frozenset(accum.deletes),
+            mutated_params=frozenset(accum.mutated_params),
+            global_mutations=frozenset(accum.global_mutations),
+            returns_params=raw.returns_params,
+            returns_globals=raw.returns_globals,
+            escapes=tuple(accum.escapes.values()),
+            calls_params=raw.calls_params,
+            callees=tuple(sorted(accum.callees - {raw.qualname})),
+            calls_unknown=accum.calls_unknown,
+        )
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# The versioned notebook-level table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvalidationRecord:
+    """One summary dropped from the table, and why."""
+
+    cell_index: int
+    name: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell_index,
+            "name": self.name,
+            "reason": self.reason,
+        }
+
+
+class SummaryView:
+    """The resolved summaries visible to one cell of the notebook."""
+
+    def __init__(
+        self,
+        index: int,
+        functions: Dict[str, FunctionSummary],
+        invalidated: FrozenSet[str] = frozenset(),
+    ) -> None:
+        self.index = index
+        self._functions = functions
+        self._invalidated = invalidated
+
+    def get(self, name: str) -> Optional[FunctionSummary]:
+        return self._functions.get(name)
+
+    def is_invalidated(self, name: str) -> bool:
+        """True when ``name`` once had a summary the table has dropped.
+
+        Calls to such a name are more dangerous than calls to a plain
+        unknown global: the function demonstrably exists (or existed)
+        in user code, its current effects are unknowable, and hidden
+        stores it performs bypass runtime recording — the call site
+        must fall back to conservative detection.
+        """
+        return name in self._invalidated
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def functions(self) -> List[FunctionSummary]:
+        """All visible summaries, sorted by (def cell, qualified name)."""
+        return sorted(
+            self._functions.values(),
+            key=lambda fs: (fs.cell_index, fs.qualname),
+        )
+
+
+class NotebookSummaries:
+    """Versioned function-summary table over one cell execution history.
+
+    Feed it cells in execution order. For each cell,
+    :meth:`view_for_cell` yields the :class:`SummaryView` the
+    interprocedural :func:`~repro.analysis.visitor.analyze_cell` should
+    analyze it with (earlier cells' live summaries plus the cell's own
+    definitions, so same-cell def-then-call expands), and
+    :meth:`observe_cell` commits the cell's binding events — new
+    summaries, rebind invalidations, opaque-cell wipes — advancing the
+    table. :meth:`advance` combines both and is what file-mode consumers
+    (CLI, lint, dataflow) use; the live session splits the two around
+    actual execution so failed cells invalidate but never register.
+    """
+
+    def __init__(self) -> None:
+        self._events: Dict[str, List[Tuple[int, Optional[RawSummary]]]] = {}
+        self._invalidations: List[InvalidationRecord] = []
+        self._next_index = 0
+        self._extract_cache: Dict[str, Dict[str, RawSummary]] = {}
+        self._resolve_cache: Dict[
+            Tuple[Tuple[str, int], ...], Dict[str, FunctionSummary]
+        ] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[str]) -> "NotebookSummaries":
+        table = cls()
+        for source in sources:
+            table.advance(source)
+        return table
+
+    @property
+    def next_index(self) -> int:
+        return self._next_index
+
+    @property
+    def invalidations(self) -> Tuple[InvalidationRecord, ...]:
+        return tuple(self._invalidations)
+
+    # -- views ---------------------------------------------------------------
+
+    def _live_raws(self, at_index: int) -> Dict[str, RawSummary]:
+        live: Dict[str, RawSummary] = {}
+        for name in self._events:
+            latest: Optional[RawSummary] = None
+            found = False
+            for event_index, raw in self._events[name]:
+                if event_index <= at_index:
+                    latest = raw
+                    found = True
+                else:
+                    break
+            if found and latest is not None:
+                live[name] = latest
+        return live
+
+    def _dead_names(self, at_index: int) -> Set[str]:
+        """Names whose latest binding event ``<= at_index`` is an
+        invalidation — once-summarized functions the table has dropped."""
+        dead: Set[str] = set()
+        for name, events in self._events.items():
+            latest: Optional[RawSummary] = None
+            found = False
+            for event_index, raw in events:
+                if event_index <= at_index:
+                    latest = raw
+                    found = True
+                else:
+                    break
+            if found and latest is None:
+                dead.add(name)
+        return dead
+
+    def _resolve(self, raws: Dict[str, RawSummary]) -> Dict[str, FunctionSummary]:
+        key = tuple(
+            sorted((name, raw.cell_index) for name, raw in raws.items())
+        )
+        cached = self._resolve_cache.get(key)
+        if cached is None:
+            cached = resolve_summaries(raws)
+            self._resolve_cache[key] = cached
+        return cached
+
+    def view_at(self, at_index: int) -> SummaryView:
+        """Summaries from cells ``<= at_index`` still live at that point."""
+        return SummaryView(
+            at_index + 1,
+            self._resolve(self._live_raws(at_index)),
+            frozenset(self._dead_names(at_index)),
+        )
+
+    def view_as_run(self, cell_index: int, source: str) -> SummaryView:
+        """The view the effect analyzer had when ``cell_index`` ran.
+
+        Retrospective twin of :meth:`view_for_cell`: live summaries
+        from strictly earlier cells, overlaid with the cell's own
+        definitions. ``view_at(cell_index)`` is wrong for call-site
+        rules — a cell whose call surfaces an opaque escape wipes the
+        table *at its own index*, hiding the very summary the finding
+        is about.
+        """
+        raws = self._live_raws(cell_index - 1)
+        own = {
+            name: replace(raw, cell_index=cell_index)
+            for name, raw in self._extract(source).items()
+        }
+        raws.update(own)
+        dead = self._dead_names(cell_index - 1) - set(own)
+        return SummaryView(cell_index + 1, self._resolve(raws), frozenset(dead))
+
+    def _extract(self, source: str) -> Dict[str, RawSummary]:
+        cached = self._extract_cache.get(source)
+        if cached is not None:
+            return {
+                name: replace(raw, cell_index=self._next_index)
+                for name, raw in cached.items()
+            }
+        try:
+            module = ast.parse(source)
+        except SyntaxError:
+            return {}
+        raws = extract_cell_summaries(module, self._next_index)
+        self._extract_cache[source] = raws
+        return raws
+
+    def view_for_cell(self, source: str) -> SummaryView:
+        """The view to analyze ``source`` with, as the next cell.
+
+        Live summaries from committed cells, overlaid with the cell's
+        own definitions so a same-cell ``def f(): …`` / ``f()`` pair
+        expands (calls textually before the def would too — such code
+        raises ``NameError`` at runtime, so over-approximating is moot).
+        """
+        raws = self._live_raws(self._next_index - 1)
+        own = self._extract(source)
+        raws.update(own)
+        # A name this cell re-defines is live again for its own analysis.
+        dead = self._dead_names(self._next_index - 1) - set(own)
+        return SummaryView(self._next_index, self._resolve(raws), frozenset(dead))
+
+    # -- advancing -----------------------------------------------------------
+
+    def _record(self, name: str, raw: Optional[RawSummary]) -> None:
+        self._events.setdefault(name, []).append((self._next_index, raw))
+
+    def _invalidate(self, name: str, reason: str) -> None:
+        self._record(name, None)
+        self._invalidations.append(
+            InvalidationRecord(
+                cell_index=self._next_index, name=name, reason=reason
+            )
+        )
+
+    def observe_cell(
+        self, source: str, effects: CellEffects, *, executed: bool = True
+    ) -> None:
+        """Commit one cell's binding events and advance the table.
+
+        ``effects`` must be the (interprocedural) analysis of ``source``
+        — its write sets drive rebind invalidation, including writes a
+        called helper performs on the cell's behalf. ``executed=False``
+        (the cell raised) applies invalidations — a partial execution
+        may have rebound anything the cell could rebind — but registers
+        no new summaries, since the defs may never have run.
+        """
+        try:
+            module: Optional[ast.Module] = ast.parse(source)
+        except SyntaxError:
+            module = None
+        if module is None:
+            self._next_index += 1
+            return
+
+        live_before = self._live_raws(self._next_index - 1)
+
+        opaque = effects.opaque_writes or any(
+            escape.kind in _OPAQUE_ESCAPE_KINDS for escape in effects.escapes
+        )
+        if opaque:
+            kinds = sorted(
+                {
+                    escape.kind.value
+                    for escape in effects.escapes
+                    if escape.kind in _OPAQUE_ESCAPE_KINDS
+                }
+            ) or ["opaque-writes"]
+            for name in sorted(live_before):
+                self._invalidate(name, f"opaque cell ({', '.join(kinds)})")
+            self._next_index += 1
+            return
+
+        raws = self._extract(source)
+        aliases = _alias_assignments(module)
+        alias_targets = {target for target, _ in aliases}
+        redefined_classes = {
+            name.split(".", 1)[0] for name in raws if "." in name
+        }
+
+        # Names this cell binds by something *other* than a registration
+        # form (a summarizable def/class, a lambda assignment, or a
+        # simple alias): plain assignments, loop targets, del,
+        # helper-mediated hidden stores, … Any live summary of such a
+        # name is stale after this cell.
+        other_bound: Set[str] = set()
+        for statement in module.body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and is_summarizable_def(statement):
+                continue
+            if isinstance(statement, ast.ClassDef) and not statement.decorator_list:
+                continue
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and isinstance(statement.value, (ast.Lambda, ast.Name))
+            ):
+                continue
+            stmt_locals, stmt_globals = _collect_bindings([statement])
+            other_bound |= stmt_locals | stmt_globals
+        other_bound |= effects.summary_writes | effects.summary_deletes
+        other_bound |= effects.deletes | effects.conditional_deletes
+
+        if not executed:
+            # The cell raised: anything it *could* have rebound may or
+            # may not have been, and its defs may never have run — drop
+            # every affected live summary, register nothing.
+            touched = other_bound | set(raws) | alias_targets
+            for name in sorted(live_before):
+                class_prefix = name.split(".", 1)[0]
+                if name in touched or class_prefix in touched or (
+                    "." in name and class_prefix in redefined_classes
+                ):
+                    self._invalidate(name, "binding cell raised")
+            self._next_index += 1
+            return
+
+        for name in sorted(live_before):
+            class_prefix = name.split(".", 1)[0]
+            if name in other_bound or (
+                "." in name and class_prefix in other_bound
+            ):
+                self._invalidate(name, "rebound by a later cell")
+            elif "." in name and class_prefix in redefined_classes:
+                # The class is being redefined; stale methods drop, the
+                # replacements register below at this same cell index.
+                self._invalidate(name, "class redefined")
+
+        for name in sorted(raws):
+            if name in other_bound:
+                # Defined *and* otherwise rebound in one cell: the final
+                # binding is ambiguous, stay conservative.
+                if name in live_before:
+                    self._invalidate(name, "ambiguous rebind in def cell")
+                continue
+            self._record(name, raws[name])
+        for target, origin in aliases:
+            if target in raws or target in other_bound:
+                continue  # def/lambda registration or ambiguity wins
+            source_raw = raws.get(origin) or live_before.get(origin)
+            if source_raw is not None:
+                self._record(target, replace(source_raw, name=target))
+            elif target in live_before:
+                self._invalidate(target, "rebound by a later cell")
+
+        self._next_index += 1
+
+    def advance(self, source: str) -> CellEffects:
+        """Analyze one cell interprocedurally and commit its events."""
+        view = self.view_for_cell(source)
+        effects = analyze_cell(source, view)
+        self.observe_cell(source, effects)
+        return effects
+
+    # -- reporting -----------------------------------------------------------
+
+    def to_report(self) -> Dict[str, Any]:
+        """JSON-stable summary report (the ``repro summaries`` payload)."""
+        final = self.view_at(self._next_index - 1)
+        functions = [summary.to_dict() for summary in final.functions()]
+        return {
+            "cells": self._next_index,
+            "functions": functions,
+            "invalidations": [
+                record.to_dict() for record in self._invalidations
+            ],
+            "stats": {
+                "live": len(functions),
+                "invalidated": len(self._invalidations),
+                "tracking_safe": sum(
+                    1 for f in functions if f["tracking_safe"]
+                ),
+            },
+        }

@@ -22,10 +22,14 @@ see :class:`~repro.analysis.effects.EscapeKind` for the taxonomy.
 from __future__ import annotations
 
 import ast
+import builtins
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.summaries import FunctionSummary, SummaryView
 
 #: Callables whose invocation executes code the AST cannot see.
 EXEC_EVAL_NAMES = frozenset({"exec", "eval", "compile"})
@@ -165,17 +169,50 @@ def _collect_bindings(
     return local_names, global_names
 
 
-class EffectVisitor(ast.NodeVisitor):
-    """Computes the :class:`CellEffects` of one parsed cell."""
+def is_summarizable_def(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> bool:
+    """Whether a def's body effects can live in a function summary.
 
-    def __init__(self) -> None:
+    Decorated functions are excluded: a decorator may call the body at
+    definition time or replace the function with something whose effects
+    the summary does not describe, so their body escapes stay pinned to
+    the def cell exactly as before PR 8.
+    """
+    return not node.decorator_list
+
+
+class EffectVisitor(ast.NodeVisitor):
+    """Computes the :class:`CellEffects` of one parsed cell.
+
+    When ``summaries`` is provided (a resolved per-cell
+    :class:`~repro.analysis.summaries.SummaryView`), the visitor becomes
+    interprocedural: a call ``f(x)`` to a summarized helper expands to the
+    helper's global effects at the call site, and escapes found inside
+    summarizable top-level def bodies are *deferred* — they resurface at
+    call sites through the summary instead of escalating the def cell
+    (where the body never ran).
+    """
+
+    def __init__(self, summaries: "Optional[SummaryView]" = None) -> None:
         self.effects = CellEffects()
+        self._summaries = summaries
         self._escapes: List[Escape] = []
+        self._deferred: List[Escape] = []
         self._scopes: List[_Scope] = []
         self._conditional_depth = 0
+        #: >0 while visiting the body of a summarizable top-level def;
+        #: name effects are skipped (they belong to the summary) and
+        #: escapes are routed to the deferred list.
+        self._defer_depth = 0
         #: Module names imported by this cell; attribute assignment on one
         #: of these is flagged as a module-patch escape.
         self._imported_modules: Set[str] = set()
+        #: ids of Name nodes serving as the direct callee of a Call, and
+        #: of sole-RHS Names of simple top-level alias assignments — loads
+        #: exempt from the unsafe-summary aliasing check.
+        self._callee_name_ids: Set[int] = set()
+        self._alias_rhs_ids: Set[int] = set()
 
     # -- entry point -------------------------------------------------------
 
@@ -185,6 +222,7 @@ class EffectVisitor(ast.NodeVisitor):
         for statement in module.body:
             self.visit(statement)
         self.effects.escapes = tuple(self._escapes)
+        self.effects.deferred_escapes = tuple(self._deferred)
         return self.effects
 
     # -- scope and conditionality helpers ----------------------------------
@@ -235,6 +273,8 @@ class EffectVisitor(ast.NodeVisitor):
     # -- effect recording --------------------------------------------------
 
     def _read(self, name: str) -> None:
+        if self._defer_depth:
+            return  # belongs to the enclosing def's summary
         if self._resolves_global(name):
             (self.effects.reads if self._definite
              else self.effects.conditional_reads).add(name)
@@ -247,14 +287,16 @@ class EffectVisitor(ast.NodeVisitor):
         skip_comprehensions: bool = False,
     ) -> None:
         if self._binds_global(name, skip_comprehensions=skip_comprehensions):
-            (self.effects.writes if self._definite
-             else self.effects.conditional_writes).add(name)
+            if not self._defer_depth:
+                (self.effects.writes if self._definite
+                 else self.effects.conditional_writes).add(name)
             self._check_hidden_global_store(name, node, "assignment to")
 
     def _delete(self, name: str, node: Optional[ast.AST] = None) -> None:
         if self._binds_global(name):
-            (self.effects.deletes if self._definite
-             else self.effects.conditional_deletes).add(name)
+            if not self._defer_depth:
+                (self.effects.deletes if self._definite
+                 else self.effects.conditional_deletes).add(name)
             self._check_hidden_global_store(name, node, "deletion of")
 
     def _check_hidden_global_store(
@@ -273,7 +315,186 @@ class EffectVisitor(ast.NodeVisitor):
             )
 
     def _escape(self, kind: EscapeKind, node: ast.AST, detail: str) -> None:
-        self._escapes.append(Escape(kind=kind, span=Span.of(node), detail=detail))
+        escape = Escape(kind=kind, span=Span.of(node), detail=detail)
+        if self._defer_depth:
+            self._deferred.append(escape)
+        else:
+            self._escapes.append(escape)
+
+    # -- interprocedural expansion (summary mode) ---------------------------
+
+    def _interprocedural_here(self) -> bool:
+        """True when code at the current scope executes at cell time.
+
+        Calls inside function/lambda bodies run (if ever) at call time —
+        their effects belong to the enclosing function's summary, not to
+        this cell — so expansion applies only outside such scopes.
+        Comprehension and class-body scopes execute eagerly and qualify.
+        """
+        return self._summaries is not None and not any(
+            scope.kind in (_SCOPE_FUNCTION, _SCOPE_LAMBDA)
+            for scope in self._scopes
+        )
+
+    def _summary_for(self, name: str) -> "Optional[FunctionSummary]":
+        if self._summaries is None or not self._resolves_global(name):
+            return None
+        return self._summaries.get(name)
+
+    def _expand_call(self, node: ast.Call, summary: "FunctionSummary") -> None:
+        """Fold a summarized callee's effects into this cell at the call.
+
+        Everything lands in the *conditional* sets: body paths are
+        branch-dependent, and summary-expanded accesses must never become
+        definite (a definite access the runtime record lacks would
+        escalate the cell — reads from called bodies *are* recorded by
+        the patched namespace, but only on executed paths).
+        """
+        effects = self.effects
+        effects.summary_expansions += 1
+        effects.summary_reads |= summary.reads
+        effects.conditional_reads |= summary.reads
+        effects.summary_writes |= summary.writes
+        effects.conditional_writes |= summary.writes
+        effects.summary_deletes |= summary.deletes
+        effects.conditional_deletes |= summary.deletes
+        effects.summary_mutations |= summary.global_mutations
+        effects.conditional_reads |= summary.global_mutations
+        for escape in summary.escapes:
+            if (
+                escape.kind is EscapeKind.HIDDEN_GLOBAL_STORE
+                and not summary.calls_unknown
+            ):
+                # Compensated: the store targets are all in the summary's
+                # transitive write/delete sets (the same fixpoint produced
+                # both), which the session folds into the runtime record —
+                # targeted detection covers them without check-all
+                # escalation. Only an unknown callee, whose stores the
+                # fixpoint cannot bound, forces the escape through.
+                continue
+            self._escape(
+                escape.kind,
+                node,
+                f"call to {summary.name}() reaches: {escape.detail}",
+            )
+        # Map call arguments onto parameters the body may mutate, and
+        # surface callback effects for parameters the body may invoke.
+        self._expand_call_args(node, summary)
+
+    def _expand_call_args(
+        self, node: ast.Call, summary: "FunctionSummary"
+    ) -> None:
+        params: Tuple[str, ...] = summary.params
+        kwonly: Tuple[str, ...] = summary.kwonly
+        vararg = summary.vararg
+        kwarg = summary.kwarg
+        mutated_params = summary.mutated_params
+        calls_params = summary.calls_params
+        has_star = any(isinstance(arg, ast.Starred) for arg in node.args) or any(
+            keyword.arg is None for keyword in node.keywords
+        )
+
+        pairs: List[Tuple[Optional[str], ast.expr]] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                pairs.append((None, arg.value))
+            elif position < len(params):
+                pairs.append((params[position], arg))
+            else:
+                pairs.append((vararg, arg))
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                pairs.append((None, keyword.value))
+            elif keyword.arg in params or keyword.arg in kwonly:
+                pairs.append((keyword.arg, keyword.value))
+            else:
+                pairs.append((kwarg, keyword.value))
+
+        for param, expression in pairs:
+            mutates = (
+                param in mutated_params
+                if (param is not None and not has_star)
+                else bool(mutated_params)
+            )
+            if mutates:
+                for arg_name in self._global_names_in(expression):
+                    self.effects.summary_mutations.add(arg_name)
+            invokes = (
+                param in calls_params
+                if (param is not None and not has_star)
+                else bool(calls_params)
+            )
+            if invokes and isinstance(expression, ast.Name):
+                callback = self._summary_for(expression.id)
+                if callback is not None and callback is not summary:
+                    self._expand_call(node, callback)
+
+    def _global_names_in(self, expression: ast.expr) -> List[str]:
+        names: List[str] = []
+        for child in ast.walk(expression):
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                if self._resolves_global(child.id) and not hasattr(
+                    builtins, child.id
+                ):
+                    names.append(child.id)
+        return sorted(set(names))
+
+    def _check_summary_alias(self, node: ast.Name) -> None:
+        """Fold a helper loaded in non-call position into this cell.
+
+        ``cb = helper`` feeding a tracked alias assignment is exempt (the
+        summary table follows simple aliases); any other non-callee load
+        — passed as a callback to ``map``/``sorted``, stored in a
+        structure — may lead to an invocation the analysis cannot see,
+        possibly *within this very cell*. The helper's full summary folds
+        in conservatively: its reads/writes/mutations become the cell's
+        (conditional) effects and its deferred escapes surface here —
+        the closure that keeps def-site deferral sound.
+        """
+        if id(node) in self._callee_name_ids:
+            return  # direct callees escalate in visit_Call when stale
+        if not self._interprocedural_here():
+            return
+        summary = self._summary_for(node.id)
+        if summary is None:
+            if self._resolves_global(node.id) and self._summaries.is_invalidated(
+                node.id
+            ):
+                # Applies even to a tracked ``alias = helper`` RHS: the
+                # table cannot follow an alias of a *dead* summary, so
+                # any load of the name may lead to an invocation with
+                # unknowable effects.
+                self._escape(
+                    EscapeKind.STALE_SUMMARY_CALL,
+                    node,
+                    f"{node.id} used after its function summary was "
+                    f"invalidated; effects unknown",
+                )
+            return
+        if id(node) in self._alias_rhs_ids:
+            return  # tracked alias of a live summary — the table follows it
+        effects = self.effects
+        effects.summary_expansions += 1
+        effects.summary_reads |= summary.reads
+        effects.conditional_reads |= summary.reads
+        effects.summary_writes |= summary.writes
+        effects.conditional_writes |= summary.writes
+        effects.summary_deletes |= summary.deletes
+        effects.conditional_deletes |= summary.deletes
+        effects.summary_mutations |= summary.global_mutations
+        effects.conditional_reads |= summary.global_mutations
+        for escape in summary.escapes:
+            if (
+                escape.kind is EscapeKind.HIDDEN_GLOBAL_STORE
+                and not summary.calls_unknown
+            ):
+                continue  # compensated via the folded write sets, as above
+            self._escape(
+                escape.kind,
+                node,
+                f"{node.id} aliased outside a direct call; its body "
+                f"reaches: {escape.detail}",
+            )
 
     # -- names, assignments, deletions -------------------------------------
 
@@ -281,6 +502,8 @@ class EffectVisitor(ast.NodeVisitor):
         if isinstance(node.ctx, ast.Load):
             self._read(node.id)
             self._check_name_escape(node)
+            if self._summaries is not None:
+                self._check_summary_alias(node)
         elif isinstance(node.ctx, ast.Store):
             self._write(node.id, node)
         elif isinstance(node.ctx, ast.Del):
@@ -300,6 +523,18 @@ class EffectVisitor(ast.NodeVisitor):
             self._escape(EscapeKind.DYNAMIC_IMPORT, node, f"use of {name!r}")
 
     def visit_Assign(self, node: ast.Assign) -> None:
+        if (
+            self._summaries is not None
+            and isinstance(node.value, ast.Name)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and self._scopes[-1].kind == _SCOPE_MODULE
+            and self._definite
+        ):
+            # ``alias = helper`` at top level: the summary table tracks
+            # simple aliases, so this load is not an escape-laundering
+            # position for the helper's deferred escapes.
+            self._alias_rhs_ids.add(id(node.value))
         self.visit(node.value)
         for target in node.targets:
             self._visit_target(target)
@@ -386,6 +621,34 @@ class EffectVisitor(ast.NodeVisitor):
     # -- calls and attributes ----------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name):
+            self._callee_name_ids.add(id(node.func))
+            if self._interprocedural_here():
+                summary = self._summary_for(node.func.id)
+                if summary is not None:
+                    self._expand_call(node, summary)
+                elif self._resolves_global(node.func.id) and not hasattr(
+                    builtins, node.func.id
+                ):
+                    # Conservative top: a global, non-builtin callee with
+                    # no summary (undefined here, rebound, or defined in a
+                    # form the extractor does not model). Counted so the
+                    # telemetry can report how much of the notebook stays
+                    # opaque to interprocedural analysis.
+                    self.effects.summary_unknown_calls += 1
+                    if self._summaries is not None and self._summaries.is_invalidated(
+                        node.func.id
+                    ):
+                        # Once-summarized, now dropped: the callee is user
+                        # code whose current effects nothing bounds, and a
+                        # hidden STORE_GLOBAL inside it would bypass both
+                        # the record and the (deferred) escape machinery.
+                        self._escape(
+                            EscapeKind.STALE_SUMMARY_CALL,
+                            node,
+                            f"call to {node.func.id}() after its function "
+                            f"summary was invalidated; effects unknown",
+                        )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -506,10 +769,27 @@ class EffectVisitor(ast.NodeVisitor):
             )
         ]
         local_names, global_names = _collect_bindings(node.body, params)
-        with self._scope(_SCOPE_FUNCTION, local_names, global_names):
-            with self._conditional():  # the body runs only if called
-                for statement in node.body:
-                    self.visit(statement)
+        # Under summary analysis, the body of a summarizable *top-level*
+        # def contributes nothing to the cell that defines it: the body
+        # does not run at definition time, and its effects resurface at
+        # call sites through the function's summary. Escapes found inside
+        # are deferred (kept separately for telemetry and lint).
+        defer = (
+            self._summaries is not None
+            and self._scopes[-1].kind == _SCOPE_MODULE
+            and self._definite
+            and is_summarizable_def(node)
+        )
+        if defer:
+            self._defer_depth += 1
+        try:
+            with self._scope(_SCOPE_FUNCTION, local_names, global_names):
+                with self._conditional():  # the body runs only if called
+                    for statement in node.body:
+                        self.visit(statement)
+        finally:
+            if defer:
+                self._defer_depth -= 1
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
@@ -617,8 +897,17 @@ def parse_cell(source: str) -> Optional[ast.Module]:
         return None
 
 
-def analyze_cell(source: str) -> CellEffects:
+def analyze_cell(
+    source: str, summaries: "Optional[SummaryView]" = None
+) -> CellEffects:
     """Compute the static effect summary of one cell.
+
+    With ``summaries`` (a resolved
+    :class:`~repro.analysis.summaries.SummaryView` for this cell's
+    position in the notebook) the analysis is interprocedural: calls to
+    summarized helpers expand to their effects and summarizable def
+    bodies contribute nothing at the def site. Without it the behavior
+    is exactly the PR 3 intraprocedural analysis.
 
     Never raises: a cell that fails to parse yields a
     :class:`CellEffects` with ``syntax_error`` set and empty name sets
@@ -628,4 +917,49 @@ def analyze_cell(source: str) -> CellEffects:
         module = ast.parse(source)
     except SyntaxError as exc:
         return CellEffects(syntax_error=str(exc))
-    return EffectVisitor().analyze(module)
+    return EffectVisitor(summaries).analyze(module)
+
+
+def function_params(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+) -> Tuple[Tuple[str, ...], Tuple[str, ...], Optional[str], Optional[str]]:
+    """(positional params, keyword-only params, vararg, kwarg) of a def."""
+    args = node.args
+    positional = tuple(a.arg for a in list(args.posonlyargs) + list(args.args))
+    kwonly = tuple(a.arg for a in args.kwonlyargs)
+    vararg = args.vararg.arg if args.vararg else None
+    kwarg = args.kwarg.arg if args.kwarg else None
+    return positional, kwonly, vararg, kwarg
+
+
+def analyze_function_body(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> CellEffects:
+    """Intraprocedural effect analysis of one function body.
+
+    Runs the ordinary :class:`EffectVisitor` over the body with a
+    function scope (parameters and local bindings honoured, ``global``
+    declarations honoured) pre-pushed, so a read of a local is not a
+    global read and a ``global``-declared store is a global write *and* a
+    hidden-store escape — exactly the facts a
+    :class:`~repro.analysis.summaries.RawSummary` needs. Nested defs and
+    lambdas are visited in place, conservatively folding their effects
+    into the enclosing function's (a nested closure may run whenever the
+    enclosing function does).
+    """
+    positional, kwonly, vararg, kwarg = function_params(node)
+    params = list(positional) + list(kwonly)
+    if vararg is not None:
+        params.append(vararg)
+    if kwarg is not None:
+        params.append(kwarg)
+    local_names, global_names = _collect_bindings(node.body, params)
+    visitor = EffectVisitor()
+    visitor._scopes = [
+        _Scope(_SCOPE_MODULE, set(), set()),
+        _Scope(_SCOPE_FUNCTION, local_names, global_names),
+    ]
+    for statement in node.body:
+        visitor.visit(statement)
+    visitor.effects.escapes = tuple(visitor._escapes)
+    return visitor.effects

@@ -19,6 +19,7 @@ Commands:
     %stats               session metrics registry (counters and histograms)
     %events [type]       structured event log (optionally filtered by type)
     %lint [source]       lint the session's history (or an inline snippet)
+    %summaries           show live interprocedural function summaries
     %replay-plan <names> show the minimal replay plan for variables at a ref
     %recover             scan the store for torn checkpoints and sweep them
     %help                command summary
@@ -26,6 +27,7 @@ Commands:
 
 Run:  python -m repro.cli [--store PATH] [--trace-out FILE]
       python -m repro.cli lint [--format text|json] [--notebook] FILE...
+      python -m repro.cli summaries [--format text|json] FILE...
       python -m repro.cli plan [--format text|json] [--targets a,b] [--trace-out FILE] FILE
       python -m repro.cli stats --store PATH [--format text|json]
       python -m repro.cli fuzz [--seed S] [--iterations N] [--cells N] [--minimize]
@@ -52,7 +54,7 @@ from repro.analysis import JsonReporter, LintEngine, Severity, TextReporter, wor
 from repro.core.graph import ROOT_ID
 from repro.core.session import KishuSession
 from repro.core.storage import CheckpointStore, SQLiteCheckpointStore
-from repro.errors import KishuError
+from repro.errors import KishuError, StoreBusyError
 from repro.kernel.kernel import NotebookKernel
 
 PROMPT_TEMPLATE = "In [{count}]: "
@@ -93,6 +95,7 @@ class KishuRepl:
             "stats": self._cmd_stats,
             "events": self._cmd_events,
             "lint": self._cmd_lint,
+            "summaries": self._cmd_summaries,
             "replay-plan": self._cmd_replay_plan,
             "recover": self._cmd_recover,
             "help": self._cmd_help,
@@ -372,6 +375,19 @@ class KishuRepl:
             findings = engine.lint_notebook(cells, execution_counts=counts)
         self._print(TextReporter().render(findings))
 
+    def _cmd_summaries(self, arguments: List[str]) -> None:
+        """Show the session's live interprocedural function summaries.
+
+        The table is the one the pre-run analyzer consults (DESIGN.md
+        §14): helpers defined by committed cells, closed over their
+        direct calls, minus anything invalidated by rebinds.
+        """
+        table = self.session.summaries
+        if table is None:
+            self._print("summaries disabled (session started with use_summaries=False)")
+            return
+        self._print(render_summaries_text(table.to_report()))
+
     def _cmd_replay_plan(self, arguments: List[str]) -> None:
         """Show the minimal replay plan reconstructing variables at a ref.
 
@@ -503,6 +519,130 @@ def lint_main(
     out.write(reporter.render(findings) + "\n")
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     return 1 if findings and worst_severity(findings) >= threshold else 0
+
+
+def render_summaries_text(report: dict) -> str:
+    """Human-readable rendering of a summary-table report."""
+    stats = report["stats"]
+    lines = [
+        f"{report['cells']} cell(s) — {stats['live']} live function "
+        f"summaries ({stats['tracking_safe']} tracking-safe), "
+        f"{stats['invalidated']} invalidation(s)"
+    ]
+    for function in report["functions"]:
+        parts = [
+            f"  {function['name']}({', '.join(function['params'])})"
+            f"  [cell {function['cell']}]"
+        ]
+        for label, key in (
+            ("reads", "reads"),
+            ("writes", "writes"),
+            ("deletes", "deletes"),
+            ("mutates globals", "mutates_globals"),
+            ("mutates params", "mutates_params"),
+            ("returns", "returns_aliases"),
+        ):
+            if function[key]:
+                parts.append(f"{label}: {', '.join(function[key])}")
+        if function["escapes"]:
+            kinds = sorted({escape["kind"] for escape in function["escapes"]})
+            parts.append("escapes: " + ", ".join(kinds))
+        if function["calls_unknown"]:
+            parts.append("calls-unknown")
+        lines.append("  ".join(parts))
+    for record in report["invalidations"]:
+        lines.append(
+            f"  ! cell {record['cell']}: {record['name']!r} invalidated "
+            f"({record['reason']})"
+        )
+    return "\n".join(lines)
+
+
+def _summaries_paths(raw_paths: List[str], err: TextIO) -> Optional[List[str]]:
+    """Expand directories to their sorted ``*.py`` files."""
+    paths: List[str] = []
+    for path in raw_paths:
+        if os.path.isdir(path):
+            entries = sorted(
+                os.path.join(path, entry)
+                for entry in os.listdir(path)
+                if entry.endswith(".py")
+            )
+            if not entries:
+                err.write(f"repro summaries: no .py files in {path}\n")
+                return None
+            paths.extend(entries)
+        else:
+            paths.append(path)
+    return paths
+
+
+def summaries_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """``repro summaries`` — interprocedural function-effect summaries.
+
+    Splits each script into notebook-style cells (``# %%`` separators,
+    else one cell per top-level statement), feeds them through the
+    :class:`~repro.analysis.summaries.NotebookSummaries` table in order,
+    and prints the surviving summaries, invalidation events, and stats.
+    ``--format json`` is byte-stable for a given input (sorted keys and
+    name lists) — the golden-test contract.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="repro summaries",
+        description="Interprocedural function-effect summaries over "
+        "notebook-style scripts.",
+    )
+    parser.add_argument(
+        "paths",
+        metavar="FILE",
+        nargs="+",
+        help="python files (or directories of them) to summarize",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    args = parser.parse_args(argv)
+
+    import json as json_module
+
+    from repro.analysis import split_script_cells
+    from repro.analysis.summaries import NotebookSummaries
+
+    paths = _summaries_paths(args.paths, err)
+    if paths is None:
+        return 2
+    reports = {}
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            err.write(f"repro summaries: cannot read {path}: {exc}\n")
+            return 2
+        table = NotebookSummaries.from_sources(split_script_cells(source))
+        reports[path] = table.to_report()
+
+    if args.format_ == "json":
+        payload = (
+            reports[paths[0]]
+            if len(paths) == 1
+            else {path: reports[path] for path in sorted(reports)}
+        )
+        out.write(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        blocks = []
+        for path in paths:
+            blocks.append(f"{path}:\n{render_summaries_text(reports[path])}")
+        out.write("\n\n".join(blocks) + "\n")
+    return 0
 
 
 def plan_main(
@@ -1110,6 +1250,8 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "lint":
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "summaries":
+        return summaries_main(arguments[1:])
     if arguments and arguments[0] == "plan":
         return plan_main(arguments[1:])
     if arguments and arguments[0] == "stats":
@@ -1137,7 +1279,11 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         "trace-event JSON",
     )
     args = parser.parse_args(arguments)
-    store = SQLiteCheckpointStore(args.store) if args.store else None
+    try:
+        store = SQLiteCheckpointStore(args.store) if args.store else None
+    except StoreBusyError as exc:
+        sys.stderr.write(f"python -m repro.cli: {exc}\n")
+        return 2
     repl = None
     try:
         repl = KishuRepl(store=store)

@@ -43,6 +43,7 @@ from repro.analysis.dataflow import (
     ast_cost,
     make_cell_node,
 )
+from repro.analysis.summaries import NotebookSummaries
 from repro.core.covariable import CoVarKey
 from repro.core.graph import ROOT_ID, CheckpointGraph, CheckpointNode
 from repro.kernel.namespace import PatchedNamespace, filter_user_names
@@ -113,15 +114,20 @@ class ReplayEngine:
         stats: Optional[PlanStats] = None,
         validate: bool = True,
         observer: Optional[Observer] = None,
+        use_summaries: bool = True,
     ) -> None:
         self.graph = graph
         self.stats = stats if stats is not None else PlanStats()
         self.validate = validate
         self.observer = observer if observer is not None else NO_OBSERVER
-        # Memoized per (chain position, source): tests tamper with node
-        # sources in place, so keying on the node id alone would serve
-        # stale analyses.
-        self._cells: Dict[Tuple[int, str], CellNode] = {}
+        self.use_summaries = use_summaries
+        # Memoized per (chain position, prefix fingerprint, source): tests
+        # tamper with node sources in place, so keying on the node id
+        # alone would serve stale analyses — and under summary analysis a
+        # cell's effects depend on every cell before it (a helper defined
+        # upstream expands at this cell's call sites), so the key also
+        # covers the chain prefix.
+        self._cells: Dict[Tuple[int, int, str], CellNode] = {}
 
     # -- chain and graph construction ---------------------------------------
 
@@ -137,18 +143,38 @@ class ReplayEngine:
 
     def _cell_nodes(self, chain: List[CheckpointNode]) -> List[CellNode]:
         cells: List[CellNode] = []
+        # The summary table is built lazily, on the first memo miss: a
+        # fully memoized chain (the common case for repeated
+        # materializations at one checkout) costs zero re-analysis. On a
+        # miss the table catches up by observing the already-analyzed
+        # prefix — observation needs only each cell's source and effects,
+        # both carried by the memoized CellNode.
+        table: Optional[NotebookSummaries] = None
+        prefix_fp = 0
         for index, node in enumerate(chain):
-            key = (index, node.cell_source)
+            prefix_fp = hash((prefix_fp, node.cell_source))
+            key = (index, prefix_fp if self.use_summaries else 0, node.cell_source)
             cell = self._cells.get(key)
             if cell is None:
+                if self.use_summaries and table is None:
+                    table = NotebookSummaries()
+                    for done in cells:
+                        table.observe_cell(done.source, done.effects)
                 cell = make_cell_node(
                     index,
                     node.cell_source,
                     label=node.node_id,
                     execution_count=node.execution_count,
                     node_id=node.node_id,
+                    summaries=(
+                        table.view_for_cell(node.cell_source)
+                        if table is not None
+                        else None
+                    ),
                 )
                 self._cells[key] = cell
+            if table is not None:
+                table.observe_cell(cell.source, cell.effects)
             cells.append(cell)
         return cells
 

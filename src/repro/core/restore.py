@@ -41,6 +41,11 @@ from repro.errors import (
 from repro.kernel.namespace import PatchedNamespace
 from repro.obs import NO_OBSERVER, EventType, Observer
 
+#: Sentinel distinguishing "name absent" from "name bound to None" when the
+#: checkout barrier compares live bindings against its pre-materialization
+#: snapshot.
+_MISSING = object()
+
 
 @dataclass
 class CheckoutReport:
@@ -266,6 +271,7 @@ class StateLoader:
         retry: Optional[RetryPolicy] = None,
         observer: Optional[Observer] = None,
         plan_stats: Optional["PlanStats"] = None,
+        use_summaries: bool = True,
     ) -> None:
         self.graph = graph
         self.store = store
@@ -274,7 +280,10 @@ class StateLoader:
         self.observer = observer if observer is not None else NO_OBSERVER
         self.planner = CheckoutPlanner(graph)
         self.replay_engine = ReplayEngine(
-            graph, observer=self.observer, stats=plan_stats
+            graph,
+            observer=self.observer,
+            stats=plan_stats,
+            use_summaries=use_summaries,
         )
         self.restorer = DataRestorer(
             graph, store, serializer, retry=retry,
@@ -310,6 +319,17 @@ class StateLoader:
             # Materialize every diverged co-variable before touching the
             # live namespace, so a failed load cannot leave the state
             # half-updated.
+            #
+            # Hidden-store barrier: fallback replay/recompute run cell
+            # code in scratch namespaces, but functions deserialized by
+            # value are rebound to the *live* namespace (so that, once
+            # planted, they execute against the session they live in).
+            # A replayed cell that calls such a function can therefore
+            # write or delete live bindings through ``__globals__``
+            # mid-checkout — side effects the plan, which diffs committed
+            # states only, cannot account for. Snapshot the binding map
+            # and reinstate it before the apply phase.
+            bindings_before = namespace.user_items()
             cache: Dict[Tuple[CoVarKey, str], Dict[str, Any]] = {}
             materialized: List[Tuple[CoVarKey, Dict[str, Any]]] = []
             for load in plan.loads:
@@ -321,6 +341,11 @@ class StateLoader:
                     report=report,
                 )
                 materialized.append((load.key, values))
+            for name in namespace.user_names() - set(bindings_before):
+                namespace.uproot(name)
+            for name, obj in bindings_before.items():
+                if namespace.peek(name, _MISSING) is not obj:
+                    namespace.plant(name, obj)
 
             # Validate every materialized dict against its co-variable's
             # member names BEFORE mutating the namespace: a payload that

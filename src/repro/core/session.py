@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.analysis.crossval import CrossValidator
 from repro.analysis.effects import CellEffects
+from repro.analysis.summaries import NotebookSummaries
 from repro.analysis.visitor import analyze_cell
 from repro.core.covariable import CoVariablePool, CoVarKey
 from repro.core.delta import DeltaDetector, StateDelta, fold_deltas
@@ -125,6 +126,7 @@ class KishuSession:
         retry: Optional[RetryPolicy] = None,
         incremental: bool = True,
         cross_validate: bool = True,
+        use_summaries: bool = True,
         observe: Union[bool, Observer] = True,
     ) -> None:
         self.kernel = kernel
@@ -171,6 +173,16 @@ class KishuSession:
         )
         self._pending_effects: Optional[CellEffects] = None
         self._installed_analyzer = False
+        #: Interprocedural function-effect summaries (DESIGN.md §14). The
+        #: table is fed every committed cell in execution order; the
+        #: pre-run analyzer consults its current view so call sites expand
+        #: through helper summaries and escape-carrying helper bodies are
+        #: charged to the cells that call them, not the cells that define
+        #: them. ``use_summaries=False`` reverts to the PR 3/4
+        #: intraprocedural analysis (the benchmark baseline).
+        self.summaries: Optional[NotebookSummaries] = (
+            NotebookSummaries() if use_summaries else None
+        )
 
         # The session's DeltaDetector observes every cell's access record
         # and invalidates dirty subtrees before rebuilding, which is what
@@ -186,6 +198,7 @@ class KishuSession:
             retry=self.retry,
             observer=self.observer,
             plan_stats=PlanStats(registry=stats_registry),
+            use_summaries=use_summaries,
         )
         self.planner = CheckoutPlanner(self.graph)
         self.refs = RefManager()
@@ -194,6 +207,10 @@ class KishuSession:
         self.checkout_reports: List[CheckoutReport] = []
         self._attached = False
         self._pending_record: Optional[AccessRecord] = None
+        #: Effects of the cell currently between pre- and post-run hooks,
+        #: kept un-merged so the summary table can observe cells one at a
+        #: time even when several fold into one checkpoint.
+        self._cell_effects: Optional[CellEffects] = None
         self._pending_sources: List[str] = []
         self._pending_execution_count = 0
         self._pending_tags: Set[str] = set()
@@ -234,6 +251,7 @@ class KishuSession:
                 if session.observer.enabled
                 else None
             ),
+            use_summaries=session.summaries is not None,
         )
         session.planner = CheckoutPlanner(session.graph)
         session.attach()
@@ -255,8 +273,10 @@ class KishuSession:
         self.kernel.observer = self.observer
         if self.validator is not None and self.kernel.cell_analyzer is None:
             # Install the pre-execution static-analysis hook so every
-            # cell's effects are computed before it runs.
-            self.kernel.cell_analyzer = analyze_cell
+            # cell's effects are computed before it runs. The bound
+            # method consults the session's summary table, making the
+            # analysis interprocedural when summaries are enabled.
+            self.kernel.cell_analyzer = self._analyze_cell
             self._installed_analyzer = True
         self._attached = True
         existing = self.kernel.user_variables()
@@ -282,13 +302,24 @@ class KishuSession:
 
     # -- hooks -------------------------------------------------------------------
 
+    def _analyze_cell(self, source: str) -> CellEffects:
+        """Static analysis of one cell, through the summary view when
+        interprocedural summaries are enabled (DESIGN.md §14)."""
+        view = (
+            self.summaries.view_for_cell(source)
+            if self.summaries is not None
+            else None
+        )
+        return analyze_cell(source, view)
+
     def _on_pre_run(self, info: ExecutionInfo) -> None:
-        if self.validator is not None:
+        if self.validator is not None or self.summaries is not None:
             effects = info.analysis
             if not isinstance(effects, CellEffects):
                 # No analyzer on the kernel (or a foreign one): analyze
                 # here so cross-validation still sees every cell.
-                effects = analyze_cell(info.cell.source)
+                effects = self._analyze_cell(info.cell.source)
+            self._cell_effects = effects
             self._pending_effects = (
                 effects
                 if self._pending_effects is None
@@ -302,6 +333,28 @@ class KishuSession:
         self.observer.annotate(
             accesses=len(record.accessed), writes=len(record.sets)
         )
+        if self.summaries is not None:
+            effects = self._cell_effects
+            self._cell_effects = None
+            if effects is None:
+                effects = self._analyze_cell(result.cell.source)
+            invalidated_before = len(self.summaries.invalidations)
+            self.summaries.observe_cell(
+                result.cell.source, effects, executed=result.error is None
+            )
+            self.analysis_stats.summary_invalidations += (
+                len(self.summaries.invalidations) - invalidated_before
+            )
+            # Summary-informed record completion: ``STORE_GLOBAL`` and
+            # ``DELETE_GLOBAL`` executed inside a called helper bypass the
+            # patched dict, so rebinds/deletes the summaries attribute to
+            # a call site never reach the runtime record — and, with the
+            # escape deferred, no escalation catches them either. Folding
+            # them in keeps Lemma-1 candidate selection sound; the
+            # detector's graph comparison discards any that did not
+            # actually change (e.g. a call guarded by a false branch).
+            record.sets |= effects.summary_writes | effects.summary_mutations
+            record.deletes |= effects.summary_deletes
         if self._pending_record is None:
             self._pending_record = record
         else:
@@ -666,12 +719,32 @@ class KishuSession:
         checkpoint_id = resolved if resolved is not None else ref
         report = self.loader.checkout(checkpoint_id, self.kernel.user_ns)
         self._discard_carryover_after_checkout(checkpoint_id, report)
+        self._resync_summaries(checkpoint_id)
         self.checkout_reports.append(report)
         if ref in self.refs.branches():
             self.refs.activate_branch(ref)
         else:
             self.refs.activate_branch(None)
         return report
+
+    def _resync_summaries(self, target_id: str) -> None:
+        """Rebuild the summary table for the checked-out timeline.
+
+        Function bindings are session state like any other: a checkout
+        moves to the state *as of* the target node, so summaries from the
+        abandoned timeline (defs executed after the target, rebinds,
+        invalidation events) must not leak into analyses of cells run
+        from here on. Rebuilding from the target's chain sources is
+        exactly the replay the table would have observed live.
+        """
+        if self.summaries is None:
+            return
+        sources = [
+            self.graph.get(ancestor).cell_source
+            for ancestor in reversed(self.graph.path_to_root(target_id))
+            if ancestor != ROOT_ID
+        ]
+        self.summaries = NotebookSummaries.from_sources(sources)
 
     def _discard_carryover_after_checkout(
         self, target_id: str, report: CheckoutReport

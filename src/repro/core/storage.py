@@ -63,8 +63,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.covariable import CoVarKey, covar_key
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreBusyError
 from repro.obs import EventType, NO_OBSERVER, Observer
+
+try:  # POSIX only; on other platforms the advisory store lock is a no-op.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 #: Separator for canonical co-variable key encoding. Unit-separator is not
 #: a valid Python identifier character, so it cannot collide with names.
@@ -600,6 +605,61 @@ class InMemoryCheckpointStore(CheckpointStore):
         return self._record_recovery(report)
 
 
+#: Process-local registry of held advisory store locks: realpath of the
+#: database → ``[lock fd, refcount]``. ``flock`` locks are per open file
+#: description, so a second in-process open of the same database must
+#: share the first open's fd instead of re-locking (which would block
+#: against ourselves and misreport the database as busy).
+_STORE_LOCKS: Dict[str, List] = {}
+_STORE_LOCKS_GUARD = threading.Lock()
+
+
+def _acquire_store_lock(path: str) -> Optional[str]:
+    """Take the cross-process advisory lock for database ``path``.
+
+    Returns the registry token to pass to :func:`_release_store_lock`
+    (``None`` for in-memory databases and non-POSIX platforms). Raises
+    :class:`StoreBusyError` when another process holds the lock.
+    """
+    if fcntl is None or path == ":memory:":
+        return None
+    real = os.path.realpath(path)
+    with _STORE_LOCKS_GUARD:
+        entry = _STORE_LOCKS.get(real)
+        if entry is not None:
+            entry[1] += 1
+            return real
+        lock_path = real + ".lock"
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise StoreBusyError(
+                f"checkpoint database {path!r} is open in another process "
+                f"(advisory lock {lock_path!r} is held)"
+            ) from None
+        _STORE_LOCKS[real] = [fd, 1]
+        return real
+
+
+def _release_store_lock(token: Optional[str]) -> None:
+    """Drop one reference on ``token``; the last drop unlocks the file."""
+    if token is None:
+        return
+    with _STORE_LOCKS_GUARD:
+        entry = _STORE_LOCKS.get(token)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del _STORE_LOCKS[token]
+            try:
+                fcntl.flock(entry[0], fcntl.LOCK_UN)
+            finally:
+                os.close(entry[0])
+
+
 class _SQLiteBackend:
     """Shared connection state behind every session handle of one database.
 
@@ -708,13 +768,22 @@ class SQLiteCheckpointStore(CheckpointStore):
     ) -> None:
         self.path = path
         self.session_id = session_id
+        self._lock_token: Optional[str] = None
         if _backend is not None:
             self._backend = _backend
             self._owns_backend = False
             self.register_session(session_id, notebook_path)
             self.last_recovery = None
             return
-        backend = _SQLiteBackend(path)
+        # Cross-process exclusivity first: two processes writing one
+        # database interleave node sequences, so the open fails fast
+        # with StoreBusyError instead (in-process double-opens refcount).
+        self._lock_token = _acquire_store_lock(path)
+        try:
+            backend = _SQLiteBackend(path)
+        except BaseException:
+            _release_store_lock(self._lock_token)
+            raise
         try:
             with backend.lock:
                 self._migrate(backend.conn)
@@ -726,6 +795,7 @@ class SQLiteCheckpointStore(CheckpointStore):
             # Never leak the OS-level handle when open fails — a corrupt
             # or wrong-schema file reaches here via `_open_store_strict`.
             backend.conn.close()
+            _release_store_lock(self._lock_token)
             raise
 
     @property
@@ -1207,3 +1277,5 @@ class SQLiteCheckpointStore(CheckpointStore):
             if self._owns_backend:
                 backend.closed = True
                 backend.conn.close()
+                _release_store_lock(self._lock_token)
+                self._lock_token = None

@@ -63,6 +63,18 @@ class PermanentStorageError(StorageError):
     back to recomputation (§5.3)."""
 
 
+class StoreBusyError(StorageError):
+    """The on-disk checkpoint database is open in another process.
+
+    Raised at store-open time when the sidecar advisory lock
+    (``<database>.lock``) is held elsewhere. Two kernels writing one
+    SQLite history interleave node sequences and corrupt the
+    parent-pointer chain, so opens fail fast instead. In-process
+    double-opens (the multi-session service, a reader handle next to the
+    writer) share the lock through a refcounted registry and never
+    raise."""
+
+
 class SimulatedCrash(BaseException):
     """Process death injected at a kill-point by the fault layer.
 

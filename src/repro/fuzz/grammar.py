@@ -26,7 +26,12 @@ constructs the analysis stack claims to handle (DESIGN.md §12):
 * **escape** — ``globals()['..'] = ..`` and ``exec(..)`` writes that
   defeat access tracking and must escalate detection (DESIGN.md §8);
 * **libsim** — simulated library handles (:mod:`repro.libsim`) with
-  realistic pickle personalities, created and transformed via methods.
+  realistic pickle personalities, created and transformed via methods;
+* **helper** — cross-cell helper functions (DESIGN.md §14): defs that
+  write globals from inside the body (hidden stores the summary layer
+  defers to call sites), mutate parameters, or return argument aliases;
+  calls cells later (including as ``sorted`` key callbacks); and
+  rebind-after-call, which invalidates the summary.
 
 Everything is derived from ``random.Random(seed)`` plus an immutable
 :class:`FuzzConfig`; no dict/set iteration order, wall clock, or
@@ -64,6 +69,7 @@ CONSTRUCTS = (
     "consume",
     "escape",
     "libsim",
+    "helper",
 )
 
 
@@ -90,6 +96,7 @@ class FuzzConfig:
     w_consume: float = 3.0
     w_escape: float = 3.0
     w_libsim: float = 3.0
+    w_helper: float = 4.0
 
     def __post_init__(self) -> None:
         if self.cells < 1:
@@ -120,9 +127,14 @@ PROFILES: Dict[str, Dict[str, float]] = {
     "escape-heavy": {"w_escape": 12.0, "w_closure": 6.0, "w_consume": 4.0},
     # Pure-data programs: no escapes, no libsim — the PR 2/PR 4 core.
     "plain-data": {"w_escape": 0.0, "w_libsim": 0.0, "w_closure": 0.0,
-                   "w_generator": 0.0, "w_consume": 0.0},
+                   "w_generator": 0.0, "w_consume": 0.0, "w_helper": 0.0},
     # Handle-heavy: pickle personalities and method-call dataflow.
     "libsim-heavy": {"w_libsim": 10.0, "w_mutate": 6.0},
+    # Helper-function heavy: cross-cell defs/calls/rebinds exercising the
+    # interprocedural summary layer (DESIGN.md §14) end to end.
+    "func-heavy": {"w_helper": 14.0, "w_closure": 6.0, "w_mutate": 6.0,
+                   "w_escape": 2.0, "w_generator": 1.0, "w_consume": 1.0,
+                   "w_libsim": 1.0},
 }
 
 
@@ -175,6 +187,9 @@ class _Namespace:
         self.generators: List[str] = []  # un-consumed generator objects
         self.handles: List[str] = []  # libsim handles
         self.dead: List[str] = []  # deleted, available for rebind
+        #: Live helper functions: (name, behavior, written-global) where
+        #: behavior is "global" | "mutate" | "alias".
+        self.helpers: List[Tuple[str, str, str]] = []
         self._counter = 0
 
     def fresh(self, prefix: str, rng: random.Random) -> str:
@@ -388,6 +403,76 @@ class ProgramGenerator:
             f"if isinstance(globals()['{target}'], list):\n"
             f"    globals()['{target}'].append({n})"
         )
+
+    def _gen_helper(self, rng: random.Random, ns: _Namespace, n: int) -> str:
+        roll = rng.random()
+        if ns.helpers and roll < 0.40 and ns.data:
+            return self._helper_call(rng, ns, n)
+        if ns.helpers and roll < 0.55:
+            # Rebind-after-call: the summary is invalidated and every
+            # later call falls back to the conservative analysis.
+            func, _, _ = ns.helpers.pop(rng.randrange(len(ns.helpers)))
+            ns.data.append(func)
+            return f"{func} = [{n}, 'rebound']"
+        return self._helper_define(rng, ns, n)
+
+    def _helper_define(self, rng: random.Random, ns: _Namespace, n: int) -> str:
+        # "uf" prefix: never collides with the counter-based v*/g*/h*/e*
+        # names (f* is taken by the closure construct's cell-local defs).
+        func = f"uf{n}"
+        roll = rng.random()
+        if roll < 0.35:
+            # Hidden global store: STORE_GLOBAL from the body is invisible
+            # to tracking; the summary layer defers the escape to the call
+            # sites instead of escalating this def cell.
+            target = ns.fresh("w", rng)
+            ns.helpers.append((func, "global", target))
+            return (
+                f"def {func}(n):\n"
+                f"    global {target}\n"
+                f"    {target} = [n, n + 1]\n"
+                f"    return n % 7"
+            )
+        if roll < 0.7:
+            ns.helpers.append((func, "mutate", ""))
+            return (
+                f"def {func}(xs, n):\n"
+                f"    if isinstance(xs, list):\n"
+                f"        xs.append(n)\n"
+                f"    elif isinstance(xs, dict):\n"
+                f"        xs['h{n}'] = n\n"
+                f"    return len(repr(xs))"
+            )
+        ns.helpers.append((func, "alias", ""))
+        return (
+            f"def {func}(xs):\n"
+            f"    return xs"
+        )
+
+    def _helper_call(self, rng: random.Random, ns: _Namespace, n: int) -> str:
+        func, behavior, written = ns.helpers[rng.randrange(len(ns.helpers))]
+        fresh = ns.fresh("v", rng)
+        if behavior == "global":
+            cell = f"{fresh} = [{func}({n}), {n}]"
+            ns.data.append(fresh)
+            if written not in ns.data:
+                # The hidden store just created (or rebound) this global.
+                ns.data.append(written)
+                if written in ns.dead:
+                    ns.dead.remove(written)
+            return cell
+        if behavior == "mutate":
+            target = rng.choice(ns.data)
+            ns.data.append(fresh)
+            return f"{fresh} = [{func}({target}, {n}), {n}]"
+        # Alias-returning helper: direct call merges co-variables; the
+        # callback form loads the helper outside a call position.
+        if rng.random() < 0.35:
+            ns.data.append(fresh)
+            return f"{fresh} = sorted([{n} % 5, {n} % 3 + 1], key={func})"
+        target = rng.choice(ns.data)
+        ns.data.append(fresh)
+        return f"{fresh} = {func}({target})"
 
     def _gen_libsim(self, rng: random.Random, ns: _Namespace, n: int) -> str:
         roll = rng.random()

@@ -127,6 +127,15 @@ class RegistryStats:
 
     _PREFIX = ""
     _FIELDS: Tuple[str, ...] = ()
+    #: Field-specific metric names for counters whose registry name does
+    #: not follow the ``{_PREFIX}.{field}`` pattern (dots are not valid in
+    #: attribute names, so e.g. ``summary_expansions`` can back the
+    #: ``analysis.summary.expansions`` counter).
+    _FIELD_METRICS: Dict[str, str] = {}
+
+    @classmethod
+    def _metric_name(cls, name: str) -> str:
+        return cls._FIELD_METRICS.get(name, f"{cls._PREFIX}.{name}")
 
     def __init__(
         self, registry: Optional[MetricsRegistry] = None, **initial: int
@@ -144,12 +153,14 @@ class RegistryStats:
                 registry = self.__dict__["registry"]
             except KeyError:
                 raise AttributeError(name) from None
-            return registry.counter(f"{self._PREFIX}.{name}").value
+            return registry.counter(type(self)._metric_name(name)).value
         raise AttributeError(name)
 
     def __setattr__(self, name: str, value: Any) -> None:
         if name in type(self)._FIELDS:
-            self.__dict__["registry"].counter(f"{self._PREFIX}.{name}").set(value)
+            self.__dict__["registry"].counter(
+                type(self)._metric_name(name)
+            ).set(value)
         else:
             object.__setattr__(self, name, value)
 
@@ -178,6 +189,18 @@ class AnalysisStats(RegistryStats):
     definite static access), ``escalations`` (cells escalated to
     check-all detection), ``read_only_skips`` (cells skipped entirely by
     the §6.2 read-only rule).
+
+    The ``summary_*`` fields track the interprocedural summary layer
+    (DESIGN.md §14) and back ``analysis.summary.*`` registry counters:
+    ``summary_expansions`` (call sites expanded through a
+    :class:`~repro.analysis.summaries.FunctionSummary`),
+    ``summary_unknown_calls`` (calls hitting the conservative top),
+    ``summary_deferred_escapes`` (escapes deferred from def sites into
+    summaries), ``summary_deescalations`` (cells that carried deferred
+    escapes yet did *not* escalate — exactly the escalations the old
+    intraprocedural analysis would have charged), and
+    ``summary_invalidations`` (summary bindings invalidated by rebinds or
+    opaque cells).
     """
 
     _PREFIX = "analysis"
@@ -188,7 +211,19 @@ class AnalysisStats(RegistryStats):
         "predictions_violated",
         "escalations",
         "read_only_skips",
+        "summary_expansions",
+        "summary_unknown_calls",
+        "summary_deferred_escapes",
+        "summary_deescalations",
+        "summary_invalidations",
     )
+    _FIELD_METRICS = {
+        "summary_expansions": "analysis.summary.expansions",
+        "summary_unknown_calls": "analysis.summary.unknown_calls",
+        "summary_deferred_escapes": "analysis.summary.deferred_escapes",
+        "summary_deescalations": "analysis.summary.deescalations",
+        "summary_invalidations": "analysis.summary.invalidations",
+    }
 
 
 class PlanStats(RegistryStats):

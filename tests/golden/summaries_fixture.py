@@ -1,0 +1,41 @@
+# Golden fixture for the interprocedural function-summary table.
+# Cells are split on the `# %%` markers; the shape is chosen to fire
+# KSH401 (helper argument mutation), KSH402 in both flavors (a bounded
+# hidden store that is compensated, and an exec helper that escalates)
+# and KSH403 in both flavors (a rebind invalidation and an opaque
+# wipe), alongside one tracking-safe helper that de-escalates. The
+# exec-calling cell comes last so its table wipe cannot mask the
+# earlier findings.
+# %%
+def scale(xs, factor):
+    total = 0
+    for value in xs:
+        total += value * factor
+    xs.append(total)
+    return xs
+# %%
+def bump(step):
+    global counter
+    counter = [step, step + 1]
+    return step % 7
+# %%
+def pure_mean(values):
+    return sum(values) / len(values)
+# %%
+def inject(code):
+    exec(code)
+    return code
+# %%
+data = [1, 2, 3]
+# %%
+scaled = scale(data, 2)
+# %%
+tick = bump(5)
+# %%
+avg = pure_mean(data)
+# %%
+scale = len(data)
+# %%
+final = pure_mean([avg, tick])
+# %%
+inject("limit = 9")

@@ -1,0 +1,124 @@
+"""Cross-process exclusivity of the SQLite checkpoint store.
+
+Two kernels writing one database interleave node sequences and corrupt
+the parent-pointer chain, so opening a database another *process* holds
+must fail fast with :class:`StoreBusyError`. Within one process, the
+lock is refcounted: the multi-session service and reader handles open
+the same file freely.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.storage import SQLiteCheckpointStore
+from repro.errors import StorageError, StoreBusyError
+
+SRC = str(pathlib.Path(__file__).parent.parent / "src")
+
+
+def _run_probe(db_path: str) -> subprocess.CompletedProcess:
+    """Open ``db_path`` in a fresh interpreter; print the outcome."""
+    script = textwrap.dedent(
+        f"""
+        from repro.core.storage import SQLiteCheckpointStore
+        from repro.errors import StoreBusyError
+        try:
+            store = SQLiteCheckpointStore({db_path!r})
+        except StoreBusyError as exc:
+            print("BUSY", exc)
+        else:
+            store.close()
+            print("OPENED")
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+
+
+class TestCrossProcess:
+    def test_second_process_is_rejected_while_open(self, tmp_path):
+        db = str(tmp_path / "history.db")
+        store = SQLiteCheckpointStore(db)
+        try:
+            result = _run_probe(db)
+            assert result.stdout.startswith("BUSY"), result.stdout
+            assert "another process" in result.stdout
+        finally:
+            store.close()
+
+    def test_second_process_succeeds_after_close(self, tmp_path):
+        db = str(tmp_path / "history.db")
+        store = SQLiteCheckpointStore(db)
+        store.close()
+        result = _run_probe(db)
+        assert result.stdout.startswith("OPENED"), result.stdout
+
+
+class TestReplBusyStore:
+    def test_repl_reports_busy_store_cleanly(self, tmp_path):
+        """``python -m repro.cli --store BUSY`` must print one actionable
+        line and exit 2, not dump a traceback."""
+        db = str(tmp_path / "history.db")
+        store = SQLiteCheckpointStore(db)
+        try:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = SRC
+            result = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "--store", db],
+                input="%quit\n",
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+        finally:
+            store.close()
+        assert result.returncode == 2
+        assert "another process" in result.stderr
+        assert "Traceback" not in result.stderr
+
+
+class TestInProcess:
+    def test_double_open_same_path_refcounts(self, tmp_path):
+        db = str(tmp_path / "history.db")
+        first = SQLiteCheckpointStore(db, "alpha")
+        second = SQLiteCheckpointStore(db, "beta")
+        try:
+            # Still exclusively ours: a foreign process stays locked out
+            # while either in-process handle is open.
+            assert _run_probe(db).stdout.startswith("BUSY")
+            first.close()
+            assert _run_probe(db).stdout.startswith("BUSY")
+        finally:
+            second.close()
+        assert _run_probe(db).stdout.startswith("OPENED")
+
+    def test_memory_databases_never_lock(self):
+        a = SQLiteCheckpointStore(":memory:")
+        b = SQLiteCheckpointStore(":memory:")
+        a.close()
+        b.close()
+
+    def test_lock_released_when_open_fails(self, tmp_path):
+        from repro.core.storage import _STORE_LOCKS
+
+        db = tmp_path / "corrupt.db"
+        db.write_bytes(b"not a sqlite file at all")
+        with pytest.raises(Exception):
+            SQLiteCheckpointStore(str(db))
+        # The failed open must not leave the advisory lock held.
+        assert os.path.realpath(str(db)) not in _STORE_LOCKS
+
+    def test_busy_error_is_a_storage_error(self):
+        assert issubclass(StoreBusyError, StorageError)

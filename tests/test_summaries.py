@@ -1,0 +1,461 @@
+"""The interprocedural function-summary layer (DESIGN.md §14).
+
+Covers the summary extractor and fixpoint, the versioned notebook
+table (registration, rebind/opaque invalidation, aliases), call-site
+expansion and de-escalation in the cross-validator, the three
+soundness closures the fuzz oracle forced (summary-informed record
+completion, the checkout hidden-store barrier, stale-summary call
+escalation), and the byte-stable golden outputs of ``repro summaries``
+and the KSH40x lint family.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.analysis import (
+    CrossValidator,
+    EscapeKind,
+    NotebookSummaries,
+    analyze_cell,
+)
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_of(gets=(), sets=(), deletes=()):
+    record = AccessRecord()
+    record.gets |= set(gets)
+    record.sets |= set(sets)
+    record.deletes |= set(deletes)
+    return record
+
+
+def table_of(*sources):
+    table = NotebookSummaries()
+    for source in sources:
+        table.advance(source)
+    return table
+
+
+HIDDEN_STORE_DEF = (
+    "def bump(step):\n"
+    "    global counter\n"
+    "    counter = [step, step + 1]\n"
+    "    return step % 7\n"
+)
+MUTATOR_DEF = (
+    "def push(xs, item):\n"
+    "    xs.append(item)\n"
+    "    return len(xs)\n"
+)
+PURE_DEF = "def mean(values):\n    return sum(values) / len(values)\n"
+
+
+class TestExtraction:
+    def test_pure_helper_is_tracking_safe(self):
+        view = table_of(PURE_DEF).view_at(0)
+        summary = view.get("mean")
+        assert summary is not None
+        assert summary.is_tracking_safe
+        assert not summary.writes and not summary.mutated_params
+
+    def test_hidden_store_recorded_as_write_and_escape(self):
+        summary = table_of(HIDDEN_STORE_DEF).view_at(0).get("bump")
+        assert summary.writes == frozenset({"counter"})
+        assert [e.kind for e in summary.escapes] == [
+            EscapeKind.HIDDEN_GLOBAL_STORE
+        ]
+        assert not summary.is_tracking_safe
+
+    def test_parameter_mutation_by_position(self):
+        summary = table_of(MUTATOR_DEF).view_at(0).get("push")
+        assert "xs" in summary.mutated_params
+        assert "item" not in summary.mutated_params
+
+    def test_transitive_effects_through_direct_calls(self):
+        table = table_of(
+            HIDDEN_STORE_DEF,
+            "def outer(n):\n    return bump(n) + 1\n",
+        )
+        summary = table.view_at(1).get("outer")
+        assert "counter" in summary.writes
+        assert any(
+            e.kind is EscapeKind.HIDDEN_GLOBAL_STORE for e in summary.escapes
+        )
+
+    def test_recursion_reaches_fixpoint(self):
+        table = table_of(
+            "def fact(n):\n"
+            "    global depth\n"
+            "    depth = n\n"
+            "    return 1 if n <= 1 else n * fact(n - 1)\n"
+        )
+        summary = table.view_at(0).get("fact")
+        assert "depth" in summary.writes
+
+    def test_higher_order_param_call_is_unknown(self):
+        summary = table_of(
+            "def apply(f, x):\n    return f(x)\n"
+        ).view_at(0).get("apply")
+        assert summary.calls_params == frozenset({"f"})
+
+
+class TestTableLifecycle:
+    def test_rebind_invalidates(self):
+        table = table_of(PURE_DEF, "mean = 3")
+        assert table.view_at(1).get("mean") is None
+        assert [r.to_dict() for r in table.invalidations] == [
+            {"cell": 1, "name": "mean", "reason": "rebound by a later cell"}
+        ]
+
+    def test_opaque_cell_wipes_all(self):
+        table = table_of(PURE_DEF, MUTATOR_DEF, "ns = globals()")
+        view = table.view_at(2)
+        assert view.get("mean") is None and view.get("push") is None
+        assert {r.name for r in table.invalidations} == {"mean", "push"}
+
+    def test_failed_cell_registers_nothing(self):
+        table = NotebookSummaries()
+        effects = analyze_cell(PURE_DEF, table.view_for_cell(PURE_DEF))
+        table.observe_cell(PURE_DEF, effects, executed=False)
+        assert table.view_at(0).get("mean") is None
+
+    def test_alias_assignment_follows_summary(self):
+        table = table_of(PURE_DEF, "avg = mean")
+        assert table.view_at(1).get("avg") is not None
+
+    def test_redefinition_revives_invalidated_name(self):
+        table = table_of(PURE_DEF, "mean = 3", PURE_DEF)
+        view = table.view_at(2)
+        assert view.get("mean") is not None
+        assert not view.is_invalidated("mean")
+
+    def test_view_is_invalidated(self):
+        table = table_of(PURE_DEF, "mean = 3")
+        assert table.view_at(1).is_invalidated("mean")
+        assert not table.view_at(0).is_invalidated("mean")
+
+
+class TestCallExpansion:
+    def test_call_site_inherits_summary_writes(self):
+        table = table_of(HIDDEN_STORE_DEF)
+        source = "tick = bump(5)"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert "counter" in effects.summary_writes
+        assert "counter" in effects.conditional_writes
+        # The hidden store is *compensated*: the fixpoint already put
+        # `counter` in the summary's write set, and the session folds
+        # summary writes into the runtime record, so targeted detection
+        # covers the store without escalating the call site.
+        assert not effects.escapes
+        outcome = CrossValidator().validate(
+            effects, record_of(gets={"bump"}, sets={"tick", "counter"})
+        )
+        assert not outcome.escalate
+
+    def test_unknown_callee_still_surfaces_hidden_store(self):
+        # A helper whose body calls an unknown function cannot bound its
+        # own effects, so its hidden store must surface and escalate.
+        table = table_of(
+            "def wild(step):\n"
+            "    global counter\n"
+            "    counter = mystery(step)\n"
+            "    return counter\n"
+        )
+        source = "tick = wild(5)"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert any("call to wild() reaches" in e.detail for e in effects.escapes)
+        assert CrossValidator().validate(
+            effects, record_of(gets={"wild"}, sets={"tick"})
+        ).escalate
+
+    def test_exec_helper_still_surfaces(self):
+        # Non-store escapes (exec/eval, frame access, ...) are never
+        # compensated: the summary cannot name what they touch.
+        table = table_of(
+            "def raw(code):\n"
+            "    exec(code)\n"
+        )
+        source = "raw('x = 1')"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert any("call to raw() reaches" in e.detail for e in effects.escapes)
+
+    def test_def_cell_deescalates(self):
+        # The whole point of deferral: defining a hidden-store helper no
+        # longer escalates the (otherwise effect-free) def cell.
+        table = NotebookSummaries()
+        effects = analyze_cell(
+            HIDDEN_STORE_DEF, table.view_for_cell(HIDDEN_STORE_DEF)
+        )
+        assert effects.deferred_escapes and not effects.escapes
+        validator = CrossValidator()
+        outcome = validator.validate(effects, record_of(sets={"bump"}))
+        assert not outcome.escalate
+        assert validator.stats.summary_deescalations == 1
+
+    def test_pure_helper_call_site_stays_quiet(self):
+        table = table_of(PURE_DEF)
+        source = "avg = mean([1, 2])"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert not effects.escapes
+        outcome = CrossValidator().validate(
+            effects, record_of(gets={"mean"}, sets={"avg"})
+        )
+        assert not outcome.escalate
+
+    def test_without_summaries_the_def_cell_escalates(self):
+        effects = analyze_cell(HIDDEN_STORE_DEF + "tick = bump(5)\n", None)
+        outcome = CrossValidator().validate(
+            effects, record_of(sets={"bump", "tick"})
+        )
+        assert outcome.escalate
+
+    def test_stale_summary_call_escalates(self):
+        # Soundness closure: after an opaque cell drops every summary, a
+        # call to a once-summarized helper has unknowable effects — and a
+        # hidden STORE_GLOBAL inside it would bypass the runtime record.
+        table = table_of(HIDDEN_STORE_DEF, "ns = globals()")
+        source = "tick = bump(5)"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert [e.kind for e in effects.escapes] == [
+            EscapeKind.STALE_SUMMARY_CALL
+        ]
+        outcome = CrossValidator().validate(
+            effects, record_of(gets={"bump"}, sets={"tick"})
+        )
+        assert outcome.escalate
+
+    def test_stale_summary_alias_escalates(self):
+        table = table_of(HIDDEN_STORE_DEF, "bump = 3")
+        source = "cb = bump"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert any(
+            e.kind is EscapeKind.STALE_SUMMARY_CALL for e in effects.escapes
+        )
+
+    def test_never_summarized_call_stays_quiet(self):
+        table = table_of(PURE_DEF)
+        source = "out = undefined_helper(1)"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        assert not effects.escapes
+        assert effects.summary_unknown_calls == 1
+
+    def test_callback_folds_full_summary(self):
+        table = table_of(HIDDEN_STORE_DEF)
+        source = "order = sorted([3, 1, 2], key=bump)"
+        effects = analyze_cell(source, table.view_for_cell(source))
+        # Passed as a callback, the helper may run inside sorted(): its
+        # write set folds in (conservatively) and the bounded hidden
+        # store is compensated exactly as at a direct call site.
+        assert "counter" in effects.summary_writes
+        assert not any(
+            e.kind is EscapeKind.HIDDEN_GLOBAL_STORE for e in effects.escapes
+        )
+
+
+class TestSessionSoundness:
+    """Minimal distillations of the fuzz-oracle divergences (func-heavy
+    campaign): each was a way a helper's hidden STORE_GLOBAL could slip
+    past tracking once call sites stopped escalating."""
+
+    def _session(self):
+        kernel = NotebookKernel()
+        return kernel, KishuSession.init(kernel)
+
+    def test_hidden_rebind_versions_advance(self):
+        # Record completion: the second and third calls rebind `counter`
+        # invisibly (STORE_GLOBAL bypasses the patched dict); the
+        # summary-informed record must still advance its version.
+        kernel, session = self._session()
+        heads = []
+        for cell in (HIDDEN_STORE_DEF, "a = bump(1)", "b = bump(2)"):
+            kernel.run_cell(cell)
+            heads.append(session.head_id)
+        assert kernel.user_ns.peek("counter") == [2, 3]
+        session.checkout(heads[1])
+        assert kernel.user_ns.peek("counter") == [1, 2]
+        session.checkout(heads[2])
+        assert kernel.user_ns.peek("counter") == [2, 3]
+
+    def test_hidden_delete_versions_advance(self):
+        kernel, session = self._session()
+        deleter = (
+            "def drop():\n"
+            "    global counter\n"
+            "    del counter\n"
+            "    return 0\n"
+        )
+        heads = []
+        for cell in (HIDDEN_STORE_DEF, deleter, "a = bump(1)", "z = drop()"):
+            kernel.run_cell(cell)
+            heads.append(session.head_id)
+        assert kernel.user_ns.peek("counter") is None
+        session.checkout(heads[2])
+        assert kernel.user_ns.peek("counter") == [1, 2]
+        session.checkout(heads[3])
+        assert kernel.user_ns.peek("counter") is None
+
+    def test_stale_call_after_opaque_cell_is_detected(self):
+        # Seed-14 distillation: an opaque cell wipes the table, then a
+        # later call rebinds `counter` with no summary to attribute the
+        # write to — the stale-summary escalation must catch it.
+        kernel, session = self._session()
+        heads = []
+        for cell in (
+            HIDDEN_STORE_DEF,
+            "a = bump(1)",
+            "ns_keys = sorted(globals().keys())[:1]",
+            "b = bump(2)",
+        ):
+            kernel.run_cell(cell)
+            heads.append(session.head_id)
+        assert kernel.user_ns.peek("counter") == [2, 3]
+        session.checkout(heads[1])
+        assert kernel.user_ns.peek("counter") == [1, 2]
+        session.checkout(heads[3])
+        assert kernel.user_ns.peek("counter") == [2, 3]
+
+    def test_summary_stats_flow_to_telemetry(self):
+        kernel, session = self._session()
+        for cell in (HIDDEN_STORE_DEF, "a = bump(1)"):
+            kernel.run_cell(cell)
+        stats = session.analysis_stats
+        assert stats.summary_expansions >= 1
+        assert stats.summary_deferred_escapes >= 1
+        assert stats.summary_deescalations >= 1
+
+    def test_summaries_resync_after_checkout(self):
+        # The table is session state: checking out past the helper's
+        # definition must forget it.
+        kernel, session = self._session()
+        kernel.run_cell("x = 1")
+        before_def = session.head_id
+        kernel.run_cell(PURE_DEF)
+        assert session.summaries.view_for_cell("pass").get("mean") is not None
+        session.checkout(before_def)
+        assert session.summaries.view_for_cell("pass").get("mean") is None
+
+    def test_use_summaries_false_disables_table(self):
+        kernel = NotebookKernel()
+        session = KishuSession.init(kernel, use_summaries=False)
+        kernel.run_cell("x = 1")
+        assert session.summaries is None
+
+
+class TestGoldenOutput:
+    """``repro summaries`` and the KSH40x lint must be byte-stable."""
+
+    @pytest.fixture(autouse=True)
+    def _repo_root_cwd(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+
+    def run_main(self, main, argv):
+        from repro import cli
+
+        buffer = io.StringIO()
+        getattr(cli, main)(argv, stdout=buffer)
+        return buffer.getvalue()
+
+    def test_summaries_json_matches_golden(self):
+        argv = ["tests/golden/summaries_fixture.py", "--format", "json"]
+        first = self.run_main("summaries_main", argv)
+        second = self.run_main("summaries_main", argv)
+        assert first == second  # byte-stable across runs
+        with open(os.path.join(GOLDEN_DIR, "summaries_report.json")) as handle:
+            assert first == handle.read()
+
+    def test_ksh40x_lint_matches_golden(self):
+        argv = [
+            "tests/golden/summaries_fixture.py", "--notebook", "--format", "json"
+        ]
+        first = self.run_main("lint_main", argv)
+        second = self.run_main("lint_main", argv)
+        assert first == second
+        with open(os.path.join(GOLDEN_DIR, "summaries_lint.json")) as handle:
+            assert first == handle.read()
+        for rule in ("KSH401", "KSH402", "KSH403"):
+            assert rule in first
+
+    def test_summaries_text_mode_mentions_live_functions(self):
+        out = self.run_main(
+            "summaries_main", ["tests/golden/summaries_fixture.py"]
+        )
+        assert "pure_mean" in out
+        assert "invalidated" in out
+
+
+# ---------------------------------------------------------------------------
+# Property: summary-informed write sets over-approximate runtime writes
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+GLOBAL_TARGETS = ("ga", "gb", "gc")
+
+helper_bodies = st.sampled_from(
+    [
+        # (body template, behavior tag)
+        ("    global {g}\n    {g} = [n, n + 1]\n    return n", "store"),
+        ("    global {g}\n    {g} = n\n    return n * 2", "store"),
+        ("    return n + 1", "pure"),
+        ("    xs.append(n)\n    return len(xs)", "mutate"),
+    ]
+)
+global_picks = st.sampled_from(GLOBAL_TARGETS)
+call_args = st.integers(min_value=0, max_value=9)
+
+
+class TestWriteSupersetProperty:
+    """For any helper-then-call notebook, the summary-informed static
+    write set (definite ∪ conditional, which includes every expanded
+    ``summary_write``) must over-approximate the names the execution
+    actually rebound — the invariant that makes summary-informed record
+    completion and Lemma-1 pruning sound."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(body=helper_bodies, g=global_picks, n=call_args)
+    def test_static_writes_cover_runtime_rebinds(self, body, g, n):
+        template, tag = body
+        uses_xs = "xs" in template
+        params = "xs, n" if uses_xs else "n"
+        def_cell = f"def helper({params}):\n" + template.format(g=g)
+        call_cell = (
+            f"out = helper(seed_list, {n})" if uses_xs else f"out = helper({n})"
+        )
+
+        table = NotebookSummaries()
+        kernel = NotebookKernel()
+        kernel.run_cell("seed_list = [0]")
+        table.advance("seed_list = [0]")
+        for cell in (def_cell, call_cell):
+            view = table.view_for_cell(cell)
+            effects = analyze_cell(cell, view)
+            before = dict(kernel.user_ns.user_items())
+            kernel.run_cell(cell, raise_on_error=False)
+            after = dict(kernel.user_ns.user_items())
+            rebound = {
+                name
+                for name in set(before) | set(after)
+                if before.get(name) is not after.get(name)
+            }
+            static_writes = (
+                effects.writes
+                | effects.conditional_writes
+                | effects.deletes
+                | effects.conditional_deletes
+            )
+            assert rebound <= static_writes, (
+                f"cell {cell!r}: runtime rebound {sorted(rebound)} but the "
+                f"summary-informed static write set is {sorted(static_writes)}"
+            )
+            assert effects.summary_writes <= effects.conditional_writes
+            table.observe_cell(cell, effects)

@@ -16,7 +16,12 @@ A standalone static-analysis subsystem over notebook cells:
 * :class:`NotebookSummaries` / :class:`FunctionSummary` — interprocedural
   function-effect summaries (DESIGN.md §14): a per-notebook call graph
   with fixpoint effect propagation, versioned per cell and invalidated on
-  rebind, expanded at call sites by :func:`analyze_cell`.
+  rebind, expanded at call sites by :func:`analyze_cell`;
+* :class:`StubRegistry` / :class:`StubContext` — library effect stubs
+  (DESIGN.md §15): declarative per-callable effect models keyed by
+  resolved import names, bound to receivers by a flow-insensitive local
+  type tracker and consulted by :func:`analyze_cell` before any call is
+  declared opaque.
 """
 
 from repro.analysis.crossval import CrossValidator, ValidationOutcome
@@ -58,6 +63,18 @@ from repro.analysis.rules import (
     RuleRegistry,
     Severity,
 )
+from repro.analysis.stubs import (
+    STUB_FORMAT_VERSION,
+    CallStub,
+    ModuleStubs,
+    StubError,
+    StubRegistry,
+    TypeStub,
+    default_registry,
+    load_stub_file,
+    parse_stub_mapping,
+    shipped_stub_files,
+)
 from repro.analysis.summaries import (
     FunctionSummary,
     InvalidationRecord,
@@ -66,11 +83,24 @@ from repro.analysis.summaries import (
     extract_cell_summaries,
     resolve_summaries,
 )
+from repro.analysis.typetrack import (
+    AbstractType,
+    CellResolver,
+    NotebookTypeEnv,
+    ResolvedCall,
+    StubContext,
+    UnknownLibraryCall,
+    stub_call_mutates,
+    stub_is_pure_at,
+)
 from repro.analysis.visitor import EffectVisitor, analyze_cell, parse_cell
 
 __all__ = [
+    "AbstractType",
+    "CallStub",
     "CellEffects",
     "CellNode",
+    "CellResolver",
     "CrossValidator",
     "DefUseEdge",
     "EdgeKind",
@@ -85,10 +115,12 @@ __all__ = [
     "LintContext",
     "LintEngine",
     "LintRule",
+    "ModuleStubs",
     "NotebookContext",
     "NotebookDataflowGraph",
     "NotebookLintRule",
     "NotebookSummaries",
+    "NotebookTypeEnv",
     "PURE_BUILTINS",
     "PURE_METHODS",
     "PlanStep",
@@ -96,21 +128,34 @@ __all__ = [
     "ReadOnlyCellAnalyzer",
     "ReplayPlan",
     "ReplayPlanner",
+    "ResolvedCall",
     "Resolution",
     "RuleRegistry",
+    "STUB_FORMAT_VERSION",
     "Severity",
     "Span",
     "StoredVersion",
+    "StubContext",
+    "StubError",
+    "StubRegistry",
     "SummaryView",
     "TextReporter",
+    "TypeStub",
+    "UnknownLibraryCall",
     "ValidationOutcome",
     "analyze_cell",
     "default_notebook_rules",
+    "default_registry",
     "extract_cell_summaries",
     "finding_to_dict",
+    "load_stub_file",
     "make_cell_node",
     "parse_cell",
+    "parse_stub_mapping",
     "resolve_summaries",
+    "shipped_stub_files",
     "split_script_cells",
+    "stub_call_mutates",
+    "stub_is_pure_at",
     "worst_severity",
 ]

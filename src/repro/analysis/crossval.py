@@ -40,6 +40,10 @@ class ValidationOutcome:
     reasons: Tuple[str, ...]
     #: Definite static accesses absent from the runtime record.
     missing: FrozenSet[str]
+    #: Escalation trigger classes ("escape", "opaque-writes",
+    #: "under-report"), each counted once per cell however many
+    #: individual findings fed it.
+    kinds: Tuple[str, ...] = ()
 
     @property
     def confirmed(self) -> bool:
@@ -64,6 +68,7 @@ class CrossValidator:
         """
         self.stats.cells_analyzed += 1
         reasons = []
+        kinds = []
 
         if effects.syntax_error is not None:
             # The cell never executed; there is nothing to distrust.
@@ -75,8 +80,14 @@ class CrossValidator:
 
         if effects.escapes:
             self.stats.escapes_found += len(effects.escapes)
-            kinds = sorted({escape.kind.value for escape in effects.escapes})
-            reasons.extend(f"escape:{kind}" for kind in kinds)
+            escape_kinds = sorted(
+                {escape.kind.value for escape in effects.escapes}
+            )
+            reasons.extend(f"escape:{kind}" for kind in escape_kinds)
+            kinds.append("escape")
+        if effects.opaque_writes:
+            reasons.append("opaque-writes: static write set not enumerable")
+            kinds.append("opaque-writes")
 
         # Interprocedural summary bookkeeping (DESIGN.md §14). Deferred
         # escapes live in function summaries instead of the cell's escape
@@ -85,6 +96,10 @@ class CrossValidator:
         self.stats.summary_expansions += effects.summary_expansions
         self.stats.summary_unknown_calls += effects.summary_unknown_calls
         self.stats.summary_deferred_escapes += len(effects.deferred_escapes)
+
+        # Library-stub bookkeeping (DESIGN.md §15).
+        self.stats.stub_expansions += effects.stub_expansions
+        self.stats.stub_unknown_calls += effects.stub_unknown_calls
 
         # Lemma 1 check: every definite static access must have been
         # observed by the patched namespace. (Conditional accesses may
@@ -96,17 +111,42 @@ class CrossValidator:
             reasons.append(
                 "under-report: " + ", ".join(sorted(missing))
             )
+            kinds.append("under-report")
         else:
             self.stats.predictions_confirmed += 1
 
-        escalate = bool(effects.escapes or effects.opaque_writes or missing)
+        # One escalation per cell, whatever the trigger mix — the
+        # per-kind split lives in the ``analysis.escalated.*`` counters.
+        escalate = bool(kinds)
         if escalate:
             self.stats.escalations += 1
+            for kind in kinds:
+                self.stats.registry.counter(f"analysis.escalated.{kind}").inc()
         elif effects.deferred_escapes:
             # The intraprocedural analysis would have escalated this cell
             # for the escapes inside its function bodies; deferral into
             # summaries is exactly what spared it.
             self.stats.summary_deescalations += 1
         return ValidationOutcome(
-            escalate=escalate, reasons=tuple(reasons), missing=missing
+            escalate=escalate,
+            reasons=tuple(reasons),
+            missing=missing,
+            kinds=tuple(kinds),
         )
+
+    def note_stub_mismatch(
+        self, names: FrozenSet[str], *, already_escalated: bool = False
+    ) -> None:
+        """Record a runtime refutation of a declared-pure stub.
+
+        Called by the session when a commit-time delta on a
+        ``stub_pure_receivers`` name has no other static explanation —
+        the stub lied (or its version drifted), and the detection for
+        that checkpoint must run in check-all mode. Counted as at most
+        one extra escalation per cell (``already_escalated`` cells were
+        counted by :meth:`validate`).
+        """
+        self.stats.stub_mismatches += 1
+        self.stats.registry.counter("analysis.escalated.stub-mismatch").inc()
+        if not already_escalated:
+            self.stats.escalations += 1

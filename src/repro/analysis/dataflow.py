@@ -64,6 +64,7 @@ from repro.analysis.visitor import analyze_cell
 
 if TYPE_CHECKING:  # pragma: no cover - cycle broken by lazy import
     from repro.analysis.summaries import NotebookSummaries, SummaryView
+    from repro.analysis.typetrack import StubContext
 
 __all__ = [
     "CellNode",
@@ -231,7 +232,10 @@ def _base_name(node: ast.expr) -> Optional[str]:
 
 
 def in_place_mutation_targets(
-    module: ast.Module, *, skip_function_bodies: bool = False
+    module: ast.Module,
+    *,
+    skip_function_bodies: bool = False,
+    method_effect: Optional[Callable[[ast.Call], Optional[bool]]] = None,
 ) -> FrozenSet[str]:
     """Names through which a cell may mutate an object without rebinding.
 
@@ -247,6 +251,12 @@ def in_place_mutation_targets(
     attributed to call sites through the callee's
     :class:`~repro.analysis.summaries.FunctionSummary` instead of
     spuriously marking the defining cell a mutator.
+
+    ``method_effect`` (the stub layer's
+    :meth:`~repro.analysis.typetrack.CellResolver.method_effect`)
+    overrides the name-based heuristic per call site: ``True`` forces
+    mutation capture, ``False`` is a *proof* of purity and suppresses it,
+    ``None`` falls back to the ``_PURE_METHOD_NAMES`` check.
     """
     mutated: Set[str] = set()
 
@@ -279,7 +289,10 @@ def in_place_mutation_targets(
             if name is not None:
                 mutated.add(name)
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr not in _PURE_METHOD_NAMES:
+            verdict = method_effect(node) if method_effect is not None else None
+            if verdict is None:
+                verdict = node.func.attr not in _PURE_METHOD_NAMES
+            if verdict:
                 name = _base_name(node.func.value)
                 if name is not None:
                     mutated.add(name)
@@ -342,6 +355,7 @@ def make_cell_node(
     execution_count: int = 0,
     node_id: Optional[str] = None,
     summaries: "Optional[SummaryView]" = None,
+    stubs: "Optional[StubContext]" = None,
 ) -> CellNode:
     """Analyze one cell source into a :class:`CellNode`.
 
@@ -351,8 +365,13 @@ def make_cell_node(
     and their mutations (of globals and of global arguments), while
     mutations *inside* summarizable function bodies stop being
     attributed to the defining cell.
+
+    With ``stubs`` library calls resolve through effect stubs
+    (DESIGN.md §15): declared-pure calls stop being captured as
+    mutations (tighter MUTATION edges), declared mutations — including
+    ``mutates_args`` argument positions — join ``mutators``.
     """
-    effects = analyze_cell(source, summaries)
+    effects = analyze_cell(source, summaries, stubs=stubs)
     external: FrozenSet[str] = frozenset()
     mutators: FrozenSet[str] = frozenset()
     if effects.syntax_error is None:
@@ -362,12 +381,19 @@ def make_cell_node(
             module = None
         if module is not None:
             external = ordered_external_reads(module)
+            resolver = stubs.resolver(module) if stubs is not None else None
             mutators = in_place_mutation_targets(
-                module, skip_function_bodies=summaries is not None
+                module,
+                skip_function_bodies=summaries is not None,
+                method_effect=(
+                    resolver.method_effect if resolver is not None else None
+                ),
             )
             if summaries is not None:
                 external = frozenset(external | effects.summary_reads)
                 mutators = frozenset(mutators | effects.summary_mutations)
+            if stubs is not None:
+                mutators = frozenset(mutators | effects.stub_mutations)
     return CellNode(
         index=index,
         label=label if label is not None else f"cell[{index}]",
@@ -502,6 +528,9 @@ class NotebookDataflowGraph:
         #: The function-summary table used to analyze the cells, when the
         #: graph was built with ``from_sources(use_summaries=True)``.
         self.summaries: "Optional[NotebookSummaries]" = None
+        #: The stub context (registry + final type bindings) used to
+        #: analyze the cells, when built with ``use_stubs=True``.
+        self.stub_context: "Optional[StubContext]" = None
         self._events: Dict[str, _NameEvents] = {}
         self._escape_cells: List[int] = []
         self._build_events()
@@ -515,6 +544,8 @@ class NotebookDataflowGraph:
         labels: Optional[Sequence[str]] = None,
         execution_counts: Optional[Sequence[int]] = None,
         use_summaries: bool = False,
+        use_stubs: bool = False,
+        stub_registry: Optional[Any] = None,
     ) -> "NotebookDataflowGraph":
         """Build the graph from cell sources in execution order.
 
@@ -524,12 +555,23 @@ class NotebookDataflowGraph:
         summaries its position can see (def-use edges through helper
         calls become tight), and the populated table is retained as
         ``graph.summaries`` for lint and reporting consumers.
+
+        With ``use_stubs`` a :class:`~repro.analysis.typetrack.StubContext`
+        (over ``stub_registry``, or the shipped default registry) is
+        threaded the same way: each cell resolves library calls against
+        the type bindings earlier cells established, and the context is
+        retained as ``graph.stub_context``.
         """
+        context: "Optional[StubContext]" = None
+        if use_stubs:
+            from repro.analysis.typetrack import StubContext
+
+            context = StubContext(registry=stub_registry)
         table: "Optional[NotebookSummaries]" = None
         if use_summaries:
             from repro.analysis.summaries import NotebookSummaries
 
-            table = NotebookSummaries()
+            table = NotebookSummaries(stubs=context)
         cells = []
         for index, source in enumerate(sources):
             view = table.view_for_cell(source) if table is not None else None
@@ -543,12 +585,18 @@ class NotebookDataflowGraph:
                     else 0
                 ),
                 summaries=view,
+                stubs=context,
             )
             if table is not None:
                 table.observe_cell(source, node.effects)
+            if context is not None:
+                context.observe_cell(
+                    source, opaque=node.effects.opaque_writes
+                )
             cells.append(node)
         graph = cls(cells)
         graph.summaries = table
+        graph.stub_context = context
         return graph
 
     # -- construction -------------------------------------------------------

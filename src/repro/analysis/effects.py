@@ -163,6 +163,22 @@ class CellEffects:
     #: (undefined, rebound, or never summarizable) — the conservative top.
     summary_unknown_calls: int = 0
 
+    # -- library effect stubs (DESIGN.md §15) ------------------------------
+    #: Names whose object graphs a stubbed library call mutates in place
+    #: (mutating method receivers, ``mutates_args`` argument positions).
+    stub_mutations: Set[str] = field(default_factory=set)
+    #: Globals a stubbed call declares it may write (``writes_globals``).
+    stub_writes: Set[str] = field(default_factory=set)
+    #: Receivers of calls a stub declared *pure* — the cross-validator's
+    #: stub-mismatch witnesses: a runtime delta on one of these that no
+    #: static write explains means the stub lied (DESIGN.md §15.3).
+    stub_pure_receivers: Set[str] = field(default_factory=set)
+    #: Call sites resolved through a library effect stub.
+    stub_expansions: int = 0
+    #: Library-shaped calls (module or stubbed-type receiver) no stub
+    #: entry covers — the KSH502 fix-it feed.
+    stub_unknown_calls: int = 0
+
     # -- derived views -----------------------------------------------------
 
     @property
@@ -226,5 +242,10 @@ class CellEffects:
             summary_unknown_calls=(
                 self.summary_unknown_calls + other.summary_unknown_calls
             ),
+            stub_mutations=self.stub_mutations | other.stub_mutations,
+            stub_writes=self.stub_writes | other.stub_writes,
+            stub_pure_receivers=self.stub_pure_receivers | other.stub_pure_receivers,
+            stub_expansions=self.stub_expansions + other.stub_expansions,
+            stub_unknown_calls=self.stub_unknown_calls + other.stub_unknown_calls,
         )
         return merged

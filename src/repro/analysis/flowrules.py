@@ -26,6 +26,18 @@ The KSH40x family reasons over the interprocedural
 * ``KSH403`` — a rebinding invalidates a function's summary, demoting
   every later call to the conservative unknown-callee analysis.
 
+The KSH50x family reasons over the library effect stubs and the
+abstract-type environment (DESIGN.md §15) carried by a
+:class:`~repro.analysis.typetrack.StubContext`:
+
+* ``KSH501`` — a library call mutates caller state per its effect stub
+  (receiver, argument position, or hidden global write);
+* ``KSH502`` — a library-shaped call (receiver provably a module or a
+  stubbed type's instance) has no stub entry, so the conservative
+  treatment applies — with a fix-it naming the stub file to extend;
+* ``KSH503`` — a user stub pins a library version that disagrees with
+  the imported module's ``__version__``.
+
 The rules yield the same :class:`~repro.analysis.rules.Finding` type as
 per-cell rules, carrying ``cell_index`` so the engine can sort globally
 by (cell index, span, rule id) — the deterministic order the byte-stable
@@ -46,6 +58,7 @@ from repro.analysis.dataflow import (
 from repro.analysis.effects import EscapeKind, Span
 from repro.analysis.rules import Finding, LintRule, Severity
 from repro.analysis.summaries import FunctionSummary, NotebookSummaries
+from repro.analysis.typetrack import StubContext, stub_call_mutates
 
 __all__ = [
     "DeadWriteRule",
@@ -55,7 +68,10 @@ __all__ = [
     "HelperHiddenEffectRule",
     "NotebookContext",
     "NotebookLintRule",
+    "StubMutationRule",
+    "StubVersionMismatchRule",
     "SummaryInvalidationRule",
+    "UnstubbedLibraryCallRule",
     "UseBeforeDefiniteDefRule",
     "default_notebook_rules",
 ]
@@ -72,6 +88,9 @@ class NotebookContext:
     #: deliberately built *without* summaries, so its findings are
     #: independent of whether the summary layer is enabled).
     summaries: Optional[NotebookSummaries] = None
+    #: Stub context (registry + abstract-type env) built over the same
+    #: cells, for the KSH50x rules. ``None`` disables that family.
+    stubs: Optional[StubContext] = None
 
     @property
     def cells(self) -> Tuple[CellNode, ...]:
@@ -462,8 +481,189 @@ class SummaryInvalidationRule(NotebookLintRule):
             )
 
 
+# -- KSH50x: library effect stub rules (DESIGN.md §15) ---------------------
+
+
+def _toplevel_calls(source: str) -> List[ast.Call]:
+    """All calls outside any function or lambda body, in source order —
+    attribute callees included (the KSH50x rules care about
+    ``df.sort_values(...)`` as much as ``loads(...)``)."""
+    try:
+        module = ast.parse(source)
+    except SyntaxError:
+        return []
+    calls: List[ast.Call] = []
+
+    class _Collector(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass  # the summaries fixpoint resolves body calls
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            pass
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+        def visit_Call(self, node: ast.Call) -> None:
+            calls.append(node)
+            self.generic_visit(node)
+
+    _Collector().visit(module)
+    return calls
+
+
+def _parse_or_none(source: str) -> Optional[ast.Module]:
+    try:
+        return ast.parse(source)
+    except SyntaxError:
+        return None
+
+
+class StubMutationRule(NotebookLintRule):
+    rule_id = "KSH501"
+    severity = Severity.INFO
+    description = (
+        "library call mutates caller state per its effect stub"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        context = notebook.stubs
+        if context is None:
+            return
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            module = _parse_or_none(cell.source)
+            if module is None:
+                continue
+            resolver = context.resolver_as_run(cell.index, module)
+            for call in _toplevel_calls(cell.source):
+                resolved = resolver.resolve_call(call)
+                if resolved is None:
+                    continue
+                stub = resolved.stub
+                span = Span.of(call)
+                if resolved.receiver is not None and stub_call_mutates(
+                    stub, call
+                ):
+                    yield self.cell_finding(
+                        cell,
+                        f"call to {resolved.qualname}() mutates "
+                        f"{resolved.receiver!r} in place (per its effect "
+                        "stub); the change is attributed to this cell's "
+                        "delta",
+                        span,
+                    )
+                for position in stub.mutates_args:
+                    if position < len(call.args):
+                        argument = _describe_argument(call.args[position])
+                        yield self.cell_finding(
+                            cell,
+                            f"call to {resolved.qualname}() mutates "
+                            f"argument {argument} in place (per its effect "
+                            "stub)",
+                            span,
+                        )
+                for name in stub.writes_globals:
+                    yield self.cell_finding(
+                        cell,
+                        f"call to {resolved.qualname}() writes global "
+                        f"{name!r} behind namespace tracking (per its "
+                        "effect stub); the write is folded into this "
+                        "cell's write set",
+                        span,
+                    )
+
+
+class UnstubbedLibraryCallRule(NotebookLintRule):
+    rule_id = "KSH502"
+    severity = Severity.WARNING
+    description = (
+        "library-shaped call has no effect stub; the conservative "
+        "treatment applies"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        context = notebook.stubs
+        if context is None:
+            return
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            module = _parse_or_none(cell.source)
+            if module is None:
+                continue
+            resolver = context.resolver_as_run(cell.index, module)
+            for call in _toplevel_calls(cell.source):
+                if resolver.resolve_call(call) is not None:
+                    continue
+                unknown = resolver.unknown_library_call(call)
+                if unknown is None:
+                    continue
+                if unknown.stub_file is not None:
+                    fix = (
+                        f"add an entry for it to {unknown.stub_file} to "
+                        "tighten replay plans"
+                    )
+                else:
+                    fix = (
+                        "declare it in a stub file and load it with "
+                        "StubRegistry.add_file() / `repro stubs check`"
+                    )
+                yield self.cell_finding(
+                    cell,
+                    f"no effect stub covers {unknown.qualname}(); the "
+                    f"receiver is conservatively assumed mutated — {fix}",
+                    Span.of(call),
+                )
+
+
+class StubVersionMismatchRule(NotebookLintRule):
+    rule_id = "KSH503"
+    severity = Severity.WARNING
+    description = (
+        "stub pins a library version that disagrees with the imported "
+        "module"
+    )
+
+    def check_notebook(self, notebook: NotebookContext) -> Iterator[Finding]:
+        context = notebook.stubs
+        if context is None:
+            return
+        reported: set = set()
+        for cell in notebook.cells:
+            if not cell.executed:
+                continue
+            module = _parse_or_none(cell.source)
+            if module is None:
+                continue
+            for statement in ast.walk(module):
+                if isinstance(statement, ast.Import):
+                    names = [alias.name for alias in statement.names]
+                elif isinstance(statement, ast.ImportFrom):
+                    names = [statement.module] if statement.module else []
+                else:
+                    continue
+                for name in names:
+                    if name in reported:
+                        continue
+                    mismatch = context.registry.version_mismatch(name)
+                    if mismatch is None:
+                        continue
+                    reported.add(name)
+                    declared, imported = mismatch
+                    yield self.cell_finding(
+                        cell,
+                        f"effect stubs for {name!r} declare version "
+                        f"{declared} but the imported module reports "
+                        f"{imported}; stub effects may be stale — the "
+                        "runtime mismatch oracle remains the safety net",
+                        Span.of(statement),
+                    )
+
+
 def default_notebook_rules() -> List[NotebookLintRule]:
-    """The built-in KSH30x + KSH40x rule set, in rule-id order."""
+    """The built-in KSH30x + KSH40x + KSH50x rule set, in rule-id order."""
     return [
         UseBeforeDefiniteDefRule(),
         DeadWriteRule(),
@@ -472,4 +672,7 @@ def default_notebook_rules() -> List[NotebookLintRule]:
         HelperArgumentMutationRule(),
         HelperHiddenEffectRule(),
         SummaryInvalidationRule(),
+        StubMutationRule(),
+        UnstubbedLibraryCallRule(),
+        StubVersionMismatchRule(),
     ]

@@ -545,16 +545,19 @@ class LintEngine:
             )
         from repro.analysis.dataflow import NotebookDataflowGraph
         from repro.analysis.summaries import NotebookSummaries
+        from repro.analysis.typetrack import StubContext
 
         graph = NotebookDataflowGraph(nodes)
-        # The KSH40x rules need the interprocedural summary table; the
-        # KSH30x graph stays intraprocedural so its findings do not shift
-        # with the summary layer.
+        # The KSH40x rules need the interprocedural summary table, the
+        # KSH50x rules the stub type environment; the KSH30x graph stays
+        # intraprocedural so its findings do not shift with either layer.
+        stubs = StubContext()
         summaries = NotebookSummaries.from_sources(
-            [source for _, source in pairs]
+            [source for _, source in pairs], stubs=stubs
         )
         notebook = NotebookContext(
-            graph=graph, execution_counts=counts, summaries=summaries
+            graph=graph, execution_counts=counts, summaries=summaries,
+            stubs=stubs,
         )
         for rule in default_notebook_rules():
             for finding in rule.check_notebook(notebook):

@@ -56,6 +56,12 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+from repro.analysis.typetrack import (
+    CellResolver,
+    StubContext,
+    stub_call_mutates,
+    stub_is_pure_at,
+)
 from repro.analysis.visitor import (
     _collect_bindings,
     analyze_cell,
@@ -321,8 +327,20 @@ def _extract_raw(
     *,
     qualname: str,
     cell_index: int,
+    resolver: Optional[CellResolver] = None,
 ) -> RawSummary:
-    """Intraprocedural facts of one def (no call resolution yet)."""
+    """Intraprocedural facts of one def (no call resolution yet).
+
+    ``resolver`` (the stub layer's per-cell type resolver, DESIGN.md §15)
+    bounds library calls the body performs: a stub-resolved pure call
+    contributes nothing, a mutating one contributes its declared receiver
+    / argument mutations and global writes. Resolution is gated on the
+    receiver expression touching *no* function-local name — body locals
+    shadow the cell-level bindings the resolver knows about. Attribute
+    calls on global receivers that nothing resolves set ``calls_unknown``:
+    such a method may do anything, including hidden global stores, so
+    pretending otherwise would silently weaken the caller's bound.
+    """
     from repro.analysis.dataflow import in_place_mutation_targets
 
     body_effects = analyze_function_body(node)
@@ -336,14 +354,40 @@ def _extract_raw(
     invisible = local_names | all_params | _nested_local_names(node.body)
     invisible -= global_names
 
+    def _names_in(expression: ast.expr) -> Tuple[Set[str], Set[str]]:
+        found_globals: Set[str] = set()
+        found_params: Set[str] = set()
+        for child in ast.walk(expression):
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                if child.id in all_params:
+                    found_params.add(child.id)
+                elif child.id not in invisible and not _is_builtin(child.id):
+                    found_globals.add(child.id)
+        return found_globals, found_params
+
+    def _receiver_is_local(expression: ast.expr) -> bool:
+        """Any name feeding the receiver expression that is local to the
+        body makes cell-level type resolution unsound for this call."""
+        return any(
+            isinstance(child, ast.Name)
+            and isinstance(child.ctx, ast.Load)
+            and child.id in invisible
+            for child in ast.walk(expression)
+        )
+
+    def _body_method_effect(call: ast.Call) -> Optional[bool]:
+        assert isinstance(call.func, ast.Attribute)
+        if resolver is None or _receiver_is_local(call.func.value):
+            return None
+        return resolver.method_effect(call)
+
     body_module = ast.Module(body=list(node.body), type_ignores=[])
-    mutated = in_place_mutation_targets(body_module)
-    mutated_params = frozenset(name for name in mutated if name in all_params)
-    global_mutations = frozenset(
-        name
-        for name in mutated
-        if name not in invisible and not _is_builtin(name)
+    mutated = in_place_mutation_targets(
+        body_module, method_effect=_body_method_effect
     )
+    stub_mutated_params: Set[str] = set()
+    stub_global_mutations: Set[str] = set()
+    stub_writes: Set[str] = set()
 
     return_names = _return_alias_names(node.body)
     returns_params = frozenset(n for n in return_names if n in all_params)
@@ -359,6 +403,42 @@ def _extract_raw(
         if not isinstance(walk_node, ast.Call):
             continue
         func = walk_node.func
+
+        if isinstance(func, ast.Attribute):
+            root: ast.expr = func.value
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(
+                root,
+                (ast.Constant, ast.List, ast.Dict, ast.Set, ast.Tuple,
+                 ast.JoinedStr, ast.ListComp, ast.SetComp, ast.DictComp,
+                 ast.GeneratorExp),
+            ):
+                continue  # method on a fresh literal: no global reachable
+            base = root.id if isinstance(root, ast.Name) else None
+            if base is not None and (base in invisible or _is_builtin(base)):
+                # Local/parameter receivers: the mutation walk already
+                # records them in ``mutated`` (-> mutated_params).
+                continue
+            if resolver is not None and not _receiver_is_local(func.value):
+                resolved = resolver.resolve_call(walk_node)
+                if resolved is not None and resolved.stub.escape is None:
+                    stub = resolved.stub
+                    # Receiver mutation is captured by the mutation walk
+                    # through ``_body_method_effect``; map the declared
+                    # argument mutations and global writes here.
+                    for position in stub.mutates_args:
+                        if position < len(walk_node.args):
+                            arg_globals, arg_params = _names_in(
+                                walk_node.args[position]
+                            )
+                            stub_global_mutations |= arg_globals
+                            stub_mutated_params |= arg_params
+                    stub_writes |= set(stub.writes_globals)
+                    continue
+            calls_unknown = True
+            continue
+
         if not isinstance(func, ast.Name):
             continue
         callee_ids.add(id(func))
@@ -370,9 +450,45 @@ def _extract_raw(
             continue
         if _is_builtin(func.id):
             continue
+        if resolver is not None:
+            resolved = resolver.resolve_call(walk_node)
+            if resolved is not None and resolved.stub.escape is None:
+                stub = resolved.stub
+                if stub_is_pure_at(stub, walk_node):
+                    continue
+                if not stub_call_mutates(stub, walk_node):
+                    # Mutation confined to declared argument positions
+                    # and global writes — expressible, so fold it in.
+                    for position in stub.mutates_args:
+                        if position < len(walk_node.args):
+                            arg_globals, arg_params = _names_in(
+                                walk_node.args[position]
+                            )
+                            stub_global_mutations |= arg_globals
+                            stub_mutated_params |= arg_params
+                    stub_writes |= set(stub.writes_globals)
+                    continue
+                # A mutating plain call (RNG draws, ``seed`` …) advances
+                # library state the summary cannot name — fall through to
+                # the conservative unresolved-call handling.
         calls.append(
             _record_call_site(walk_node, func.id, all_params, invisible)
         )
+
+    mutated_params = frozenset(
+        (set(name for name in mutated if name in all_params))
+        | stub_mutated_params
+    )
+    global_mutations = frozenset(
+        (
+            set(
+                name
+                for name in mutated
+                if name not in invisible and not _is_builtin(name)
+            )
+        )
+        | stub_global_mutations
+    )
 
     aliased: Set[str] = set()
     for walk_node in ast.walk(body_module):
@@ -396,7 +512,7 @@ def _extract_raw(
         vararg=vararg,
         kwarg=kwarg,
         reads=body_effects.all_reads,
-        writes=body_effects.all_writes,
+        writes=frozenset(body_effects.all_writes | stub_writes),
         deletes=body_effects.all_deletes,
         mutated_params=mutated_params,
         global_mutations=global_mutations,
@@ -466,7 +582,11 @@ def _record_call_site(
 
 
 def _lambda_raw(
-    name: str, node: ast.Lambda, *, cell_index: int
+    name: str,
+    node: ast.Lambda,
+    *,
+    cell_index: int,
+    resolver: Optional[CellResolver] = None,
 ) -> RawSummary:
     """Raw summary of a top-level ``name = lambda ...`` assignment."""
     synthetic = ast.FunctionDef(
@@ -479,11 +599,15 @@ def _lambda_raw(
     )
     ast.copy_location(synthetic, node)
     ast.fix_missing_locations(synthetic)
-    return _extract_raw(synthetic, qualname=name, cell_index=cell_index)
+    return _extract_raw(
+        synthetic, qualname=name, cell_index=cell_index, resolver=resolver
+    )
 
 
 def extract_cell_summaries(
-    module: ast.Module, cell_index: int
+    module: ast.Module,
+    cell_index: int,
+    resolver: Optional[CellResolver] = None,
 ) -> Dict[str, RawSummary]:
     """Raw summaries of every summarizable function a cell defines.
 
@@ -500,7 +624,10 @@ def extract_cell_summaries(
         if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
             if is_summarizable_def(statement):
                 raws[statement.name] = _extract_raw(
-                    statement, qualname=statement.name, cell_index=cell_index
+                    statement,
+                    qualname=statement.name,
+                    cell_index=cell_index,
+                    resolver=resolver,
                 )
         elif isinstance(statement, ast.Assign):
             if (
@@ -510,7 +637,10 @@ def extract_cell_summaries(
             ):
                 target = statement.targets[0].id
                 raws[target] = _lambda_raw(
-                    target, statement.value, cell_index=cell_index
+                    target,
+                    statement.value,
+                    cell_index=cell_index,
+                    resolver=resolver,
                 )
         elif isinstance(statement, ast.ClassDef):
             if statement.decorator_list:
@@ -521,7 +651,10 @@ def extract_cell_summaries(
                 ) and is_summarizable_def(member):
                     qualname = f"{statement.name}.{member.name}"
                     raws[qualname] = _extract_raw(
-                        member, qualname=qualname, cell_index=cell_index
+                        member,
+                        qualname=qualname,
+                        cell_index=cell_index,
+                        resolver=resolver,
                     )
     return raws
 
@@ -787,23 +920,38 @@ class NotebookSummaries:
     actual execution so failed cells invalidate but never register.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stubs: Optional[StubContext] = None) -> None:
         self._events: Dict[str, List[Tuple[int, Optional[RawSummary]]]] = {}
         self._invalidations: List[InvalidationRecord] = []
         self._next_index = 0
-        self._extract_cache: Dict[str, Dict[str, RawSummary]] = {}
+        #: Library-stub context the extractor resolves library calls
+        #: against (DESIGN.md §15). The table never advances it — the
+        #: notebook-lifecycle owner calls ``stubs.observe_cell`` (or the
+        #: table's own :meth:`advance` does, when it is the driver).
+        self._stubs = stubs
+        self._extract_cache: Dict[
+            Tuple[str, Optional[str]], Dict[str, RawSummary]
+        ] = {}
         self._resolve_cache: Dict[
-            Tuple[Tuple[str, int], ...], Dict[str, FunctionSummary]
+            Tuple[Optional[str], Tuple[Tuple[str, int], ...]],
+            Dict[str, FunctionSummary],
         ] = {}
 
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def from_sources(cls, sources: Sequence[str]) -> "NotebookSummaries":
-        table = cls()
+    def from_sources(
+        cls,
+        sources: Sequence[str],
+        stubs: Optional[StubContext] = None,
+    ) -> "NotebookSummaries":
+        table = cls(stubs)
         for source in sources:
             table.advance(source)
         return table
+
+    def _stub_token(self) -> Optional[str]:
+        return self._stubs.fingerprint() if self._stubs is not None else None
 
     @property
     def next_index(self) -> int:
@@ -848,8 +996,9 @@ class NotebookSummaries:
         return dead
 
     def _resolve(self, raws: Dict[str, RawSummary]) -> Dict[str, FunctionSummary]:
-        key = tuple(
-            sorted((name, raw.cell_index) for name, raw in raws.items())
+        key = (
+            self._stub_token(),
+            tuple(sorted((name, raw.cell_index) for name, raw in raws.items())),
         )
         cached = self._resolve_cache.get(key)
         if cached is None:
@@ -885,7 +1034,8 @@ class NotebookSummaries:
         return SummaryView(cell_index + 1, self._resolve(raws), frozenset(dead))
 
     def _extract(self, source: str) -> Dict[str, RawSummary]:
-        cached = self._extract_cache.get(source)
+        key = (source, self._stub_token())
+        cached = self._extract_cache.get(key)
         if cached is not None:
             return {
                 name: replace(raw, cell_index=self._next_index)
@@ -895,8 +1045,13 @@ class NotebookSummaries:
             module = ast.parse(source)
         except SyntaxError:
             return {}
-        raws = extract_cell_summaries(module, self._next_index)
-        self._extract_cache[source] = raws
+        resolver = (
+            self._stubs.resolver(module) if self._stubs is not None else None
+        )
+        raws = extract_cell_summaries(
+            module, self._next_index, resolver=resolver
+        )
+        self._extract_cache[key] = raws
         return raws
 
     def view_for_cell(self, source: str) -> SummaryView:
@@ -1042,10 +1197,17 @@ class NotebookSummaries:
         self._next_index += 1
 
     def advance(self, source: str) -> CellEffects:
-        """Analyze one cell interprocedurally and commit its events."""
+        """Analyze one cell interprocedurally and commit its events.
+
+        When the table carries a stub context it is the notebook driver
+        here, so it also advances the type environment — callers that
+        drive :meth:`observe_cell` themselves own that lifecycle instead.
+        """
         view = self.view_for_cell(source)
-        effects = analyze_cell(source, view)
+        effects = analyze_cell(source, view, stubs=self._stubs)
         self.observe_cell(source, effects)
+        if self._stubs is not None:
+            self._stubs.observe_cell(source, opaque=effects.opaque_writes)
         return effects
 
     # -- reporting -----------------------------------------------------------

@@ -27,6 +27,13 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.effects import CellEffects, Escape, EscapeKind, Span
+from repro.analysis.typetrack import (
+    INSTANCE,
+    CellResolver,
+    ResolvedCall,
+    StubContext,
+    stub_call_mutates,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.analysis.summaries import FunctionSummary, SummaryView
@@ -194,9 +201,16 @@ class EffectVisitor(ast.NodeVisitor):
     (where the body never ran).
     """
 
-    def __init__(self, summaries: "Optional[SummaryView]" = None) -> None:
+    def __init__(
+        self,
+        summaries: "Optional[SummaryView]" = None,
+        stubs: Optional[CellResolver] = None,
+    ) -> None:
         self.effects = CellEffects()
         self._summaries = summaries
+        #: Per-cell stub resolver (library effect stubs, DESIGN.md §15);
+        #: ``None`` disables stub consultation entirely.
+        self._stubs = stubs
         self._escapes: List[Escape] = []
         self._deferred: List[Escape] = []
         self._scopes: List[_Scope] = []
@@ -627,6 +641,8 @@ class EffectVisitor(ast.NodeVisitor):
                 summary = self._summary_for(node.func.id)
                 if summary is not None:
                     self._expand_call(node, summary)
+                elif self._apply_stub_call(node):
+                    pass  # the stub bounds the call; nothing stays opaque
                 elif self._resolves_global(node.func.id) and not hasattr(
                     builtins, node.func.id
                 ):
@@ -649,7 +665,73 @@ class EffectVisitor(ast.NodeVisitor):
                             f"call to {node.func.id}() after its function "
                             f"summary was invalidated; effects unknown",
                         )
+            else:
+                self._apply_stub_call(node)
+        elif isinstance(node.func, ast.Attribute):
+            self._apply_stub_call(node)
         self.generic_visit(node)
+
+    # -- library effect stubs (DESIGN.md §15) -------------------------------
+
+    def _stub_here(self) -> bool:
+        """Stubs resolve only for code that runs at cell time, against the
+        cell-level type bindings; function/lambda bodies are handled by
+        the summary extractor with its own local-name gating."""
+        return self._stubs is not None and not any(
+            scope.kind in (_SCOPE_FUNCTION, _SCOPE_LAMBDA)
+            for scope in self._scopes
+        )
+
+    def _apply_stub_call(self, node: ast.Call) -> bool:
+        """Try to bound a call through the stub registry.
+
+        Returns True when a stub covered the call (its declared effects
+        are folded in); on a *library-shaped* call no stub covers, bumps
+        the ``stub_unknown_calls`` counter (KSH502's feed) and returns
+        False so conservative handling proceeds.
+        """
+        if not self._stub_here():
+            return False
+        assert self._stubs is not None
+        resolved = self._stubs.resolve_call(node)
+        if resolved is None:
+            if self._stubs.unknown_library_call(node) is not None:
+                self.effects.stub_unknown_calls += 1
+            return False
+        self._fold_stub(node, resolved)
+        return True
+
+    def _fold_stub(self, node: ast.Call, resolved: ResolvedCall) -> None:
+        effects = self.effects
+        effects.stub_expansions += 1
+        stub = resolved.stub
+        receiver = resolved.receiver
+        if receiver is not None and self._resolves_global(receiver):
+            if stub_call_mutates(stub, node):
+                effects.stub_mutations.add(receiver)
+            elif (
+                resolved.receiver_type is not None
+                and resolved.receiver_type.kind == INSTANCE
+                and stub.is_pure
+            ):
+                # A declared-pure call on a proven instance: remembered as
+                # a mismatch witness for the runtime cross-check — if this
+                # receiver's object graph changes and nothing else in the
+                # cell explains it, the stub lied (DESIGN.md §15.3).
+                effects.stub_pure_receivers.add(receiver)
+        for position in stub.mutates_args:
+            if position < len(node.args):
+                for name in self._global_names_in(node.args[position]):
+                    effects.stub_mutations.add(name)
+        for written in stub.writes_globals:
+            effects.stub_writes.add(written)
+            effects.conditional_writes.add(written)
+        if stub.escape is not None:
+            self._escape(
+                EscapeKind(stub.escape),
+                node,
+                f"stub {resolved.qualname} declares escape",
+            )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr in FRAME_ATTRS:
@@ -898,7 +980,9 @@ def parse_cell(source: str) -> Optional[ast.Module]:
 
 
 def analyze_cell(
-    source: str, summaries: "Optional[SummaryView]" = None
+    source: str,
+    summaries: "Optional[SummaryView]" = None,
+    stubs: Optional[StubContext] = None,
 ) -> CellEffects:
     """Compute the static effect summary of one cell.
 
@@ -909,6 +993,11 @@ def analyze_cell(
     bodies contribute nothing at the def site. Without it the behavior
     is exactly the PR 3 intraprocedural analysis.
 
+    With ``stubs`` (a :class:`~repro.analysis.typetrack.StubContext`
+    carrying the library-stub registry and the notebook's type bindings)
+    library calls resolved through a stub fold their declared effects in
+    instead of staying opaque (DESIGN.md §15).
+
     Never raises: a cell that fails to parse yields a
     :class:`CellEffects` with ``syntax_error`` set and empty name sets
     (such a cell cannot execute either).
@@ -917,7 +1006,8 @@ def analyze_cell(
         module = ast.parse(source)
     except SyntaxError as exc:
         return CellEffects(syntax_error=str(exc))
-    return EffectVisitor(summaries).analyze(module)
+    resolver = stubs.resolver(module) if stubs is not None else None
+    return EffectVisitor(summaries, resolver).analyze(module)
 
 
 def function_params(

@@ -28,6 +28,8 @@ Commands:
 Run:  python -m repro.cli [--store PATH] [--trace-out FILE]
       python -m repro.cli lint [--format text|json] [--notebook] FILE...
       python -m repro.cli summaries [--format text|json] FILE...
+      python -m repro.cli stubs [--format text|json] [--stub FILE] list
+      python -m repro.cli stubs [--format text|json] [--stub FILE] check FILE...
       python -m repro.cli plan [--format text|json] [--targets a,b] [--trace-out FILE] FILE
       python -m repro.cli stats --store PATH [--format text|json]
       python -m repro.cli fuzz [--seed S] [--iterations N] [--cells N] [--minimize]
@@ -46,6 +48,7 @@ restored into the fresh kernel.
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import sys
 from typing import Callable, Dict, List, Optional, TextIO
@@ -259,6 +262,11 @@ class KishuRepl:
         )
         self._print(f"  escalations         {stats.escalations}")
         self._print(f"  read-only skips     {stats.read_only_skips}")
+        self._print(
+            f"  stub expansions     {stats.stub_expansions} "
+            f"(unknown {stats.stub_unknown_calls}, "
+            f"mismatches {stats.stub_mismatches})"
+        )
         plans = self.session.plan_stats
         self._print("replay planner (DESIGN.md §10):")
         self._print(f"  plans computed      {plans.plans_computed}")
@@ -558,8 +566,14 @@ def render_summaries_text(report: dict) -> str:
     return "\n".join(lines)
 
 
-def _summaries_paths(raw_paths: List[str], err: TextIO) -> Optional[List[str]]:
-    """Expand directories to their sorted ``*.py`` files."""
+def _summaries_paths(
+    raw_paths: List[str], err: TextIO, prog: str = "repro summaries"
+) -> List[str]:
+    """Expand directories to their sorted ``*.py`` files.
+
+    An empty directory is a note, not an error — the caller fails (exit
+    2) only when *nothing* across all arguments is analyzable.
+    """
     paths: List[str] = []
     for path in raw_paths:
         if os.path.isdir(path):
@@ -569,12 +583,35 @@ def _summaries_paths(raw_paths: List[str], err: TextIO) -> Optional[List[str]]:
                 if entry.endswith(".py")
             )
             if not entries:
-                err.write(f"repro summaries: no .py files in {path}\n")
-                return None
+                err.write(f"{prog}: note: no .py files in {path}\n")
             paths.extend(entries)
         else:
             paths.append(path)
     return paths
+
+
+def _read_script(path: str, err: TextIO, prog: str) -> Optional[str]:
+    """Read one script for analysis, or note why it was skipped.
+
+    Unreadable and unparseable files are skipped with a note on stderr
+    (a directory sweep should not die on one scratch file); ``None``
+    means skipped.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        err.write(f"{prog}: note: skipping {path}: {exc}\n")
+        return None
+    try:
+        ast.parse(source)
+    except SyntaxError as exc:
+        err.write(
+            f"{prog}: note: skipping {path}: syntax error on line "
+            f"{exc.lineno}\n"
+        )
+        return None
+    return source
 
 
 def summaries_main(
@@ -615,23 +652,23 @@ def summaries_main(
     from repro.analysis.summaries import NotebookSummaries
 
     paths = _summaries_paths(args.paths, err)
-    if paths is None:
-        return 2
     reports = {}
+    analyzed: List[str] = []
     for path in paths:
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            err.write(f"repro summaries: cannot read {path}: {exc}\n")
-            return 2
+        source = _read_script(path, err, "repro summaries")
+        if source is None:
+            continue
         table = NotebookSummaries.from_sources(split_script_cells(source))
         reports[path] = table.to_report()
+        analyzed.append(path)
+    if not analyzed:
+        err.write("repro summaries: nothing analyzable\n")
+        return 2
 
     if args.format_ == "json":
         payload = (
-            reports[paths[0]]
-            if len(paths) == 1
+            reports[analyzed[0]]
+            if len(analyzed) == 1
             else {path: reports[path] for path in sorted(reports)}
         )
         out.write(
@@ -639,8 +676,233 @@ def summaries_main(
         )
     else:
         blocks = []
-        for path in paths:
+        for path in analyzed:
             blocks.append(f"{path}:\n{render_summaries_text(reports[path])}")
+        out.write("\n\n".join(blocks) + "\n")
+    return 0
+
+
+def _stub_check_report(source: str, registry) -> dict:
+    """Analyze one script's library calls against the stub registry."""
+    from repro.analysis import split_script_cells
+    from repro.analysis.flowrules import _toplevel_calls
+    from repro.analysis.typetrack import StubContext, stub_call_mutates
+
+    context = StubContext(registry=registry)
+    cells = split_script_cells(source)
+    stub_calls: List[dict] = []
+    unknown_calls: List[dict] = []
+    mismatches: List[dict] = []
+    seen_modules: set = set()
+    for index, cell_source in enumerate(cells):
+        try:
+            module = ast.parse(cell_source)
+        except SyntaxError:
+            context.observe_cell(cell_source)
+            continue
+        resolver = context.resolver(module)
+        for call in _toplevel_calls(cell_source):
+            resolved = resolver.resolve_call(call)
+            if resolved is not None:
+                stub_calls.append(
+                    {
+                        "cell": index,
+                        "line": call.lineno,
+                        "qualname": resolved.qualname,
+                        "mutates": stub_call_mutates(resolved.stub, call)
+                        or bool(resolved.stub.mutates_args)
+                        or bool(resolved.stub.writes_globals),
+                    }
+                )
+                continue
+            unknown = resolver.unknown_library_call(call)
+            if unknown is not None:
+                unknown_calls.append(
+                    {
+                        "cell": index,
+                        "line": call.lineno,
+                        "qualname": unknown.qualname,
+                        "stub_file": unknown.stub_file,
+                    }
+                )
+        for statement in ast.walk(module):
+            if isinstance(statement, ast.Import):
+                names = [alias.name for alias in statement.names]
+            elif isinstance(statement, ast.ImportFrom):
+                names = [statement.module] if statement.module else []
+            else:
+                continue
+            for name in names:
+                if name in seen_modules:
+                    continue
+                seen_modules.add(name)
+                mismatch = registry.version_mismatch(name)
+                if mismatch is not None:
+                    declared, imported = mismatch
+                    mismatches.append(
+                        {
+                            "cell": index,
+                            "module": name,
+                            "declared": declared,
+                            "imported": imported,
+                        }
+                    )
+        context.observe_cell(cell_source)
+    return {
+        "cells": len(cells),
+        "stub_calls": stub_calls,
+        "unknown_calls": unknown_calls,
+        "version_mismatches": mismatches,
+    }
+
+
+def render_stub_check_text(report: dict) -> str:
+    """Human-readable rendering of one script's stub-check report."""
+    lines = [
+        f"{report['cells']} cell(s) — {len(report['stub_calls'])} stubbed "
+        f"call(s), {len(report['unknown_calls'])} unstubbed library "
+        f"call(s), {len(report['version_mismatches'])} version mismatch(es)"
+    ]
+    for entry in report["stub_calls"]:
+        kind = "mutates" if entry["mutates"] else "pure"
+        lines.append(
+            f"  cell {entry['cell']} line {entry['line']}: "
+            f"{entry['qualname']}() [{kind}]"
+        )
+    for entry in report["unknown_calls"]:
+        fix = (
+            f"extend {entry['stub_file']}"
+            if entry["stub_file"]
+            else "declare it in a stub file"
+        )
+        lines.append(
+            f"  ! cell {entry['cell']} line {entry['line']}: no stub for "
+            f"{entry['qualname']}() — {fix}"
+        )
+    for entry in report["version_mismatches"]:
+        lines.append(
+            f"  ! cell {entry['cell']}: stubs for {entry['module']!r} "
+            f"declare {entry['declared']} but {entry['imported']} is "
+            "imported"
+        )
+    return "\n".join(lines)
+
+
+def stubs_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """``repro stubs`` — library effect stubs (DESIGN.md §15).
+
+    ``repro stubs list`` prints the registry: every stubbed module, its
+    pinned version (if any), entry counts, and the file it came from.
+    ``repro stubs check FILE|DIR`` resolves each script's library calls
+    against the registry and reports stubbed calls, unstubbed
+    library-shaped calls (with the stub file to extend), and version
+    mismatches. Unparseable files are skipped with a note; the exit
+    code is 2 only when nothing was analyzable. ``--stub FILE`` adds
+    user stub files to the shipped set.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="repro stubs",
+        description="Inspect and apply library effect stubs.",
+    )
+    parser.add_argument(
+        "--stub",
+        metavar="FILE",
+        action="append",
+        default=[],
+        dest="stub_files",
+        help="additional stub file(s) to load on top of the shipped set",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show every module in the stub registry")
+    check_parser = sub.add_parser(
+        "check", help="resolve a script's library calls against the registry"
+    )
+    check_parser.add_argument(
+        "paths",
+        metavar="FILE",
+        nargs="+",
+        help="python files (or directories of them) to check",
+    )
+    args = parser.parse_args(argv)
+
+    import json as json_module
+
+    from repro.analysis.stubs import StubError, default_registry
+
+    try:
+        registry = default_registry(extra_files=args.stub_files)
+    except (StubError, OSError) as exc:
+        err.write(f"repro stubs: {exc}\n")
+        return 2
+
+    if args.command == "list":
+        modules = sorted(registry.modules(), key=lambda m: m.module)
+        if args.format_ == "json":
+            payload = [
+                {
+                    "module": stubs.module,
+                    "version": stubs.version,
+                    "stub_format": stubs.stub_format,
+                    "functions": len(stubs.functions),
+                    "types": len(stubs.types),
+                    "default_effect": stubs.default_effect,
+                    "source": stubs.source,
+                }
+                for stubs in modules
+            ]
+            out.write(
+                json_module.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        else:
+            out.write(
+                f"{len(modules)} stub module(s), registry fingerprint "
+                f"{registry.fingerprint()}\n"
+            )
+            for stubs in modules:
+                version = (
+                    f" =={stubs.version}" if stubs.version is not None else ""
+                )
+                origin = f"  [{stubs.source}]" if stubs.source else ""
+                out.write(
+                    f"  {stubs.module}{version}  "
+                    f"({len(stubs.functions)} functions, "
+                    f"{len(stubs.types)} types){origin}\n"
+                )
+        return 0
+
+    paths = _summaries_paths(args.paths, err, prog="repro stubs")
+    reports = {}
+    analyzed: List[str] = []
+    for path in paths:
+        source = _read_script(path, err, "repro stubs")
+        if source is None:
+            continue
+        reports[path] = _stub_check_report(source, registry)
+        analyzed.append(path)
+    if not analyzed:
+        err.write("repro stubs: nothing analyzable\n")
+        return 2
+
+    if args.format_ == "json":
+        payload = (
+            reports[analyzed[0]]
+            if len(analyzed) == 1
+            else {path: reports[path] for path in sorted(reports)}
+        )
+        out.write(json_module.dumps(payload, indent=2, sort_keys=True) + "\n")
+    else:
+        blocks = []
+        for path in analyzed:
+            blocks.append(f"{path}:\n{render_stub_check_text(reports[path])}")
         out.write("\n\n".join(blocks) + "\n")
     return 0
 
@@ -1252,6 +1514,8 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         return lint_main(arguments[1:])
     if arguments and arguments[0] == "summaries":
         return summaries_main(arguments[1:])
+    if arguments and arguments[0] == "stubs":
+        return stubs_main(arguments[1:])
     if arguments and arguments[0] == "plan":
         return plan_main(arguments[1:])
     if arguments and arguments[0] == "stats":

@@ -44,6 +44,7 @@ from repro.analysis.dataflow import (
     make_cell_node,
 )
 from repro.analysis.summaries import NotebookSummaries
+from repro.analysis.typetrack import StubContext
 from repro.core.covariable import CoVarKey
 from repro.core.graph import ROOT_ID, CheckpointGraph, CheckpointNode
 from repro.kernel.namespace import PatchedNamespace, filter_user_names
@@ -115,12 +116,16 @@ class ReplayEngine:
         validate: bool = True,
         observer: Optional[Observer] = None,
         use_summaries: bool = True,
+        use_stubs: bool = True,
+        stub_registry: Optional[Any] = None,
     ) -> None:
         self.graph = graph
         self.stats = stats if stats is not None else PlanStats()
         self.validate = validate
         self.observer = observer if observer is not None else NO_OBSERVER
         self.use_summaries = use_summaries
+        self.use_stubs = use_stubs
+        self.stub_registry = stub_registry
         # Memoized per (chain position, prefix fingerprint, source): tests
         # tamper with node sources in place, so keying on the node id
         # alone would serve stale analyses — and under summary analysis a
@@ -150,16 +155,28 @@ class ReplayEngine:
         # prefix — observation needs only each cell's source and effects,
         # both carried by the memoized CellNode.
         table: Optional[NotebookSummaries] = None
+        stubs: Optional[StubContext] = None
+        analyses_started = False
+        chain_sensitive = self.use_summaries or self.use_stubs
         prefix_fp = 0
         for index, node in enumerate(chain):
             prefix_fp = hash((prefix_fp, node.cell_source))
-            key = (index, prefix_fp if self.use_summaries else 0, node.cell_source)
+            key = (index, prefix_fp if chain_sensitive else 0, node.cell_source)
             cell = self._cells.get(key)
             if cell is None:
-                if self.use_summaries and table is None:
-                    table = NotebookSummaries()
+                if chain_sensitive and not analyses_started:
+                    analyses_started = True
+                    if self.use_stubs:
+                        stubs = StubContext(registry=self.stub_registry)
+                    if self.use_summaries:
+                        table = NotebookSummaries(stubs=stubs)
                     for done in cells:
-                        table.observe_cell(done.source, done.effects)
+                        if table is not None:
+                            table.observe_cell(done.source, done.effects)
+                        if stubs is not None:
+                            stubs.observe_cell(
+                                done.source, opaque=done.effects.opaque_writes
+                            )
                 cell = make_cell_node(
                     index,
                     node.cell_source,
@@ -171,10 +188,13 @@ class ReplayEngine:
                         if table is not None
                         else None
                     ),
+                    stubs=stubs,
                 )
                 self._cells[key] = cell
             if table is not None:
                 table.observe_cell(cell.source, cell.effects)
+            if stubs is not None:
+                stubs.observe_cell(cell.source, opaque=cell.effects.opaque_writes)
             cells.append(cell)
         return cells
 

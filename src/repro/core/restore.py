@@ -272,6 +272,8 @@ class StateLoader:
         observer: Optional[Observer] = None,
         plan_stats: Optional["PlanStats"] = None,
         use_summaries: bool = True,
+        use_stubs: bool = True,
+        stub_registry: Optional[Any] = None,
     ) -> None:
         self.graph = graph
         self.store = store
@@ -284,6 +286,8 @@ class StateLoader:
             observer=self.observer,
             stats=plan_stats,
             use_summaries=use_summaries,
+            use_stubs=use_stubs,
+            stub_registry=stub_registry,
         )
         self.restorer = DataRestorer(
             graph, store, serializer, retry=retry,

@@ -17,13 +17,16 @@ Mirrors the paper's command palette: ``init`` (attach), ``log``,
 
 from __future__ import annotations
 
+import ast
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.analysis.crossval import CrossValidator
+from repro.analysis.dataflow import in_place_mutation_targets
 from repro.analysis.effects import CellEffects
 from repro.analysis.summaries import NotebookSummaries
+from repro.analysis.typetrack import StubContext
 from repro.analysis.visitor import analyze_cell
 from repro.core.covariable import CoVariablePool, CoVarKey
 from repro.core.delta import DeltaDetector, StateDelta, fold_deltas
@@ -127,6 +130,8 @@ class KishuSession:
         incremental: bool = True,
         cross_validate: bool = True,
         use_summaries: bool = True,
+        use_stubs: bool = True,
+        stub_registry: Optional[Any] = None,
         observe: Union[bool, Observer] = True,
     ) -> None:
         self.kernel = kernel
@@ -180,9 +185,25 @@ class KishuSession:
         #: charged to the cells that call them, not the cells that define
         #: them. ``use_summaries=False`` reverts to the PR 3/4
         #: intraprocedural analysis (the benchmark baseline).
-        self.summaries: Optional[NotebookSummaries] = (
-            NotebookSummaries() if use_summaries else None
+        #: Library effect stubs (DESIGN.md §15): declarative third-party
+        #: call models plus the notebook's abstract-type environment. The
+        #: session owns the lifecycle — it advances the environment once
+        #: per executed cell in ``_on_post_run`` and resyncs it at
+        #: checkout. ``use_stubs=False`` reverts library calls to the
+        #: conservative treatment (the benchmark baseline);
+        #: ``stub_registry`` substitutes a custom
+        #: :class:`~repro.analysis.stubs.StubRegistry` (user stub files).
+        self.stubs: Optional[StubContext] = (
+            StubContext(registry=stub_registry) if use_stubs else None
         )
+        self.summaries: Optional[NotebookSummaries] = (
+            NotebookSummaries(stubs=self.stubs) if use_summaries else None
+        )
+        #: Receivers of stub-declared-pure calls in the cells of the
+        #: pending checkpoint — the runtime mismatch witnesses: a
+        #: commit-time delta on one of these with no other static
+        #: explanation refutes the stub (DESIGN.md §15.3).
+        self._pending_stub_pure: Set[str] = set()
 
         # The session's DeltaDetector observes every cell's access record
         # and invalidates dirty subtrees before rebuilding, which is what
@@ -199,6 +220,8 @@ class KishuSession:
             observer=self.observer,
             plan_stats=PlanStats(registry=stats_registry),
             use_summaries=use_summaries,
+            use_stubs=use_stubs,
+            stub_registry=stub_registry,
         )
         self.planner = CheckoutPlanner(self.graph)
         self.refs = RefManager()
@@ -252,6 +275,10 @@ class KishuSession:
                 else None
             ),
             use_summaries=session.summaries is not None,
+            use_stubs=session.stubs is not None,
+            stub_registry=(
+                session.stubs.registry if session.stubs is not None else None
+            ),
         )
         session.planner = CheckoutPlanner(session.graph)
         session.attach()
@@ -304,16 +331,21 @@ class KishuSession:
 
     def _analyze_cell(self, source: str) -> CellEffects:
         """Static analysis of one cell, through the summary view when
-        interprocedural summaries are enabled (DESIGN.md §14)."""
+        interprocedural summaries are enabled (DESIGN.md §14) and the
+        stub context when library effect stubs are enabled (§15)."""
         view = (
             self.summaries.view_for_cell(source)
             if self.summaries is not None
             else None
         )
-        return analyze_cell(source, view)
+        return analyze_cell(source, view, stubs=self.stubs)
 
     def _on_pre_run(self, info: ExecutionInfo) -> None:
-        if self.validator is not None or self.summaries is not None:
+        if (
+            self.validator is not None
+            or self.summaries is not None
+            or self.stubs is not None
+        ):
             effects = info.analysis
             if not isinstance(effects, CellEffects):
                 # No analyzer on the kernel (or a foreign one): analyze
@@ -333,11 +365,13 @@ class KishuSession:
         self.observer.annotate(
             accesses=len(record.accessed), writes=len(record.sets)
         )
+        effects = self._cell_effects
+        self._cell_effects = None
+        if effects is None and (
+            self.summaries is not None or self.stubs is not None
+        ):
+            effects = self._analyze_cell(result.cell.source)
         if self.summaries is not None:
-            effects = self._cell_effects
-            self._cell_effects = None
-            if effects is None:
-                effects = self._analyze_cell(result.cell.source)
             invalidated_before = len(self.summaries.invalidations)
             self.summaries.observe_cell(
                 result.cell.source, effects, executed=result.error is None
@@ -355,6 +389,24 @@ class KishuSession:
             # actually change (e.g. a call guarded by a false branch).
             record.sets |= effects.summary_writes | effects.summary_mutations
             record.deletes |= effects.summary_deletes
+        if self.stubs is not None and effects is not None:
+            # Stub-informed record completion, mirroring the summary
+            # fold above: stub-declared receiver/argument mutations and
+            # hidden global writes never hit the patched dict, so they
+            # must join the Lemma-1 candidate set by hand.
+            record.sets |= effects.stub_mutations | effects.stub_writes
+            if result.error is None and effects.syntax_error is None:
+                self._pending_stub_pure |= self._stub_pure_witnesses(
+                    result.cell.source, effects
+                )
+            # The session owns the stub env lifecycle: exactly one
+            # observation per executed cell, after analysis used the
+            # pre-cell environment.
+            self.stubs.observe_cell(
+                result.cell.source,
+                executed=result.error is None,
+                opaque=effects.opaque_writes,
+            )
         if self._pending_record is None:
             self._pending_record = record
         else:
@@ -365,6 +417,61 @@ class KishuSession:
         self._last_cell_duration = result.duration
         if self.auto_checkpoint:
             self.commit()
+
+    def _stub_pure_witnesses(self, source: str, effects: CellEffects) -> Set[str]:
+        """Receivers this cell touched *only* through declared-pure stub
+        calls — the names a commit-time delta can refute (§15.3).
+
+        A receiver some other statement legitimately mutates (a stubbed
+        mutator, an aug-assign, an unstubbed method the conservative
+        walk flags) is excluded: a runtime change there proves nothing
+        about the pure stub.
+        """
+        pure = set(effects.stub_pure_receivers)
+        pure -= effects.stub_mutations | effects.stub_writes
+        if not pure:
+            return pure
+        try:
+            module = ast.parse(source)
+        except SyntaxError:
+            return set()
+        assert self.stubs is not None
+        resolver = self.stubs.resolver(module)
+        pure -= set(
+            in_place_mutation_targets(module, method_effect=resolver.method_effect)
+        )
+        return pure
+
+    def _refuted_stub_purity(
+        self,
+        delta: StateDelta,
+        record: AccessRecord,
+        effects: Optional[CellEffects],
+    ) -> Set[str]:
+        """Pure-stub witnesses the runtime delta refutes.
+
+        A co-variable counts as refuting evidence only when it contains
+        a witness AND none of its members has another static explanation
+        (a recorded rebind/delete, or a summary/stub-declared write) —
+        shared object graphs make any explained member an alternative
+        cause for the whole co-variable's change.
+        """
+        explained = set(record.sets) | set(record.deletes)
+        if effects is not None:
+            explained |= (
+                effects.summary_writes
+                | effects.summary_mutations
+                | effects.summary_deletes
+                | effects.stub_mutations
+                | effects.stub_writes
+            )
+        refuted: Set[str] = set()
+        for key, _covariable in delta.updated.items():
+            members = set(key)
+            witnesses = members & self._pending_stub_pure
+            if witnesses and not (members & explained):
+                refuted |= witnesses
+        return refuted
 
     # -- checkpointing --------------------------------------------------------------
 
@@ -431,6 +538,38 @@ class KishuSession:
                             "bytes_hashed": delta.walk.bytes_hashed,
                         }
                     )
+            # Stub-mismatch safety net (DESIGN.md §15.3): the delta
+            # detector is the runtime oracle for stub truthfulness. A
+            # changed co-variable containing a declared-pure receiver,
+            # with no other static explanation for the change, means a
+            # stub lied (or drifted across library versions). The delta
+            # itself already captured the change — correctness of *this*
+            # checkpoint is intact — so the response is observational:
+            # count the mismatch, emit events, and mark the checkpoint
+            # escalated so downstream consumers distrust the cell.
+            if self.stubs is not None and self._pending_stub_pure:
+                refuted = self._refuted_stub_purity(delta, record, effects)
+                if refuted:
+                    if self.validator is not None:
+                        self.validator.note_stub_mismatch(
+                            frozenset(refuted), already_escalated=escalate
+                        )
+                    obs.event(
+                        EventType.STUB_MISMATCH,
+                        names=sorted(refuted),
+                        execution_count=execution_count,
+                    )
+                    obs.event(
+                        EventType.CROSSVAL_ESCALATION,
+                        execution_count=execution_count,
+                        reasons=[
+                            "stub-mismatch: " + ", ".join(sorted(refuted))
+                        ],
+                        missing=[],
+                    )
+                    escalate = True
+                self._pending_stub_pure = set()
+
             if obs.enabled:
                 publish_walk_stats(obs.metrics, delta.walk)
 
@@ -728,23 +867,36 @@ class KishuSession:
         return report
 
     def _resync_summaries(self, target_id: str) -> None:
-        """Rebuild the summary table for the checked-out timeline.
+        """Rebuild the summary table and stub type environment for the
+        checked-out timeline.
 
-        Function bindings are session state like any other: a checkout
-        moves to the state *as of* the target node, so summaries from the
+        Function bindings — and, for stubs, import/constructor bindings —
+        are session state like any other: a checkout moves to the state
+        *as of* the target node, so summaries and abstract types from the
         abandoned timeline (defs executed after the target, rebinds,
         invalidation events) must not leak into analyses of cells run
         from here on. Rebuilding from the target's chain sources is
-        exactly the replay the table would have observed live.
+        exactly the replay both tables would have observed live.
         """
-        if self.summaries is None:
+        self._pending_stub_pure = set()
+        if self.summaries is None and self.stubs is None:
             return
         sources = [
             self.graph.get(ancestor).cell_source
             for ancestor in reversed(self.graph.path_to_root(target_id))
             if ancestor != ROOT_ID
         ]
-        self.summaries = NotebookSummaries.from_sources(sources)
+        if self.stubs is not None:
+            self.stubs.reset()
+        if self.summaries is not None:
+            # from_sources drives the shared stub context's env forward
+            # alongside the table, keeping the two in lockstep.
+            self.summaries = NotebookSummaries.from_sources(
+                sources, stubs=self.stubs
+            )
+        elif self.stubs is not None:
+            for source in sources:
+                self.stubs.observe_cell(source)
 
     def _discard_carryover_after_checkout(
         self, target_id: str, report: CheckoutReport

@@ -490,11 +490,36 @@ class ProgramGenerator:
                 f"{name} = _simda.SimSeries(n=8, seed={seed})"
             )
         target = rng.choice(ns.handles)
-        fresh = ns.fresh("v", rng)
-        ns.data.append(fresh)
+        if roll < 0.68:
+            # Stub-covered pure read: with stubs on, this cell must NOT
+            # mark the handle as a mutator (the PR 9 de-escalation win).
+            fresh = ns.fresh("v", rng)
+            ns.data.append(fresh)
+            return (
+                f"if hasattr({target}, 'mean_of'):\n"
+                f"    {fresh} = [round({target}.mean_of('c0'), 9), {n}]\n"
+                f"else:\n"
+                f"    {fresh} = [round(float({target}.series.values.sum()), 9), {n}]"
+            )
+        if roll < 0.84:
+            # Stub-covered in-place mutator (SimSeries.standardize is
+            # stubbed "mutates"): the oracle checks the mutation is
+            # attributed to this cell's delta under stubs too. The
+            # SimDataFrame arm mutates the underlying frame directly so
+            # both handle kinds change state deterministically.
+            return (
+                f"if hasattr({target}, 'standardize'):\n"
+                f"    {target}.standardize()\n"
+                f"else:\n"
+                f"    {target}.frame.apply_inplace('c0', lambda _v: _v + {n % 7})"
+            )
+        # Stub-covered pure clone (SimDataFrame.drop_column returns a
+        # fresh SimDataFrame and must not be attributed to the receiver).
+        fresh = ns.fresh("h", rng)
+        ns.handles.append(fresh)
         return (
-            f"if hasattr({target}, 'mean_of'):\n"
-            f"    {fresh} = [round({target}.mean_of('c0'), 9), {n}]\n"
+            f"if hasattr({target}, 'drop_column'):\n"
+            f"    {fresh} = {target}.drop_column('c1')\n"
             f"else:\n"
-            f"    {fresh} = [round(float({target}.series.values.sum()), 9), {n}]"
+            f"    {fresh} = {target}"
         )

@@ -30,6 +30,9 @@ class EventType:
     #: The cross-validator escalated a cell; fields: reasons, missing,
     #: execution_count.
     CROSSVAL_ESCALATION = "crossval_escalation"
+    #: A declared-pure library stub was refuted by a runtime delta;
+    #: fields: names, execution_count.
+    STUB_MISMATCH = "stub_mismatch"
     #: A fault rule fired; fields: kind, op, detail, note.
     FAULT_INJECTED = "fault_injected"
     #: A transient fault triggered a retry; fields: attempt, delay, error.
@@ -77,6 +80,7 @@ class EventType:
         REPLAY_PLAN_DECLINED,
         REPLAY_PLAN_EXECUTED,
         CROSSVAL_ESCALATION,
+        STUB_MISMATCH,
         FAULT_INJECTED,
         RETRY,
         RETRY_EXHAUSTED,

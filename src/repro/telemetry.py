@@ -201,6 +201,14 @@ class AnalysisStats(RegistryStats):
     intraprocedural analysis would have charged), and
     ``summary_invalidations`` (summary bindings invalidated by rebinds or
     opaque cells).
+
+    The ``stub_*`` fields track the library-effect-stub layer
+    (DESIGN.md §15) and back ``analysis.stub.*`` registry counters:
+    ``stub_expansions`` (call sites bounded by a declared stub),
+    ``stub_unknown_calls`` (library-shaped calls with no covering stub —
+    the KSH502 feed), and ``stub_mismatches`` (declared-pure stubs
+    refuted by a runtime delta — each also escalates its cell and emits
+    a ``stub_mismatch`` event).
     """
 
     _PREFIX = "analysis"
@@ -216,6 +224,9 @@ class AnalysisStats(RegistryStats):
         "summary_deferred_escapes",
         "summary_deescalations",
         "summary_invalidations",
+        "stub_expansions",
+        "stub_unknown_calls",
+        "stub_mismatches",
     )
     _FIELD_METRICS = {
         "summary_expansions": "analysis.summary.expansions",
@@ -223,6 +234,9 @@ class AnalysisStats(RegistryStats):
         "summary_deferred_escapes": "analysis.summary.deferred_escapes",
         "summary_deescalations": "analysis.summary.deescalations",
         "summary_invalidations": "analysis.summary.invalidations",
+        "stub_expansions": "analysis.stub.expansions",
+        "stub_unknown_calls": "analysis.stub.unknown_calls",
+        "stub_mismatches": "analysis.stub.mismatches",
     }
 
 

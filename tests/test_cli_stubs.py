@@ -1,0 +1,166 @@
+"""``repro stubs`` CLI and the shared skip-unparseable semantics.
+
+Covers ``repro stubs list|check`` (DESIGN.md §15) and satellite 2 of
+PR 9: both ``repro summaries DIR`` and ``repro stubs check DIR`` skip
+unparseable or unreadable files with a note on stderr, exiting 2 only
+when nothing at all was analyzable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import cli
+from repro.analysis.stubs import STUB_FORMAT_VERSION
+
+GOOD_SCRIPT = """\
+from repro.libsim.data_analysis import SimDataFrame
+# %%
+df = SimDataFrame(n_rows=4, n_cols=2, seed=1)
+# %%
+m = df.mean_of('c0')
+# %%
+df.frobnicate()
+"""
+
+USER_STUB = {
+    "stub_format": STUB_FORMAT_VERSION,
+    "module": "mylib",
+    "types": {
+        "Thing": {
+            "constructor": {"effect": "pure"},
+            "methods": {"poke": {"effect": "mutates"}},
+        }
+    },
+}
+
+
+def run_stubs(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = cli.stubs_main(argv, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def run_summaries(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = cli.summaries_main(argv, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestStubsList:
+    def test_lists_shipped_modules_and_fingerprint(self):
+        code, out, err = run_stubs(["list"])
+        assert code == 0
+        assert "repro.libsim.data_analysis" in out
+        assert "random" in out
+        assert "fingerprint" in out
+        assert not err
+
+    def test_list_json_is_byte_stable(self):
+        first = run_stubs(["--format", "json", "list"])
+        second = run_stubs(["--format", "json", "list"])
+        assert first == second
+        payload = json.loads(first[1])
+        modules = {entry["module"] for entry in payload}
+        assert "repro.libsim.data_analysis" in modules
+
+    def test_list_includes_user_stub(self, tmp_path):
+        path = tmp_path / "mylib.json"
+        path.write_text(json.dumps(USER_STUB), encoding="utf-8")
+        code, out, _ = run_stubs(["--stub", str(path), "list"])
+        assert code == 0
+        assert "mylib" in out
+
+    def test_broken_stub_file_exits_2(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        code, _, err = run_stubs(["--stub", str(path), "list"])
+        assert code == 2
+        assert "broken.json" in err
+
+
+class TestStubsCheck:
+    def test_reports_stubbed_and_unstubbed_calls(self, tmp_path):
+        script = tmp_path / "nb.py"
+        script.write_text(GOOD_SCRIPT, encoding="utf-8")
+        code, out, err = run_stubs(["check", str(script)])
+        assert code == 0
+        assert "mean_of" in out
+        assert "frobnicate" in out
+        assert not err
+
+    def test_check_json_shape(self, tmp_path):
+        script = tmp_path / "nb.py"
+        script.write_text(GOOD_SCRIPT, encoding="utf-8")
+        code, out, _ = run_stubs(["--format", "json", "check", str(script)])
+        assert code == 0
+        report = json.loads(out)
+        stubbed = {call["qualname"] for call in report["stub_calls"]}
+        unknown = {call["qualname"] for call in report["unknown_calls"]}
+        assert any(name.endswith("mean_of") for name in stubbed)
+        assert any(name.endswith("frobnicate") for name in unknown)
+        (unstubbed,) = report["unknown_calls"]
+        assert "libsim_data_analysis" in unstubbed["stub_file"]
+
+    def test_check_directory_skips_unparseable(self, tmp_path):
+        (tmp_path / "good.py").write_text(GOOD_SCRIPT, encoding="utf-8")
+        (tmp_path / "bad.py").write_text("def broken(:", encoding="utf-8")
+        code, out, err = run_stubs(["check", str(tmp_path)])
+        assert code == 0
+        assert "mean_of" in out
+        assert "skipping" in err and "bad.py" in err
+
+    def test_check_nothing_analyzable_exits_2(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:", encoding="utf-8")
+        code, _, err = run_stubs(["check", str(tmp_path)])
+        assert code == 2
+        assert "nothing analyzable" in err
+
+    def test_check_with_user_stub_covers_call(self, tmp_path):
+        stub_path = tmp_path / "mylib.json"
+        stub_path.write_text(json.dumps(USER_STUB), encoding="utf-8")
+        script = tmp_path / "nb.py"
+        script.write_text(
+            "import mylib\n"
+            "# %%\n"
+            "t = mylib.Thing()\n"
+            "# %%\n"
+            "t.poke()\n",
+            encoding="utf-8",
+        )
+        code, out, _ = run_stubs(
+            ["--stub", str(stub_path), "--format", "json", "check", str(script)]
+        )
+        assert code == 0
+        report = json.loads(out)
+        stubbed = {call["qualname"] for call in report["stub_calls"]}
+        assert "mylib.Thing.poke" in stubbed
+
+
+class TestSummariesSkipSemantics:
+    """Satellite 2 regression: dirty directories stay analyzable."""
+
+    def test_directory_skips_unparseable_with_note(self, tmp_path):
+        (tmp_path / "good.py").write_text(
+            "def f(x):\n    return x + 1\n# %%\ny = f(1)\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "bad.py").write_text("def broken(:", encoding="utf-8")
+        code, out, err = run_summaries([str(tmp_path)])
+        assert code == 0
+        assert "f" in out
+        assert "skipping" in err and "bad.py" in err
+
+    def test_all_unparseable_exits_2(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:", encoding="utf-8")
+        code, _, err = run_summaries([str(tmp_path)])
+        assert code == 2
+        assert "nothing analyzable" in err
+
+
+class TestMainDispatch:
+    def test_main_routes_stubs_subcommand(self, capsys, monkeypatch):
+        code = cli.main(["stubs", "list"])
+        assert code == 0
+        assert "fingerprint" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""KSH50x lint rules: library effect stubs (DESIGN.md §15).
+
+KSH501 surfaces stub-declared mutations (receiver, argument, hidden
+global), KSH502 flags library-shaped calls with no stub coverage and
+names the stub file to extend, KSH503 warns when a stub pins a library
+version that disagrees with the imported module.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.dataflow import NotebookDataflowGraph
+from repro.analysis.flowrules import (
+    NotebookContext,
+    StubVersionMismatchRule,
+)
+from repro.analysis.rules import LintEngine, Severity
+from repro.analysis.stubs import STUB_FORMAT_VERSION, StubRegistry
+from repro.analysis.typetrack import StubContext
+
+LIBSIM_CELLS = [
+    "import random\n"
+    "from repro.libsim.data_analysis import SimDataFrame, SimSeries",
+    "df = SimDataFrame(n_rows=4, n_cols=2, seed=1)",
+    "s = SimSeries(n=8, seed=2)",
+    "random.seed(7)",
+    "s.standardize()",
+    "m = df.mean_of('c0')",
+    "df.frobnicate()",
+]
+
+
+def notebook_findings(sources, rule=None):
+    cells = [(f"cell[{i}]", source) for i, source in enumerate(sources)]
+    findings = LintEngine().lint_notebook(cells)
+    if rule is not None:
+        findings = [f for f in findings if f.rule_id == rule]
+    return findings
+
+
+class TestStubMutation:
+    def test_fires_on_stub_declared_mutators(self):
+        findings = notebook_findings(LIBSIM_CELLS, rule="KSH501")
+        by_cell = {f.cell_index: f.message for f in findings}
+        assert 3 in by_cell  # random.seed writes module RNG state
+        assert 4 in by_cell and "'s'" in by_cell[4]
+        assert "mutates" in by_cell[4]
+        assert all(f.severity is Severity.INFO for f in findings)
+
+    def test_silent_on_pure_reads(self):
+        findings = notebook_findings(LIBSIM_CELLS, rule="KSH501")
+        assert not any(f.cell_index == 5 for f in findings)  # mean_of
+
+    def test_silent_without_provable_binding(self):
+        findings = notebook_findings(
+            ["s = mystery()", "s.standardize()"], rule="KSH501"
+        )
+        assert not findings
+
+
+class TestUnstubbedLibraryCall:
+    def test_fires_with_stub_file_fixit(self):
+        findings = notebook_findings(LIBSIM_CELLS, rule="KSH502")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.cell_index == 6
+        assert "frobnicate" in finding.message
+        assert "libsim_data_analysis" in finding.message
+        assert finding.severity is Severity.WARNING
+
+    def test_silent_on_covered_calls(self):
+        covered = LIBSIM_CELLS[:-1]
+        assert not notebook_findings(covered, rule="KSH502")
+
+    def test_silent_on_plain_user_calls(self):
+        findings = notebook_findings(
+            ["def helper(v):\n    return v + 1", "y = helper(1)"],
+            rule="KSH502",
+        )
+        assert not findings
+
+
+class TestStubVersionMismatch:
+    def _context(self, sources, mapping):
+        registry = StubRegistry()
+        registry.add_mapping(mapping)
+        graph = NotebookDataflowGraph.from_sources(sources)
+        stubs = StubContext(registry=registry)
+        for source in sources:
+            stubs.observe_cell(source)
+        return NotebookContext(graph=graph, stubs=stubs)
+
+    def _pytest_stub(self, version):
+        return {
+            "stub_format": STUB_FORMAT_VERSION,
+            "module": "pytest",
+            "module_version": version,
+            "functions": {"main": {"effect": "pure"}},
+        }
+
+    def test_fires_on_pinned_version_drift(self):
+        context = self._context(
+            ["import pytest", "import pytest"],  # dedup: one finding
+            self._pytest_stub("0.0.1"),
+        )
+        findings = list(StubVersionMismatchRule().check_notebook(context))
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "0.0.1" in message
+        assert pytest.__version__ in message
+
+    def test_silent_when_versions_agree(self):
+        context = self._context(
+            ["import pytest"], self._pytest_stub(pytest.__version__)
+        )
+        assert not list(StubVersionMismatchRule().check_notebook(context))
+
+    def test_silent_when_module_never_imported(self):
+        context = self._context(["x = 1"], self._pytest_stub("0.0.1"))
+        assert not list(StubVersionMismatchRule().check_notebook(context))
+
+    def test_shipped_stubs_carry_no_pins(self):
+        # The default registry leaves versions null, so the full lint
+        # path never produces KSH503 out of the box.
+        assert not notebook_findings(LIBSIM_CELLS, rule="KSH503")
+
+
+class TestSuppression:
+    def test_ksh501_suppressible_inline(self):
+        sources = list(LIBSIM_CELLS)
+        sources[4] = "s.standardize()  # kishu: disable=KSH501"
+        findings = notebook_findings(sources, rule="KSH501")
+        assert not any(f.cell_index == 4 for f in findings)
+
+
+def test_golden_stub_mapping_round_trips(tmp_path):
+    """A user stub written to disk loads back into the same registry
+    content — the workflow the KSH502 fix-it message points at."""
+    mapping = {
+        "stub_format": STUB_FORMAT_VERSION,
+        "module": "mylib",
+        "types": {
+            "Thing": {"methods": {"poke": {"effect": "mutates"}}}
+        },
+    }
+    path = tmp_path / "mylib.json"
+    path.write_text(json.dumps(mapping), encoding="utf-8")
+    registry = StubRegistry()
+    registry.add_file(path)
+    stub = registry.method("mylib.Thing", "poke")
+    assert stub is not None and stub.effect == "mutates"

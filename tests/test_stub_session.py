@@ -1,0 +1,192 @@
+"""Stub layer end-to-end in a live session (DESIGN.md §15.3).
+
+The runtime side of PR 9: the commit-time stub-mismatch oracle (a lying
+stub is refuted by the state delta and escalates exactly that
+checkpoint), the single-escalation-per-cell accounting with per-kind
+counters, and the stub environment surviving checkout via the
+replay-chain resync.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.crossval import CrossValidator
+from repro.analysis.effects import CellEffects
+from repro.analysis.stubs import STUB_FORMAT_VERSION, StubRegistry
+from repro.core.session import KishuSession
+from repro.kernel.kernel import NotebookKernel
+from repro.kernel.namespace import AccessRecord
+from repro.obs import EventType
+
+#: A stub that lies: ``SimSeries.standardize`` rescales the series in
+#: place, but the stub declares it pure. The runtime oracle must catch
+#: the refutation at commit time.
+LYING_STUB = {
+    "stub_format": STUB_FORMAT_VERSION,
+    "module": "repro.libsim.data_analysis",
+    "functions": {
+        "SimSeries": {"effect": "pure", "returns": "SimSeries"},
+    },
+    "types": {
+        "SimSeries": {
+            "methods": {"standardize": {"effect": "pure"}},
+        }
+    },
+}
+
+WRONG_STUB_CELLS = [
+    "from repro.libsim.data_analysis import SimSeries",
+    "s = SimSeries(n=6, seed=3)",
+    "s.standardize()",
+]
+
+
+def _lying_registry(tmp_path):
+    path = tmp_path / "lying.json"
+    path.write_text(json.dumps(LYING_STUB), encoding="utf-8")
+    registry = StubRegistry()
+    registry.add_file(path)
+    return registry
+
+
+class TestStubMismatchOracle:
+    def test_wrong_stub_caught_at_commit(self, tmp_path):
+        """ISSUE 9 acceptance pin: a stub that declares a mutator pure
+        is refuted by the commit delta — stub_mismatch event, escalation
+        with a non-empty reason, and exactly the lying checkpoint pays.
+        """
+        kernel = NotebookKernel()
+        session = KishuSession.init(
+            kernel, stub_registry=_lying_registry(tmp_path)
+        )
+        for cell in WRONG_STUB_CELLS:
+            kernel.run_cell(cell)
+
+        stats = session.analysis_stats
+        assert stats.stub_mismatches == 1
+        assert stats.escalations == 1
+
+        mismatches = session.observer.events.of_type(EventType.STUB_MISMATCH)
+        assert len(mismatches) == 1
+        assert mismatches[0].fields["names"] == ["s"]
+        assert mismatches[0].fields["execution_count"] == 3
+
+        escalations = session.observer.events.of_type(
+            EventType.CROSSVAL_ESCALATION
+        )
+        assert len(escalations) == 1
+        assert escalations[0].fields["reasons"] == ["stub-mismatch: s"]
+        # The per-kind counter records the trigger class.
+        counter = session.observer.metrics.counter(
+            "analysis.escalated.stub-mismatch"
+        )
+        assert counter.value == 1
+
+    def test_mismatch_checkpoint_still_correct(self, tmp_path):
+        """The refuted commit must remain checkout-correct: the mutated
+        receiver was in the access record, so the delta captured it."""
+        kernel = NotebookKernel()
+        session = KishuSession.init(
+            kernel, stub_registry=_lying_registry(tmp_path)
+        )
+        for cell in WRONG_STUB_CELLS[:2]:
+            kernel.run_cell(cell)
+        before = session.head_id
+        values_before = list(kernel.get("s").series.values)
+        kernel.run_cell("s.standardize()")
+        assert list(kernel.get("s").series.values) != values_before
+        session.checkout(before)
+        assert list(kernel.get("s").series.values) == values_before
+
+    def test_truthful_stubs_never_refuted(self):
+        """The shipped stubs are truthful: a mutator-heavy libsim
+        workload produces expansions but zero mismatches/escalations."""
+        kernel = NotebookKernel()
+        session = KishuSession.init(kernel)
+        for cell in [
+            "from repro.libsim.data_analysis import SimDataFrame, SimSeries",
+            "df = SimDataFrame(n_rows=4, n_cols=2, seed=1)",
+            "s = SimSeries(n=8, seed=2)",
+            "m = df.mean_of('c0')",
+            "s.standardize()",
+            "df2 = df.drop_column('c1')",
+        ]:
+            kernel.run_cell(cell)
+        stats = session.analysis_stats
+        assert stats.stub_expansions > 0
+        assert stats.stub_mismatches == 0
+        assert stats.escalations == 0
+        assert not session.observer.events.of_type(EventType.STUB_MISMATCH)
+
+    def test_stubs_disabled_is_inert(self):
+        kernel = NotebookKernel()
+        session = KishuSession.init(kernel, use_stubs=False)
+        for cell in [
+            "from repro.libsim.data_analysis import SimSeries",
+            "s = SimSeries(n=8, seed=2)",
+            "s.standardize()",
+        ]:
+            kernel.run_cell(cell)
+        assert session.analysis_stats.stub_expansions == 0
+        assert session.analysis_stats.stub_mismatches == 0
+
+
+class TestSingleEscalationPerCell:
+    """Satellite 1: one escalation per cell however many triggers fire,
+    with the per-kind split in ``analysis.escalated.*`` counters."""
+
+    def test_multi_trigger_cell_counts_once(self):
+        kernel = NotebookKernel()
+        session = KishuSession.init(kernel)
+        # A star import is both an escape hatch and an opaque write in
+        # one cell — two trigger classes, one escalation.
+        kernel.run_cell("from math import *")
+        stats = session.analysis_stats
+        assert stats.escalations == 1
+        metrics = session.observer.metrics
+        assert metrics.counter("analysis.escalated.escape").value == 1
+        assert metrics.counter("analysis.escalated.opaque-writes").value == 1
+        events = session.observer.events.of_type(EventType.CROSSVAL_ESCALATION)
+        assert len(events) == 1
+        assert events[0].fields["reasons"]
+
+    def test_bare_opaque_writes_has_reason(self):
+        """Regression: opaque writes without any escape used to escalate
+        with an empty reason tuple, tripping the fuzz telemetry oracle."""
+        validator = CrossValidator()
+        effects = CellEffects()
+        effects.opaque_writes = True
+        outcome = validator.validate(effects, AccessRecord())
+        assert outcome.escalate
+        assert outcome.reasons
+        assert outcome.kinds == ("opaque-writes",)
+
+    def test_validate_reports_kind_per_trigger_class(self):
+        validator = CrossValidator()
+        effects = CellEffects()
+        effects.opaque_writes = True
+        effects.reads = {"ghost"}
+        outcome = validator.validate(effects, AccessRecord())
+        assert outcome.escalate
+        assert set(outcome.kinds) == {"opaque-writes", "under-report"}
+        assert validator.stats.escalations == 1
+
+
+class TestCheckoutResync:
+    def test_stub_env_resyncs_after_checkout(self):
+        """After a checkout the stub type environment is rebuilt from
+        the restored chain, so later cells still resolve stub calls."""
+        kernel = NotebookKernel()
+        session = KishuSession.init(kernel)
+        kernel.run_cell(
+            "from repro.libsim.data_analysis import SimDataFrame"
+        )
+        kernel.run_cell("df = SimDataFrame(n_rows=4, n_cols=2, seed=1)")
+        target = session.head_id
+        kernel.run_cell("x = 1")
+        session.checkout(target)
+        before = session.analysis_stats.stub_expansions
+        kernel.run_cell("m = df.mean_of('c0')")
+        assert session.analysis_stats.stub_expansions > before
+        assert session.analysis_stats.stub_mismatches == 0

@@ -1,0 +1,244 @@
+"""Fleet health engine benchmark: backpressure demo + overhead (ISSUE 10 CI).
+
+Two hard gates in one module:
+
+* **Adaptive backpressure demo** — the acceptance criterion from the
+  issue: with an injected per-write delay, a fleet committing faster
+  than the writer drains grows its queue without bound; the same
+  workload with the health engine attached escalates
+  ``accept -> degrade_fsync -> block`` off the sustained queue-depth
+  burn and the depth *stabilizes* under the configured ceiling. The
+  test runs both fleets and asserts the contrast, not just the healthy
+  half.
+
+* **Disabled-mode overhead budget** — a disabled
+  :class:`~repro.obs.health.HealthEngine` must cost one attribute check
+  per verb, same discipline (and same 3% commit budget methodology) as
+  ``benchmarks/test_obs_overhead.py``: time the no-op verbs directly
+  over millions of calls, multiply by a conservative per-commit call
+  allowance, compare against a real median commit.
+
+Results land in ``REPRO_BENCH_JSON`` (default ``BENCH_pr10_health.json``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+from typing import Dict, List
+
+from repro.core.session import KishuSession
+from repro.core.storage import SQLiteCheckpointStore
+from repro.faults.injector import SlowStore
+from repro.kernel.kernel import NotebookKernel
+from repro.obs.health import HealthEngine, SLOSpec
+from repro.service import SessionManager
+
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr10_health.json")
+
+#: Injected store write delay: each checkpoint performs three delayed
+#: ops, so the writer drains at ~3x this per commit while tiny cells
+#: enqueue in well under a millisecond — a guaranteed producer/consumer
+#: imbalance.
+WRITE_DELAY = 0.01
+COMMITS = 48
+CEILING = 8
+MAX_BATCH = 4
+
+#: Wall-clock windows small enough that sustained depth burn fires
+#: within a few ticks of the commit loop (ticks come once per cell).
+BENCH_SPEC = SLOSpec.from_mapping(
+    {
+        "slo_format": 1,
+        "name": "bench-backpressure",
+        "slos": [
+            {
+                "name": "queue-depth",
+                "indicator": "service.queue_depth",
+                "kind": "gauge",
+                "threshold": CEILING,
+                "objective": 0.5,
+                "short_window": 0.05,
+                "long_window": 0.5,
+                "min_samples": 2,
+                "burn_threshold": 1.0,
+                "backpressure": True,
+            }
+        ],
+    }
+)
+
+
+def _run_fleet(tmp_path, *, health: bool) -> Dict[str, object]:
+    """One overloaded fleet run; returns the per-commit depth profile."""
+    label = "health" if health else "baseline"
+    store = SlowStore(
+        SQLiteCheckpointStore(str(tmp_path / f"{label}.db")),
+        write_delay=WRITE_DELAY,
+    )
+    engine = (
+        HealthEngine(spec=BENCH_SPEC, escalate_after=2, relax_after=3)
+        if health
+        else HealthEngine.disabled()
+    )
+    depths: List[int] = []
+    pressures: List[str] = []
+    with SessionManager(
+        store, max_batch=MAX_BATCH, max_depth=1024, health=engine
+    ) as manager:
+        session = manager.create("hot")
+        for index in range(COMMITS):
+            session.run_cell(f"x{index} = {index}")
+            depths.append(manager.queue.depth())
+            manager.health_tick()
+            pressures.append(manager.queue.pressure)
+    # After the manager closes (drain + stop) every commit is durable.
+    stats = manager.queue.stats()
+    result: Dict[str, object] = {
+        "depths": depths,
+        "max_depth_seen": stats["max_depth_seen"]
+        if "max_depth_seen" in stats
+        else stats["max_depth"],
+        "final_pressure": pressures[-1],
+        "pressure_levels_hit": sorted(set(pressures)),
+        "written": stats["written"],
+    }
+    if health:
+        result["alerts"] = list(engine.evaluator.alerts)
+        result["backpressure_transitions"] = engine.stats.backpressure_transitions
+    return result
+
+
+def test_backpressure_caps_queue_depth_under_overload(tmp_path, benchmark):
+    baseline = _run_fleet(tmp_path, health=False)
+    healthy = _run_fleet(tmp_path, health=True)
+
+    # Nothing was lost in either fleet.
+    assert baseline["written"] == COMMITS
+    assert healthy["written"] == COMMITS
+
+    # Baseline: producers outpace the writer monotonically — the queue
+    # grows far past the ceiling the health run enforces.
+    base_peak = max(baseline["depths"])
+    assert base_peak >= 3 * CEILING, (
+        f"baseline never overloaded (peak depth {base_peak}); "
+        "the contrast below would be meaningless"
+    )
+    assert baseline["final_pressure"] == "accept"
+
+    # Health run: sustained depth burn fired, the controller walked the
+    # ladder to `block`, and the depth profile stabilized: every sample
+    # after the first block transition fits under ceiling + one in-flight
+    # batch.
+    assert healthy["alerts"], "the queue-depth SLO never fired"
+    assert healthy["backpressure_transitions"] >= 2
+    assert "block" in healthy["pressure_levels_hit"]
+    tail = healthy["depths"][-8:]
+    assert max(tail) <= CEILING + MAX_BATCH, (
+        f"depth did not stabilize under the ceiling: tail {tail}"
+    )
+    assert max(healthy["depths"]) < base_peak
+
+    results = {
+        "write_delay_ms": WRITE_DELAY * 1e3,
+        "commits": COMMITS,
+        "ceiling": CEILING,
+        "baseline_peak_depth": base_peak,
+        "baseline_final_depth": baseline["depths"][-1],
+        "healthy_peak_depth": max(healthy["depths"]),
+        "healthy_tail_max_depth": max(tail),
+        "healthy_pressure_levels": healthy["pressure_levels_hit"],
+        "healthy_backpressure_transitions": healthy["backpressure_transitions"],
+        "healthy_alerts_fired": sum(
+            1 for a in healthy["alerts"] if a["type"] == "slo_alert_fired"
+        ),
+        "depth_profile_baseline": baseline["depths"],
+        "depth_profile_healthy": healthy["depths"],
+    }
+    print()
+    print(
+        f"backpressure demo: baseline peak depth {base_peak} vs "
+        f"healthy tail max {max(tail)} (ceiling {CEILING}, "
+        f"{healthy['backpressure_transitions']} transitions)"
+    )
+
+    existing: Dict[str, object] = {}
+    if os.path.exists(ARTIFACT_PATH):
+        with open(ARTIFACT_PATH, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing["backpressure"] = results
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def measure_disabled_engine_verb_cost(iterations: int = 200_000) -> float:
+    """Seconds per disabled-engine verb call, amortized."""
+    engine = HealthEngine.disabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for _ in range(iterations):
+            engine.record_commit(0.001)
+            engine.record_checkout(0.001)
+            engine.ingest_event("commit", {})
+            engine.tick()
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    return elapsed / (iterations * 4)
+
+
+def median_commit_seconds() -> float:
+    session = KishuSession.init(NotebookKernel(), observe=False)
+    session.run_cell("base = [[float(j) for j in range(50)] for _ in range(20)]")
+    for index in range(10):
+        session.run_cell(f"v{index} = [i * 0.5 for i in range(400)]")
+    return statistics.median(m.checkpoint_seconds for m in session.metrics)
+
+
+def test_disabled_health_engine_overhead_under_budget(benchmark):
+    verb_cost = measure_disabled_engine_verb_cost()
+    commit_seconds = median_commit_seconds()
+    # A service commit touches the disabled engine a handful of times
+    # (record + tick + a few event ingests); 10 is a generous allowance.
+    calls_per_commit = 10
+    overhead_fraction = calls_per_commit * verb_cost / commit_seconds
+
+    print()
+    print(
+        f"disabled-engine budget: {calls_per_commit} verb calls/commit"
+        f" x {verb_cost * 1e9:.0f}ns = "
+        f"{calls_per_commit * verb_cost * 1e6:.2f}us"
+        f" vs {commit_seconds * 1e3:.2f}ms commit"
+        f" -> {overhead_fraction * 100:.4f}% (budget 3%)"
+    )
+
+    existing: Dict[str, object] = {}
+    if os.path.exists(ARTIFACT_PATH):
+        with open(ARTIFACT_PATH, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing["disabled_overhead"] = {
+        "verb_cost_ns": verb_cost * 1e9,
+        "verb_calls_per_commit": calls_per_commit,
+        "median_commit_seconds_disabled": commit_seconds,
+        "overhead_fraction": overhead_fraction,
+        "budget_fraction": 0.03,
+    }
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert overhead_fraction < 0.03, (
+        f"disabled health-engine overhead {overhead_fraction * 100:.3f}% "
+        "exceeds the 3% commit budget"
+    )
+
+    benchmark.pedantic(
+        measure_disabled_engine_verb_cost, args=(20_000,), rounds=1, iterations=1
+    )

@@ -33,10 +33,12 @@ Run:  python -m repro.cli [--store PATH] [--trace-out FILE]
       python -m repro.cli plan [--format text|json] [--targets a,b] [--trace-out FILE] FILE
       python -m repro.cli stats --store PATH [--format text|json]
       python -m repro.cli fuzz [--seed S] [--iterations N] [--cells N] [--minimize]
-      python -m repro.cli fuzz --soak N [--service] [--out BENCH.json]
+      python -m repro.cli fuzz --soak N [--service] [--slo FILE] [--events-out FILE]
       python -m repro.cli sessions list --store PATH [--status S] [--json]
       python -m repro.cli sessions resume --store PATH SESSION_ID
       python -m repro.cli sessions rename --store PATH SESSION_ID NEW_PATH
+      python -m repro.cli health --store PATH [--slo FILE] [--events FILE] [--strict]
+      python -m repro.cli top --store PATH [--interval S] [--iterations N]
 
 With ``--store`` the session checkpoints into a durable SQLite database;
 if the file already holds history (e.g. from a session that crashed),
@@ -1080,6 +1082,7 @@ def stats_main(
     args = parser.parse_args(argv)
 
     from repro.obs.report import (
+        per_session_stats,
         registry_from_store,
         render_store_stats,
         stats_as_dict,
@@ -1090,14 +1093,34 @@ def stats_main(
         return 2
     try:
         registry = registry_from_store(store)
+        breakdown = per_session_stats(store)
+        own_session = getattr(store, "session_id", None)
     finally:
         store.close()
+    # The per-session section only appears on genuinely multi-session
+    # stores — a single-session store renders exactly as before (the
+    # golden-tested single-session output stays byte-identical).
+    multi_session = any(sid != own_session for sid in breakdown)
     if args.format_ == "json":
         import json
 
-        out.write(json.dumps(stats_as_dict(registry), indent=2, sort_keys=True) + "\n")
+        payload = stats_as_dict(registry)
+        if multi_session:
+            payload["store.sessions"] = breakdown
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     else:
-        out.write(render_store_stats(registry) + "\n")
+        text = render_store_stats(registry)
+        if multi_session:
+            lines = [text, "per-session:"]
+            for sid, row in breakdown.items():
+                lines.append(
+                    f"  {sid}  commits={row['commits']} "
+                    f"payloads={row['payloads_stored']} "
+                    f"tombstones={row['tombstones']} "
+                    f"bytes={row['bytes_total']}"
+                )
+            text = "\n".join(lines)
+        out.write(text + "\n")
     return 0
 
 
@@ -1203,6 +1226,28 @@ def fuzz_main(
         help="soak the fleet through one shared store behind the "
         "session manager's write-ahead commit queue (soak mode)",
     )
+    parser.add_argument(
+        "--no-faults",
+        action="store_true",
+        dest="no_faults",
+        help="disable fault injection (soak mode; a healthy baseline "
+        "run for SLO gating)",
+    )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="FILE",
+        help="SLO spec to judge the soak against (default: shipped "
+        "fleet spec; soak mode)",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        dest="events_out",
+        metavar="FILE",
+        help="write the service soak's event log as JSONL here "
+        "(replayable by `repro health --events`)",
+    )
     args = parser.parse_args(argv)
     if args.soak is not None and args.minimize:
         err.write(
@@ -1226,12 +1271,21 @@ def fuzz_main(
                 seed=args.seed,
                 store_dir=args.store_dir,
                 service=args.service,
+                faults=not args.no_faults,
+                slo=args.slo,
+                events_out=args.events_out,
                 grammar=FuzzConfig(cells=1, **PROFILES[args.profile]),
             )
         except ValueError as exc:
             err.write(f"repro fuzz: {exc}\n")
             return 2
-        result = run_soak(soak_config)
+        from repro.obs.health import SLOError
+
+        try:
+            result = run_soak(soak_config)
+        except (SLOError, OSError) as exc:
+            err.write(f"repro fuzz: {exc}\n")
+            return 2
         rendered = json.dumps(result, indent=2, sort_keys=True)
         if args.out:
             with open(args.out, "w", encoding="utf-8") as handle:
@@ -1258,6 +1312,17 @@ def fuzz_main(
                 f"{result['oracle']['failures']}/{result['oracle']['checks']} "
                 f"oracle failure(s)\n"
             )
+            if "health" in result:
+                firing = result["health"]["firing"]
+                out.write(
+                    "soak: slo "
+                    + (
+                        f"FIRING: {', '.join(firing)}"
+                        if firing
+                        else f"ok ({result['health']['spec']})"
+                    )
+                    + "\n"
+                )
             if args.out:
                 out.write(f"soak: report written to {args.out}\n")
         failed = (
@@ -1508,6 +1573,295 @@ def sessions_main(
     return 0
 
 
+def health_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """``repro health`` — judge a fleet against a declarative SLO spec.
+
+    Two evidence sources, combinable: ``--store`` accounts the durable
+    multi-session store (totals plus per-session breakdown), and
+    ``--events`` replays an exported service event log through the
+    multi-window burn-rate evaluator — each event's ``seq`` is the
+    logical clock, so the alert sequence is a pure function of (event
+    stream, SLO spec) and therefore byte-stable (DESIGN.md §16).
+
+    ``--strict`` is the CI gate: exit 1 if any alert *fired* at any
+    point of the replay (a later resolve does not un-ring the bell),
+    0 on a clean run, 2 on usage errors. ``--format prom`` renders the
+    store registry in Prometheus text exposition format for scrapers.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="repro health",
+        description="Fleet SLO evaluation over a store and/or event log.",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="durable SQLite checkpoint database to account",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="service event log (JSONL, from `repro fuzz --soak --service "
+        "--events-out`) to replay through the burn-rate evaluator",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="FILE",
+        default=None,
+        help="SLO spec (JSON/TOML; default: the shipped fleet spec)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        dest="format_",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any alert fired (CI gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.store is None and args.events is None:
+        err.write("repro health: need --store and/or --events\n")
+        return 2
+
+    from repro.obs.health import SLOError, SLOSpec, default_spec, replay_events
+
+    try:
+        spec = (
+            SLOSpec.from_file(args.slo) if args.slo is not None else default_spec()
+        )
+    except (SLOError, OSError) as exc:
+        err.write(f"repro health: {exc}\n")
+        return 2
+
+    report: Dict[str, object] = {
+        "spec": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "slo_source": spec.source,
+    }
+
+    registry = None
+    if args.store is not None:
+        from repro.obs.report import (
+            per_session_stats,
+            registry_from_store,
+            stats_as_dict,
+        )
+
+        store = _open_store_strict(args.store, err, prog="repro health")
+        if store is None:
+            return 2
+        try:
+            registry = registry_from_store(store)
+            breakdown = per_session_stats(store)
+        finally:
+            store.close()
+        report["store"] = stats_as_dict(registry)
+        report["store_sessions"] = breakdown
+
+    fired_count = 0
+    if args.events is not None:
+        from repro.obs import EventLog
+
+        try:
+            records = EventLog.read_jsonl(args.events)
+        except OSError as exc:
+            err.write(f"repro health: {exc}\n")
+            return 2
+        replay = replay_events(spec, records)
+        report["replay"] = replay
+        fired_count = sum(
+            1 for alert in replay["alerts"] if alert["type"] == "slo_alert_fired"
+        )
+    report["alerts_fired"] = fired_count
+    report["ok"] = fired_count == 0
+
+    if args.format_ == "prom":
+        if registry is None:
+            err.write("repro health: --format prom needs --store\n")
+            return 2
+        from repro.obs.promexport import render_prometheus
+
+        out.write(render_prometheus(registry))
+    elif args.format_ == "json":
+        import json
+
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(f"health: spec {spec.name} ({report['fingerprint']})\n")
+        if "store" in report:
+            store_stats = report["store"]
+            out.write(
+                f"store: {store_stats['store.nodes']} commit(s), "
+                f"{store_stats['store.bytes_total']} byte(s), "
+                f"{len(report['store_sessions'])} session(s) with history\n"  # type: ignore[arg-type]
+            )
+        if "replay" in report:
+            replay = report["replay"]  # type: ignore[assignment]
+            out.write(
+                f"events: {replay['events']} replayed, "  # type: ignore[index]
+                f"{fired_count} alert(s) fired\n"
+            )
+            for alert in replay["alerts"]:  # type: ignore[index]
+                verb = (
+                    "FIRED"
+                    if alert["type"] == "slo_alert_fired"
+                    else "resolved"
+                )
+                out.write(
+                    f"  [t={alert['at']:g}] {verb} {alert['slo']} "
+                    f"({alert['severity']}): {alert['reason']}\n"
+                )
+            firing_now = replay["firing"]  # type: ignore[index]
+            if firing_now:
+                out.write(f"still firing: {', '.join(firing_now)}\n")
+        out.write("health: " + ("OK" if report["ok"] else "ALERTS FIRED") + "\n")
+    if args.strict and not report["ok"]:
+        return 1
+    return 0
+
+
+def _top_snapshot(path: str) -> Dict[str, object]:
+    """One lock-free frame of a (possibly live) multi-session store.
+
+    Uses a read-only SQLite URI connection on purpose: the service
+    process holds the advisory ``.lock`` sidecar, so the strict-open
+    path would refuse with ``StoreBusyError`` — a monitor must observe
+    without ever contending for the write lock.
+    """
+    import sqlite3
+
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=0.5)
+    try:
+        sessions = conn.execute(
+            "SELECT session_id, notebook_path, status FROM sessions"
+            " ORDER BY session_id"
+        ).fetchall()
+        commits = dict(
+            conn.execute(
+                "SELECT session_id, COUNT(*) FROM nodes"
+                " WHERE committed = 1 GROUP BY session_id"
+            ).fetchall()
+        )
+        payload_bytes = dict(
+            conn.execute(
+                "SELECT session_id, COALESCE(SUM(LENGTH(data)), 0)"
+                " FROM payloads WHERE data IS NOT NULL GROUP BY session_id"
+            ).fetchall()
+        )
+        tombstones = dict(
+            conn.execute(
+                "SELECT session_id, COUNT(*) FROM payloads"
+                " WHERE data IS NULL GROUP BY session_id"
+            ).fetchall()
+        )
+    finally:
+        conn.close()
+    rows = [
+        {
+            "session_id": session_id,
+            "notebook_path": notebook_path,
+            "status": status,
+            "commits": commits.get(session_id, 0),
+            "payload_bytes": payload_bytes.get(session_id, 0),
+            "tombstones": tombstones.get(session_id, 0),
+        }
+        for session_id, notebook_path, status in sessions
+    ]
+    return {
+        "rows": rows,
+        "total_commits": sum(row["commits"] for row in rows),
+        "total_bytes": sum(row["payload_bytes"] for row in rows),
+    }
+
+
+def top_main(
+    argv: List[str],
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """``repro top`` — a live terminal view over a running service store.
+
+    Polls the store read-only (never taking the cross-process write
+    lock, so it works *while* the service is writing) and renders one
+    frame per ``--interval`` seconds: per-session commit counts, payload
+    bytes, tombstones, and registry status. ``--iterations N`` renders N
+    frames and exits (the scriptable/CI form); without it, runs until
+    interrupted.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live per-session view over a (running) service store.",
+    )
+    parser.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="durable SQLite checkpoint database (may be in active use)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames (default 2)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: until interrupted)",
+    )
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.store):
+        err.write(f"repro top: no such store: {args.store}\n")
+        return 2
+    if args.interval <= 0:
+        err.write("repro top: --interval must be > 0\n")
+        return 2
+
+    import sqlite3
+    import time as _time
+
+    frame = 0
+    try:
+        while args.iterations is None or frame < args.iterations:
+            if frame:
+                _time.sleep(args.interval)
+            frame += 1
+            try:
+                snapshot = _top_snapshot(args.store)
+            except sqlite3.Error as exc:
+                err.write(f"repro top: {exc}\n")
+                return 2
+            if out.isatty():  # pragma: no cover - interactive only
+                out.write("\x1b[2J\x1b[H")
+            out.write(
+                f"repro top — {args.store}  frame {frame}  "
+                f"{snapshot['total_commits']} commit(s)  "
+                f"{snapshot['total_bytes']} payload byte(s)\n"
+            )
+            out.write(
+                f"{'SESSION':<12} {'STATUS':<9} {'COMMITS':>7} "
+                f"{'BYTES':>12} {'TOMBS':>5}  NOTEBOOK\n"
+            )
+            for row in snapshot["rows"]:  # type: ignore[union-attr]
+                notebook = row["notebook_path"] or "-"
+                out.write(
+                    f"{row['session_id']:<12} {row['status']:<9} "
+                    f"{row['commits']:>7} {row['payload_bytes']:>12} "
+                    f"{row['tombstones']:>5}  {notebook}\n"
+                )
+            out.flush()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        out.write("\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> Optional[int]:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "lint":
@@ -1524,6 +1878,10 @@ def main(argv: Optional[List[str]] = None) -> Optional[int]:
         return fuzz_main(arguments[1:])
     if arguments and arguments[0] == "sessions":
         return sessions_main(arguments[1:])
+    if arguments and arguments[0] == "health":
+        return health_main(arguments[1:])
+    if arguments and arguments[0] == "top":
+        return top_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Interactive Kishu notebook session.",

@@ -66,6 +66,13 @@ class SoakConfig:
     #: :class:`~repro.service.SessionManager` (write-ahead commit queue,
     #: per-session namespacing) instead of per-session private stores.
     service: bool = False
+    #: SLO spec file to judge the run against (``None`` = the shipped
+    #: fleet defaults). The report gains a ``health`` section whenever
+    #: the run is a service run or a spec was named explicitly.
+    slo: Optional[str] = None
+    #: Write the service observer's event log (JSONL) here after the
+    #: run — the input ``repro health --events`` replays.
+    events_out: Optional[str] = None
     #: Grammar the per-session programs are drawn from.
     grammar: FuzzConfig = field(default_factory=lambda: FuzzConfig(cells=1))
 
@@ -288,6 +295,7 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
     wall = time.perf_counter() - started
 
     service_report: Optional[Dict[str, Any]] = None
+    event_counts: Dict[str, int] = {}
     if manager is not None:
         assert root_store is not None
         queue_stats = manager.queue.stats() if manager.queue is not None else {}
@@ -299,6 +307,9 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
             }
             for record in manager.list()
         ]
+        event_counts = manager.observer.events.counts()
+        if config.events_out is not None:
+            manager.observer.events.write_jsonl(config.events_out)
         manager.close()
         service_report = {
             "queue": queue_stats,
@@ -350,4 +361,26 @@ def run_soak(config: SoakConfig) -> Dict[str, Any]:
     }
     if service_report is not None:
         report["service"] = service_report
+    if config.service or config.slo is not None:
+        # Judge the whole run against the SLO spec (ISSUE 10): latency
+        # samples come from the workers, event rates from the shared
+        # observer. ``evaluate_static`` treats the run as one window.
+        from repro.obs.health import SLOSpec, default_spec, evaluate_static
+
+        spec = (
+            SLOSpec.from_file(config.slo)
+            if config.slo is not None
+            else default_spec()
+        )
+        indicators: Dict[str, Any] = {
+            "commit.latency_seconds": {
+                "samples": [s for r in results for s in r.commit_seconds]
+            },
+            "checkout.latency_seconds": {
+                "samples": [s for r in results for s in r.checkout_seconds]
+            },
+        }
+        for event_type, count in event_counts.items():
+            indicators[f"events.{event_type}"] = {"count": count}
+        report["health"] = evaluate_static(spec, indicators)
     return report

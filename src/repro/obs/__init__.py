@@ -22,6 +22,7 @@ from repro.obs.events import Event, EventLog, EventType
 from repro.obs.metrics import (
     BYTE_BUCKETS,
     COUNT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -33,6 +34,7 @@ from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
 __all__ = [
     "BYTE_BUCKETS",
     "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Counter",
     "Event",
     "EventLog",

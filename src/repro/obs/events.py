@@ -17,6 +17,7 @@ workload. Field values are coerced to JSON-safe primitives at emission
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Dict, Iterator, List, Optional
 
 
@@ -75,6 +76,15 @@ class EventType:
     #: A session migrated to a new notebook path; fields: session,
     #: notebook_path.
     SESSION_RENAMED = "session_renamed"
+    #: An SLO alert started firing; fields: slo, indicator, severity,
+    #: burn_short, burn_long, reason.
+    SLO_ALERT_FIRED = "slo_alert_fired"
+    #: A firing SLO alert recovered; fields: slo, indicator, severity,
+    #: burn_short, reason.
+    SLO_ALERT_RESOLVED = "slo_alert_resolved"
+    #: The commit queue moved between backpressure levels; fields:
+    #: level, previous, reason.
+    BACKPRESSURE_CHANGED = "backpressure_changed"
 
     ALL = (
         REPLAY_PLAN_DECLINED,
@@ -99,6 +109,9 @@ class EventType:
         SESSION_ATTACHED,
         SESSION_DETACHED,
         SESSION_RENAMED,
+        SLO_ALERT_FIRED,
+        SLO_ALERT_RESOLVED,
+        BACKPRESSURE_CHANGED,
     )
 
 
@@ -122,51 +135,66 @@ class Event:
 
 
 class EventLog:
-    """Append-only in-memory event log with JSONL export."""
+    """Append-only in-memory event log with JSONL export.
+
+    Thread safety: one lock covers seq assignment + append (``emit``) and
+    every snapshot path (``of_type``/``counts``/``to_jsonl``/iteration), so
+    concurrent service threads never skip or duplicate a ``seq`` and
+    exports never observe a half-appended log. Iteration walks a copy
+    taken under the lock; emitting while iterating is safe.
+    """
 
     def __init__(self, *, max_events: int = 100_000) -> None:
         self.events: List[Event] = []
         self.max_events = max_events
         self._seq = 0
         self.dropped = 0
+        self._lock = threading.Lock()
 
     def emit(self, type: str, **fields: Any) -> Event:
-        event = Event(
-            self._seq, type, {key: _coerce(value) for key, value in fields.items()}
-        )
-        self._seq += 1
-        if len(self.events) >= self.max_events:
-            # Bounded retention: drop from the front; `dropped` records
-            # that the log is a suffix, never silently pretends otherwise.
-            removed = len(self.events) // 2 or 1
-            del self.events[:removed]
-            self.dropped += removed
-        self.events.append(event)
+        coerced = {key: _coerce(value) for key, value in fields.items()}
+        with self._lock:
+            event = Event(self._seq, type, coerced)
+            self._seq += 1
+            if len(self.events) >= self.max_events:
+                # Bounded retention: drop from the front; `dropped` records
+                # that the log is a suffix, never silently pretends otherwise.
+                removed = len(self.events) // 2 or 1
+                del self.events[:removed]
+                self.dropped += removed
+            self.events.append(event)
         return event
 
     def of_type(self, *types: str) -> List[Event]:
         wanted = set(types)
-        return [event for event in self.events if event.type in wanted]
+        with self._lock:
+            return [event for event in self.events if event.type in wanted]
 
     def counts(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
-        for event in self.events:
+        with self._lock:
+            snapshot = list(self.events)
+        for event in snapshot:
             totals[event.type] = totals.get(event.type, 0) + 1
         return dict(sorted(totals.items()))
 
     def __len__(self) -> int:
-        return len(self.events)
+        with self._lock:
+            return len(self.events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self.events)
+        with self._lock:
+            return iter(list(self.events))
 
     # -- export ----------------------------------------------------------------
 
     def to_jsonl(self) -> str:
         """One canonical JSON object per line; byte-stable for a
         deterministic workload (sorted keys, no wall-clock fields)."""
+        with self._lock:
+            snapshot = list(self.events)
         return "\n".join(
-            json.dumps(event.as_dict(), sort_keys=True) for event in self.events
+            json.dumps(event.as_dict(), sort_keys=True) for event in snapshot
         )
 
     def write_jsonl(self, path: str) -> None:

@@ -1,0 +1,922 @@
+"""Fleet health engine: SLO evaluation, burn-rate alerting, backpressure.
+
+PR 5 gave every session spans, metrics, and events; PR 7 put many
+sessions behind one service. This module closes the loop (DESIGN.md
+§16): it *aggregates* the per-session streams into sliding-window fleet
+snapshots, *judges* them against a declarative SLO spec with
+multi-window burn rates, and *acts* on sustained violations by driving
+the commit queue's adaptive backpressure ladder.
+
+Layers:
+
+* :class:`FleetAggregator` — sliding windows of (time, value, session)
+  samples per indicator; deterministic snapshots with nearest-rank
+  percentiles. Time comes from an injectable clock, exactly like
+  :mod:`repro.obs.trace` — tests and event replay use logical clocks so
+  every output is byte-stable.
+* :class:`SLOSpec` / :class:`SLO` — versioned declarative objectives
+  (JSON always, TOML where ``tomllib`` exists), mirroring the PR 9 stub
+  file format. Three indicator kinds: ``latency`` and ``gauge`` judge
+  windowed samples against a threshold under an objective good-fraction;
+  ``rate`` judges windowed event counts against an allowance.
+* :class:`SLOEvaluator` — computes the error budget (``1 - objective``)
+  and the burn rate (observed bad fraction / budget) over a *short* and
+  a *long* window; an alert fires only when **both** burn, and resolves
+  when the short window recovers. Fire/resolve transitions are emitted
+  as ``slo_alert_fired`` / ``slo_alert_resolved`` events with
+  deterministic, reasoned payloads.
+* :class:`BackpressureController` — hysteresis over firing
+  backpressure-flagged alerts, walking the commit queue through
+  ``accept -> degrade_fsync -> block`` (and back down) via
+  ``CommitQueue.set_pressure``.
+* :class:`HealthEngine` — bundles the above behind a one-attribute
+  disabled gate (same discipline as ``NO_OBSERVER``): a disabled
+  engine's :meth:`~HealthEngine.tick` is a single attribute check.
+
+Determinism rule: nothing here reads the wall clock unless the caller
+installs one. Replay (:func:`replay_events`) drives the aggregator with
+each event's ``seq`` as logical seconds, so the same event stream plus
+the same SLO file always produces a byte-identical alert sequence —
+pinned by ``tests/golden/health_alerts.jsonl``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time as _time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.obs.events import EventType
+from repro.obs.recorder import NO_OBSERVER, Observer
+from repro.telemetry import HealthStats
+
+#: Version of the SLO file format (mirrors ``stub_format`` from PR 9).
+SLO_FORMAT_VERSION = 1
+
+_KINDS = ("latency", "gauge", "rate")
+_SEVERITIES = ("page", "ticket")
+
+
+class SLOError(ValueError):
+    """A malformed SLO spec (bad file, bad field, unsupported version)."""
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; deterministic, no interpolation."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(-(-q * len(ordered) // 100)))  # ceil(q/100 * n)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+# ---------------------------------------------------------------------------
+# Declarative SLO spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over one indicator.
+
+    ``latency`` / ``gauge`` kinds judge windowed *samples*: a sample is
+    bad when ``value > threshold``; the error budget is
+    ``1 - objective`` and the burn rate is the bad fraction divided by
+    the budget. ``rate`` kinds judge windowed event *counts* against
+    ``max_per_window`` (scaled from the long window down to the short);
+    a zero allowance means the burn equals the raw count, so a single
+    event fires.
+    """
+
+    name: str
+    indicator: str
+    kind: str
+    threshold: Optional[float] = None
+    objective: float = 0.99
+    max_per_window: Optional[float] = None
+    short_window: float = 60.0
+    long_window: float = 300.0
+    burn_threshold: float = 1.0
+    min_samples: int = 1
+    severity: str = "page"
+    backpressure: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SLOError(f"slo {self.name!r}: kind must be one of {_KINDS}")
+        if self.severity not in _SEVERITIES:
+            raise SLOError(
+                f"slo {self.name!r}: severity must be one of {_SEVERITIES}"
+            )
+        if self.kind in ("latency", "gauge"):
+            if self.threshold is None:
+                raise SLOError(f"slo {self.name!r}: {self.kind} needs a threshold")
+            if not (0.0 < self.objective < 1.0):
+                raise SLOError(
+                    f"slo {self.name!r}: objective must be in (0, 1)"
+                )
+        else:
+            if self.max_per_window is None or self.max_per_window < 0:
+                raise SLOError(
+                    f"slo {self.name!r}: rate needs max_per_window >= 0"
+                )
+        if not (0 < self.short_window < self.long_window):
+            raise SLOError(
+                f"slo {self.name!r}: need 0 < short_window < long_window"
+            )
+        if self.burn_threshold <= 0:
+            raise SLOError(f"slo {self.name!r}: burn_threshold must be > 0")
+
+    @property
+    def budget(self) -> float:
+        """Error budget: the tolerated bad fraction."""
+        return 1.0 - self.objective
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "indicator": self.indicator,
+            "kind": self.kind,
+            "objective": self.objective,
+            "short_window": self.short_window,
+            "long_window": self.long_window,
+            "burn_threshold": self.burn_threshold,
+            "min_samples": self.min_samples,
+            "severity": self.severity,
+            "backpressure": self.backpressure,
+        }
+        if self.threshold is not None:
+            record["threshold"] = self.threshold
+        if self.max_per_window is not None:
+            record["max_per_window"] = self.max_per_window
+        if self.description:
+            record["description"] = self.description
+        return record
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A versioned set of SLOs loaded from one document."""
+
+    name: str
+    slos: Tuple[SLO, ...]
+    slo_format: int = SLO_FORMAT_VERSION
+    source: Optional[str] = None
+
+    @classmethod
+    def from_mapping(
+        cls, data: Any, source: Optional[str] = None
+    ) -> "SLOSpec":
+        if not isinstance(data, dict):
+            raise SLOError(f"SLO spec must be an object, got {type(data).__name__}")
+        fmt = data.get("slo_format", SLO_FORMAT_VERSION)
+        if not isinstance(fmt, int) or fmt > SLO_FORMAT_VERSION:
+            raise SLOError(
+                f"SLO file format {fmt!r} is newer than supported "
+                f"version {SLO_FORMAT_VERSION}"
+            )
+        raw = data.get("slos")
+        if not isinstance(raw, list) or not raw:
+            raise SLOError("'slos' must be a non-empty list")
+        slos: List[SLO] = []
+        seen: set = set()
+        known = {f.name for f in SLO.__dataclass_fields__.values()}
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise SLOError(f"slo entry must be an object, got {entry!r}")
+            unknown = sorted(set(entry) - known)
+            if unknown:
+                raise SLOError(
+                    f"slo {entry.get('name', '?')!r}: unknown fields {unknown}"
+                )
+            try:
+                slo = SLO(**entry)
+            except TypeError as exc:
+                raise SLOError(f"slo entry {entry!r}: {exc}") from exc
+            if slo.name in seen:
+                raise SLOError(f"duplicate slo name {slo.name!r}")
+            seen.add(slo.name)
+            slos.append(slo)
+        name = data.get("name", "unnamed")
+        if not isinstance(name, str):
+            raise SLOError("'name' must be a string")
+        return cls(name=name, slos=tuple(slos), slo_format=fmt, source=source)
+
+    @classmethod
+    def from_file(cls, path: Any) -> "SLOSpec":
+        """Load ``.json`` (or, where ``tomllib`` exists, ``.toml``)."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            try:
+                import tomllib
+            except ImportError as exc:  # Python < 3.11
+                raise SLOError(
+                    f"{path}: TOML SLO specs need Python 3.11+ (tomllib); "
+                    "use the JSON form instead"
+                ) from exc
+            with open(path, "rb") as handle:
+                data: Any = tomllib.load(handle)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                try:
+                    data = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise SLOError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_mapping(data, source=str(path))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "slo_format": self.slo_format,
+            "slos": [slo.as_dict() for slo in self.slos],
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash, for report provenance."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def default_spec() -> SLOSpec:
+    """The shipped fleet SLO spec (``repro/obs/slodata/fleet.json``)."""
+    return SLOSpec.from_file(Path(__file__).parent / "slodata" / "fleet.json")
+
+
+# ---------------------------------------------------------------------------
+# Sliding-window aggregation
+# ---------------------------------------------------------------------------
+
+
+class FleetAggregator:
+    """Folds per-session observation streams into sliding windows.
+
+    Each sample is ``(time, value, session)`` on one named indicator
+    series; reads filter by window (and optionally by session), so one
+    structure serves both fleet-wide and per-session views. The clock is
+    injectable (defaults to ``time.monotonic``); replay installs a
+    logical clock for byte-stable output.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        retention: float = 600.0,
+    ) -> None:
+        if retention <= 0:
+            raise ValueError("retention must be positive")
+        self.clock = clock if clock is not None else _time.monotonic
+        self.retention = retention
+        self._series: Dict[str, Deque[Tuple[float, float, Optional[str]]]] = {}
+        self._sessions: set = set()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        session: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record one sample on an indicator series."""
+        at = self.clock() if now is None else now
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = deque()
+        series.append((at, float(value), session))
+        if session is not None:
+            self._sessions.add(session)
+        horizon = at - self.retention
+        while series and series[0][0] <= horizon:
+            series.popleft()
+
+    #: Gauges are point-in-time samples; windowing treats them the same.
+    gauge = observe
+
+    def count(
+        self,
+        name: str,
+        amount: float = 1,
+        session: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record an event occurrence (rate indicators sum amounts)."""
+        self.observe(name, amount, session=session, now=now)
+
+    def ingest_event(
+        self,
+        type: str,
+        fields: Dict[str, Any],
+        now: Optional[float] = None,
+    ) -> None:
+        """Fold one structured event into the windows.
+
+        Every event contributes to its ``events.<type>`` rate series;
+        depth-carrying and byte-carrying events additionally feed their
+        gauge series, so replaying an event log reconstructs queue-depth
+        and byte-growth indicators without the live registry.
+        """
+        session = fields.get("session")
+        if session is not None:
+            session = str(session)
+        self.count(f"events.{type}", 1, session=session, now=now)
+        if type == EventType.COMMIT_ENQUEUED and "depth" in fields:
+            self.observe(
+                "service.queue_depth",
+                float(fields["depth"]),
+                session=session,
+                now=now,
+            )
+        elif type == EventType.COMMIT and "bytes" in fields:
+            self.observe(
+                "store.bytes_written",
+                float(fields["bytes"]),
+                session=session,
+                now=now,
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    def window_values(
+        self,
+        name: str,
+        window: float,
+        now: Optional[float] = None,
+        session: Optional[str] = None,
+    ) -> List[float]:
+        """Samples on ``name`` newer than ``now - window`` (oldest first)."""
+        at = self.clock() if now is None else now
+        series = self._series.get(name)
+        if not series:
+            return []
+        horizon = at - window
+        return [
+            value
+            for stamp, value, sess in series
+            if stamp > horizon and (session is None or sess == session)
+        ]
+
+    def indicators(self) -> List[str]:
+        return sorted(self._series)
+
+    def sessions(self) -> List[str]:
+        return sorted(self._sessions)
+
+    def snapshot(
+        self, window: Optional[float] = None, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Deterministic fleet + per-session window statistics."""
+        at = self.clock() if now is None else now
+        span = window if window is not None else self.retention
+
+        def stats_for(values: List[float]) -> Dict[str, float]:
+            return {
+                "count": len(values),
+                "sum": round(sum(values), 6),
+                "p50": round(_percentile(values, 50), 6),
+                "p95": round(_percentile(values, 95), 6),
+                "p99": round(_percentile(values, 99), 6),
+                "max": round(max(values), 6) if values else 0.0,
+            }
+
+        fleet: Dict[str, Any] = {}
+        per_session: Dict[str, Dict[str, Any]] = {}
+        for name in self.indicators():
+            fleet[name] = stats_for(self.window_values(name, span, now=at))
+        for sess in self.sessions():
+            rows: Dict[str, Any] = {}
+            for name in self.indicators():
+                values = self.window_values(name, span, now=at, session=sess)
+                if values:
+                    rows[name] = stats_for(values)
+            if rows:
+                per_session[sess] = rows
+        return {"window": span, "fleet": fleet, "sessions": per_session}
+
+
+# ---------------------------------------------------------------------------
+# SLO evaluation with multi-window burn rates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _AlertState:
+    status: str = "ok"  # "ok" | "firing"
+    fired: int = 0
+    resolved: int = 0
+    last_burn_short: float = 0.0
+    last_burn_long: float = 0.0
+
+
+def _burn_over(
+    slo: SLO, values: List[float], window: float
+) -> Tuple[float, str]:
+    """(burn rate, reason fragment) for one window's worth of samples."""
+    if slo.kind == "rate":
+        count = sum(values)
+        allowed = (slo.max_per_window or 0.0) * (window / slo.long_window)
+        if allowed <= 0:
+            # Zero-tolerance objective: burn equals the raw count so a
+            # single event fires (and the value stays JSON-finite).
+            burn = float(count)
+        else:
+            burn = count / allowed
+        reason = f"{count:g} events in {window:g}s (allowed {allowed:g})"
+        return burn, reason
+    total = len(values)
+    if total < slo.min_samples:
+        return 0.0, f"{total} samples in {window:g}s (< {slo.min_samples} needed)"
+    bad = sum(1 for value in values if value > slo.threshold)
+    burn = (bad / total) / slo.budget
+    reason = (
+        f"{bad}/{total} samples over {slo.threshold:g} in {window:g}s "
+        f"(budget {slo.budget:g})"
+    )
+    return burn, reason
+
+
+class SLOEvaluator:
+    """Multi-window burn-rate evaluator with fire/resolve state.
+
+    An alert fires when the burn rate crosses ``burn_threshold`` in
+    **both** the short and the long window (the SRE multi-window rule:
+    the long window proves the violation is sustained, the short window
+    proves it is still happening) and resolves as soon as the short
+    window recovers. Transitions are appended to :attr:`alerts` and
+    emitted as events through the observer.
+    """
+
+    def __init__(
+        self,
+        spec: SLOSpec,
+        aggregator: FleetAggregator,
+        *,
+        observer: Optional[Observer] = None,
+        stats: Optional[HealthStats] = None,
+    ) -> None:
+        self.spec = spec
+        self.aggregator = aggregator
+        self.observer = observer if observer is not None else NO_OBSERVER
+        self.stats = stats
+        self._states: Dict[str, _AlertState] = {
+            slo.name: _AlertState() for slo in spec.slos
+        }
+        #: Fire/resolve transition records, oldest first.
+        self.alerts: List[Dict[str, Any]] = []
+
+    def state(self, name: str) -> _AlertState:
+        return self._states[name]
+
+    def firing(self) -> List[str]:
+        return sorted(
+            name
+            for name, state in self._states.items()
+            if state.status == "firing"
+        )
+
+    def firing_backpressure(self) -> bool:
+        """Is any backpressure-flagged SLO currently firing?"""
+        firing = set(self.firing())
+        return any(
+            slo.backpressure for slo in self.spec.slos if slo.name in firing
+        )
+
+    def evaluate(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """One evaluation pass; returns this pass's transitions."""
+        at = self.aggregator.clock() if now is None else now
+        transitions: List[Dict[str, Any]] = []
+        if self.stats is not None:
+            self.stats.evaluations += 1
+        for slo in self.spec.slos:
+            short = self.aggregator.window_values(
+                slo.indicator, slo.short_window, now=at
+            )
+            long_ = self.aggregator.window_values(
+                slo.indicator, slo.long_window, now=at
+            )
+            burn_short, reason_short = _burn_over(slo, short, slo.short_window)
+            burn_long, reason_long = _burn_over(slo, long_, slo.long_window)
+            state = self._states[slo.name]
+            state.last_burn_short = burn_short
+            state.last_burn_long = burn_long
+            if (
+                state.status == "ok"
+                and burn_short >= slo.burn_threshold
+                and burn_long >= slo.burn_threshold
+            ):
+                state.status = "firing"
+                state.fired += 1
+                reason = (
+                    f"{slo.indicator}: short {reason_short}; long {reason_long}"
+                )
+                record = {
+                    "type": EventType.SLO_ALERT_FIRED,
+                    "slo": slo.name,
+                    "indicator": slo.indicator,
+                    "severity": slo.severity,
+                    "burn_short": round(burn_short, 4),
+                    "burn_long": round(burn_long, 4),
+                    "reason": reason,
+                }
+                transitions.append(record)
+            elif state.status == "firing" and burn_short < slo.burn_threshold:
+                state.status = "ok"
+                state.resolved += 1
+                record = {
+                    "type": EventType.SLO_ALERT_RESOLVED,
+                    "slo": slo.name,
+                    "indicator": slo.indicator,
+                    "severity": slo.severity,
+                    "burn_short": round(burn_short, 4),
+                    "reason": f"{slo.indicator}: short {reason_short}",
+                }
+                transitions.append(record)
+        for record in transitions:
+            self.alerts.append(record)
+            fields = {key: value for key, value in record.items() if key != "type"}
+            self.observer.event(record["type"], **fields)
+            if self.stats is not None:
+                if record["type"] == EventType.SLO_ALERT_FIRED:
+                    self.stats.alerts_fired += 1
+                else:
+                    self.stats.alerts_resolved += 1
+        return transitions
+
+
+# ---------------------------------------------------------------------------
+# Adaptive backpressure
+# ---------------------------------------------------------------------------
+
+
+class BackpressureController:
+    """Hysteresis between firing SLO alerts and the queue pressure ladder.
+
+    ``escalate_after`` consecutive evaluations with a firing
+    backpressure-flagged alert move the queue one level up the
+    ``accept -> degrade_fsync -> block`` ladder; ``relax_after``
+    consecutive clean evaluations move it one level back down. The
+    hysteresis keeps a flapping burn rate from thrashing fsync policy.
+    """
+
+    def __init__(
+        self,
+        queue: Any,
+        *,
+        escalate_after: int = 2,
+        relax_after: int = 3,
+        ceiling: Optional[int] = None,
+    ) -> None:
+        if escalate_after < 1 or relax_after < 1:
+            raise ValueError("escalate_after and relax_after must be >= 1")
+        self.queue = queue
+        self.escalate_after = escalate_after
+        self.relax_after = relax_after
+        self.ceiling = ceiling
+        self._levels = tuple(queue.PRESSURE_LEVELS)
+        self._level = 0
+        self._hot = 0
+        self._cool = 0
+
+    @property
+    def level(self) -> str:
+        return self._levels[self._level]
+
+    def update(self, firing: bool, *, reason: str = "") -> Optional[str]:
+        """Feed one evaluation result; returns the new level on change."""
+        if firing:
+            self._hot += 1
+            self._cool = 0
+            if (
+                self._hot >= self.escalate_after
+                and self._level < len(self._levels) - 1
+            ):
+                self._level += 1
+                self._hot = 0
+                level = self._levels[self._level]
+                self.queue.set_pressure(
+                    level, ceiling=self.ceiling, reason=reason or "slo_firing"
+                )
+                return level
+        else:
+            self._cool += 1
+            self._hot = 0
+            if self._cool >= self.relax_after and self._level > 0:
+                self._level -= 1
+                self._cool = 0
+                level = self._levels[self._level]
+                self.queue.set_pressure(
+                    level, ceiling=self.ceiling, reason=reason or "slo_recovered"
+                )
+                return level
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class HealthEngine:
+    """Aggregator + evaluator + backpressure behind one disabled gate.
+
+    A disabled engine costs one attribute check per verb — the same
+    budget discipline as ``NO_OBSERVER`` (benchmarks/test_pr10_health.py
+    measures it against the 3% commit budget).
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SLOSpec] = None,
+        *,
+        observer: Optional[Observer] = None,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+        escalate_after: int = 2,
+        relax_after: int = 3,
+        retention: Optional[float] = None,
+    ) -> None:
+        self.enabled = enabled
+        if not enabled:
+            return
+        self.spec = spec if spec is not None else default_spec()
+        self.observer = observer if observer is not None else NO_OBSERVER
+        span = retention
+        if span is None:
+            span = max((slo.long_window for slo in self.spec.slos), default=600.0)
+            span = max(span * 2, 600.0)
+        self.aggregator = FleetAggregator(clock=clock, retention=span)
+        # Publish health.* counters into the observer's registry — but
+        # never into a disabled observer's (NO_OBSERVER is shared
+        # global state whose registry must stay empty): fall back to a
+        # private registry instead.
+        metrics = (
+            self.observer.metrics
+            if getattr(self.observer, "enabled", False)
+            else None
+        )
+        self.stats = HealthStats(metrics)
+        self.evaluator = SLOEvaluator(
+            self.spec, self.aggregator, observer=self.observer, stats=self.stats
+        )
+        self._escalate_after = escalate_after
+        self._relax_after = relax_after
+        self.controller: Optional[BackpressureController] = None
+        self._queue: Any = None
+
+    @classmethod
+    def disabled(cls) -> "HealthEngine":
+        return cls(enabled=False)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_queue(self, queue: Any, *, ceiling: Optional[int] = None) -> None:
+        """Bind a :class:`~repro.service.queue.CommitQueue` for sensing
+        (depth sampled each tick) and actuation (pressure ladder).
+
+        With no explicit ``ceiling``, the ``block`` cap comes from the
+        spec's backpressure-flagged queue-depth gauge SLO — the sensor
+        and the actuator agree on one number by construction.
+        """
+        if not self.enabled:
+            return
+        if ceiling is None:
+            for slo in self.spec.slos:
+                if (
+                    slo.backpressure
+                    and slo.kind == "gauge"
+                    and slo.indicator == "service.queue_depth"
+                    and slo.threshold is not None
+                ):
+                    ceiling = max(1, int(slo.threshold))
+                    break
+        self._queue = queue
+        self.controller = BackpressureController(
+            queue,
+            escalate_after=self._escalate_after,
+            relax_after=self._relax_after,
+            ceiling=ceiling,
+        )
+
+    # -- ingestion verbs (all gated on `enabled`) --------------------------
+
+    def record_commit(
+        self, seconds: float, session: Optional[str] = None
+    ) -> None:
+        if not self.enabled:
+            return
+        self.aggregator.observe("commit.latency_seconds", seconds, session=session)
+
+    def record_checkout(
+        self, seconds: float, session: Optional[str] = None
+    ) -> None:
+        if not self.enabled:
+            return
+        self.aggregator.observe(
+            "checkout.latency_seconds", seconds, session=session
+        )
+
+    def ingest_event(self, type: str, fields: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        self.aggregator.ingest_event(type, fields)
+
+    # -- the control loop --------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Sample, evaluate, actuate. Returns this pass's transitions."""
+        if not self.enabled:
+            return []
+        if self._queue is not None:
+            self.aggregator.gauge(
+                "service.queue_depth", float(self._queue.depth()), now=now
+            )
+        transitions = self.evaluator.evaluate(now=now)
+        if self.controller is not None:
+            firing = self.evaluator.firing_backpressure()
+            reason = ",".join(
+                name
+                for name in self.evaluator.firing()
+                if any(
+                    slo.name == name and slo.backpressure
+                    for slo in self.spec.slos
+                )
+            )
+            changed = self.controller.update(firing, reason=reason)
+            if changed is not None:
+                self.stats.backpressure_transitions += 1
+        return transitions
+
+    def report(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Deterministic engine state: snapshot + alert history."""
+        if not self.enabled:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "spec": {
+                "name": self.spec.name,
+                "fingerprint": self.spec.fingerprint(),
+                "source": self.spec.source,
+            },
+            "snapshot": self.aggregator.snapshot(now=now),
+            "firing": self.evaluator.firing(),
+            "alerts": list(self.evaluator.alerts),
+            "pressure": self.controller.level if self.controller else None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# One-shot and replay evaluation (soak reports, CLI, golden tests)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_static(
+    spec: SLOSpec, indicators: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Judge whole-run indicator summaries against a spec, windowless.
+
+    ``indicators`` maps indicator name to either ``{"samples": [...]}``
+    (latency/gauge kinds) or ``{"count": n}`` (rate kinds; the whole run
+    is treated as one long window). Used by the soak driver and
+    ``repro health`` where there is no live sliding clock.
+    """
+    results: List[Dict[str, Any]] = []
+    firing: List[str] = []
+    for slo in spec.slos:
+        data = indicators.get(slo.indicator)
+        if slo.kind == "rate":
+            count = float(data.get("count", 0)) if data else 0.0
+            allowed = slo.max_per_window or 0.0
+            burn = float(count) if allowed <= 0 else count / allowed
+            reason = f"{count:g} events over the run (allowed {allowed:g})"
+            status = "firing" if burn >= slo.burn_threshold else "ok"
+        else:
+            samples = list(data.get("samples", ())) if data else []
+            if len(samples) < slo.min_samples:
+                results.append(
+                    {
+                        "slo": slo.name,
+                        "indicator": slo.indicator,
+                        "severity": slo.severity,
+                        "status": "no_data",
+                        "burn": 0.0,
+                        "reason": (
+                            f"{len(samples)} samples "
+                            f"(< {slo.min_samples} needed)"
+                        ),
+                    }
+                )
+                continue
+            bad = sum(1 for value in samples if value > slo.threshold)
+            burn = (bad / len(samples)) / slo.budget
+            reason = (
+                f"{bad}/{len(samples)} samples over {slo.threshold:g} "
+                f"(budget {slo.budget:g})"
+            )
+            status = "firing" if burn >= slo.burn_threshold else "ok"
+        if status == "firing":
+            firing.append(slo.name)
+        results.append(
+            {
+                "slo": slo.name,
+                "indicator": slo.indicator,
+                "severity": slo.severity,
+                "status": status,
+                "burn": round(burn, 4),
+                "reason": reason,
+            }
+        )
+    return {
+        "spec": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "results": results,
+        "firing": sorted(firing),
+    }
+
+
+def replay_events(
+    spec: SLOSpec,
+    records: Iterable[Dict[str, Any]],
+    *,
+    evaluate_every: float = 1.0,
+) -> Dict[str, Any]:
+    """Replay an exported event log through the evaluator, logically.
+
+    Each record's ``seq`` becomes logical seconds, so the alert sequence
+    is a pure function of (event stream, spec): the determinism pinned
+    by ``tests/golden/health_alerts.jsonl``. The evaluator runs at every
+    ``evaluate_every`` logical seconds and once past the final event.
+    """
+    clock_now = [0.0]
+    aggregator = FleetAggregator(
+        clock=lambda: clock_now[0],
+        retention=max(
+            (slo.long_window for slo in spec.slos), default=600.0
+        ) * 2,
+    )
+    evaluator = SLOEvaluator(spec, aggregator)
+    alerts: List[Dict[str, Any]] = []
+    last_eval = -1.0
+    count = 0
+    for record in records:
+        seq = record.get("seq")
+        if seq is None:
+            continue
+        at = float(seq)
+        clock_now[0] = at
+        fields = {
+            key: value
+            for key, value in record.items()
+            if key not in ("seq", "type")
+        }
+        aggregator.ingest_event(str(record.get("type")), fields, now=at)
+        count += 1
+        if at - last_eval >= evaluate_every:
+            for transition in evaluator.evaluate(now=at):
+                alerts.append(dict(transition, at=at))
+            last_eval = at
+    # A final pass one short-window past the last event lets alerts whose
+    # short window has drained resolve deterministically.
+    if count:
+        tail = clock_now[0] + max(slo.short_window for slo in spec.slos) + 1.0
+        clock_now[0] = tail
+        for transition in evaluator.evaluate(now=tail):
+            alerts.append(dict(transition, at=tail))
+    return {
+        "spec": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "events": count,
+        "alerts": alerts,
+        "firing": evaluator.firing(),
+        "snapshot": aggregator.snapshot(now=clock_now[0]),
+    }
+
+
+__all__ = [
+    "SLO",
+    "SLOError",
+    "SLOSpec",
+    "SLO_FORMAT_VERSION",
+    "FleetAggregator",
+    "SLOEvaluator",
+    "BackpressureController",
+    "HealthEngine",
+    "default_spec",
+    "evaluate_static",
+    "replay_events",
+]

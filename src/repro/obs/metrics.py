@@ -14,14 +14,27 @@ byte-stable across runs by construction:
   are kept. Given deterministic inputs (byte sizes, cell counts), the
   rendered output is identical byte for byte on every run.
 
-Determinism rule: wall-clock or CPU-time measurements never enter the
-registry — they belong to spans (:mod:`repro.obs.trace`), which are
-excluded from golden output. Registries only ever hold quantities that
-are a pure function of the workload.
+Determinism rule: wall-clock or CPU-time measurements never enter a
+*golden-tested* registry — they belong to spans (:mod:`repro.obs.trace`),
+which are excluded from golden output. Registries only ever hold
+quantities that are a pure function of the workload; service registries
+(never golden-tested) may additionally record measured latencies on the
+fixed :data:`LATENCY_BUCKETS` bounds so fleet aggregation sees stable
+bucket shapes.
+
+Thread safety: one :class:`MetricsRegistry` serializes **all** instrument
+creation *and* mutation under a single re-entrant lock (``_lock``). Every
+instrument created through a registry shares that one lock, so concurrent
+service sessions hammering the same registry (the PR 7 write-ahead writer
+publishes from its own thread) never lose increments and never observe a
+half-rendered snapshot. Instruments constructed standalone get a private
+lock. The disabled-observer fast path never reaches the registry, so the
+lock costs nothing when observation is off.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
@@ -44,21 +57,45 @@ BYTE_BUCKETS: Tuple[int, ...] = (
 #: Default bucket bounds for small cardinalities (cells, co-variables).
 COUNT_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
+#: Default bucket upper bounds for latency observations, in **seconds**:
+#: 1 ms to 30 s on a 1-2.5-5 ladder. Shared by every latency histogram
+#: (commit/checkout latency, the write-ahead writer's store latency) so
+#: fleet aggregation and SLO evaluation see one bucket vocabulary.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
 
 class Counter:
     """A monotonically increasing integer (callers may also set it)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None) -> None:
         self.name = name
         self.value: Number = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def set(self, value: Number) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def as_value(self) -> Number:
         return self.value
@@ -67,14 +104,16 @@ class Counter:
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None) -> None:
         self.name = name
         self.value: Number = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: Number) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def as_value(self) -> Number:
         return self.value
@@ -89,9 +128,14 @@ class Histogram:
     bucket rendered as ``"+Inf"``.
     """
 
-    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum")
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum", "_lock")
 
-    def __init__(self, name: str, bounds: Sequence[Number] = BYTE_BUCKETS) -> None:
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[Number] = BYTE_BUCKETS,
+        lock: Optional[threading.RLock] = None,
+    ) -> None:
         bounds = tuple(bounds)
         if not bounds or any(
             b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
@@ -103,35 +147,44 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.sum: Number = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def record(self, value: Number) -> None:
-        self.count += 1
-        self.sum += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.overflow += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.overflow += 1
 
     def record_many(self, values: Iterable[Number]) -> None:
         for value in values:
             self.record(value)
 
     def as_value(self) -> Dict[str, Number]:
-        buckets: Dict[str, Number] = {
-            f"le_{bound}": count for bound, count in zip(self.bounds, self.counts)
-        }
-        buckets["le_+Inf"] = self.overflow
-        return {"buckets": buckets, "count": self.count, "sum": self.sum}
+        with self._lock:
+            buckets: Dict[str, Number] = {
+                f"le_{bound}": count for bound, count in zip(self.bounds, self.counts)
+            }
+            buckets["le_+Inf"] = self.overflow
+            return {"buckets": buckets, "count": self.count, "sum": self.sum}
 
 
 Instrument = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
-    """Create-on-first-use instrument registry with canonical rendering."""
+    """Create-on-first-use instrument registry with canonical rendering.
+
+    All instruments created through a registry share the registry's single
+    re-entrant lock, making creation, mutation, and snapshot rendering safe
+    under concurrent writer threads (see the module docstring).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._instruments: Dict[str, Instrument] = {}
 
     def counter(self, name: str) -> Counter:
@@ -143,74 +196,85 @@ class MetricsRegistry:
     def histogram(
         self, name: str, bounds: Optional[Sequence[Number]] = None
     ) -> Histogram:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Histogram(
-                name, bounds if bounds is not None else BYTE_BUCKETS
-            )
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Histogram):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(
+                    name,
+                    bounds if bounds is not None else BYTE_BUCKETS,
+                    lock=self._lock,
+                )
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
 
     def _get(self, name: str, kind: type) -> Instrument:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = kind(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, lock=self._lock)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
 
     def get(self, name: str) -> Optional[Instrument]:
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     # -- rendering -------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:
         """Name-sorted snapshot; json.dumps(sort_keys=True) of this is
         byte-stable across runs for deterministic workloads."""
-        return {
-            name: self._instruments[name].as_value()
-            for name in sorted(self._instruments)
-        }
+        with self._lock:
+            return {
+                name: self._instruments[name].as_value()
+                for name in sorted(self._instruments)
+            }
 
     def render_text(self) -> str:
-        lines: List[str] = []
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
-            if isinstance(instrument, Histogram):
-                lines.append(
-                    f"{name}  count={instrument.count} sum={instrument.sum}"
-                )
-                for bound, count in zip(instrument.bounds, instrument.counts):
-                    if count:
-                        lines.append(f"  le {bound}: {count}")
-                if instrument.overflow:
-                    lines.append(f"  le +Inf: {instrument.overflow}")
-            else:
-                lines.append(f"{name}  {instrument.value}")
-        return "\n".join(lines)
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._instruments):
+                instrument = self._instruments[name]
+                if isinstance(instrument, Histogram):
+                    lines.append(
+                        f"{name}  count={instrument.count} sum={instrument.sum}"
+                    )
+                    for bound, count in zip(instrument.bounds, instrument.counts):
+                        if count:
+                            lines.append(f"  le {bound}: {count}")
+                    if instrument.overflow:
+                        lines.append(f"  le +Inf: {instrument.overflow}")
+                else:
+                    lines.append(f"{name}  {instrument.value}")
+            return "\n".join(lines)
 
 
 __all__ = [
     "BYTE_BUCKETS",
     "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,100 @@
+"""Prometheus text-exposition rendering of a metrics registry snapshot.
+
+One pure function: :func:`render_prometheus` maps a
+:class:`~repro.obs.metrics.MetricsRegistry` to the Prometheus text
+exposition format (version 0.0.4) — counters as ``_total``, gauges
+plain, histograms as cumulative ``le`` buckets plus ``_sum``/``_count``.
+Output is name-sorted and contains no timestamps, so a deterministic
+registry renders byte-identically on every run (same discipline as
+``MetricsRegistry.as_dict``).
+
+No HTTP server ships here: the service is in-process, so surfaces that
+want an exposition snapshot (``repro health --format prom``, scrapers
+run out-of-band against exported files) call this and write the text
+wherever they need it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus name grammar."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    *,
+    namespace: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    ``labels`` (e.g. ``{"session": "s001"}``) are attached to every
+    series; keys and values are rendered sorted and escaped.
+    """
+    label_text = ""
+    if labels:
+        parts = []
+        for key in sorted(labels):
+            value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{_sanitize(key)}="{value}"')
+        label_text = "{" + ",".join(parts) + "}"
+
+    lines: List[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        metric = f"{_sanitize(namespace)}_{_sanitize(name)}" if namespace else _sanitize(name)
+        if isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {metric} histogram")
+            snapshot = instrument.as_value()
+            cumulative = 0
+            for bound, count in zip(instrument.bounds, instrument.counts):
+                cumulative += count
+                if label_text:
+                    inner = label_text[1:-1] + f',le="{bound:g}"'
+                else:
+                    inner = f'le="{bound:g}"'
+                lines.append(f"{metric}_bucket{{{inner}}} {cumulative}")
+            cumulative += instrument.overflow
+            if label_text:
+                inner = label_text[1:-1] + ',le="+Inf"'
+            else:
+                inner = 'le="+Inf"'
+            lines.append(f"{metric}_bucket{{{inner}}} {cumulative}")
+            lines.append(
+                f"{metric}_sum{label_text} {_format_value(snapshot['sum'])}"
+            )
+            lines.append(f"{metric}_count{label_text} {snapshot['count']}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(
+                f"{metric}{label_text} {_format_value(instrument.value)}"
+            )
+        else:
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(
+                f"{metric}_total{label_text} {_format_value(instrument.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = ["render_prometheus"]

@@ -31,16 +31,47 @@ acyclic.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from repro.obs.metrics import BYTE_BUCKETS, MetricsRegistry
 
 
-def registry_from_store(store: Any) -> MetricsRegistry:
-    """Compute the deterministic ``store.*`` registry of a store's contents."""
-    from repro.core.graph import CheckpointGraph, ROOT_ID
+def _session_graphs(store: Any) -> List[Tuple[str, Any]]:
+    """(session_id, CheckpointGraph) per session, sorted by session id.
 
-    graph = CheckpointGraph.from_store(store)
+    Schema-v2 stores enumerate their sessions; a store (or bare handle)
+    without the registry surface degrades to its own single graph, which
+    preserves the historical single-session behaviour byte for byte.
+    """
+    from repro.core.graph import CheckpointGraph
+
+    own = getattr(store, "session_id", None)
+    ids: List[str] = []
+    lister = getattr(store, "list_sessions", None)
+    scoper = getattr(store, "for_session", None)
+    if lister is not None and scoper is not None:
+        try:
+            ids = sorted({record.session_id for record in lister()})
+        except Exception:
+            ids = []
+    if own is not None and own not in ids:
+        ids = sorted([*ids, own])
+    if not ids or scoper is None:
+        return [(own or "default", CheckpointGraph.from_store(store))]
+    return [(sid, CheckpointGraph.from_store(store.for_session(sid))) for sid in ids]
+
+
+def registry_from_store(store: Any) -> MetricsRegistry:
+    """Compute the deterministic ``store.*`` registry of a store's contents.
+
+    On a schema-v2 multi-session store the totals aggregate every
+    session's graph (sessions visited in sorted id order, so rendering
+    stays byte-stable); ``store.head_state_covariables`` becomes the sum
+    of per-session head states. A single-session store renders exactly
+    as before.
+    """
+    from repro.core.graph import ROOT_ID
+
     registry = MetricsRegistry()
     nodes = registry.counter("store.nodes")
     stored = registry.counter("store.payloads_stored")
@@ -51,29 +82,62 @@ def registry_from_store(store: Any) -> MetricsRegistry:
     monolithic = registry.counter("store.monolithic_bytes")
     sizes = registry.histogram("store.payload_bytes", BYTE_BUCKETS)
 
-    for node in sorted(graph.all_nodes(), key=lambda n: n.timestamp):
-        if node.node_id == ROOT_ID:
-            continue
-        nodes.inc()
-        for info in node.updated.values():
-            if info.stored:
-                stored.inc()
-                bytes_total.inc(info.size_bytes)
-                incremental.inc(info.size_bytes)
-                sizes.record(info.size_bytes)
-            else:
-                tombstones.inc()
-        for key, version in node.state.items():
-            if version != node.node_id:
-                dedup.inc()
-            info = graph.get(version).updated.get(key)
-            if info is not None:
-                monolithic.inc(info.size_bytes)
+    head_covariables = 0
+    for _sid, graph in _session_graphs(store):
+        for node in sorted(graph.all_nodes(), key=lambda n: n.timestamp):
+            if node.node_id == ROOT_ID:
+                continue
+            nodes.inc()
+            for info in node.updated.values():
+                if info.stored:
+                    stored.inc()
+                    bytes_total.inc(info.size_bytes)
+                    incremental.inc(info.size_bytes)
+                    sizes.record(info.size_bytes)
+                else:
+                    tombstones.inc()
+            for key, version in node.state.items():
+                if version != node.node_id:
+                    dedup.inc()
+                info = graph.get(version).updated.get(key)
+                if info is not None:
+                    monolithic.inc(info.size_bytes)
+        head_covariables += len(graph.get(graph.head_id).state)
 
-    registry.gauge("store.head_state_covariables").set(
-        len(graph.get(graph.head_id).state)
-    )
+    registry.gauge("store.head_state_covariables").set(head_covariables)
     return registry
+
+
+def per_session_stats(store: Any) -> Dict[str, Dict[str, int]]:
+    """Per-session storage breakdown for schema-v2 stores.
+
+    Maps session id to commit/payload/byte totals; sessions with no
+    committed nodes are omitted (a registered-but-empty session has
+    nothing to account). Sorted by session id, deterministic.
+    """
+    from repro.core.graph import ROOT_ID
+
+    result: Dict[str, Dict[str, int]] = {}
+    for sid, graph in _session_graphs(store):
+        commits = stored = tombstones = bytes_total = 0
+        for node in graph.all_nodes():
+            if node.node_id == ROOT_ID:
+                continue
+            commits += 1
+            for info in node.updated.values():
+                if info.stored:
+                    stored += 1
+                    bytes_total += info.size_bytes
+                else:
+                    tombstones += 1
+        if commits:
+            result[sid] = {
+                "commits": commits,
+                "payloads_stored": stored,
+                "tombstones": tombstones,
+                "bytes_total": bytes_total,
+            }
+    return dict(sorted(result.items()))
 
 
 def size_ratio(registry: MetricsRegistry) -> float:
@@ -102,6 +166,7 @@ def stats_as_dict(registry: MetricsRegistry) -> Dict[str, Any]:
 
 
 __all__ = [
+    "per_session_stats",
     "registry_from_store",
     "render_store_stats",
     "size_ratio",

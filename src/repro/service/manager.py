@@ -19,6 +19,13 @@ Every session gets its own store handle (a
 :class:`~repro.service.queue.QueuedStore` unless the queue is disabled),
 so concurrent kernels share the backend through the per-session
 namespacing in the store schema and the one background writer.
+
+A :class:`~repro.obs.health.HealthEngine` can ride on the manager
+(``health=``): it binds to the commit queue for depth sensing and
+backpressure actuation, and :meth:`SessionManager.health_tick` runs one
+sample–evaluate–actuate pass (callers decide the cadence — the soak
+driver ticks after every commit). A disabled engine costs one attribute
+check.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ class SessionManager:
         max_depth: int = 256,
         fsync: str = "per_commit",
         session_defaults: Optional[Dict[str, object]] = None,
+        health: Optional[object] = None,
     ) -> None:
         self.store = store if store is not None else InMemoryCheckpointStore()
         self.observer = observer if observer is not None else Observer()
@@ -71,6 +79,15 @@ class SessionManager:
             if queue
             else None
         )
+        # Lazy import keeps repro.service importable without obs.health
+        # in scope until a caller actually opts into the engine.
+        if health is None:
+            from repro.obs.health import HealthEngine
+
+            health = HealthEngine.disabled()
+        self.health = health
+        if getattr(self.health, "enabled", False) and self.queue is not None:
+            self.health.attach_queue(self.queue)
         self._session_defaults = dict(session_defaults or {})
         self._sessions: Dict[str, KishuSession] = {}
         self._lock = threading.Lock()
@@ -201,6 +218,16 @@ class SessionManager:
     def attached_ids(self) -> List[str]:
         with self._lock:
             return sorted(self._sessions)
+
+    # -- fleet health ----------------------------------------------------------
+
+    def health_tick(self) -> List[Dict[str, object]]:
+        """One health-engine pass: sample queue depth, evaluate SLOs,
+        drive backpressure. No-op (one attribute check) when the engine
+        is disabled."""
+        if not self.health.enabled:  # type: ignore[attr-defined]
+            return []
+        return self.health.tick()  # type: ignore[attr-defined]
 
     # -- barriers --------------------------------------------------------------
 

@@ -28,6 +28,15 @@ Ordering and durability contract (DESIGN.md §13):
   fatal error) in the writer marks the queue dead after releasing the
   store lock it may hold; already-committed prefixes remain readable and
   reopening the store recovers exactly as after a process crash.
+* **Adaptive backpressure (DESIGN.md §16).** Beyond the fixed
+  ``max_depth`` cap, the queue exposes a three-level pressure ladder —
+  ``accept`` → ``degrade_fsync`` (per-commit fsync relaxes to
+  per-batch, trading durability granularity for drain throughput) →
+  ``block`` (the effective cap drops to a configured ceiling so
+  enqueue blocks until the writer catches up). The health engine's
+  :class:`~repro.obs.health.BackpressureController` walks the ladder
+  from sustained SLO burn; each transition emits a
+  ``backpressure_changed`` event.
 """
 
 from __future__ import annotations
@@ -47,14 +56,14 @@ from repro.core.storage import (
     StoredPayload,
 )
 from repro.errors import PermanentStorageError, StorageError
-from repro.obs import COUNT_BUCKETS, EventType, NO_OBSERVER, Observer
+from repro.obs import COUNT_BUCKETS, LATENCY_BUCKETS, EventType, NO_OBSERVER, Observer
 
-__all__ = ["CommitQueue", "QueuedStore"]
-
-#: Histogram bounds for the writer's per-commit store latency (ms).
-WRITE_LATENCY_BUCKETS_MS = (0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000)
+__all__ = ["CommitQueue", "QueuedStore", "PRESSURE_LEVELS"]
 
 _FSYNC_POLICIES = ("per_commit", "per_batch", "off")
+
+#: The adaptive backpressure ladder, mildest first.
+PRESSURE_LEVELS = ("accept", "degrade_fsync", "block")
 
 
 class _QueuedCommit:
@@ -72,6 +81,9 @@ class _QueuedCommit:
 
 class CommitQueue:
     """The write-ahead queue and its single background writer thread."""
+
+    #: Ladder exposed for controllers (see module docstring).
+    PRESSURE_LEVELS = PRESSURE_LEVELS
 
     def __init__(
         self,
@@ -119,6 +131,8 @@ class CommitQueue:
         self._batches = 0
         self._write_failures = 0
         self._max_depth_seen = 0
+        self._pressure = "accept"
+        self._pressure_ceiling: Optional[int] = None
 
         self._writer = threading.Thread(
             target=self._run, name="repro-commit-writer", daemon=True
@@ -159,7 +173,7 @@ class CommitQueue:
         with self._lock:
             self._check_writable_locked(session_id)
             while (
-                len(self._pending) >= self._max_depth
+                len(self._pending) >= self._effective_cap_locked()
                 and self._crashed is None
                 and not self._stopped
             ):
@@ -236,6 +250,68 @@ class CommitQueue:
         with self._lock:
             return len(self._pending) + len(self._in_flight)
 
+    # -- adaptive backpressure -------------------------------------------------
+
+    def _effective_cap_locked(self) -> int:
+        """The enqueue cap at the current pressure level. ``block``
+        lowers the fixed ``max_depth`` cap to the configured ceiling;
+        the milder levels keep it."""
+        if self._pressure == "block" and self._pressure_ceiling is not None:
+            return min(self._max_depth, self._pressure_ceiling)
+        return self._max_depth
+
+    def _effective_fsync_locked(self) -> str:
+        """Under pressure, per-commit fsync relaxes to per-batch so the
+        writer drains faster; explicit ``per_batch``/``off`` policies
+        are already at least that relaxed and stay untouched."""
+        if self._pressure != "accept" and self._fsync == "per_commit":
+            return "per_batch"
+        return self._fsync
+
+    @property
+    def pressure(self) -> str:
+        with self._lock:
+            return self._pressure
+
+    def set_pressure(
+        self,
+        level: str,
+        *,
+        ceiling: Optional[int] = None,
+        reason: str = "",
+    ) -> None:
+        """Move the queue to a backpressure level (see module docstring).
+
+        Idempotent per level; every actual transition emits a
+        ``backpressure_changed`` event and updates the
+        ``service.backpressure`` gauge (the ladder index). Waiting
+        producers are woken so a *relaxed* cap admits them promptly.
+        """
+        if level not in PRESSURE_LEVELS:
+            raise ValueError(
+                f"pressure must be one of {PRESSURE_LEVELS}, got {level!r}"
+            )
+        if ceiling is not None and ceiling < 1:
+            raise ValueError("ceiling must be >= 1")
+        with self._lock:
+            previous = self._pressure
+            if ceiling is not None:
+                self._pressure_ceiling = ceiling
+            if level == previous:
+                return
+            self._pressure = level
+            self._progress.notify_all()
+            self._wakeup.notify()
+        self._observer.event(
+            EventType.BACKPRESSURE_CHANGED,
+            level=level,
+            previous=previous,
+            reason=reason,
+        )
+        self._observer.gauge(
+            "service.backpressure", PRESSURE_LEVELS.index(level)
+        )
+
     @property
     def crashed(self) -> bool:
         with self._lock:
@@ -251,6 +327,7 @@ class CommitQueue:
                 "max_depth": self._max_depth_seen,
                 "poisoned_sessions": sorted(self._poisoned),
                 "crashed": self._crashed is not None,
+                "pressure": self._pressure,
             }
 
     def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
@@ -295,6 +372,8 @@ class CommitQueue:
 
     def _write_batch(self, batch: List[_QueuedCommit]) -> None:
         written = 0
+        with self._lock:
+            fsync = self._effective_fsync_locked()
         for record in batch:
             try:
                 if record.session_id in self._poisoned:
@@ -306,16 +385,16 @@ class CommitQueue:
                     )
                 started = time.perf_counter()
                 self._write_record(record)
-                elapsed_ms = (time.perf_counter() - started) * 1e3
+                elapsed = time.perf_counter() - started
                 written += 1
-                if self._fsync == "per_commit":
+                if fsync == "per_commit":
                     self._try_sync()
                 with self._lock:
                     self._written += 1
                     self._in_flight.remove(record)
                     self._progress.notify_all()
                 self._observer.observe(
-                    "service.write_latency_ms", elapsed_ms, WRITE_LATENCY_BUCKETS_MS
+                    "service.write_latency_seconds", elapsed, LATENCY_BUCKETS
                 )
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
@@ -336,7 +415,7 @@ class CommitQueue:
             # BaseException (SimulatedCrash) escapes with this record (and
             # the batch remainder) still in _in_flight: flush() must not
             # report them as applied.
-        if written and self._fsync == "per_batch":
+        if written and fsync == "per_batch":
             self._try_sync()
         with self._lock:
             depth = len(self._pending)

@@ -299,6 +299,30 @@ class PlanStats(RegistryStats):
         return dict(sorted(totals.items()))
 
 
+class HealthStats(RegistryStats):
+    """Counters of the fleet-health layer (DESIGN.md §16), backed by
+    ``health.*`` registry counters.
+
+    Owned by one :class:`~repro.obs.health.HealthEngine`.
+    ``alerts_fired`` is the interesting number: non-zero means at least
+    one SLO's multi-window burn rate crossed its threshold during the
+    run. ``backpressure_transitions`` counts commit-queue pressure-level
+    changes driven by firing backpressure-flagged alerts.
+
+    Fields: ``evaluations`` (evaluator passes over the aggregator
+    windows), ``alerts_fired``, ``alerts_resolved``, and
+    ``backpressure_transitions``.
+    """
+
+    _PREFIX = "health"
+    _FIELDS = (
+        "evaluations",
+        "alerts_fired",
+        "alerts_resolved",
+        "backpressure_transitions",
+    )
+
+
 def publish_walk_stats(registry: MetricsRegistry, stats: "WalkStats") -> None:
     """Accumulate one walk-stats delta into ``walk.*`` registry counters.
 

@@ -18,6 +18,7 @@ import pytest
 from repro.obs import (
     BYTE_BUCKETS,
     COUNT_BUCKETS,
+    LATENCY_BUCKETS,
     NO_OBSERVER,
     NULL_SPAN,
     Event,
@@ -497,6 +498,9 @@ def build_golden_registry() -> MetricsRegistry:
         [32, 64, 65, 300, 5000, 70000, 5 * 1024 * 1024]
     )
     registry.histogram("replay.cells", COUNT_BUCKETS).record_many([1, 3, 9])
+    registry.histogram("service.write_latency_seconds", LATENCY_BUCKETS).record_many(
+        [0.0004, 0.002, 0.004, 0.03, 0.25, 1.5, 45.0]
+    )
     return registry
 
 
@@ -518,4 +522,86 @@ class TestGoldenRegistry:
             "canonical registry JSON drifted from tests/golden/"
             "metrics_registry.json — regenerate the golden file only for an "
             "intentional format change"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared latency vocabulary
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyBuckets:
+    def test_exact_bounds(self):
+        # The fleet-wide latency vocabulary: 1–2.5–5 ladder in seconds,
+        # 1ms..30s. Changing it invalidates every SLO threshold and
+        # cross-run latency comparison — so it is pinned exactly.
+        assert LATENCY_BUCKETS == (
+            0.001,
+            0.0025,
+            0.005,
+            0.01,
+            0.025,
+            0.05,
+            0.1,
+            0.25,
+            0.5,
+            1.0,
+            2.5,
+            5.0,
+            10.0,
+            30.0,
+        )
+
+    def test_strictly_increasing(self):
+        assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: N writers, no lost updates, no seq gaps
+# ---------------------------------------------------------------------------
+
+
+class TestThreadSafety:
+    def test_registry_concurrent_writers_lose_nothing(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 500
+
+        def hammer() -> None:
+            for i in range(per_thread):
+                registry.counter("hammer.count").inc()
+                registry.gauge("hammer.gauge").set(i)
+                registry.histogram("hammer.latency", LATENCY_BUCKETS).record(0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hammer.count").value == threads_n * per_thread
+        hist = registry.histogram("hammer.latency", LATENCY_BUCKETS)
+        assert hist.count == threads_n * per_thread
+
+    def test_event_log_concurrent_emitters_keep_seq_dense(self):
+        import threading
+
+        log = EventLog()
+        threads_n, per_thread = 8, 400
+
+        def hammer(worker: int) -> None:
+            for i in range(per_thread):
+                log.emit(EventType.COMMIT, worker=worker, i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == threads_n * per_thread
+        seqs = sorted(event.seq for event in log)
+        assert seqs == list(range(threads_n * per_thread)), (
+            "concurrent emits must never skip or duplicate a seq"
         )

@@ -33,7 +33,7 @@ from repro.errors import PermanentStorageError, StorageError
 from repro.faults import FaultInjectingStore, FaultPlan, FaultRule
 from repro.faults.injector import SlowStore
 from repro.kernel.kernel import NotebookKernel
-from repro.obs import EventType, Observer
+from repro.obs import EventType, LATENCY_BUCKETS, Observer
 from repro.service import CommitQueue, QueuedStore, SessionManager
 
 
@@ -271,7 +271,9 @@ class TestCommitQueue:
         assert observer.events.of_type(EventType.COMMIT_ENQUEUED)
         assert observer.events.of_type(EventType.QUEUE_BATCH_WRITTEN)
         assert observer.metrics.histogram("service.batch_size").count == 1
-        assert observer.metrics.histogram("service.write_latency_ms").count == 1
+        latency = observer.metrics.histogram("service.write_latency_seconds")
+        assert latency.count == 1
+        assert latency.bounds == LATENCY_BUCKETS
         assert observer.metrics.gauge("service.queue_depth").value == 0
 
     def test_concurrent_producers_all_commits_land(self, shared_store):
